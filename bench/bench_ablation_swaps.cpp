@@ -1,0 +1,40 @@
+// Ablation E: commutative pseudo-input ports (Eq. 3). Swapping operands of
+// additions/multiplications lets the ILP consolidate wires onto fewer mux
+// inputs; this bench measures the reference-synthesis area with and without
+// the machinery.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace advbist;
+  std::printf("Ablation E: commutative operand swaps (Eq. 3), reference "
+              "synthesis\n\n");
+  util::TextTable table;
+  table.add_row({"Ckt", "with swaps", "without", "mux inputs with/without"});
+  for (const hls::Benchmark& b : bench::selected_benchmarks()) {
+    core::SynthesizerOptions on = bench::default_synth_options();
+    core::SynthesizerOptions off = bench::default_synth_options();
+    off.commutative_swaps = false;
+    const auto r_on =
+        core::Synthesizer(b.dfg, b.modules, on).synthesize_reference();
+    const auto r_off =
+        core::Synthesizer(b.dfg, b.modules, off).synthesize_reference();
+    table.add_row({b.dfg.name(),
+                   bench::overhead_cell(r_on.design.area.total(),
+                                        r_on.hit_limit),
+                   bench::overhead_cell(r_off.design.area.total(),
+                                        r_off.hit_limit),
+                   std::to_string(r_on.design.area.mux_inputs) + " / " +
+                       std::to_string(r_off.design.area.mux_inputs)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "At proven optimality, 'with swaps' can only be <= 'without' (the\n"
+      "identity map stays feasible); the delta is what Eq. 3 buys on mux\n"
+      "hardware. Budget-limited rows ('*') may invert: the pseudo-port\n"
+      "model roughly doubles the interconnect variables, so its incumbent\n"
+      "at a tight budget can trail the smaller identity-only ILP.\n");
+  return 0;
+}

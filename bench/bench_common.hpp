@@ -1,0 +1,56 @@
+// Shared plumbing for the bench harnesses: environment-tunable solve
+// budgets and result-row formatting. Every bench binary regenerates one of
+// the paper's tables or figures (see DESIGN.md section 5).
+//
+// Environment knobs:
+//   ADVBIST_TIME_LIMIT   seconds per ILP solve (default 20; the paper used
+//                        a 24 CPU-hour cap — entries that hit the limit are
+//                        marked with "*" exactly like Table 2's dct4 row)
+//   ADVBIST_CIRCUITS     comma-separated circuit filter (default: all six)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "hls/benchmarks.hpp"
+#include "util/table.hpp"
+
+namespace advbist::bench {
+
+inline double time_limit_seconds() {
+  if (const char* env = std::getenv("ADVBIST_TIME_LIMIT"))
+    return std::atof(env) > 0 ? std::atof(env) : 20.0;
+  return 20.0;
+}
+
+inline std::vector<hls::Benchmark> selected_benchmarks() {
+  const char* env = std::getenv("ADVBIST_CIRCUITS");
+  if (env == nullptr || std::string(env).empty())
+    return hls::all_benchmarks();
+  std::vector<hls::Benchmark> picked;
+  std::string list(env);
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!name.empty()) picked.push_back(hls::benchmark_by_name(name));
+    pos = comma == std::string::npos ? comma : comma + 1;
+  }
+  return picked;
+}
+
+inline core::SynthesizerOptions default_synth_options() {
+  core::SynthesizerOptions o;
+  o.solver.time_limit_seconds = time_limit_seconds();
+  return o;
+}
+
+/// "33.8" or "33.8*" when the solve hit its limit (the paper's marker).
+inline std::string overhead_cell(double percent, bool hit_limit) {
+  return util::format_fixed(percent, 1) + (hit_limit ? "*" : "");
+}
+
+}  // namespace advbist::bench

@@ -1,0 +1,36 @@
+// Ablation D: fault-coverage justification of Eq. 13 ("a TPG should not be
+// shared between the two input ports of a module. This requirement is
+// necessary to achieve high fault coverage."). Simulates the parallel BIST
+// session per module type with distinct vs shared TPGs and reports stuck-at
+// coverage.
+#include <cstdio>
+
+#include "bist/simulation.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace advbist;
+  std::printf("Ablation D: stuck-at fault coverage per sub-test session "
+              "(8-bit, 255 patterns)\n\n");
+  util::TextTable table;
+  table.add_row({"Module", "distinct TPGs", "shared TPG (violates Eq.13)",
+                 "faults"});
+  for (hls::OpType type :
+       {hls::OpType::kAdd, hls::OpType::kSub, hls::OpType::kMul}) {
+    bist::SessionSimConfig distinct, shared;
+    shared.shared_tpg = true;
+    const auto d = bist::simulate_module_test(type, distinct);
+    const auto s = bist::simulate_module_test(type, shared);
+    table.add_row({hls::to_string(type),
+                   util::format_fixed(d.coverage_percent(), 1) + "%",
+                   util::format_fixed(s.coverage_percent(), 1) + "%",
+                   std::to_string(d.total_faults)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Shared-TPG ports carry identical operands every cycle, so\n"
+              "faults excited only by unequal operands escape — most\n"
+              "dramatically for subtraction (a - a == 0 masks the entire\n"
+              "datapath). This is why Eq. 13 is a hard constraint in the\n"
+              "ADVBIST ILP rather than a preference.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Regenerates Figure 1: the Section 2 running example — its DFG
+// nomenclature sets, the synthesized minimal data path, and a register
+// assignment equivalent to the paper's R0={0,4}, R1={1,3,6}, R2={2,5,7}.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hls/datapath.hpp"
+
+int main() {
+  using namespace advbist;
+  const hls::Benchmark b = hls::make_fig1();
+  const hls::Dfg& g = b.dfg;
+
+  std::printf("Figure 1(a): data flow graph\n");
+  std::printf("  V_o = {");
+  for (const hls::Operation& op : g.operations())
+    std::printf("%d%s", op.id + 8, op.id + 1 < g.num_operations() ? ", " : "");
+  std::printf("}  (paper numbering: ops 8..11)\n  V_v = {0..%d}\n",
+              g.num_variables() - 1);
+  std::printf("  T   = {0..%d}\n  E_i = {", g.num_boundaries() - 1);
+  for (const hls::Operation& op : g.operations())
+    for (std::size_t l = 0; l < op.inputs.size(); ++l)
+      std::printf("(%d,%d,%zu) ", op.inputs[l].id, op.id + 8, l);
+  std::printf("}\n  E_o = {");
+  for (const hls::Operation& op : g.operations())
+    std::printf("(%d,%d) ", op.id + 8, op.output);
+  std::printf("}\n  max horizontal crossing = %d registers\n\n",
+              g.max_crossing());
+
+  std::printf("Figure 1(b): synthesized data path (ILP reference "
+              "synthesis)\n");
+  const core::Synthesizer synth(g, b.modules, bench::default_synth_options());
+  const core::SynthesisResult ref = synth.synthesize_reference();
+  for (int r = 0; r < ref.design.registers.num_registers(); ++r) {
+    std::printf("  R%d = {", r);
+    bool first = true;
+    for (int v : ref.design.registers.variables_in(r)) {
+      std::printf("%s%d", first ? "" : ", ", v);
+      first = false;
+    }
+    std::printf("}\n");
+  }
+  const hls::Datapath& dp = ref.design.datapath;
+  for (std::size_t m = 0; m < dp.port_reg_sources.size(); ++m) {
+    std::printf("  M%zu (%s): ", m + 3, b.modules.module(m).name.c_str());
+    for (std::size_t l = 0; l < dp.port_reg_sources[m].size(); ++l) {
+      std::printf("port%zu<-{", l);
+      for (int r : dp.port_reg_sources[m][l]) std::printf("R%d ", r);
+      std::printf("} ");
+    }
+    std::printf("-> drives {");
+    for (int r : dp.registers_driven_by(static_cast<int>(m)))
+      std::printf("R%d ", r);
+    std::printf("}\n");
+  }
+  std::printf("  mux inputs M = %d, area = %d transistors (%s)\n",
+              ref.design.area.mux_inputs, ref.design.area.total(),
+              ref.is_optimal() ? "optimal" : "incumbent");
+  std::printf("\npaper: 3 registers, 2 modules (adder M3, multiplier M4); "
+              "R0={0,4} R1={1,3,6} R2={2,5,7} is one optimal assignment\n");
+  return 0;
+}

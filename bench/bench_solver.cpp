@@ -1,0 +1,100 @@
+// Ablation C: solver micro-benchmarks (google-benchmark). Measures the
+// simplex and branch & bound kernels that stand in for CPLEX 6.0, plus the
+// full fig1 synthesis path.
+#include <benchmark/benchmark.h>
+
+#include "core/formulation.hpp"
+#include "hls/benchmarks.hpp"
+#include "ilp/solver.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace advbist;
+
+lp::Model random_lp(int n, int m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  lp::Model model;
+  for (int v = 0; v < n; ++v)
+    model.add_variable(0, 1, rng.next_int(-5, 5), lp::VarType::kContinuous, "");
+  for (int c = 0; c < m; ++c) {
+    lp::LinExpr e;
+    for (int v = 0; v < n; ++v) {
+      const int coeff = rng.next_int(-2, 3);
+      if (coeff != 0) e.add(v, coeff);
+    }
+    model.add_constraint(std::move(e), lp::Sense::kLessEqual,
+                         rng.next_int(1, 6));
+  }
+  return model;
+}
+
+void BM_SimplexDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lp::Model model = random_lp(n, n, 42);
+  for (auto _ : state) {
+    lp::SimplexSolver simplex(model);
+    benchmark::DoNotOptimize(simplex.solve().objective);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SimplexDense)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_SimplexWarmRestart(benchmark::State& state) {
+  const lp::Model model = random_lp(100, 100, 7);
+  lp::SimplexSolver simplex(model);
+  simplex.solve();
+  int flip = 0;
+  for (auto _ : state) {
+    simplex.set_variable_bounds(0, 0, flip ^= 1);
+    benchmark::DoNotOptimize(simplex.solve().iterations);
+  }
+}
+BENCHMARK(BM_SimplexWarmRestart);
+
+void BM_BranchAndBoundKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(13);
+  lp::Model model;
+  lp::LinExpr weight;
+  for (int v = 0; v < n; ++v) {
+    model.add_binary(-rng.next_int(1, 30), "");
+    weight.add(v, rng.next_int(1, 12));
+  }
+  model.add_constraint(std::move(weight), lp::Sense::kLessEqual, 3 * n);
+  for (auto _ : state) {
+    ilp::Options opt;
+    opt.time_limit_seconds = 30;
+    benchmark::DoNotOptimize(ilp::Solver(opt).solve(model).objective);
+  }
+}
+BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(20)->Arg(40);
+
+void BM_Fig1FormulationBuild(benchmark::State& state) {
+  const hls::Benchmark b = hls::make_fig1();
+  for (auto _ : state) {
+    core::FormulationOptions fo;
+    fo.k = 1;
+    core::Formulation f(b.dfg, b.modules, fo);
+    benchmark::DoNotOptimize(f.model().num_variables());
+  }
+}
+BENCHMARK(BM_Fig1FormulationBuild);
+
+void BM_Fig1ReferenceSynthesis(benchmark::State& state) {
+  const hls::Benchmark b = hls::make_fig1();
+  for (auto _ : state) {
+    core::FormulationOptions fo;
+    fo.include_bist = false;
+    const core::Formulation f(b.dfg, b.modules, fo);
+    ilp::Options opt;
+    opt.branch_priority = f.branch_priorities();
+    benchmark::DoNotOptimize(ilp::Solver(opt).solve(f.model()).objective);
+  }
+}
+BENCHMARK(BM_Fig1ReferenceSynthesis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

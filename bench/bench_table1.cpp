@@ -1,0 +1,36 @@
+// Regenerates Table 1: transistor counts of 8-bit test registers and
+// multiplexers — the objective weights of every other experiment.
+#include <cstdio>
+
+#include "bist/cost_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace advbist;
+  const bist::CostModel cm = bist::CostModel::paper_8bit();
+
+  std::printf("Table 1. Number of transistors of 8-bit test registers and "
+              "multiplexers\n\na) Test registers\n");
+  util::TextTable regs;
+  regs.add_row({"Type", "Reg.", "TPG", "SR", "BILBO", "CBILBO"});
+  regs.add_row({"#Trs",
+                std::to_string(cm.register_cost(bist::TestRegisterType::kRegister)),
+                std::to_string(cm.register_cost(bist::TestRegisterType::kTpg)),
+                std::to_string(cm.register_cost(bist::TestRegisterType::kSr)),
+                std::to_string(cm.register_cost(bist::TestRegisterType::kBilbo)),
+                std::to_string(cm.register_cost(bist::TestRegisterType::kCbilbo))});
+  std::printf("%s\nb) Multiplexers\n", regs.render().c_str());
+
+  util::TextTable mux;
+  std::vector<std::string> head = {"#MuxIn"}, cost = {"#Trs"};
+  for (int q = 2; q <= 7; ++q) {
+    head.push_back(std::to_string(q));
+    cost.push_back(std::to_string(cm.mux_cost(q)));
+  }
+  mux.add_row(head);
+  mux.add_row(cost);
+  std::printf("%s\n", mux.render().c_str());
+  std::printf("paper: Reg 208, TPG 256, SR 304, BILBO 388, CBILBO 596; "
+              "mux 2..7 = 80 176 208 300 320 350 (exact match expected)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Compares all four BIST synthesis systems on one circuit — a one-circuit
+// slice of the paper's Table 3 with per-register detail.
+//
+//   $ ./examples/compare_methods [circuit]
+#include <cstdio>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "bist/bist_design.hpp"
+#include "core/synthesizer.hpp"
+#include "hls/benchmarks.hpp"
+
+using namespace advbist;
+
+namespace {
+void print_design(const std::string& method, int num_registers,
+                  const bist::BistAssignment& assignment,
+                  const bist::AreaBreakdown& area, double overhead) {
+  std::printf("%-8s area %5d (+%5.1f%%)  registers:", method.c_str(),
+              area.total(), overhead);
+  const auto types = assignment.register_types(num_registers);
+  for (const auto& t : types) std::printf(" %s", bist::to_string(t));
+  std::printf("  mux inputs %d\n", area.mux_inputs);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string circuit = argc > 1 ? argv[1] : "tseng";
+  const hls::Benchmark b = hls::benchmark_by_name(circuit);
+  const int k = b.modules.num_modules();
+  const bist::CostModel cost = bist::CostModel::paper_8bit();
+
+  core::SynthesizerOptions options;
+  options.solver.time_limit_seconds = 30;
+  const core::Synthesizer synth(b.dfg, b.modules, options);
+  const core::SynthesisResult ref = synth.synthesize_reference();
+  std::printf("%s, k = %d test sessions, reference area %d\n\n",
+              circuit.c_str(), k, ref.design.area.total());
+
+  const core::SynthesisResult adv = synth.synthesize_bist(k);
+  print_design("ADVBIST", adv.design.registers.num_registers(),
+               adv.design.bist, adv.design.area,
+               bist::overhead_percent(adv.design.area, ref.design.area));
+
+  for (const char* method : {"ADVAN", "RALLOC", "BITS"}) {
+    const baselines::BaselineResult r =
+        baselines::run_baseline(method, b.dfg, b.modules, k, cost);
+    print_design(method, r.registers.num_registers(), r.bist, r.area,
+                 bist::overhead_percent(r.area, ref.design.area));
+  }
+  std::printf("\nADVBIST optimizes register, BIST and interconnect\n"
+              "assignment concurrently; the heuristics run on a fixed\n"
+              "left-edge allocation, which is why their mux columns are\n"
+              "fatter — the paper's central observation.\n");
+  return 0;
+}

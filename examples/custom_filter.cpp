@@ -1,0 +1,74 @@
+// End-to-end HLS + BIST flow on user-defined hardware: an unscheduled
+// 4-tap FIR filter is list-scheduled under resource constraints, bound onto
+// functional units, and synthesized into a self-testable datapath — the
+// full pipeline a downstream user would run on their own algorithm.
+//
+//   $ ./examples/custom_filter
+#include <cstdio>
+
+#include "bist/bist_design.hpp"
+#include "core/synthesizer.hpp"
+#include "hls/allocation.hpp"
+#include "hls/scheduling.hpp"
+
+using namespace advbist;
+
+int main() {
+  // ---- 1. Describe an UNscheduled 4-tap FIR: y = sum c_i * x_i ----
+  hls::UnscheduledDfg fir;
+  fir.name = "fir4";
+  for (int i = 0; i < 4; ++i) fir.variables.push_back("x" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) fir.variables.push_back("p" + std::to_string(i));
+  fir.variables.push_back("s1");
+  fir.variables.push_back("s2");
+  fir.variables.push_back("y");
+  for (int i = 0; i < 4; ++i)
+    fir.constants.push_back({"c" + std::to_string(i), 0.2 * (i + 1)});
+  using hls::ValueRef;
+  for (int i = 0; i < 4; ++i)
+    fir.operations.push_back({hls::OpType::kMul,
+                              {ValueRef::variable(i), ValueRef::constant(i)},
+                              4 + i,
+                              "p" + std::to_string(i)});
+  fir.operations.push_back({hls::OpType::kAdd,
+                            {ValueRef::variable(4), ValueRef::variable(5)},
+                            8, "s1"});
+  fir.operations.push_back({hls::OpType::kAdd,
+                            {ValueRef::variable(6), ValueRef::variable(7)},
+                            9, "s2"});
+  fir.operations.push_back({hls::OpType::kAdd,
+                            {ValueRef::variable(8), ValueRef::variable(9)},
+                            10, "y"});
+
+  // ---- 2. Schedule under resource constraints (1 multiplier, 1 adder) ----
+  const hls::Dfg scheduled = hls::list_schedule(
+      fir, {{hls::OpType::kMul, 1}, {hls::OpType::kAdd, 1}});
+  std::printf("schedule: %d cycles, register demand %d\n",
+              scheduled.num_cycles(), scheduled.max_crossing());
+  for (const hls::Operation& op : scheduled.operations())
+    std::printf("  cycle %d: %s\n", op.step, op.name.c_str());
+
+  // ---- 3. Bind onto the minimum functional units ----
+  const hls::ModuleAllocation modules = hls::bind_operations_greedy(scheduled);
+  std::printf("modules: %d\n", modules.num_modules());
+
+  // ---- 4. Sweep every k-test session like the paper's Table 2 ----
+  core::SynthesizerOptions options;
+  options.solver.time_limit_seconds = 30;
+  const core::Synthesizer synth(scheduled, modules, options);
+  const core::SynthesisResult ref = synth.synthesize_reference();
+  std::printf("\nreference area: %d transistors\n", ref.design.area.total());
+  for (int k = 1; k <= modules.num_modules(); ++k) {
+    const core::SynthesisResult r = synth.synthesize_bist(k);
+    std::printf("k=%d sessions: area %d (+%.1f%%), T=%d S=%d B=%d C=%d%s\n",
+                k, r.design.area.total(),
+                bist::overhead_percent(r.design.area, ref.design.area),
+                r.design.area.tpgs, r.design.area.srs, r.design.area.bilbos,
+                r.design.area.cbilbos, r.hit_limit ? " *" : "");
+  }
+  std::printf("\nConstants (the c_i taps) are hard-wired; the commutative\n"
+              "multipliers let the ILP steer them to either port, and the\n"
+              "Section 3.3.4 machinery inserts a dedicated constant TPG\n"
+              "only when unavoidable.\n");
+  return 0;
+}

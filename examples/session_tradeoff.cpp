@@ -1,0 +1,49 @@
+// The paper's "range of designs with different figures of merit in area and
+// test time": sweeps k for a chosen circuit and prints the area / test-time
+// frontier (test time grows with k since sessions run sequentially; area
+// typically shrinks because sharing constraints relax).
+//
+//   $ ./examples/session_tradeoff [circuit] [time_limit_s]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bist/bist_design.hpp"
+#include "core/synthesizer.hpp"
+#include "hls/benchmarks.hpp"
+
+using namespace advbist;
+
+int main(int argc, char** argv) {
+  const std::string circuit = argc > 1 ? argv[1] : "tseng";
+  const double limit = argc > 2 ? std::atof(argv[2]) : 20.0;
+  const hls::Benchmark b = hls::benchmark_by_name(circuit);
+
+  core::SynthesizerOptions options;
+  options.solver.time_limit_seconds = limit;
+  const core::Synthesizer synth(b.dfg, b.modules, options);
+  const core::SynthesisResult ref = synth.synthesize_reference();
+  std::printf("%s: reference area %d transistors, %d modules\n\n",
+              circuit.c_str(), ref.design.area.total(),
+              b.modules.num_modules());
+  std::printf("%-4s %-10s %-10s %-12s %s\n", "k", "area", "overhead",
+              "test time", "notes");
+
+  int previous_area = 0;
+  for (int k = 1; k <= b.modules.num_modules(); ++k) {
+    const core::SynthesisResult r = synth.synthesize_bist(k);
+    // Relative test time: k sequential sub-sessions of equal pattern count.
+    std::printf("%-4d %-10d %-9.1f%% %dx sessions  %s%s\n", k,
+                r.design.area.total(),
+                bist::overhead_percent(r.design.area, ref.design.area), k,
+                r.is_optimal() ? "optimal" : "incumbent*",
+                (previous_area != 0 && r.design.area.total() > previous_area)
+                    ? " (sharing constraints loosened but mux cost rose)"
+                    : "");
+    previous_area = r.design.area.total();
+  }
+  std::printf("\nPick the smallest k whose area fits the budget: k=1 tests\n"
+              "everything at once (fastest, most CBILBOs); k=N tests one\n"
+              "module per session (slowest, cheapest sharing).\n");
+  return 0;
+}

@@ -1,0 +1,381 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace advbist::baselines {
+
+using bist::BistAssignment;
+using bist::ModuleTestPlan;
+using hls::Datapath;
+using hls::Dfg;
+using hls::ModuleAllocation;
+using hls::Operation;
+using hls::RegisterAssignment;
+
+namespace {
+
+/// Tracks which registers already carry test duty while a heuristic runs.
+struct DutyBoard {
+  std::vector<std::set<int>> tpg_sessions;  // register -> sessions as TPG
+  std::vector<std::set<int>> sr_sessions;   // register -> sessions as SR
+
+  explicit DutyBoard(int num_registers)
+      : tpg_sessions(num_registers), sr_sessions(num_registers) {}
+
+  [[nodiscard]] bool in_duty(int r) const {
+    return !tpg_sessions[r].empty() || !sr_sessions[r].empty();
+  }
+  [[nodiscard]] bool would_cbilbo_as_tpg(int r, int session) const {
+    return sr_sessions[r].count(session) > 0;
+  }
+  [[nodiscard]] bool would_cbilbo_as_sr(int r, int session) const {
+    return tpg_sessions[r].count(session) > 0;
+  }
+};
+
+/// Finishes a baseline: packages the assignment, validates the design
+/// against the BIST rules, and computes the area.
+BaselineResult finish(std::string method, const Dfg& dfg,
+                      const ModuleAllocation& alloc, RegisterAssignment regs,
+                      BistAssignment assignment, const bist::CostModel& cost) {
+  BaselineResult result;
+  result.method = std::move(method);
+  result.ports = hls::identity_port_map(dfg);
+  result.datapath = hls::build_datapath(dfg, alloc, regs, result.ports);
+  bist::validate_bist_design(result.datapath, assignment);
+  result.area = bist::compute_bist_area(result.datapath, assignment, cost);
+  result.extra_registers = regs.num_registers() - dfg.max_crossing();
+  result.registers = std::move(regs);
+  result.bist = std::move(assignment);
+  return result;
+}
+
+/// Picks the TPG register for port (m, l): the best-scoring register wired
+/// to the port that is not `banned`. Returns -1 for a dedicated constant
+/// TPG when the port has constant sources and no usable register, -2 on
+/// failure.
+int pick_tpg(const Datapath& dp, int m, int l, const std::set<int>& banned,
+             const std::function<int(int)>& score) {
+  int best = -2;
+  int best_score = std::numeric_limits<int>::min();
+  for (int r : dp.port_reg_sources[m][l]) {
+    if (banned.count(r)) continue;
+    const int sc = score(r);
+    if (sc > best_score) {
+      best_score = sc;
+      best = r;
+    }
+  }
+  if (best == -2 && !dp.port_const_sources[m][l].empty()) return -1;
+  return best;
+}
+
+/// Assigns sessions + SRs greedily. `sr_score(r, m, p)` ranks candidates;
+/// larger is better; INT_MIN forbids. Fills plan.session and plan.sr_reg.
+void assign_srs(const Datapath& dp, int k, BistAssignment& assignment,
+                DutyBoard& duty,
+                const std::function<int(int, int, int)>& sr_score) {
+  const int M = static_cast<int>(dp.port_reg_sources.size());
+  std::vector<std::set<int>> used_in_session(k);  // SR registers per session
+  // Most-constrained module first (fewest SR candidates), so tight modules
+  // are not starved by earlier greedy picks.
+  std::vector<int> order(M);
+  for (int m = 0; m < M; ++m) order[m] = m;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto ca = dp.registers_driven_by(a).size();
+    const auto cb = dp.registers_driven_by(b).size();
+    return std::tie(ca, a) < std::tie(cb, b);
+  });
+  for (int m : order) {
+    int best_r = -1, best_p = -1;
+    int best = std::numeric_limits<int>::min();
+    // Pass 1 honours the method's design rules (score == INT_MIN forbids);
+    // pass 2 relaxes them for feasibility — a method like RALLOC would
+    // restructure the whole allocation instead, but on a fixed allocation
+    // accepting the expensive register (e.g. a CBILBO) is the honest
+    // equivalent. Eq. 8 (same-session SR uniqueness) stays hard.
+    for (int pass = 0; pass < 2 && best_r < 0; ++pass) {
+      for (int p = 0; p < k; ++p) {
+        // Bias toward the round-robin session: stability across methods.
+        const int session_bias = (p == m % k) ? 1 : 0;
+        for (int r : dp.registers_driven_by(m)) {
+          if (used_in_session[p].count(r)) continue;  // Eq. 8
+          int sc = sr_score(r, m, p);
+          if (sc == std::numeric_limits<int>::min()) {
+            if (pass == 0) continue;
+            sc = -1000;  // soft-forbidden, acceptable only in pass 2
+          }
+          if (sc * 4 + session_bias > best) {
+            best = sc * 4 + session_bias;
+            best_r = r;
+            best_p = p;
+          }
+        }
+      }
+    }
+    ADVBIST_REQUIRE(best_r >= 0,
+                    "baseline could not place a signature register for "
+                    "module " + std::to_string(m));
+    assignment.modules[m].sr_reg = best_r;
+    assignment.modules[m].session = best_p;
+    used_in_session[best_p].insert(best_r);
+    duty.sr_sessions[best_r].insert(best_p);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RALLOC
+// ---------------------------------------------------------------------------
+BaselineResult run_ralloc(const Dfg& dfg, const ModuleAllocation& alloc,
+                          int k, const bist::CostModel& cost) {
+  ADVBIST_REQUIRE(k >= 1 && k <= alloc.num_modules(), "bad session count");
+  // Self-adjacency avoidance: an operation's variable inputs must not share
+  // a register with its output (Avra's register conflict graph extension).
+  std::vector<std::pair<int, int>> conflicts;
+  for (const Operation& op : dfg.operations())
+    for (const hls::ValueRef& in : op.inputs)
+      if (!in.is_constant && in.id != op.output)
+        conflicts.push_back({in.id, op.output});
+  RegisterAssignment regs = hls::left_edge_allocate(dfg, conflicts);
+  const Datapath dp =
+      hls::build_datapath(dfg, alloc, regs, hls::identity_port_map(dfg));
+
+  const int M = alloc.num_modules();
+  BistAssignment assignment;
+  assignment.k = k;
+  assignment.modules.assign(M, {});
+  DutyBoard duty(regs.num_registers());
+
+  // Phase 1: TPGs, maximizing reuse (few distinct TPG registers).
+  for (int m = 0; m < M; ++m) {
+    const int ports = static_cast<int>(dp.port_reg_sources[m].size());
+    assignment.modules[m].tpg_reg.assign(ports, -2);
+    std::set<int> banned;  // Eq. 13 within this module
+    for (int l = 0; l < ports; ++l) {
+      const int r = pick_tpg(dp, m, l, banned, [&](int cand) {
+        return (duty.tpg_sessions[cand].empty() ? 0 : 10);
+      });
+      ADVBIST_REQUIRE(r != -2, "RALLOC: no pattern source for module " +
+                                   std::to_string(m) + " port " +
+                                   std::to_string(l));
+      assignment.modules[m].tpg_reg[l] = r;
+      if (r >= 0) banned.insert(r);
+    }
+  }
+  // Phase 2: sessions + SRs. Prefer registers already in test duty (BILBO
+  // concentration) but never a register that generates patterns for the
+  // same session (CBILBO) — RALLOC's design rule.
+  assign_srs(dp, k, assignment, duty, [&](int r, int m, int p) {
+    // TPG sessions are fixed only after sessions are chosen; approximate:
+    // a register that is a TPG of module m itself would become self-
+    // adjacent -> forbid; other TPG registers give BILBO reuse.
+    for (int rr : assignment.modules[m].tpg_reg)
+      if (rr == r) return std::numeric_limits<int>::min();
+    (void)p;
+    return duty.in_duty(r) ? 10 : 0;
+  });
+  // Record TPG sessions now that sessions are known (for reporting only).
+  for (int m = 0; m < M; ++m)
+    for (int r : assignment.modules[m].tpg_reg)
+      if (r >= 0) duty.tpg_sessions[r].insert(assignment.modules[m].session);
+
+  return finish("RALLOC", dfg, alloc, std::move(regs), std::move(assignment),
+                cost);
+}
+
+// ---------------------------------------------------------------------------
+// BITS
+// ---------------------------------------------------------------------------
+BaselineResult run_bits(const Dfg& dfg, const ModuleAllocation& alloc, int k,
+                        const bist::CostModel& cost) {
+  ADVBIST_REQUIRE(k >= 1 && k <= alloc.num_modules(), "bad session count");
+  RegisterAssignment regs = hls::left_edge_allocate(dfg);
+  const Datapath dp =
+      hls::build_datapath(dfg, alloc, regs, hls::identity_port_map(dfg));
+
+  const int M = alloc.num_modules();
+  BistAssignment assignment;
+  assignment.k = k;
+  assignment.modules.assign(M, {});
+  DutyBoard duty(regs.num_registers());
+
+  // Sessions + SRs first (round-robin), maximizing register sharing: a
+  // register already carrying duty scores higher (BITS accepts the CBILBO
+  // if the sharing collides within a session).
+  assign_srs(dp, k, assignment, duty, [&](int r, int m, int p) {
+    (void)m;
+    (void)p;
+    int score = 0;
+    if (duty.in_duty(r)) score += 10;
+    return score;
+  });
+  // TPGs with maximal sharing: reuse registers already in duty; CBILBO
+  // accepted (no same-session exclusion).
+  for (int m = 0; m < M; ++m) {
+    const int ports = static_cast<int>(dp.port_reg_sources[m].size());
+    assignment.modules[m].tpg_reg.assign(ports, -2);
+    std::set<int> banned;
+    for (int l = 0; l < ports; ++l) {
+      const int r = pick_tpg(dp, m, l, banned, [&](int cand) {
+        int score = 0;
+        if (duty.in_duty(cand)) score += 10;
+        if (!duty.tpg_sessions[cand].empty()) score += 5;
+        return score;
+      });
+      ADVBIST_REQUIRE(r != -2, "BITS: no pattern source for module " +
+                                   std::to_string(m) + " port " +
+                                   std::to_string(l));
+      assignment.modules[m].tpg_reg[l] = r;
+      if (r >= 0) {
+        banned.insert(r);
+        duty.tpg_sessions[r].insert(assignment.modules[m].session);
+      }
+    }
+  }
+  return finish("BITS", dfg, alloc, std::move(regs), std::move(assignment),
+                cost);
+}
+
+// ---------------------------------------------------------------------------
+// ADVAN
+// ---------------------------------------------------------------------------
+BaselineResult run_advan(const Dfg& dfg, const ModuleAllocation& alloc, int k,
+                         const bist::CostModel& cost) {
+  ADVBIST_REQUIRE(k >= 1 && k <= alloc.num_modules(), "bad session count");
+  RegisterAssignment regs = hls::left_edge_allocate(dfg);
+  const Datapath dp =
+      hls::build_datapath(dfg, alloc, regs, hls::identity_port_map(dfg));
+
+  const int M = alloc.num_modules();
+  BistAssignment assignment;
+  assignment.k = k;
+  assignment.modules.assign(M, {});
+  DutyBoard duty(regs.num_registers());
+
+  // Signature registers first (the ITC'98 ordering): share one SR register
+  // across sessions wherever wiring allows.
+  assign_srs(dp, k, assignment, duty, [&](int r, int m, int p) {
+    (void)p;
+    int score = duty.sr_sessions[r].empty() ? 0 : 10;  // reuse across sessions
+    // Steer SRs away from registers feeding this module's own inputs: those
+    // are TPG candidates, and ADVAN keeps SR and TPG duty separate.
+    for (const auto& port : dp.port_reg_sources[m])
+      if (port.count(r)) score -= 5;
+    return score;
+  });
+  // TPGs second, kept clear of SR registers so no BILBO/CBILBO arises.
+  std::set<int> sr_regs;
+  for (const ModuleTestPlan& plan : assignment.modules)
+    sr_regs.insert(plan.sr_reg);
+  for (int m = 0; m < M; ++m) {
+    const int ports = static_cast<int>(dp.port_reg_sources[m].size());
+    assignment.modules[m].tpg_reg.assign(ports, -2);
+    std::set<int> banned;
+    for (int l = 0; l < ports; ++l) {
+      // First try outside the SR set.
+      std::set<int> banned_plus_srs = banned;
+      banned_plus_srs.insert(sr_regs.begin(), sr_regs.end());
+      int r = pick_tpg(dp, m, l, banned_plus_srs, [&](int cand) {
+        return duty.tpg_sessions[cand].empty() ? 0 : 10;
+      });
+      if (r == -2) {  // fallback: allow an SR register (BILBO emerges)
+        r = pick_tpg(dp, m, l, banned, [&](int cand) {
+          return duty.would_cbilbo_as_tpg(cand, assignment.modules[m].session)
+                     ? -10
+                     : 0;
+        });
+        // If the only choice is this session's own SR (a CBILBO), try to
+        // move module m to another session where neither its SR nor the
+        // TPG register collides — ADVAN's designs keep B = C = 0.
+        if (r >= 0 &&
+            duty.would_cbilbo_as_tpg(r, assignment.modules[m].session)) {
+          for (int p = 0; p < k; ++p) {
+            if (p == assignment.modules[m].session) continue;
+            if (duty.sr_sessions[r].count(p)) continue;
+            bool sr_free = true;
+            for (int other = 0; other < M; ++other)
+              if (other != m && assignment.modules[other].session == p &&
+                  assignment.modules[other].sr_reg ==
+                      assignment.modules[m].sr_reg)
+                sr_free = false;
+            bool tpgs_ok = true;
+            for (int ll = 0; ll < l; ++ll) {
+              const int prev = assignment.modules[m].tpg_reg[ll];
+              if (prev >= 0 && duty.would_cbilbo_as_tpg(prev, p))
+                tpgs_ok = false;
+            }
+            if (sr_free && tpgs_ok) {
+              const int old = assignment.modules[m].session;
+              duty.sr_sessions[assignment.modules[m].sr_reg].erase(old);
+              duty.sr_sessions[assignment.modules[m].sr_reg].insert(p);
+              assignment.modules[m].session = p;
+              break;
+            }
+          }
+        }
+        // Last resort: the TPG register IS module m's own SR (same session
+        // by definition). Re-home m's SR onto another register its output
+        // drives, freeing r for pure TPG duty (keeps B/C at zero whenever
+        // the wiring allows, as ADVAN's co-designed allocations do).
+        if (r >= 0 &&
+            duty.would_cbilbo_as_tpg(r, assignment.modules[m].session) &&
+            assignment.modules[m].sr_reg == r) {
+          const int p = assignment.modules[m].session;
+          for (int cand : dp.registers_driven_by(m)) {
+            if (cand == r) continue;
+            bool free_in_session = true;
+            for (int other = 0; other < M; ++other)
+              if (other != m && assignment.modules[other].session == p &&
+                  assignment.modules[other].sr_reg == cand)
+                free_in_session = false;
+            bool cand_is_tpg_here = false;
+            for (int ll = 0; ll < ports; ++ll)
+              if (ll != l && ll < static_cast<int>(
+                                      assignment.modules[m].tpg_reg.size()) &&
+                  assignment.modules[m].tpg_reg[ll] == cand)
+                cand_is_tpg_here = true;
+            if (free_in_session && !cand_is_tpg_here &&
+                !duty.tpg_sessions[cand].count(p)) {
+              duty.sr_sessions[r].erase(p);
+              duty.sr_sessions[cand].insert(p);
+              assignment.modules[m].sr_reg = cand;
+              sr_regs.erase(r);
+              sr_regs.insert(cand);
+              break;
+            }
+          }
+        }
+      }
+      ADVBIST_REQUIRE(r != -2, "ADVAN: no pattern source for module " +
+                                   std::to_string(m) + " port " +
+                                   std::to_string(l));
+      assignment.modules[m].tpg_reg[l] = r;
+      if (r >= 0) {
+        banned.insert(r);
+        duty.tpg_sessions[r].insert(assignment.modules[m].session);
+      }
+    }
+  }
+  return finish("ADVAN", dfg, alloc, std::move(regs), std::move(assignment),
+                cost);
+}
+
+BaselineResult run_baseline(const std::string& method, const Dfg& dfg,
+                            const ModuleAllocation& alloc, int k,
+                            const bist::CostModel& cost) {
+  if (method == "RALLOC") return run_ralloc(dfg, alloc, k, cost);
+  if (method == "BITS") return run_bits(dfg, alloc, k, cost);
+  if (method == "ADVAN") return run_advan(dfg, alloc, k, cost);
+  ADVBIST_REQUIRE(false, "unknown baseline: " + method);
+  return run_advan(dfg, alloc, k, cost);  // unreachable
+}
+
+}  // namespace advbist::baselines

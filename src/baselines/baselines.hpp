@@ -1,0 +1,66 @@
+// Reimplementations of the three prior high-level BIST synthesis methods the
+// paper compares against in Table 3:
+//
+//   RALLOC  (Avra, ITC'91)      — register-conflict-graph allocation that
+//             outlaws self-adjacent registers (an operation's input variable
+//             may not share a register with its output variable), then
+//             concentrates test duty into BILBOs. May open extra registers
+//             (the paper observes +1 for fir6, iir3, wavelet6).
+//   BITS    (Parulkar/Gupta/Breuer, DAC'95) — maximizes sharing of test
+//             registers via a greedy cover: few registers absorb many
+//             TPG/SR roles, accepting CBILBOs when sharing collides inside
+//             one session.
+//   ADVAN   (Kim/Takahashi/Ha, ITC'98) — the authors' earlier heuristic:
+//             signature registers are allocated first (test-session
+//             oriented), TPGs second, and SR registers are kept clear of
+//             TPG duty, so no BILBOs/CBILBOs arise (B = C = 0 in Table 3).
+//
+// As in the paper ("we followed the algorithms presented in [3] and [4]"),
+// these follow the published algorithm descriptions; they are heuristics on
+// a fixed left-edge register allocation with identity port maps, which is
+// precisely why they trail the concurrent ILP on multiplexer area.
+#pragma once
+
+#include <string>
+
+#include "bist/bist_design.hpp"
+#include "bist/cost_model.hpp"
+#include "hls/allocation.hpp"
+#include "hls/datapath.hpp"
+#include "hls/dfg.hpp"
+
+namespace advbist::baselines {
+
+struct BaselineResult {
+  std::string method;
+  hls::RegisterAssignment registers;
+  hls::PortMap ports;
+  bist::BistAssignment bist;
+  hls::Datapath datapath;
+  bist::AreaBreakdown area;
+  /// Registers opened beyond the DFG's maximal crossing.
+  int extra_registers = 0;
+};
+
+/// Runs RALLOC for a k-test session. Throws if no feasible test-register
+/// assignment exists for this datapath.
+BaselineResult run_ralloc(const hls::Dfg& dfg,
+                          const hls::ModuleAllocation& alloc, int k,
+                          const bist::CostModel& cost);
+
+/// Runs BITS for a k-test session.
+BaselineResult run_bits(const hls::Dfg& dfg,
+                        const hls::ModuleAllocation& alloc, int k,
+                        const bist::CostModel& cost);
+
+/// Runs ADVAN for a k-test session.
+BaselineResult run_advan(const hls::Dfg& dfg,
+                         const hls::ModuleAllocation& alloc, int k,
+                         const bist::CostModel& cost);
+
+/// Dispatch by method name ("RALLOC", "BITS", "ADVAN").
+BaselineResult run_baseline(const std::string& method, const hls::Dfg& dfg,
+                            const hls::ModuleAllocation& alloc, int k,
+                            const bist::CostModel& cost);
+
+}  // namespace advbist::baselines

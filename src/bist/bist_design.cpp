@@ -1,0 +1,152 @@
+#include "bist/bist_design.hpp"
+
+#include <set>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace advbist::bist {
+
+std::vector<TestRegisterType> BistAssignment::register_types(
+    int num_registers) const {
+  // Sessions in which each register acts as TPG / SR.
+  std::vector<std::set<int>> tpg_sessions(num_registers);
+  std::vector<std::set<int>> sr_sessions(num_registers);
+  for (const ModuleTestPlan& plan : modules) {
+    if (plan.sr_reg >= 0) sr_sessions[plan.sr_reg].insert(plan.session);
+    for (int r : plan.tpg_reg)
+      if (r >= 0) tpg_sessions[r].insert(plan.session);
+  }
+  std::vector<TestRegisterType> types(num_registers,
+                                      TestRegisterType::kRegister);
+  for (int r = 0; r < num_registers; ++r) {
+    const bool is_tpg = !tpg_sessions[r].empty();
+    const bool is_sr = !sr_sessions[r].empty();
+    if (is_tpg && is_sr) {
+      bool simultaneous = false;
+      for (int p : tpg_sessions[r])
+        if (sr_sessions[r].count(p)) simultaneous = true;
+      types[r] = simultaneous ? TestRegisterType::kCbilbo
+                              : TestRegisterType::kBilbo;
+    } else if (is_tpg) {
+      types[r] = TestRegisterType::kTpg;
+    } else if (is_sr) {
+      types[r] = TestRegisterType::kSr;
+    }
+  }
+  return types;
+}
+
+int BistAssignment::num_constant_tpgs() const {
+  int n = 0;
+  for (const ModuleTestPlan& plan : modules)
+    for (int r : plan.tpg_reg)
+      if (r < 0) ++n;
+  return n;
+}
+
+AreaBreakdown compute_reference_area(const hls::Datapath& dp,
+                                     const CostModel& cost) {
+  AreaBreakdown area;
+  area.num_registers = dp.num_registers;
+  area.register_transistors =
+      dp.num_registers * cost.register_cost(TestRegisterType::kRegister);
+  for (int size : dp.mux_sizes()) {
+    area.mux_inputs += size;
+    area.mux_transistors += cost.mux_cost(size);
+  }
+  return area;
+}
+
+AreaBreakdown compute_bist_area(const hls::Datapath& dp,
+                                const BistAssignment& assignment,
+                                const CostModel& cost) {
+  AreaBreakdown area;
+  area.num_registers = dp.num_registers;
+  const std::vector<TestRegisterType> types =
+      assignment.register_types(dp.num_registers);
+  for (TestRegisterType t : types) {
+    area.register_transistors += cost.register_cost(t);
+    switch (t) {
+      case TestRegisterType::kTpg: ++area.tpgs; break;
+      case TestRegisterType::kSr: ++area.srs; break;
+      case TestRegisterType::kBilbo: ++area.bilbos; break;
+      case TestRegisterType::kCbilbo: ++area.cbilbos; break;
+      case TestRegisterType::kRegister: break;
+    }
+  }
+  area.constant_tpgs = assignment.num_constant_tpgs();
+  area.constant_tpg_transistors =
+      area.constant_tpgs * cost.constant_tpg_cost();
+  for (int size : dp.mux_sizes()) {
+    area.mux_inputs += size;
+    area.mux_transistors += cost.mux_cost(size);
+  }
+  return area;
+}
+
+double overhead_percent(const AreaBreakdown& bist,
+                        const AreaBreakdown& reference) {
+  ADVBIST_REQUIRE(reference.total() > 0, "reference area must be positive");
+  return 100.0 * (bist.total() - reference.total()) / reference.total();
+}
+
+void validate_bist_design(const hls::Datapath& dp,
+                          const BistAssignment& assignment) {
+  const int num_modules = static_cast<int>(dp.port_reg_sources.size());
+  ADVBIST_REQUIRE(static_cast<int>(assignment.modules.size()) == num_modules,
+                  "assignment covers wrong module count");
+  ADVBIST_REQUIRE(assignment.k >= 1, "k-test session needs k >= 1");
+
+  for (int m = 0; m < num_modules; ++m) {
+    const ModuleTestPlan& plan = assignment.modules[m];
+    const std::string tag = "module " + std::to_string(m);
+    // Tested exactly once, in a valid session (Eqs. 7, 10).
+    ADVBIST_REQUIRE(plan.session >= 0 && plan.session < assignment.k,
+                    tag + ": session out of range");
+    // SR physically fed by the module output (Eq. 6).
+    ADVBIST_REQUIRE(plan.sr_reg >= 0 && plan.sr_reg < dp.num_registers,
+                    tag + ": missing signature register");
+    ADVBIST_REQUIRE(dp.reg_sources[plan.sr_reg].count(m) > 0,
+                    tag + ": SR register not driven by module output (Eq. 6)");
+    // Every port has a pattern source (Eqs. 9-10).
+    const int ports = static_cast<int>(dp.port_reg_sources[m].size());
+    ADVBIST_REQUIRE(static_cast<int>(plan.tpg_reg.size()) == ports,
+                    tag + ": TPG list does not cover all ports");
+    for (int l = 0; l < ports; ++l) {
+      const int r = plan.tpg_reg[l];
+      if (r >= 0) {
+        ADVBIST_REQUIRE(dp.port_reg_sources[m][l].count(r) > 0,
+                        tag + " port " + std::to_string(l) +
+                            ": TPG register not connected (Eq. 9)");
+      } else {
+        ADVBIST_REQUIRE(!dp.port_const_sources[m][l].empty(),
+                        tag + " port " + std::to_string(l) +
+                            ": dedicated constant TPG on a port without "
+                            "constants");
+      }
+    }
+    // No TPG shared between two ports of the same module (Eq. 13).
+    std::set<int> seen;
+    for (int r : plan.tpg_reg) {
+      if (r < 0) continue;
+      ADVBIST_REQUIRE(seen.insert(r).second,
+                      tag + ": TPG shared between input ports (Eq. 13)");
+    }
+  }
+
+  // No SR shared within one session (Eq. 8).
+  for (int p = 0; p < assignment.k; ++p) {
+    std::set<int> srs;
+    for (int m = 0; m < num_modules; ++m) {
+      const ModuleTestPlan& plan = assignment.modules[m];
+      if (plan.session != p) continue;
+      ADVBIST_REQUIRE(srs.insert(plan.sr_reg).second,
+                      "SR register " + std::to_string(plan.sr_reg) +
+                          " shared within session " + std::to_string(p) +
+                          " (Eq. 8)");
+    }
+  }
+}
+
+}  // namespace advbist::bist

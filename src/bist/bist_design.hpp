@@ -1,0 +1,84 @@
+// BIST assignment layered on a structural datapath: which register is the
+// signature register of each module, which registers generate patterns for
+// each module input port, and in which sub-test session each module is
+// tested. Derives the test-register reconfiguration (TPG/SR/BILBO/CBILBO)
+// of every register and the resulting area.
+#pragma once
+
+#include <vector>
+
+#include "bist/cost_model.hpp"
+#include "hls/datapath.hpp"
+
+namespace advbist::bist {
+
+/// One module's test resources within a k-test session plan.
+struct ModuleTestPlan {
+  int session = -1;            ///< sub-test session p in [0, k)
+  int sr_reg = -1;             ///< register reconfigured as this module's SR
+  std::vector<int> tpg_reg;    ///< per input port: TPG register, or -1 when a
+                               ///< dedicated constant-port TPG is required
+};
+
+/// A complete k-test-session BIST assignment for a datapath.
+struct BistAssignment {
+  int k = 1;                              ///< number of sub-test sessions
+  std::vector<ModuleTestPlan> modules;    ///< indexed by module id
+
+  /// Derived reconfiguration type of each register (Section 2.2 rules):
+  /// TPG+SR in the same session -> CBILBO; in different sessions -> BILBO.
+  [[nodiscard]] std::vector<TestRegisterType> register_types(
+      int num_registers) const;
+
+  /// Ports that need a dedicated constant TPG (tpg_reg == -1).
+  [[nodiscard]] int num_constant_tpgs() const;
+};
+
+/// Area accounting in the paper's terms (registers + muxes only).
+struct AreaBreakdown {
+  int num_registers = 0;
+  int tpgs = 0;      ///< Table 3 column "T"
+  int srs = 0;       ///< column "S"
+  int bilbos = 0;    ///< column "B"
+  int cbilbos = 0;   ///< column "C"
+  int constant_tpgs = 0;
+  int mux_inputs = 0;        ///< column "M"
+  int register_transistors = 0;
+  int mux_transistors = 0;
+  int constant_tpg_transistors = 0;
+
+  [[nodiscard]] int total() const {
+    return register_transistors + mux_transistors + constant_tpg_transistors;
+  }
+};
+
+/// Area of a plain (non-BIST) datapath: all registers plain + muxes.
+AreaBreakdown compute_reference_area(const hls::Datapath& dp,
+                                     const CostModel& cost);
+
+/// Area of a BIST datapath under `assignment`.
+AreaBreakdown compute_bist_area(const hls::Datapath& dp,
+                                const BistAssignment& assignment,
+                                const CostModel& cost);
+
+/// Area overhead percentage: 100 * (bist - reference) / reference.
+double overhead_percent(const AreaBreakdown& bist,
+                        const AreaBreakdown& reference);
+
+/// Validates the BIST architecture rules (the semantic content of the
+/// paper's Eqs. (6)-(13)) against the physical datapath:
+///   * every module is tested exactly once, in a session within [0, k);
+///   * the SR of module m is physically fed by m's output (Eq. 6);
+///   * no SR is shared by two modules in the same session (Eq. 8);
+///   * every input port has a pattern source: a TPG register physically
+///     connected to that port (Eq. 9), or a dedicated constant TPG on a
+///     port that is fed by constants;
+///   * a module's TPGs and SR are active in its (single) session
+///     (Eqs. 11-12 hold by construction of ModuleTestPlan);
+///   * no register generates patterns for two ports of the same module
+///     (Eq. 13).
+/// Throws std::invalid_argument describing the first violation.
+void validate_bist_design(const hls::Datapath& dp,
+                          const BistAssignment& assignment);
+
+}  // namespace advbist::bist

@@ -1,0 +1,65 @@
+#include "bist/cost_model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace advbist::bist {
+
+namespace {
+// Table 1a: 8-bit test registers.
+constexpr int kReg8 = 208;
+constexpr int kTpg8 = 256;
+constexpr int kSr8 = 304;
+constexpr int kBilbo8 = 388;
+constexpr int kCbilbo8 = 596;
+// Table 1b: 8-bit multiplexers by input count (index 2..7).
+constexpr int kMux8[8] = {0, 0, 80, 176, 208, 300, 320, 350};
+constexpr int kMuxExtraPerInput8 = 50;
+}  // namespace
+
+const char* to_string(TestRegisterType type) {
+  switch (type) {
+    case TestRegisterType::kRegister: return "Reg";
+    case TestRegisterType::kTpg: return "TPG";
+    case TestRegisterType::kSr: return "SR";
+    case TestRegisterType::kBilbo: return "BILBO";
+    case TestRegisterType::kCbilbo: return "CBILBO";
+  }
+  return "?";
+}
+
+CostModel CostModel::paper_8bit() { return CostModel(8); }
+
+CostModel CostModel::scaled_to_width(int bits) {
+  ADVBIST_REQUIRE(bits >= 1, "bit width must be positive");
+  return CostModel(bits);
+}
+
+int CostModel::register_cost(TestRegisterType type) const {
+  int base = 0;
+  switch (type) {
+    case TestRegisterType::kRegister: base = kReg8; break;
+    case TestRegisterType::kTpg: base = kTpg8; break;
+    case TestRegisterType::kSr: base = kSr8; break;
+    case TestRegisterType::kBilbo: base = kBilbo8; break;
+    case TestRegisterType::kCbilbo: base = kCbilbo8; break;
+  }
+  return static_cast<int>(std::lround(base * scale()));
+}
+
+int CostModel::mux_cost(int inputs) const {
+  ADVBIST_REQUIRE(inputs >= 0, "negative mux fanin");
+  if (inputs <= 1) return 0;
+  const int base = inputs <= 7
+                       ? kMux8[inputs]
+                       : kMux8[7] + kMuxExtraPerInput8 * (inputs - 7);
+  return static_cast<int>(std::lround(base * scale()));
+}
+
+int CostModel::constant_tpg_penalty() const {
+  // Larger than any register or realistic mux weight at this width.
+  return static_cast<int>(std::lround(10000 * scale()));
+}
+
+}  // namespace advbist::bist

@@ -1,0 +1,60 @@
+// Hardware cost model: transistor counts of test registers and multiplexers
+// (the paper's Table 1, based on the BILBO [Koenemann'79] and CBILBO
+// [Wang/McCluskey'86] circuits). These numbers are the weights of the
+// ADVBIST objective function (Section 3.4).
+#pragma once
+
+#include <string>
+
+namespace advbist::bist {
+
+/// What a system register is reconfigured into for test mode.
+enum class TestRegisterType {
+  kRegister,  ///< plain system register (not used for test)
+  kTpg,       ///< test pattern generator
+  kSr,        ///< (multiple-input) signature register
+  kBilbo,     ///< TPG and SR, never simultaneously
+  kCbilbo,    ///< TPG and SR in the same sub-test session (doubled FFs)
+};
+
+[[nodiscard]] const char* to_string(TestRegisterType type);
+
+/// Transistor-count cost model, parameterized on data-path bit width.
+/// Table 1 gives the 8-bit values; other widths scale linearly (registers
+/// and muxes are bit-sliced circuits).
+class CostModel {
+ public:
+  /// The paper's Table 1 model (8-bit data path).
+  [[nodiscard]] static CostModel paper_8bit();
+
+  /// Linear re-scaling of the paper's model to another bit width.
+  [[nodiscard]] static CostModel scaled_to_width(int bits);
+
+  [[nodiscard]] int bit_width() const { return bits_; }
+
+  /// Transistors of one register reconfigured as `type` (Table 1a).
+  [[nodiscard]] int register_cost(TestRegisterType type) const;
+
+  /// Transistors of one n-input multiplexer (Table 1b). 0 or 1 inputs are a
+  /// direct wire (no mux, cost 0). Sizes beyond 7 extrapolate at the
+  /// table's asymptotic ~50 transistors per extra input.
+  [[nodiscard]] int mux_cost(int inputs) const;
+
+  /// Objective weight for a TPG that must be created for a constant-only
+  /// port (the paper's w_tc): "a large number greater than any other
+  /// weight" so the ILP avoids such assignments when possible.
+  [[nodiscard]] int constant_tpg_penalty() const;
+
+  /// Actual silicon cost charged for a dedicated constant-port TPG when it
+  /// cannot be avoided (a TPG-sized register).
+  [[nodiscard]] int constant_tpg_cost() const {
+    return register_cost(TestRegisterType::kTpg);
+  }
+
+ private:
+  explicit CostModel(int bits) : bits_(bits) {}
+  [[nodiscard]] double scale() const { return bits_ / 8.0; }
+  int bits_ = 8;
+};
+
+}  // namespace advbist::bist

@@ -1,0 +1,89 @@
+#include "bist/lfsr.hpp"
+
+namespace advbist::bist {
+
+std::uint32_t primitive_taps(int width) {
+  // Primitive-polynomial tap masks (x^n + ... + 1), bit i = coefficient of
+  // x^i. Standard table entries for maximal-length sequences.
+  static constexpr std::uint32_t kTaps[17] = {
+      0, 0,
+      0x3,     // 2: x^2+x+1
+      0x6,     // 3: x^3+x^2+1
+      0xC,     // 4: x^4+x^3+1
+      0x14,    // 5: x^5+x^3+1
+      0x30,    // 6: x^6+x^5+1
+      0x60,    // 7: x^7+x^6+1
+      0xB8,    // 8: x^8+x^6+x^5+x^4+1
+      0x110,   // 9: x^9+x^5+1
+      0x240,   // 10: x^10+x^7+1
+      0x500,   // 11: x^11+x^9+1
+      0xE08,   // 12
+      0x1C80,  // 13
+      0x3802,  // 14
+      0x6000,  // 15: x^15+x^14+1
+      0xD008,  // 16
+  };
+  ADVBIST_REQUIRE(width >= 2 && width <= 16, "LFSR width must be 2..16");
+  return kTaps[width];
+}
+
+namespace {
+/// One Fibonacci-LFSR step with XNOR feedback (all-zero state legal,
+/// all-one state is the lockup and must be excluded by seeding).
+std::uint32_t lfsr_step(std::uint32_t state, std::uint32_t taps,
+                        std::uint32_t mask) {
+  const std::uint32_t tapped = state & taps;
+  // XNOR parity of tapped bits.
+  int parity = 0;
+  for (std::uint32_t b = tapped; b != 0; b &= b - 1) parity ^= 1;
+  const std::uint32_t fb = parity ^ 1u;  // XNOR
+  return ((state << 1) | fb) & mask;
+}
+}  // namespace
+
+Lfsr::Lfsr(int width, std::uint32_t seed)
+    : width_(width),
+      mask_((width >= 32 ? 0xFFFFFFFFu : (1u << width) - 1)),
+      taps_(primitive_taps(width)),
+      state_(seed & mask_) {
+  ADVBIST_REQUIRE(state_ != mask_, "all-ones seed is the XNOR lockup state");
+}
+
+std::uint32_t Lfsr::step() {
+  state_ = lfsr_step(state_, taps_, mask_);
+  ADVBIST_ENSURE(state_ != mask_, "LFSR entered the lockup state");
+  return state_;
+}
+
+std::uint64_t Lfsr::period() const {
+  const std::uint32_t start = state_;
+  std::uint32_t s = start;
+  std::uint64_t count = 0;
+  do {
+    s = lfsr_step(s, taps_, mask_);
+    ++count;
+    ADVBIST_ENSURE(count <= (1ull << width_), "period search diverged");
+  } while (s != start);
+  return count;
+}
+
+Misr::Misr(int width, std::uint32_t seed)
+    : width_(width),
+      mask_((width >= 32 ? 0xFFFFFFFFu : (1u << width) - 1)),
+      taps_(primitive_taps(width)),
+      state_(seed & mask_) {}
+
+void Misr::absorb(std::uint32_t response) {
+  // Shift with XOR feedback, then fold in the parallel response word.
+  const std::uint32_t tapped = state_ & taps_;
+  int parity = 0;
+  for (std::uint32_t b = tapped; b != 0; b &= b - 1) parity ^= 1;
+  state_ = (((state_ << 1) | static_cast<std::uint32_t>(parity)) ^ response) &
+           mask_;
+}
+
+double Misr::aliasing_probability() const {
+  return 1.0 / static_cast<double>(1ull << width_);
+}
+
+}  // namespace advbist::bist

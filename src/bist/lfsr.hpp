@@ -1,0 +1,68 @@
+// Linear-feedback shift registers: the circuit-level machinery that a
+// reconfigured TPG (pseudo-random pattern generator) and MISR (multiple
+// input signature register) are built from — the BILBO [Koenemann'79] and
+// CBILBO [Wang/McCluskey'86] designs behind the paper's Table 1 costs.
+//
+// Bit-sliced, parameterized width; Fibonacci form with an XNOR-style
+// all-zero escape so the generator never locks up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace advbist::bist {
+
+/// Maximal-length feedback tap masks (primitive polynomials) for widths
+/// 2..16; index = width. Taps are bit positions contributing to feedback.
+std::uint32_t primitive_taps(int width);
+
+/// Pseudo-random pattern generator: an autonomous LFSR, as a reconfigured
+/// test register operates in TPG mode.
+class Lfsr {
+ public:
+  /// `width` in bits (2..16); `seed` must not be all-ones (the XNOR dead
+  /// state); the common all-zero reset state is fine.
+  explicit Lfsr(int width, std::uint32_t seed = 0);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] std::uint32_t state() const { return state_; }
+
+  /// Advances one clock and returns the new parallel output.
+  std::uint32_t step();
+
+  /// Number of distinct states before the sequence repeats.
+  [[nodiscard]] std::uint64_t period() const;
+
+ private:
+  int width_;
+  std::uint32_t mask_;
+  std::uint32_t taps_;
+  std::uint32_t state_;
+};
+
+/// Multiple-input signature register: compacts a response stream into a
+/// signature, as a reconfigured test register operates in SR mode.
+class Misr {
+ public:
+  explicit Misr(int width, std::uint32_t seed = 0);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] std::uint32_t signature() const { return state_; }
+
+  /// Absorbs one parallel response word.
+  void absorb(std::uint32_t response);
+
+  /// Probability that a random error stream aliases to the fault-free
+  /// signature: 2^-width (the classic MISR aliasing bound).
+  [[nodiscard]] double aliasing_probability() const;
+
+ private:
+  int width_;
+  std::uint32_t mask_;
+  std::uint32_t taps_;
+  std::uint32_t state_;
+};
+
+}  // namespace advbist::bist

@@ -1,0 +1,33 @@
+// Structural Verilog export of a synthesized (optionally BIST-enabled)
+// datapath: registers (with their test-mode reconfiguration), input
+// multiplexers, functional units, and a per-session test controller note.
+// The emitted RTL is self-contained synthesizable Verilog-2001.
+#pragma once
+
+#include <string>
+
+#include "bist/bist_design.hpp"
+#include "hls/allocation.hpp"
+#include "hls/datapath.hpp"
+#include "hls/dfg.hpp"
+
+namespace advbist::bist {
+
+struct VerilogOptions {
+  std::string module_name = "datapath";
+  int width = 8;
+  /// Emit the BIST reconfiguration (TPG/MISR modes, session control).
+  /// Requires a valid assignment; false emits the plain datapath.
+  bool include_bist = true;
+};
+
+/// Renders the datapath as Verilog. With include_bist, every register that
+/// the assignment reconfigures gains LFSR/MISR test modes gated by
+/// `test_session`, exactly mirroring the parallel BIST architecture.
+std::string export_verilog(const hls::Dfg& dfg,
+                           const hls::ModuleAllocation& alloc,
+                           const hls::Datapath& datapath,
+                           const BistAssignment& assignment,
+                           const VerilogOptions& options = {});
+
+}  // namespace advbist::bist

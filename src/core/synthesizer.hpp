@@ -1,0 +1,66 @@
+// ADVBIST synthesis driver: reference (non-BIST) synthesis plus one optimal
+// BIST design per k-test session, exactly the experiment loop behind the
+// paper's Tables 2 and 3.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/formulation.hpp"
+#include "hls/benchmarks.hpp"
+#include "ilp/solver.hpp"
+
+namespace advbist::core {
+
+struct SynthesisResult {
+  DecodedDesign design;
+  ilp::SolveStatus status = ilp::SolveStatus::kNoSolutionFound;
+  double objective = 0.0;     ///< ILP objective + offset (transistors)
+  double best_bound = 0.0;    ///< proven lower bound (+ offset)
+  double seconds = 0.0;
+  long long nodes = 0;
+  bool hit_limit = false;     ///< the paper's "*" marker (time/node limit)
+  /// True when the ILP hit its limit before any incumbent and the result is
+  /// the seeding heuristic's design instead.
+  bool from_heuristic_fallback = false;
+
+  [[nodiscard]] bool is_optimal() const {
+    return status == ilp::SolveStatus::kOptimal;
+  }
+};
+
+struct SynthesizerOptions {
+  ilp::Options solver;            ///< time/node limits etc.
+  bist::CostModel cost = bist::CostModel::paper_8bit();
+  bool symmetry_reduction = true;
+  bool commutative_swaps = true;
+  int num_registers = -1;         ///< -1: minimum (max crossing)
+  /// Seed the branch & bound with the best baseline heuristic's cost as an
+  /// upper bound (prunes aggressively; the optimum is never cut off).
+  bool seed_with_baselines = true;
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const hls::Dfg& dfg, const hls::ModuleAllocation& alloc,
+              SynthesizerOptions options = {});
+
+  /// Area-optimal plain datapath (the paper's reference circuit).
+  [[nodiscard]] SynthesisResult synthesize_reference() const;
+
+  /// Area-optimal BIST datapath for a k-test session.
+  [[nodiscard]] SynthesisResult synthesize_bist(int k) const;
+
+  /// The full Table-2 row set: k = 1..N (N = number of modules).
+  [[nodiscard]] std::vector<SynthesisResult> synthesize_all_sessions() const;
+
+ private:
+  [[nodiscard]] SynthesisResult run(const Formulation& formulation,
+                                    int k_for_seed) const;
+
+  const hls::Dfg& dfg_;
+  const hls::ModuleAllocation& alloc_;
+  SynthesizerOptions opt_;
+};
+
+}  // namespace advbist::core

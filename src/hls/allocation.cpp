@@ -1,0 +1,102 @@
+#include "hls/allocation.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace advbist::hls {
+
+int ModuleAllocation::add_module(std::string name, std::set<OpType> supports) {
+  ADVBIST_REQUIRE(!supports.empty(), "module must support at least one type");
+  modules_.push_back(ModuleSpec{std::move(name), std::move(supports)});
+  return static_cast<int>(modules_.size()) - 1;
+}
+
+void ModuleAllocation::bind(int op, int m) {
+  ADVBIST_REQUIRE(m >= 0 && m < num_modules(), "module index");
+  if (op >= static_cast<int>(binding_.size())) binding_.resize(op + 1, -1);
+  binding_[op] = m;
+}
+
+const ModuleSpec& ModuleAllocation::module(int m) const {
+  ADVBIST_REQUIRE(m >= 0 && m < num_modules(), "module index");
+  return modules_[m];
+}
+
+int ModuleAllocation::module_of(int op) const {
+  if (op < 0 || op >= static_cast<int>(binding_.size())) return -1;
+  return binding_[op];
+}
+
+std::vector<int> ModuleAllocation::operations_on(const Dfg& dfg, int m) const {
+  std::vector<int> ops;
+  for (const Operation& op : dfg.operations())
+    if (module_of(op.id) == m) ops.push_back(op.id);
+  return ops;
+}
+
+int ModuleAllocation::num_ports(const Dfg& dfg, int m) const {
+  int ports = 0;
+  for (int op : operations_on(dfg, m))
+    ports = std::max(ports, static_cast<int>(dfg.operation(op).inputs.size()));
+  return ports;
+}
+
+void ModuleAllocation::validate(const Dfg& dfg) const {
+  for (const Operation& op : dfg.operations()) {
+    const int m = module_of(op.id);
+    ADVBIST_REQUIRE(m >= 0, "operation unbound: " + op.name);
+    ADVBIST_REQUIRE(modules_[m].supports.count(op.type) > 0,
+                    "module " + modules_[m].name + " cannot execute " +
+                        std::string(to_string(op.type)));
+  }
+  // No two operations on one module in the same cycle.
+  for (int m = 0; m < num_modules(); ++m) {
+    std::map<int, int> step_to_op;
+    for (int o : operations_on(dfg, m)) {
+      const int step = dfg.operation(o).step;
+      const auto [it, inserted] = step_to_op.emplace(step, o);
+      ADVBIST_REQUIRE(inserted, "module " + modules_[m].name +
+                                    " double-booked at cycle " +
+                                    std::to_string(step));
+    }
+  }
+}
+
+ModuleAllocation bind_operations_greedy(const Dfg& dfg) {
+  ModuleAllocation alloc;
+  // Modules are created per type, named e.g. "mul0", "mul1", "add0".
+  std::map<OpType, std::vector<int>> pool;  // type -> module ids
+  // Sort operations by (step, id) for deterministic first-fit.
+  std::vector<int> order;
+  for (const Operation& op : dfg.operations()) order.push_back(op.id);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& oa = dfg.operation(a);
+    const auto& ob = dfg.operation(b);
+    return std::tie(oa.step, a) < std::tie(ob.step, b);
+  });
+  // busy[m] = set of steps occupied.
+  std::vector<std::set<int>> busy;
+  for (int o : order) {
+    const Operation& op = dfg.operation(o);
+    int chosen = -1;
+    for (int m : pool[op.type])
+      if (busy[m].count(op.step) == 0) {
+        chosen = m;
+        break;
+      }
+    if (chosen < 0) {
+      const auto count = pool[op.type].size();
+      chosen = alloc.add_module(
+          std::string(to_string(op.type)) + std::to_string(count),
+          {op.type});
+      pool[op.type].push_back(chosen);
+      busy.emplace_back();
+    }
+    busy[chosen].insert(op.step);
+    alloc.bind(o, chosen);
+  }
+  alloc.validate(dfg);
+  return alloc;
+}
+
+}  // namespace advbist::hls

@@ -1,0 +1,53 @@
+// Module allocation and operation binding (the paper assumes both are fixed
+// before register assignment; Table 3 uses "the same scheduling and the same
+// module assignment for all four BIST systems").
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hls/dfg.hpp"
+
+namespace advbist::hls {
+
+/// A hardware functional unit instance.
+struct ModuleSpec {
+  std::string name;
+  std::set<OpType> supports;  ///< operation types this unit can execute
+};
+
+/// Modules plus a complete operation -> module binding for one DFG.
+class ModuleAllocation {
+ public:
+  ModuleAllocation() = default;
+
+  int add_module(std::string name, std::set<OpType> supports);
+
+  /// Binds operation `op` to module `m`.
+  void bind(int op, int m);
+
+  [[nodiscard]] int num_modules() const { return static_cast<int>(modules_.size()); }
+  [[nodiscard]] const ModuleSpec& module(int m) const;
+  /// Module executing operation `op` (-1 if unbound).
+  [[nodiscard]] int module_of(int op) const;
+  /// Operations bound to module `m`.
+  [[nodiscard]] std::vector<int> operations_on(const Dfg& dfg, int m) const;
+  /// Number of input ports of module `m` (max arity over its operations).
+  [[nodiscard]] int num_ports(const Dfg& dfg, int m) const;
+
+  /// Checks: every op bound, type supported, no two ops on the same module
+  /// in the same cycle. Throws std::invalid_argument on violation.
+  void validate(const Dfg& dfg) const;
+
+ private:
+  std::vector<ModuleSpec> modules_;
+  std::vector<int> binding_;  ///< indexed by op id
+};
+
+/// Greedy first-fit binder: allocates the minimum number of modules per
+/// operation type (one per maximally concurrent operation) and binds each
+/// operation to the first free compatible unit. Deterministic.
+ModuleAllocation bind_operations_greedy(const Dfg& dfg);
+
+}  // namespace advbist::hls

@@ -1,0 +1,175 @@
+#include "hls/datapath.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace advbist::hls {
+
+RegisterAssignment::RegisterAssignment(int num_registers,
+                                       std::vector<int> reg_of)
+    : num_registers_(num_registers), reg_of_(std::move(reg_of)) {
+  for (int r : reg_of_)
+    ADVBIST_REQUIRE(r >= 0 && r < num_registers_, "register id out of range");
+}
+
+int RegisterAssignment::reg_of(int v) const {
+  ADVBIST_REQUIRE(v >= 0 && v < static_cast<int>(reg_of_.size()),
+                  "variable index");
+  return reg_of_[v];
+}
+
+std::vector<int> RegisterAssignment::variables_in(int r) const {
+  std::vector<int> vars;
+  for (int v = 0; v < static_cast<int>(reg_of_.size()); ++v)
+    if (reg_of_[v] == r) vars.push_back(v);
+  return vars;
+}
+
+void RegisterAssignment::validate(const Dfg& dfg) const {
+  ADVBIST_REQUIRE(static_cast<int>(reg_of_.size()) == dfg.num_variables(),
+                  "assignment incomplete");
+  for (int r = 0; r < num_registers_; ++r) {
+    const std::vector<int> vars = variables_in(r);
+    for (std::size_t i = 0; i < vars.size(); ++i)
+      for (std::size_t j = i + 1; j < vars.size(); ++j)
+        ADVBIST_REQUIRE(dfg.compatible(vars[i], vars[j]),
+                        "incompatible variables share register " +
+                            std::to_string(r) + ": " +
+                            dfg.variable(vars[i]).name + ", " +
+                            dfg.variable(vars[j]).name);
+  }
+}
+
+RegisterAssignment left_edge_allocate(
+    const Dfg& dfg, const std::vector<std::pair<int, int>>& extra_conflicts) {
+  const int n = dfg.num_variables();
+  std::vector<int> order(n);
+  for (int v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Lifetime la = dfg.lifetime(a), lb = dfg.lifetime(b);
+    return std::tie(la.birth, la.death, a) < std::tie(lb.birth, lb.death, b);
+  });
+
+  auto conflicts = [&](int u, int v) {
+    if (dfg.lifetime(u).overlaps(dfg.lifetime(v))) return true;
+    for (const auto& [a, b] : extra_conflicts)
+      if ((a == u && b == v) || (a == v && b == u)) return true;
+    return false;
+  };
+
+  std::vector<int> reg_of(n, -1);
+  std::vector<std::vector<int>> members;  // per register
+  for (int v : order) {
+    int chosen = -1;
+    for (int r = 0; r < static_cast<int>(members.size()); ++r) {
+      bool ok = true;
+      for (int u : members[r])
+        if (conflicts(u, v)) {
+          ok = false;
+          break;
+        }
+      if (ok) {
+        chosen = r;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      members.emplace_back();
+      chosen = static_cast<int>(members.size()) - 1;
+    }
+    members[chosen].push_back(v);
+    reg_of[v] = chosen;
+  }
+  RegisterAssignment assignment(static_cast<int>(members.size()),
+                                std::move(reg_of));
+  assignment.validate(dfg);
+  return assignment;
+}
+
+PortMap identity_port_map(const Dfg& dfg) {
+  PortMap ports(dfg.num_operations());
+  for (const Operation& op : dfg.operations()) {
+    ports[op.id].resize(op.inputs.size());
+    for (int l = 0; l < static_cast<int>(op.inputs.size()); ++l)
+      ports[op.id][l] = l;
+  }
+  return ports;
+}
+
+std::vector<int> Datapath::mux_sizes() const {
+  std::vector<int> sizes;
+  for (const auto& src : reg_sources)
+    if (src.size() >= 2) sizes.push_back(static_cast<int>(src.size()));
+  for (std::size_t m = 0; m < port_reg_sources.size(); ++m)
+    for (std::size_t l = 0; l < port_reg_sources[m].size(); ++l) {
+      const int fanin = port_fanin(static_cast<int>(m), static_cast<int>(l));
+      if (fanin >= 2) sizes.push_back(fanin);
+    }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+int Datapath::total_mux_inputs() const {
+  int total = 0;
+  for (int s : mux_sizes()) total += s;
+  return total;
+}
+
+std::vector<int> Datapath::registers_driven_by(int m) const {
+  std::vector<int> regs;
+  for (int r = 0; r < num_registers; ++r)
+    if (reg_sources[r].count(m)) regs.push_back(r);
+  return regs;
+}
+
+int Datapath::port_fanin(int m, int l) const {
+  return static_cast<int>(port_reg_sources[m][l].size() +
+                          port_const_sources[m][l].size());
+}
+
+Datapath build_datapath(const Dfg& dfg, const ModuleAllocation& alloc,
+                        const RegisterAssignment& regs, const PortMap& ports) {
+  alloc.validate(dfg);
+  regs.validate(dfg);
+  ADVBIST_REQUIRE(ports.size() == static_cast<std::size_t>(dfg.num_operations()),
+                  "port map size mismatch");
+
+  Datapath dp;
+  dp.num_registers = regs.num_registers();
+  dp.reg_sources.assign(dp.num_registers, {});
+  dp.port_reg_sources.assign(alloc.num_modules(), {});
+  dp.port_const_sources.assign(alloc.num_modules(), {});
+  for (int m = 0; m < alloc.num_modules(); ++m) {
+    const int np = alloc.num_ports(dfg, m);
+    dp.port_reg_sources[m].assign(np, {});
+    dp.port_const_sources[m].assign(np, {});
+  }
+
+  for (const Operation& op : dfg.operations()) {
+    const int m = alloc.module_of(op.id);
+    ADVBIST_REQUIRE(ports[op.id].size() == op.inputs.size(),
+                    "port map arity mismatch for " + op.name);
+    // Port map must be a permutation; commutative swaps only for
+    // commutative operations.
+    std::vector<bool> seen(op.inputs.size(), false);
+    for (int l = 0; l < static_cast<int>(op.inputs.size()); ++l) {
+      const int phys = ports[op.id][l];
+      ADVBIST_REQUIRE(phys >= 0 && phys < static_cast<int>(op.inputs.size()),
+                      "physical port out of range for " + op.name);
+      ADVBIST_REQUIRE(!seen[phys], "port map not a permutation for " + op.name);
+      seen[phys] = true;
+      if (phys != l)
+        ADVBIST_REQUIRE(is_commutative(op.type),
+                        "port swap on non-commutative op " + op.name);
+      const ValueRef& in = op.inputs[l];
+      if (in.is_constant)
+        dp.port_const_sources[m][phys].insert(in.id);
+      else
+        dp.port_reg_sources[m][phys].insert(regs.reg_of(in.id));
+    }
+    dp.reg_sources[regs.reg_of(op.output)].insert(m);
+  }
+  return dp;
+}
+
+}  // namespace advbist::hls

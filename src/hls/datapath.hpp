@@ -1,0 +1,79 @@
+// Structural data path netlist derived from a DFG + module binding +
+// register assignment: which registers feed which module ports, which module
+// outputs feed which registers, and the multiplexer each input needs.
+//
+// Area accounting (the paper's Section 4.1): only registers and multiplexers
+// count; the functional-unit logic itself is excluded. An input with a
+// single source is a direct wire (no mux); an input with q >= 2 sources
+// needs a q-input mux.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "hls/allocation.hpp"
+#include "hls/dfg.hpp"
+
+namespace advbist::hls {
+
+/// Complete variable -> register map.
+class RegisterAssignment {
+ public:
+  RegisterAssignment() = default;
+  RegisterAssignment(int num_registers, std::vector<int> reg_of);
+
+  [[nodiscard]] int num_registers() const { return num_registers_; }
+  [[nodiscard]] int reg_of(int v) const;
+  [[nodiscard]] std::vector<int> variables_in(int r) const;
+
+  /// Checks completeness and pairwise compatibility within each register.
+  void validate(const Dfg& dfg) const;
+
+ private:
+  int num_registers_ = 0;
+  std::vector<int> reg_of_;
+};
+
+/// Left-edge register allocation over variable lifetimes. `extra_conflicts`
+/// adds forbidden variable pairs beyond lifetime overlap (used by the
+/// RALLOC baseline to outlaw self-adjacency). May open more registers than
+/// Dfg::max_crossing() when extra conflicts force it.
+RegisterAssignment left_edge_allocate(
+    const Dfg& dfg,
+    const std::vector<std::pair<int, int>>& extra_conflicts = {});
+
+/// Per-operation operand -> physical-port map. port_of[op][l] is the
+/// physical module port receiving logical operand l (identity unless a
+/// commutative swap was chosen).
+using PortMap = std::vector<std::vector<int>>;
+
+/// Identity port map for every operation.
+PortMap identity_port_map(const Dfg& dfg);
+
+/// The structural netlist.
+struct Datapath {
+  int num_registers = 0;
+  /// Modules driving each register's input (register loads module outputs).
+  std::vector<std::set<int>> reg_sources;
+  /// Registers driving each module input port: [module][port] -> registers.
+  std::vector<std::vector<std::set<int>>> port_reg_sources;
+  /// Constants hard-wired to each module input port.
+  std::vector<std::vector<std::set<int>>> port_const_sources;
+
+  /// Input counts of every multiplexer present (each >= 2), ascending.
+  [[nodiscard]] std::vector<int> mux_sizes() const;
+  /// Total multiplexer inputs (the paper's column "M").
+  [[nodiscard]] int total_mux_inputs() const;
+  /// Sources (registers + constants) of one module port.
+  [[nodiscard]] int port_fanin(int m, int l) const;
+  /// Registers whose input is driven by module m's output.
+  [[nodiscard]] std::vector<int> registers_driven_by(int m) const;
+};
+
+/// Builds the netlist implied by (dfg, modules, registers, ports): every
+/// DFG edge (v, o, l) adds the wire reg(v) -> (module(o), port_of[o][l]);
+/// every output edge adds module(o) -> reg(out).
+Datapath build_datapath(const Dfg& dfg, const ModuleAllocation& alloc,
+                        const RegisterAssignment& regs, const PortMap& ports);
+
+}  // namespace advbist::hls

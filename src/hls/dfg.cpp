@@ -1,0 +1,148 @@
+#include "hls/dfg.hpp"
+
+#include <algorithm>
+
+namespace advbist::hls {
+
+bool is_commutative(OpType type) {
+  return type == OpType::kAdd || type == OpType::kMul;
+}
+
+const char* to_string(OpType type) {
+  switch (type) {
+    case OpType::kAdd: return "add";
+    case OpType::kSub: return "sub";
+    case OpType::kMul: return "mul";
+    case OpType::kCompare: return "cmp";
+  }
+  return "?";
+}
+
+int Dfg::add_variable(std::string name) {
+  variables_.push_back(VariableInfo{std::move(name), std::nullopt});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int Dfg::add_constant(double value, std::string name) {
+  constants_.push_back(ConstantInfo{std::move(name), value});
+  return static_cast<int>(constants_.size()) - 1;
+}
+
+int Dfg::add_operation(OpType type, int step, std::vector<ValueRef> inputs,
+                       int output, std::string name) {
+  ADVBIST_REQUIRE(step >= 0, "operation step must be non-negative");
+  ADVBIST_REQUIRE(!inputs.empty(), "operation needs at least one input");
+  ADVBIST_REQUIRE(output >= 0 && output < num_variables(),
+                  "unknown output variable");
+  ADVBIST_REQUIRE(!variables_[output].def_op.has_value(),
+                  "variable defined twice: " + variables_[output].name);
+  for (const ValueRef& in : inputs) {
+    if (in.is_constant)
+      ADVBIST_REQUIRE(in.id >= 0 && in.id < num_constants(),
+                      "unknown constant operand");
+    else
+      ADVBIST_REQUIRE(in.id >= 0 && in.id < num_variables(),
+                      "unknown variable operand");
+  }
+  const int id = static_cast<int>(operations_.size());
+  if (name.empty()) name = "op" + std::to_string(id);
+  operations_.push_back(
+      Operation{id, type, step, std::move(inputs), output, std::move(name)});
+  variables_[output].def_op = id;
+  return id;
+}
+
+const VariableInfo& Dfg::variable(int v) const {
+  ADVBIST_REQUIRE(v >= 0 && v < num_variables(), "variable index");
+  return variables_[v];
+}
+
+const ConstantInfo& Dfg::constant(int c) const {
+  ADVBIST_REQUIRE(c >= 0 && c < num_constants(), "constant index");
+  return constants_[c];
+}
+
+const Operation& Dfg::operation(int o) const {
+  ADVBIST_REQUIRE(o >= 0 && o < num_operations(), "operation index");
+  return operations_[o];
+}
+
+int Dfg::num_cycles() const {
+  int max_step = -1;
+  for (const Operation& op : operations_) max_step = std::max(max_step, op.step);
+  return max_step + 1;
+}
+
+std::vector<std::pair<int, int>> Dfg::consumers(int v) const {
+  ADVBIST_REQUIRE(v >= 0 && v < num_variables(), "variable index");
+  std::vector<std::pair<int, int>> uses;
+  for (const Operation& op : operations_)
+    for (int l = 0; l < static_cast<int>(op.inputs.size()); ++l)
+      if (!op.inputs[l].is_constant && op.inputs[l].id == v)
+        uses.emplace_back(op.id, l);
+  return uses;
+}
+
+Lifetime Dfg::lifetime(int v) const {
+  const VariableInfo& info = variable(v);
+  const auto uses = consumers(v);
+  int birth;
+  if (info.def_op.has_value()) {
+    birth = operations_[*info.def_op].step + 1;
+  } else {
+    ADVBIST_REQUIRE(!uses.empty(),
+                    "primary input never used: " + info.name);
+    int first = operations_[uses.front().first].step;
+    for (const auto& [o, l] : uses) first = std::min(first, operations_[o].step);
+    birth = first;
+  }
+  int death = birth;
+  for (const auto& [o, l] : uses)
+    death = std::max(death, operations_[o].step);
+  return Lifetime{birth, death};
+}
+
+std::vector<int> Dfg::alive_at(int b) const {
+  std::vector<int> alive;
+  for (int v = 0; v < num_variables(); ++v) {
+    const Lifetime lt = lifetime(v);
+    if (lt.birth <= b && b <= lt.death) alive.push_back(v);
+  }
+  return alive;
+}
+
+int Dfg::max_crossing() const {
+  int best = 0;
+  for (int b = 0; b <= num_cycles(); ++b)
+    best = std::max(best, static_cast<int>(alive_at(b).size()));
+  return best;
+}
+
+void Dfg::validate() const {
+  ADVBIST_REQUIRE(!operations_.empty(), "DFG has no operations");
+  for (const Operation& op : operations_) {
+    for (const ValueRef& in : op.inputs) {
+      if (in.is_constant) continue;
+      const VariableInfo& vi = variables_[in.id];
+      if (vi.def_op.has_value()) {
+        const Operation& def = operations_[*vi.def_op];
+        ADVBIST_REQUIRE(def.step + 1 <= op.step,
+                        "operation " + op.name + " consumes " + vi.name +
+                            " before it is produced");
+      }
+    }
+  }
+  for (int v = 0; v < num_variables(); ++v) {
+    const bool used = !consumers(v).empty();
+    const bool defined = variables_[v].def_op.has_value();
+    ADVBIST_REQUIRE(used || defined,
+                    "variable neither used nor defined: " + variables_[v].name);
+    if (!defined)
+      ADVBIST_REQUIRE(used, "primary input never used: " + variables_[v].name);
+    // Consistency of the lifetime model (birth <= death by construction).
+    const Lifetime lt = lifetime(v);
+    ADVBIST_ENSURE(lt.birth <= lt.death, "lifetime inverted");
+  }
+}
+
+}  // namespace advbist::hls

@@ -1,0 +1,137 @@
+// Scheduled data flow graph, following the nomenclature of Section 2 of the
+// paper (Kim/Ha/Takahashi, DAC'99).
+//
+// A DFG consists of operations (V_o), variables (V_v), constants (C), input
+// edges E_i = {(v, o, l)} and output edges E_o = {(o, v)}. "Control steps"
+// (the paper's T) are the CLOCK BOUNDARIES between cycles: an operation
+// scheduled at cycle `step` reads its operands at boundary `step` and writes
+// its result at boundary `step + 1`. Register assignment happens on
+// boundaries.
+//
+// Lifetime model (validated against the paper's Fig. 1 example):
+//   * a computed variable is born at boundary def_step + 1;
+//   * a primary input is loaded just-in-time at the boundary of its first
+//     consuming operation;
+//   * every variable lives until the boundary of its last consuming
+//     operation (a primary output occupies only its birth boundary).
+// Two variables overlapping at any boundary are incompatible and must be
+// assigned to different registers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace advbist::hls {
+
+enum class OpType { kAdd, kSub, kMul, kCompare };
+
+/// Operand-order invariance: additions and multiplications may swap their
+/// two input ports (modeled by the paper's pseudo-input ports, Eq. (3)).
+[[nodiscard]] bool is_commutative(OpType type);
+
+[[nodiscard]] const char* to_string(OpType type);
+
+/// A reference to an operand: either a variable (register-allocated) or a
+/// constant (hard-wired, never register-allocated).
+struct ValueRef {
+  bool is_constant = false;
+  int id = -1;
+
+  [[nodiscard]] static ValueRef variable(int id) { return {false, id}; }
+  [[nodiscard]] static ValueRef constant(int id) { return {true, id}; }
+  friend bool operator==(const ValueRef&, const ValueRef&) = default;
+};
+
+struct Operation {
+  int id = -1;
+  OpType type = OpType::kAdd;
+  int step = -1;                  ///< cycle index (reads at boundary `step`)
+  std::vector<ValueRef> inputs;   ///< indexed by input port label l
+  int output = -1;                ///< output variable id
+  std::string name;
+};
+
+struct VariableInfo {
+  std::string name;
+  /// Defining operation, or nullopt for a primary input.
+  std::optional<int> def_op;
+};
+
+struct ConstantInfo {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Closed interval of clock boundaries a variable occupies.
+struct Lifetime {
+  int birth = 0;
+  int death = 0;
+  [[nodiscard]] bool overlaps(const Lifetime& other) const {
+    return birth <= other.death && other.birth <= death;
+  }
+};
+
+class Dfg {
+ public:
+  explicit Dfg(std::string name = "dfg") : name_(std::move(name)) {}
+
+  /// Adds a variable (primary input until an operation defines it).
+  int add_variable(std::string name);
+  /// Adds a hard-wired constant.
+  int add_constant(double value, std::string name);
+
+  /// Adds a scheduled operation writing `output`; `inputs[l]` is the operand
+  /// on port l. The output variable must not already have a definition.
+  int add_operation(OpType type, int step, std::vector<ValueRef> inputs,
+                    int output, std::string name = "");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int num_variables() const { return static_cast<int>(variables_.size()); }
+  [[nodiscard]] int num_constants() const { return static_cast<int>(constants_.size()); }
+  [[nodiscard]] int num_operations() const { return static_cast<int>(operations_.size()); }
+
+  [[nodiscard]] const VariableInfo& variable(int v) const;
+  [[nodiscard]] const ConstantInfo& constant(int c) const;
+  [[nodiscard]] const Operation& operation(int o) const;
+  [[nodiscard]] const std::vector<Operation>& operations() const { return operations_; }
+
+  /// Number of cycles (= max op step + 1); boundaries run 0..num_cycles().
+  [[nodiscard]] int num_cycles() const;
+  /// Number of clock boundaries = num_cycles() + 1 (the paper's |T|).
+  [[nodiscard]] int num_boundaries() const { return num_cycles() + 1; }
+
+  [[nodiscard]] bool is_primary_input(int v) const {
+    return !variable(v).def_op.has_value();
+  }
+  /// Operations consuming variable `v` (with the port they read it on).
+  [[nodiscard]] std::vector<std::pair<int, int>> consumers(int v) const;
+
+  /// Lifetime of variable `v` per the boundary model above.
+  [[nodiscard]] Lifetime lifetime(int v) const;
+
+  /// Variables alive at boundary `b` ("horizontal crossing" membership).
+  [[nodiscard]] std::vector<int> alive_at(int b) const;
+  /// The paper's maximal horizontal crossing = minimum register count.
+  [[nodiscard]] int max_crossing() const;
+
+  /// True if u and v may share a register.
+  [[nodiscard]] bool compatible(int u, int v) const {
+    return !lifetime(u).overlaps(lifetime(v));
+  }
+
+  /// Structural validation: every variable defined at most once, consumers
+  /// scheduled after definitions, every variable used or defined, operand
+  /// ports populated. Throws std::invalid_argument on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<VariableInfo> variables_;
+  std::vector<ConstantInfo> constants_;
+  std::vector<Operation> operations_;
+};
+
+}  // namespace advbist::hls

@@ -1,0 +1,157 @@
+#include "hls/scheduling.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace advbist::hls {
+
+namespace {
+
+/// op -> defining op of each variable operand (dependence edges).
+std::vector<std::vector<int>> build_deps(const UnscheduledDfg& dfg) {
+  std::vector<int> def_of(dfg.variables.size(), -1);
+  for (int o = 0; o < static_cast<int>(dfg.operations.size()); ++o) {
+    const int out = dfg.operations[o].output;
+    ADVBIST_REQUIRE(out >= 0 && out < static_cast<int>(dfg.variables.size()),
+                    "bad output variable in op " + dfg.operations[o].name);
+    ADVBIST_REQUIRE(def_of[out] < 0, "variable defined twice");
+    def_of[out] = o;
+  }
+  std::vector<std::vector<int>> deps(dfg.operations.size());
+  for (int o = 0; o < static_cast<int>(dfg.operations.size()); ++o)
+    for (const ValueRef& in : dfg.operations[o].inputs)
+      if (!in.is_constant && def_of[in.id] >= 0)
+        deps[o].push_back(def_of[in.id]);
+  return deps;
+}
+
+}  // namespace
+
+std::vector<int> asap_schedule(const UnscheduledDfg& dfg) {
+  const auto deps = build_deps(dfg);
+  const int n = static_cast<int>(dfg.operations.size());
+  std::vector<int> level(n, -1);
+  // Iterative longest-path (graphs are small; O(n^2) acceptable).
+  bool progress = true;
+  int resolved = 0;
+  while (progress) {
+    progress = false;
+    for (int o = 0; o < n; ++o) {
+      if (level[o] >= 0) continue;
+      int lv = 0;
+      bool ready = true;
+      for (int d : deps[o]) {
+        if (level[d] < 0) {
+          ready = false;
+          break;
+        }
+        lv = std::max(lv, level[d] + 1);
+      }
+      if (ready) {
+        level[o] = lv;
+        ++resolved;
+        progress = true;
+      }
+    }
+  }
+  ADVBIST_REQUIRE(resolved == n, "dependence cycle in DFG " + dfg.name);
+  return level;
+}
+
+std::vector<int> alap_schedule(const UnscheduledDfg& dfg, int latency) {
+  const auto deps = build_deps(dfg);
+  const int n = static_cast<int>(dfg.operations.size());
+  // successors
+  std::vector<std::vector<int>> succ(n);
+  for (int o = 0; o < n; ++o)
+    for (int d : deps[o]) succ[d].push_back(o);
+  std::vector<int> level(n, -1);
+  bool progress = true;
+  int resolved = 0;
+  while (progress) {
+    progress = false;
+    for (int o = 0; o < n; ++o) {
+      if (level[o] >= 0) continue;
+      int lv = latency - 1;
+      bool ready = true;
+      for (int s : succ[o]) {
+        if (level[s] < 0) {
+          ready = false;
+          break;
+        }
+        lv = std::min(lv, level[s] - 1);
+      }
+      if (ready) {
+        ADVBIST_REQUIRE(lv >= 0,
+                        "latency bound below critical path in " + dfg.name);
+        level[o] = lv;
+        ++resolved;
+        progress = true;
+      }
+    }
+  }
+  ADVBIST_REQUIRE(resolved == n, "dependence cycle in DFG " + dfg.name);
+  return level;
+}
+
+Dfg apply_schedule(const UnscheduledDfg& dfg, const std::vector<int>& steps) {
+  ADVBIST_REQUIRE(steps.size() == dfg.operations.size(),
+                  "schedule size mismatch");
+  Dfg out(dfg.name);
+  for (const std::string& v : dfg.variables) out.add_variable(v);
+  for (const ConstantInfo& c : dfg.constants) out.add_constant(c.value, c.name);
+  for (int o = 0; o < static_cast<int>(dfg.operations.size()); ++o) {
+    const UnscheduledOp& op = dfg.operations[o];
+    out.add_operation(op.type, steps[o], op.inputs, op.output, op.name);
+  }
+  out.validate();
+  return out;
+}
+
+Dfg list_schedule(const UnscheduledDfg& dfg,
+                  const std::map<OpType, int>& resources) {
+  const auto deps = build_deps(dfg);
+  const int n = static_cast<int>(dfg.operations.size());
+  const std::vector<int> asap = asap_schedule(dfg);
+  int critical = 0;
+  for (int lv : asap) critical = std::max(critical, lv + 1);
+  // A generous upper bound on latency: serialize everything.
+  const std::vector<int> alap = alap_schedule(dfg, critical + n);
+
+  std::vector<int> steps(n, -1);
+  int scheduled = 0;
+  for (int cycle = 0; scheduled < n; ++cycle) {
+    ADVBIST_REQUIRE(cycle < 4 * (critical + n), "list scheduling diverged");
+    std::map<OpType, int> used;
+    // Ready ops: all deps done strictly before this cycle.
+    std::vector<int> ready;
+    for (int o = 0; o < n; ++o) {
+      if (steps[o] >= 0) continue;
+      bool ok = true;
+      for (int d : deps[o])
+        if (steps[d] < 0 || steps[d] + 1 > cycle) {
+          ok = false;
+          break;
+        }
+      if (ok) ready.push_back(o);
+    }
+    // Critical first: smaller ALAP slack wins; deterministic tie-break by id.
+    std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+      return std::tie(alap[a], a) < std::tie(alap[b], b);
+    });
+    for (int o : ready) {
+      const OpType t = dfg.operations[o].type;
+      const auto it = resources.find(t);
+      const int cap = it == resources.end() ? 0 : it->second;
+      ADVBIST_REQUIRE(cap > 0, "no resource for op type in " + dfg.name);
+      if (used[t] < cap) {
+        ++used[t];
+        steps[o] = cycle;
+        ++scheduled;
+      }
+    }
+  }
+  return apply_schedule(dfg, steps);
+}
+
+}  // namespace advbist::hls

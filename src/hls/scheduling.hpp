@@ -1,0 +1,48 @@
+// Scheduling support. The paper consumes DFGs "in which scheduling and
+// module assignment have been completed" (its filters came from HYPER); this
+// module provides the substrate that plays HYPER's role: ASAP/ALAP level
+// computation and resource-constrained list scheduling over an unscheduled
+// operation set.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hls/dfg.hpp"
+
+namespace advbist::hls {
+
+/// An operation prior to scheduling.
+struct UnscheduledOp {
+  OpType type = OpType::kAdd;
+  std::vector<ValueRef> inputs;
+  int output = -1;
+  std::string name;
+};
+
+/// A DFG under construction: variables/constants plus unscheduled operations.
+struct UnscheduledDfg {
+  std::string name = "dfg";
+  std::vector<std::string> variables;       ///< index = variable id
+  std::vector<ConstantInfo> constants;      ///< index = constant id
+  std::vector<UnscheduledOp> operations;    ///< index = op id
+};
+
+/// ASAP cycle per operation (longest dependence chain from inputs).
+std::vector<int> asap_schedule(const UnscheduledDfg& dfg);
+
+/// ALAP cycle per operation for a given latency bound (throws if the bound
+/// is below the critical path).
+std::vector<int> alap_schedule(const UnscheduledDfg& dfg, int latency);
+
+/// Resource-constrained list scheduling. `resources` caps how many
+/// operations of each type may execute per cycle. Priority = ALAP slack
+/// (critical operations first). Returns a fully scheduled Dfg.
+Dfg list_schedule(const UnscheduledDfg& dfg,
+                  const std::map<OpType, int>& resources);
+
+/// Converts an unscheduled DFG plus an explicit per-op cycle assignment into
+/// a scheduled Dfg (validates dependence feasibility).
+Dfg apply_schedule(const UnscheduledDfg& dfg, const std::vector<int>& steps);
+
+}  // namespace advbist::hls

@@ -1,0 +1,145 @@
+#include "ilp/presolve.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace advbist::ilp {
+
+using lp::ConstraintDef;
+using lp::Model;
+using lp::Sense;
+using lp::Term;
+using lp::VarType;
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct RowActivity {
+  double min_act = 0.0;
+  double max_act = 0.0;
+  bool min_finite = true;
+  bool max_finite = true;
+};
+
+RowActivity activity(const Model& model, const ConstraintDef& row) {
+  RowActivity act;
+  for (const Term& t : row.terms) {
+    const auto& v = model.variable(t.var);
+    const double lo_contrib = t.coeff > 0 ? t.coeff * v.lower : t.coeff * v.upper;
+    const double hi_contrib = t.coeff > 0 ? t.coeff * v.upper : t.coeff * v.lower;
+    if (std::isfinite(lo_contrib))
+      act.min_act += lo_contrib;
+    else
+      act.min_finite = false;
+    if (std::isfinite(hi_contrib))
+      act.max_act += hi_contrib;
+    else
+      act.max_finite = false;
+  }
+  return act;
+}
+
+}  // namespace
+
+PresolveResult presolve(Model& model, int max_rounds) {
+  PresolveResult result;
+  result.row_redundant.assign(model.num_constraints(), false);
+
+  bool changed = true;
+  for (int round = 0; round < max_rounds && changed; ++round) {
+    changed = false;
+    for (int c = 0; c < model.num_constraints(); ++c) {
+      if (result.row_redundant[c]) continue;
+      const ConstraintDef& row = model.constraint(c);
+      const RowActivity act = activity(model, row);
+
+      // Effective row interval [row_lo, row_hi] that the activity must hit.
+      double row_lo = -lp::kInfinity, row_hi = lp::kInfinity;
+      switch (row.sense) {
+        case Sense::kLessEqual: row_hi = row.rhs; break;
+        case Sense::kGreaterEqual: row_lo = row.rhs; break;
+        case Sense::kEqual: row_lo = row_hi = row.rhs; break;
+      }
+
+      // Infeasibility: activity range entirely outside the row interval.
+      if (act.min_finite && act.min_act > row_hi + 1e-6) {
+        result.infeasible = true;
+        return result;
+      }
+      if (act.max_finite && act.max_act < row_lo - 1e-6) {
+        result.infeasible = true;
+        return result;
+      }
+      // Redundancy: bounds alone already satisfy the row.
+      if ((!std::isfinite(row_hi) || (act.max_finite && act.max_act <= row_hi + kEps)) &&
+          (!std::isfinite(row_lo) || (act.min_finite && act.min_act >= row_lo - kEps)) &&
+          row.sense != Sense::kEqual) {
+        result.row_redundant[c] = true;
+        ++result.redundant_rows;
+        continue;
+      }
+
+      // Per-variable implied bounds.
+      for (const Term& t : row.terms) {
+        const auto& v = model.variable(t.var);
+        double lo = v.lower, hi = v.upper;
+        const double contrib_min =
+            t.coeff > 0 ? t.coeff * lo : t.coeff * hi;  // this var's min part
+        const double contrib_max = t.coeff > 0 ? t.coeff * hi : t.coeff * lo;
+
+        // Residual activity of the other variables.
+        const bool rest_min_finite =
+            act.min_finite && std::isfinite(contrib_min);
+        const bool rest_max_finite =
+            act.max_finite && std::isfinite(contrib_max);
+        const double rest_min = act.min_act - (std::isfinite(contrib_min) ? contrib_min : 0.0);
+        const double rest_max = act.max_act - (std::isfinite(contrib_max) ? contrib_max : 0.0);
+
+        double new_lo = lo, new_hi = hi;
+        // coeff*x <= row_hi - rest_min  and  coeff*x >= row_lo - rest_max
+        if (std::isfinite(row_hi) && rest_min_finite) {
+          const double cap = row_hi - rest_min;
+          if (t.coeff > 0)
+            new_hi = std::min(new_hi, cap / t.coeff);
+          else
+            new_lo = std::max(new_lo, cap / t.coeff);
+        }
+        if (std::isfinite(row_lo) && rest_max_finite) {
+          const double cap = row_lo - rest_max;
+          if (t.coeff > 0)
+            new_lo = std::max(new_lo, cap / t.coeff);
+          else
+            new_hi = std::min(new_hi, cap / t.coeff);
+        }
+        if (v.type == VarType::kInteger) {
+          new_lo = std::ceil(new_lo - 1e-6);
+          new_hi = std::floor(new_hi + 1e-6);
+        }
+        if (new_lo > new_hi + 1e-9) {
+          result.infeasible = true;
+          return result;
+        }
+        new_hi = std::max(new_hi, new_lo);  // clamp FP noise
+        if (new_lo > lo + kEps || new_hi < hi - kEps) {
+          model.set_bounds(t.var, std::max(lo, new_lo), std::min(hi, new_hi));
+          ++result.bounds_tightened;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  for (int v = 0; v < model.num_variables(); ++v)
+    if (model.variable(v).lower == model.variable(v).upper)
+      ++result.variables_fixed;
+
+  util::log_debug() << "presolve: " << result.bounds_tightened
+                    << " bounds tightened, " << result.variables_fixed
+                    << " vars fixed, " << result.redundant_rows
+                    << " redundant rows";
+  return result;
+}
+
+}  // namespace advbist::ilp

@@ -1,0 +1,308 @@
+#include "ilp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ilp/presolve.hpp"
+#include "lp/simplex.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace advbist::ilp {
+
+using lp::LpResult;
+using lp::LpStatus;
+using lp::Model;
+using lp::SimplexSolver;
+using lp::VarType;
+
+double Solution::gap() const {
+  if (status == SolveStatus::kOptimal) return 0.0;
+  if (!has_solution()) return lp::kInfinity;
+  const double denom = std::max(1.0, std::abs(objective));
+  return (objective - stats.best_bound) / denom;
+}
+
+long long Solution::value_as_int(int var) const {
+  ADVBIST_REQUIRE(has_solution(), "no incumbent solution");
+  ADVBIST_REQUIRE(var >= 0 && var < static_cast<int>(values.size()),
+                  "variable index");
+  return std::llround(values[var]);
+}
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kFeasible: return "feasible (limit)";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kNoSolutionFound: return "no solution (limit)";
+    case SolveStatus::kUnbounded: return "unbounded";
+  }
+  return "?";
+}
+
+namespace {
+
+struct BoundChange {
+  int var;
+  double lower;
+  double upper;
+};
+
+struct Node {
+  std::vector<BoundChange> changes;  ///< relative to root bounds
+  double parent_bound;               ///< LP bound inherited from parent
+  int depth = 0;
+};
+
+/// Picks the branching variable: among fractional integers, the highest
+/// priority; ties broken by most-fractional part.
+int pick_branching_variable(const Model& model, const std::vector<double>& x,
+                            const std::vector<int>& priority, double int_tol) {
+  int best = -1;
+  int best_prio = std::numeric_limits<int>::min();
+  double best_frac_score = -1.0;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    if (model.variable(v).type != VarType::kInteger) continue;
+    const double frac = x[v] - std::floor(x[v]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist <= int_tol) continue;
+    const int prio = priority.empty() ? 0 : priority[v];
+    const double score = dist;  // closeness to 0.5
+    if (prio > best_prio || (prio == best_prio && score > best_frac_score)) {
+      best = v;
+      best_prio = prio;
+      best_frac_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Solver::Solver(Options options) : options_(std::move(options)) {}
+
+Solution Solver::solve(const Model& original) const {
+  util::Stopwatch watch;
+  Solution sol;
+
+  Model model = original;  // working copy: presolve mutates bounds
+  if (!options_.branch_priority.empty())
+    ADVBIST_REQUIRE(static_cast<int>(options_.branch_priority.size()) ==
+                        model.num_variables(),
+                    "branch_priority size mismatch");
+
+  std::vector<bool> row_redundant;
+  if (options_.use_presolve) {
+    PresolveResult pre = presolve(model);
+    sol.stats.presolve_fixed = pre.variables_fixed;
+    sol.stats.presolve_redundant_rows = pre.redundant_rows;
+    if (pre.infeasible) {
+      sol.status = SolveStatus::kInfeasible;
+      sol.stats.seconds = watch.seconds();
+      return sol;
+    }
+    row_redundant = std::move(pre.row_redundant);
+  }
+
+  // Build the simplex over the non-redundant rows.
+  Model reduced;
+  std::vector<int> keep_rows;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    const auto& def = model.variable(v);
+    reduced.add_variable(def.lower, def.upper, def.objective, def.type,
+                         def.name);
+  }
+  for (int c = 0; c < model.num_constraints(); ++c) {
+    if (!row_redundant.empty() && row_redundant[c]) continue;
+    const auto& row = model.constraint(c);
+    lp::LinExpr expr;
+    for (const auto& t : row.terms) expr.add(t.var, t.coeff);
+    reduced.add_constraint(std::move(expr), row.sense, row.rhs, row.name);
+    keep_rows.push_back(c);
+  }
+
+  SimplexSolver simplex(reduced);
+  const bool integral_obj = model.objective_is_integral();
+  const int n = model.num_variables();
+
+  // Root bounds after presolve: the baseline that node changes overlay.
+  std::vector<double> root_lb(n), root_ub(n);
+  for (int v = 0; v < n; ++v) {
+    root_lb[v] = model.variable(v).lower;
+    root_ub[v] = model.variable(v).upper;
+  }
+
+  double cutoff = lp::kInfinity;  // incumbent objective (or seeded bound)
+  std::vector<double> incumbent;
+  if (std::isfinite(options_.initial_cutoff)) {
+    // Seeded bound: keep nodes that can still reach objective ==
+    // initial_cutoff (callers pass a heuristic solution's value).
+    cutoff = options_.initial_cutoff + (integral_obj ? 1.0 : 1e-6);
+  }
+
+  auto node_bound = [&](double lp_obj) {
+    return integral_obj ? std::ceil(lp_obj - 1e-6) : lp_obj;
+  };
+  auto prunable = [&](double bound) {
+    if (!std::isfinite(cutoff)) return false;
+    return integral_obj ? bound >= cutoff - 0.5 : bound >= cutoff - 1e-9;
+  };
+
+  std::vector<Node> stack;
+  stack.push_back(Node{{}, -lp::kInfinity, 0});
+
+  std::vector<BoundChange> applied;  // changes currently applied to simplex
+  auto apply_node = [&](const Node& node) {
+    for (const BoundChange& bc : applied)
+      simplex.set_variable_bounds(bc.var, root_lb[bc.var], root_ub[bc.var]);
+    applied = node.changes;
+    for (const BoundChange& bc : applied)
+      simplex.set_variable_bounds(bc.var, bc.lower, bc.upper);
+  };
+
+  bool exhausted = true;
+  long long nodes_since_resort = 0;
+  while (!stack.empty()) {
+    // Hybrid node selection: depth-first plunging finds incumbents fast;
+    // a periodic re-sort brings the best-bound open node to the top, which
+    // closes the proven gap the way best-first search does.
+    if (++nodes_since_resort >= 256 && stack.size() > 1) {
+      nodes_since_resort = 0;
+      std::sort(stack.begin(), stack.end(),
+                [](const Node& a, const Node& b) {
+                  return a.parent_bound > b.parent_bound;  // best at back
+                });
+    }
+    if (options_.time_limit_seconds > 0 &&
+        watch.seconds() > options_.time_limit_seconds) {
+      sol.stats.hit_time_limit = true;
+      exhausted = false;
+      break;
+    }
+    if (options_.node_limit >= 0 && sol.stats.nodes >= options_.node_limit) {
+      sol.stats.hit_node_limit = true;
+      exhausted = false;
+      break;
+    }
+
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (prunable(node.parent_bound)) continue;
+
+    apply_node(node);
+    ++sol.stats.nodes;
+
+    LpResult lp = simplex.solve();
+    sol.stats.lp_iterations += lp.iterations;
+    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status == LpStatus::kUnbounded) {
+      // Integer feasibility cannot rescue an unbounded relaxation at the
+      // root; deeper nodes inherit the verdict only if the root saw it.
+      if (node.depth == 0) {
+        sol.status = SolveStatus::kUnbounded;
+        sol.stats.seconds = watch.seconds();
+        return sol;
+      }
+      continue;
+    }
+    if (lp.status == LpStatus::kIterLimit) {
+      util::log_warn() << "LP iteration limit at node " << sol.stats.nodes
+                       << "; branching without a bound";
+      // fall through with parent's bound (lp.x may be empty; cannot branch
+      // on values) — resolve by treating node as un-prunable leaf split on
+      // first free integer var at its bound midpoint.
+      continue;
+    }
+
+    const double bound = node_bound(lp.objective);
+    if (prunable(bound)) continue;
+
+    // Root rounding heuristic: cheap incumbent to seed pruning.
+    if (node.depth == 0 && options_.use_rounding_heuristic) {
+      std::vector<double> rounded = lp.x;
+      for (int v = 0; v < n; ++v)
+        if (model.variable(v).type == VarType::kInteger)
+          rounded[v] = std::round(rounded[v]);
+      if (model.max_violation(rounded, true) <= 1e-6) {
+        const double obj = model.objective_value(rounded);
+        if (obj < cutoff) {
+          cutoff = obj;
+          incumbent = rounded;
+        }
+      }
+    }
+
+    const int branch_var = pick_branching_variable(
+        model, lp.x, options_.branch_priority, options_.integrality_tol);
+    if (branch_var < 0) {
+      // Integral LP optimum: new incumbent.
+      if (lp.objective < cutoff - 1e-12) {
+        cutoff = lp.objective;
+        incumbent = lp.x;
+        for (int v = 0; v < n; ++v)
+          if (model.variable(v).type == VarType::kInteger)
+            incumbent[v] = std::round(incumbent[v]);
+        if (options_.verbose)
+          util::log_info() << "incumbent " << cutoff << " at node "
+                           << sol.stats.nodes << " (" << watch.seconds()
+                           << "s)";
+      }
+      continue;
+    }
+
+    const double xv = lp.x[branch_var];
+    const double floor_v = std::floor(xv);
+    // Children: "down" (x <= floor) and "up" (x >= floor+1). Explore the
+    // side nearer the LP value first (it is pushed last).
+    Node down{node.changes, bound, node.depth + 1};
+    double cur_lo = root_lb[branch_var], cur_hi = root_ub[branch_var];
+    for (const BoundChange& bc : node.changes)
+      if (bc.var == branch_var) {
+        cur_lo = bc.lower;
+        cur_hi = bc.upper;
+      }
+    down.changes.push_back(BoundChange{branch_var, cur_lo, floor_v});
+    Node up{node.changes, bound, node.depth + 1};
+    up.changes.push_back(BoundChange{branch_var, floor_v + 1.0, cur_hi});
+
+    const bool down_first = (xv - floor_v) < 0.5;
+    if (down_first) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  // Final bound: min over open nodes and, if exhausted, the incumbent.
+  double best_bound = exhausted ? cutoff : lp::kInfinity;
+  for (const Node& open : stack)
+    best_bound = std::min(best_bound, open.parent_bound);
+  if (stack.empty() && exhausted) best_bound = cutoff;
+  sol.stats.best_bound = best_bound;
+  sol.stats.seconds = watch.seconds();
+
+  if (!incumbent.empty()) {
+    sol.values = std::move(incumbent);
+    sol.objective = cutoff;
+    const bool proven = exhausted ||
+                        (std::isfinite(best_bound) &&
+                         (integral_obj ? best_bound >= cutoff - 0.5
+                                       : best_bound >= cutoff - 1e-9));
+    sol.status = proven ? SolveStatus::kOptimal : SolveStatus::kFeasible;
+    if (sol.status == SolveStatus::kOptimal) sol.stats.best_bound = cutoff;
+  } else if (exhausted && !std::isfinite(options_.initial_cutoff)) {
+    sol.status = SolveStatus::kInfeasible;
+  } else {
+    // Either a limit was hit, or a seeded cutoff pruned everything (the
+    // problem may still be feasible at or above the seed).
+    sol.status = SolveStatus::kNoSolutionFound;
+  }
+  return sol;
+}
+
+}  // namespace advbist::ilp

@@ -1,0 +1,118 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace advbist::lp {
+
+void LinExpr::normalize() {
+  if (terms_.empty()) return;
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    if (!merged.empty() && merged.back().var == t.var)
+      merged.back().coeff += t.coeff;
+    else
+      merged.push_back(t);
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coeff == 0.0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+int Model::add_variable(double lower, double upper, double objective,
+                        VarType type, std::string name) {
+  ADVBIST_REQUIRE(lower <= upper, "variable bounds crossed: " + name);
+  variables_.push_back(VariableDef{lower, upper, objective, type, std::move(name)});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int Model::add_binary(double objective, std::string name) {
+  return add_variable(0.0, 1.0, objective, VarType::kInteger, std::move(name));
+}
+
+int Model::add_integer(double lower, double upper, double objective,
+                       std::string name) {
+  return add_variable(lower, upper, objective, VarType::kInteger,
+                      std::move(name));
+}
+
+int Model::add_constraint(LinExpr expr, Sense sense, double rhs,
+                          std::string name) {
+  expr.normalize();
+  for (const Term& t : expr.terms())
+    ADVBIST_REQUIRE(t.var >= 0 && t.var < num_variables(),
+                    "constraint references unknown variable: " + name);
+  constraints_.push_back(ConstraintDef{expr.terms(), sense,
+                                       rhs - expr.constant(), std::move(name)});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+int Model::num_integer_variables() const {
+  int n = 0;
+  for (const VariableDef& v : variables_)
+    if (v.type == VarType::kInteger) ++n;
+  return n;
+}
+
+void Model::set_bounds(int v, double lower, double upper) {
+  ADVBIST_REQUIRE(v >= 0 && v < num_variables(), "variable index");
+  ADVBIST_REQUIRE(lower <= upper, "variable bounds crossed");
+  variables_[v].lower = lower;
+  variables_[v].upper = upper;
+}
+
+void Model::set_objective(int v, double objective) {
+  ADVBIST_REQUIRE(v >= 0 && v < num_variables(), "variable index");
+  variables_[v].objective = objective;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  ADVBIST_REQUIRE(x.size() == variables_.size(), "point dimension");
+  double obj = 0.0;
+  for (std::size_t v = 0; v < variables_.size(); ++v)
+    obj += variables_[v].objective * x[v];
+  return obj;
+}
+
+double Model::max_violation(const std::vector<double>& x,
+                            bool check_integrality) const {
+  ADVBIST_REQUIRE(x.size() == variables_.size(), "point dimension");
+  double worst = 0.0;
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    worst = std::max(worst, variables_[v].lower - x[v]);
+    worst = std::max(worst, x[v] - variables_[v].upper);
+    if (check_integrality && variables_[v].type == VarType::kInteger)
+      worst = std::max(worst, std::abs(x[v] - std::round(x[v])));
+  }
+  for (const ConstraintDef& c : constraints_) {
+    double activity = 0.0;
+    for (const Term& t : c.terms) activity += t.coeff * x[t.var];
+    switch (c.sense) {
+      case Sense::kLessEqual:
+        worst = std::max(worst, activity - c.rhs);
+        break;
+      case Sense::kGreaterEqual:
+        worst = std::max(worst, c.rhs - activity);
+        break;
+      case Sense::kEqual:
+        worst = std::max(worst, std::abs(activity - c.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+bool Model::objective_is_integral() const {
+  for (const VariableDef& v : variables_) {
+    if (v.objective != std::round(v.objective)) return false;
+    if (v.objective != 0.0 && v.type != VarType::kInteger) return false;
+  }
+  return true;
+}
+
+}  // namespace advbist::lp

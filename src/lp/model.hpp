@@ -1,0 +1,142 @@
+// Mixed-integer linear model container.
+//
+// A Model owns variables (with bounds, objective coefficient and an
+// integrality marker) and sparse linear constraints. It is the single
+// interchange format between the formulation builders (src/core), the
+// presolver and the solvers (src/lp, src/ilp).
+//
+// Convention: all solvers MINIMIZE the objective.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace advbist::lp {
+
+/// Infinity marker for unbounded variable/constraint sides.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class VarType { kContinuous, kInteger };
+
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One term of a linear expression: coeff * var.
+struct Term {
+  int var = -1;
+  double coeff = 0.0;
+};
+
+/// A sparse linear expression with an additive constant. Built incrementally
+/// by the formulation code; duplicate variables are merged by normalize().
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+
+  LinExpr& add(int var, double coeff) {
+    if (coeff != 0.0) terms_.push_back(Term{var, coeff});
+    return *this;
+  }
+  LinExpr& add_constant(double c) {
+    constant_ += c;
+    return *this;
+  }
+  LinExpr& add(const LinExpr& other, double scale = 1.0) {
+    for (const Term& t : other.terms_) add(t.var, scale * t.coeff);
+    constant_ += scale * other.constant_;
+    return *this;
+  }
+
+  /// Merges duplicate variables and drops zero coefficients.
+  void normalize();
+
+  [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
+  [[nodiscard]] double constant() const { return constant_; }
+
+ private:
+  std::vector<Term> terms_;
+  double constant_ = 0.0;
+};
+
+struct VariableDef {
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  VarType type = VarType::kContinuous;
+  std::string name;
+};
+
+struct ConstraintDef {
+  std::vector<Term> terms;  // normalized: unique vars, nonzero coeffs
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class Model {
+ public:
+  /// Adds a variable; returns its index.
+  int add_variable(double lower, double upper, double objective, VarType type,
+                   std::string name = "");
+
+  /// Adds a binary (0/1 integer) variable; returns its index.
+  int add_binary(double objective, std::string name = "");
+
+  /// Adds a bounded integer variable; returns its index.
+  int add_integer(double lower, double upper, double objective,
+                  std::string name = "");
+
+  /// Adds the constraint `expr (sense) rhs`. The expression's constant is
+  /// folded into the right-hand side. Returns the constraint index.
+  int add_constraint(LinExpr expr, Sense sense, double rhs,
+                     std::string name = "");
+
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(variables_.size());
+  }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] int num_integer_variables() const;
+
+  [[nodiscard]] const VariableDef& variable(int v) const {
+    ADVBIST_REQUIRE(v >= 0 && v < num_variables(), "variable index");
+    return variables_[v];
+  }
+  [[nodiscard]] const ConstraintDef& constraint(int c) const {
+    ADVBIST_REQUIRE(c >= 0 && c < num_constraints(), "constraint index");
+    return constraints_[c];
+  }
+
+  /// Mutable bound access (used by branch & bound and presolve).
+  void set_bounds(int v, double lower, double upper);
+  void set_objective(int v, double objective);
+
+  [[nodiscard]] const std::vector<VariableDef>& variables() const {
+    return variables_;
+  }
+  [[nodiscard]] const std::vector<ConstraintDef>& constraints() const {
+    return constraints_;
+  }
+
+  /// Evaluates the objective at a point (no feasibility check).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// Returns the largest violation of any constraint or bound at `x`
+  /// (0 means feasible). Integrality is checked only if `check_integrality`.
+  [[nodiscard]] double max_violation(const std::vector<double>& x,
+                                     bool check_integrality = false) const;
+
+  /// True if every objective coefficient is integral (enables integral
+  /// bound rounding in branch & bound).
+  [[nodiscard]] bool objective_is_integral() const;
+
+ private:
+  std::vector<VariableDef> variables_;
+  std::vector<ConstraintDef> constraints_;
+};
+
+}  // namespace advbist::lp

@@ -1,0 +1,490 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace advbist::lp {
+
+namespace {
+constexpr double kInf = kInfinity;
+}
+
+SimplexSolver::SimplexSolver(const Model& model, Options options)
+    : opt_(options) {
+  n_ = model.num_variables();
+  m_ = model.num_constraints();
+  total_ = n_ + m_;
+
+  cols_.assign(n_, {});
+  lb_.assign(total_, 0.0);
+  ub_.assign(total_, 0.0);
+  cost_.assign(total_, 0.0);
+  rhs_.assign(m_, 0.0);
+
+  for (int v = 0; v < n_; ++v) {
+    const VariableDef& def = model.variable(v);
+    lb_[v] = def.lower;
+    ub_[v] = def.upper;
+    cost_[v] = def.objective;
+  }
+  for (int r = 0; r < m_; ++r) {
+    const ConstraintDef& c = model.constraint(r);
+    for (const Term& t : c.terms) cols_[t.var].push_back(Term{r, t.coeff});
+    rhs_[r] = c.rhs;
+    const int slack = n_ + r;
+    switch (c.sense) {
+      case Sense::kLessEqual:
+        lb_[slack] = 0.0;
+        ub_[slack] = kInf;
+        break;
+      case Sense::kGreaterEqual:
+        lb_[slack] = -kInf;
+        ub_[slack] = 0.0;
+        break;
+      case Sense::kEqual:
+        lb_[slack] = 0.0;
+        ub_[slack] = 0.0;
+        break;
+    }
+  }
+
+  basis_.assign(m_, -1);
+  vstat_.assign(total_, kAtLower);
+  x_.assign(total_, 0.0);
+  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+}
+
+void SimplexSolver::set_variable_bounds(int var, double lower, double upper) {
+  ADVBIST_REQUIRE(var >= 0 && var < n_, "structural variable index");
+  ADVBIST_REQUIRE(lower <= upper, "bounds crossed");
+  lb_[var] = lower;
+  ub_[var] = upper;
+  // A nonbasic variable must sit on one of its (possibly moved) bounds;
+  // phase 1 repairs any basic-variable violation at the next solve.
+  if (vstat_[var] == kAtLower)
+    x_[var] = lower;
+  else if (vstat_[var] == kAtUpper)
+    x_[var] = std::isfinite(upper) ? upper : lower;
+}
+
+void SimplexSolver::invalidate_basis() { has_basis_ = false; }
+
+void SimplexSolver::cold_start() {
+  for (int v = 0; v < n_; ++v) {
+    if (std::isfinite(lb_[v])) {
+      vstat_[v] = kAtLower;
+      x_[v] = lb_[v];
+    } else if (std::isfinite(ub_[v])) {
+      vstat_[v] = kAtUpper;
+      x_[v] = ub_[v];
+    } else {
+      vstat_[v] = kAtLower;  // free variable pinned at 0
+      x_[v] = 0.0;
+    }
+  }
+  for (int r = 0; r < m_; ++r) {
+    basis_[r] = n_ + r;
+    vstat_[n_ + r] = kBasic;
+  }
+  std::fill(binv_.begin(), binv_.end(), 0.0);
+  for (int r = 0; r < m_; ++r) binv_[static_cast<std::size_t>(r) * m_ + r] = 1.0;
+  pivots_since_refactor_ = 0;
+  has_basis_ = true;
+}
+
+void SimplexSolver::compute_basic_values() {
+  // residual = rhs - A_N x_N, then x_B = B^{-1} residual.
+  std::vector<double> residual(rhs_);
+  for (int v = 0; v < n_; ++v) {
+    if (vstat_[v] == kBasic || x_[v] == 0.0) continue;
+    for (const Term& t : cols_[v]) residual[t.var] -= t.coeff * x_[v];
+  }
+  for (int r = 0; r < m_; ++r) {
+    const int slack = n_ + r;
+    if (vstat_[slack] != kBasic && x_[slack] != 0.0)
+      residual[r] -= x_[slack];
+  }
+  for (int i = 0; i < m_; ++i) {
+    const double* row = binv_.data() + static_cast<std::size_t>(i) * m_;
+    double acc = 0.0;
+    for (int r = 0; r < m_; ++r) acc += row[r] * residual[r];
+    x_[basis_[i]] = acc;
+  }
+}
+
+bool SimplexSolver::refactorize() {
+  // Gauss-Jordan on [B | I] -> [I | B^{-1}] with partial pivoting.
+  const std::size_t mm = static_cast<std::size_t>(m_);
+  std::vector<double> work(mm * mm, 0.0);  // B, row-major
+  for (int k = 0; k < m_; ++k) {
+    const int col = basis_[k];
+    if (col < n_) {
+      for (const Term& t : cols_[col]) work[static_cast<std::size_t>(t.var) * mm + k] = t.coeff;
+    } else {
+      work[static_cast<std::size_t>(col - n_) * mm + k] = 1.0;
+    }
+  }
+  std::vector<double>& inv = binv_;
+  std::fill(inv.begin(), inv.end(), 0.0);
+  for (int r = 0; r < m_; ++r) inv[static_cast<std::size_t>(r) * mm + r] = 1.0;
+
+  for (int c = 0; c < m_; ++c) {
+    int prow = -1;
+    double best = opt_.pivot_tol;
+    for (int r = c; r < m_; ++r) {
+      const double v = std::abs(work[static_cast<std::size_t>(r) * mm + c]);
+      if (v > best) {
+        best = v;
+        prow = r;
+      }
+    }
+    if (prow < 0) return false;  // singular basis
+    if (prow != c) {
+      // Row swaps are premultiplications absorbed into the accumulated
+      // inverse; the basis (column) order is unaffected.
+      for (int j = 0; j < m_; ++j) {
+        std::swap(work[static_cast<std::size_t>(prow) * mm + j],
+                  work[static_cast<std::size_t>(c) * mm + j]);
+        std::swap(inv[static_cast<std::size_t>(prow) * mm + j],
+                  inv[static_cast<std::size_t>(c) * mm + j]);
+      }
+    }
+    const double piv = work[static_cast<std::size_t>(c) * mm + c];
+    const double inv_piv = 1.0 / piv;
+    for (int j = 0; j < m_; ++j) {
+      work[static_cast<std::size_t>(c) * mm + j] *= inv_piv;
+      inv[static_cast<std::size_t>(c) * mm + j] *= inv_piv;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (r == c) continue;
+      const double f = work[static_cast<std::size_t>(r) * mm + c];
+      if (f == 0.0) continue;
+      for (int j = 0; j < m_; ++j) {
+        work[static_cast<std::size_t>(r) * mm + j] -=
+            f * work[static_cast<std::size_t>(c) * mm + j];
+        inv[static_cast<std::size_t>(r) * mm + j] -=
+            f * inv[static_cast<std::size_t>(c) * mm + j];
+      }
+    }
+  }
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void SimplexSolver::ftran(int col, std::vector<double>& w) const {
+  w.assign(m_, 0.0);
+  const std::size_t mm = static_cast<std::size_t>(m_);
+  if (col < n_) {
+    for (const Term& t : cols_[col]) {
+      const double a = t.coeff;
+      const int r = t.var;
+      for (int i = 0; i < m_; ++i) w[i] += a * binv_[static_cast<std::size_t>(i) * mm + r];
+    }
+  } else {
+    const int r = col - n_;
+    for (int i = 0; i < m_; ++i) w[i] = binv_[static_cast<std::size_t>(i) * mm + r];
+  }
+}
+
+void SimplexSolver::compute_duals(const std::vector<double>& cb,
+                                  std::vector<double>& y) const {
+  y.assign(m_, 0.0);
+  const std::size_t mm = static_cast<std::size_t>(m_);
+  for (int i = 0; i < m_; ++i) {
+    const double c = cb[i];
+    if (c == 0.0) continue;
+    const double* row = binv_.data() + static_cast<std::size_t>(i) * mm;
+    for (int j = 0; j < m_; ++j) y[j] += c * row[j];
+  }
+}
+
+double SimplexSolver::reduced_cost(int col, const std::vector<double>& y,
+                                   const std::vector<double>& cost) const {
+  double d = cost[col];
+  if (col < n_) {
+    for (const Term& t : cols_[col]) d -= y[t.var] * t.coeff;
+  } else {
+    d -= y[col - n_];
+  }
+  return d;
+}
+
+double SimplexSolver::infeasibility() const {
+  double total = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    const int col = basis_[i];
+    if (x_[col] < lb_[col]) total += lb_[col] - x_[col];
+    if (x_[col] > ub_[col]) total += x_[col] - ub_[col];
+  }
+  return total;
+}
+
+int SimplexSolver::iterate(bool phase1, bool bland) {
+  // --- cost vector for this phase ---
+  std::vector<double> phase_cost;
+  const std::vector<double>* cost = &cost_;
+  if (phase1) {
+    phase_cost.assign(total_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int col = basis_[i];
+      if (x_[col] < lb_[col] - opt_.feas_tol)
+        phase_cost[col] = -1.0;
+      else if (x_[col] > ub_[col] + opt_.feas_tol)
+        phase_cost[col] = 1.0;
+    }
+    cost = &phase_cost;
+  }
+
+  // --- pricing ---
+  std::vector<double> cb(m_);
+  for (int i = 0; i < m_; ++i) cb[i] = (*cost)[basis_[i]];
+  std::vector<double> y;
+  compute_duals(cb, y);
+
+  int entering = -1;
+  int dir = +1;  // +1: increase from lower, -1: decrease from upper
+  double best_score = opt_.opt_tol;
+  for (int j = 0; j < total_; ++j) {
+    if (vstat_[j] == kBasic) continue;
+    if (lb_[j] == ub_[j]) continue;  // fixed
+    const double d = reduced_cost(j, y, *cost);
+    double score = 0.0;
+    int cand_dir = 0;
+    if (vstat_[j] == kAtLower && d < -opt_.opt_tol) {
+      score = -d;
+      cand_dir = +1;
+    } else if (vstat_[j] == kAtUpper && d > opt_.opt_tol) {
+      score = d;
+      cand_dir = -1;
+    }
+    if (cand_dir == 0) continue;
+    if (bland) {  // first eligible index
+      entering = j;
+      dir = cand_dir;
+      break;
+    }
+    if (score > best_score) {
+      best_score = score;
+      entering = j;
+      dir = cand_dir;
+    }
+  }
+  if (entering < 0) return 1;  // phase optimal
+
+  // --- ratio test ---
+  std::vector<double> w;
+  ftran(entering, w);
+
+  double t_max = ub_[entering] - lb_[entering];  // bound flip distance
+  int leaving_row = -1;
+  Status leaving_status = kAtLower;
+
+  for (int i = 0; i < m_; ++i) {
+    // Effective movement of basic var i per unit of entering movement:
+    // x_Bi changes by -dir * w[i] * t.
+    const double delta = -dir * w[i];
+    if (std::abs(delta) <= opt_.pivot_tol) continue;
+    const int col = basis_[i];
+    const double xi = x_[col];
+    double limit = kInf;
+    Status st = kAtLower;
+    if (delta < 0.0) {  // x_Bi decreasing
+      if (phase1 && xi > ub_[col] + opt_.feas_tol) {
+        limit = (xi - ub_[col]) / (-delta);
+        st = kAtUpper;
+      } else if (xi >= lb_[col] - opt_.feas_tol) {
+        if (std::isfinite(lb_[col])) {
+          limit = (xi - lb_[col]) / (-delta);
+          st = kAtLower;
+        }
+      }
+      // else: already below lower and sinking — linear in phase-1 cost,
+      // no breakpoint.
+    } else {  // x_Bi increasing
+      if (phase1 && xi < lb_[col] - opt_.feas_tol) {
+        limit = (lb_[col] - xi) / delta;
+        st = kAtLower;
+      } else if (xi <= ub_[col] + opt_.feas_tol) {
+        if (std::isfinite(ub_[col])) {
+          limit = (ub_[col] - xi) / delta;
+          st = kAtUpper;
+        }
+      }
+    }
+    if (limit < -opt_.feas_tol) limit = 0.0;
+    limit = std::max(limit, 0.0);
+    const bool better =
+        limit < t_max - 1e-12 ||
+        (leaving_row >= 0 && limit < t_max + 1e-12 &&
+         (bland ? basis_[i] < basis_[leaving_row]
+                : std::abs(w[i]) > std::abs(w[leaving_row])));
+    if (better) {
+      t_max = limit;
+      leaving_row = i;
+      leaving_status = st;
+    }
+  }
+
+  if (!std::isfinite(t_max)) {
+    if (phase1) return 3;  // numerical trouble: infeasibility is bounded below
+    return 2;              // unbounded LP
+  }
+
+  if (t_max <= 1e-12)
+    ++degenerate_run_;
+  else
+    degenerate_run_ = 0;
+
+  pivot(entering, leaving_row, t_max, dir, w, leaving_status);
+  return 0;
+}
+
+void SimplexSolver::pivot(int entering, int leaving_row, double t,
+                          int entering_dir, const std::vector<double>& w,
+                          Status leaving_status) {
+  // Move the entering variable and update basic values.
+  x_[entering] += entering_dir * t;
+  if (t > 0.0) {
+    for (int i = 0; i < m_; ++i) {
+      if (w[i] == 0.0) continue;
+      x_[basis_[i]] -= entering_dir * t * w[i];
+    }
+  }
+
+  if (leaving_row < 0) {
+    // Bound flip: entering stays nonbasic at its opposite bound.
+    vstat_[entering] = (entering_dir > 0) ? kAtUpper : kAtLower;
+    x_[entering] = (entering_dir > 0) ? ub_[entering] : lb_[entering];
+    ++iterations_;
+    return;
+  }
+
+  const int leaving = basis_[leaving_row];
+  // Snap the leaving variable exactly onto its bound to stop drift.
+  x_[leaving] = (leaving_status == kAtLower) ? lb_[leaving] : ub_[leaving];
+  vstat_[leaving] = (leaving_status == kAtLower) ? kAtLower : kAtUpper;
+
+  basis_[leaving_row] = entering;
+  vstat_[entering] = kBasic;
+
+  // Update the explicit inverse: row ops making column `entering` the
+  // leaving_row-th unit vector in B^{-1} A.
+  const double alpha = w[leaving_row];
+  ADVBIST_ENSURE(std::abs(alpha) > opt_.pivot_tol, "pivot element too small");
+  const std::size_t mm = static_cast<std::size_t>(m_);
+  double* prow = binv_.data() + static_cast<std::size_t>(leaving_row) * mm;
+  const double inv_alpha = 1.0 / alpha;
+  for (int j = 0; j < m_; ++j) prow[j] *= inv_alpha;
+  for (int i = 0; i < m_; ++i) {
+    if (i == leaving_row) continue;
+    const double f = w[i];
+    if (f == 0.0) continue;
+    double* row = binv_.data() + static_cast<std::size_t>(i) * mm;
+    for (int j = 0; j < m_; ++j) row[j] -= f * prow[j];
+  }
+  ++pivots_since_refactor_;
+  ++iterations_;
+}
+
+LpResult SimplexSolver::solve() {
+  LpResult result;
+  if (!has_basis_) cold_start();
+  if (m_ > 0 && pivots_since_refactor_ > 0) {
+    if (!refactorize()) cold_start();
+  }
+  compute_basic_values();
+
+  iterations_ = 0;
+  degenerate_run_ = 0;
+  constexpr int kBlandTrigger = 60;
+  int cold_restarts = 0;
+
+  // ---- phase 1: drive basic-variable bound violations to zero ----
+  while (infeasibility() > opt_.feas_tol) {
+    if (iterations_ >= opt_.max_iterations) {
+      result.status = LpStatus::kIterLimit;
+      result.iterations = iterations_;
+      return result;
+    }
+    if (pivots_since_refactor_ >= opt_.refactor_every) {
+      if (!refactorize()) {
+        cold_start();
+      }
+      compute_basic_values();
+    }
+    const bool bland = degenerate_run_ > kBlandTrigger;
+    const int rc = iterate(/*phase1=*/true, bland);
+    if (rc == 1) {
+      if (infeasibility() > opt_.feas_tol * (1.0 + std::abs(infeasibility()))) {
+        result.status = LpStatus::kInfeasible;
+        result.iterations = iterations_;
+        return result;
+      }
+      break;
+    }
+    if (rc == 3) {
+      // Numerical trouble: refactorize; if it persists, cold restart once.
+      if (!refactorize() || ++cold_restarts > 1) {
+        cold_start();
+        compute_basic_values();
+      } else {
+        compute_basic_values();
+      }
+    }
+  }
+
+  // ---- phase 2: optimize the true objective ----
+  for (;;) {
+    if (iterations_ >= opt_.max_iterations) {
+      result.status = LpStatus::kIterLimit;
+      result.iterations = iterations_;
+      return result;
+    }
+    if (pivots_since_refactor_ >= opt_.refactor_every) {
+      if (!refactorize()) {
+        cold_start();
+        compute_basic_values();
+        continue;
+      }
+      compute_basic_values();
+    }
+    // Phase 2 must stay feasible; a drift back to infeasibility (numerics)
+    // sends us through a phase-1 repair.
+    if (infeasibility() > opt_.feas_tol * 10.0) {
+      const int rc1 = iterate(/*phase1=*/true, degenerate_run_ > kBlandTrigger);
+      if (rc1 == 1 && infeasibility() > opt_.feas_tol * 10.0) {
+        result.status = LpStatus::kInfeasible;
+        result.iterations = iterations_;
+        return result;
+      }
+      continue;
+    }
+    const bool bland = degenerate_run_ > kBlandTrigger;
+    const int rc = iterate(/*phase1=*/false, bland);
+    if (rc == 0) continue;
+    if (rc == 2) {
+      result.status = LpStatus::kUnbounded;
+      result.iterations = iterations_;
+      return result;
+    }
+    if (rc == 3) {
+      if (!refactorize()) cold_start();
+      compute_basic_values();
+      continue;
+    }
+    break;  // rc == 1: optimal
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.iterations = iterations_;
+  result.x.assign(x_.begin(), x_.begin() + n_);
+  double obj = 0.0;
+  for (int v = 0; v < n_; ++v) obj += cost_[v] * x_[v];
+  result.objective = obj;
+  return result;
+}
+
+}  // namespace advbist::lp

@@ -1,0 +1,118 @@
+// Bounded-variable primal simplex with an explicit dense basis inverse.
+//
+// Solves   min c'x   s.t.  row_lhs (sense) rhs,  l <= x <= u
+// over the continuous relaxation of a lp::Model (integrality is ignored;
+// branch & bound lives in src/ilp).
+//
+// Design notes:
+//  * Each constraint row gets a logical (slack) column, so the initial
+//    all-slack basis is always available and phase 1 starts from any basis.
+//  * Phase 1 is the "composite objective" method: it minimizes the sum of
+//    bound infeasibilities of basic variables directly, which allows warm
+//    starting from an arbitrary basis after branch & bound tightens variable
+//    bounds — the dominant use of this class.
+//  * Anti-cycling: Dantzig pricing switches to Bland's rule after a run of
+//    degenerate pivots.
+//  * The dense basis inverse is refactorized periodically (Gauss-Jordan on
+//    the basis columns) to cap numerical drift.
+//
+// Problem sizes in this project are a few thousand rows/columns, well within
+// the dense-inverse regime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace advbist::lp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0.0;
+  /// Values of the model's structural variables (empty unless kOptimal).
+  std::vector<double> x;
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  double feas_tol = 1e-7;   ///< bound/row feasibility tolerance
+  double opt_tol = 1e-7;    ///< reduced-cost optimality tolerance
+  double pivot_tol = 1e-9;  ///< minimum acceptable pivot magnitude
+  int max_iterations = 500000;
+  int refactor_every = 150;  ///< pivots between basis refactorizations
+};
+
+class SimplexSolver {
+ public:
+  using Options = SimplexOptions;
+
+  explicit SimplexSolver(const Model& model, Options options = Options());
+
+  SimplexSolver(const SimplexSolver&) = delete;
+  SimplexSolver& operator=(const SimplexSolver&) = delete;
+
+  /// Updates the bounds of structural variable `var`. Keeps the current
+  /// basis: the next solve() warm-starts from it (phase 1 repairs any
+  /// resulting infeasibility).
+  void set_variable_bounds(int var, double lower, double upper);
+
+  [[nodiscard]] double variable_lower(int var) const { return lb_[var]; }
+  [[nodiscard]] double variable_upper(int var) const { return ub_[var]; }
+
+  /// Discards the warm-start basis; the next solve() cold-starts from the
+  /// all-slack basis.
+  void invalidate_basis();
+
+  /// Solves the LP relaxation (minimization).
+  LpResult solve();
+
+ private:
+  enum Status : std::int8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
+
+  void cold_start();
+  void compute_basic_values();
+  bool refactorize();  // rebuilds binv_ from basis_; false if singular
+  void ftran(int col, std::vector<double>& w) const;
+  /// Accumulates y = cB' * B^{-1} where cb[i] is the cost of the variable
+  /// basic in row i (only rows with nonzero cb contribute).
+  void compute_duals(const std::vector<double>& cb,
+                     std::vector<double>& y) const;
+  [[nodiscard]] double reduced_cost(int col, const std::vector<double>& y,
+                                    const std::vector<double>& cost) const;
+  [[nodiscard]] double column_cost(int col) const { return cost_[col]; }
+  [[nodiscard]] double infeasibility() const;
+
+  /// One pricing+pivot step. `phase1` selects the composite objective.
+  /// Returns: 0 = pivoted, 1 = no improving column (optimal for the phase),
+  /// 2 = unbounded (phase 2 only), 3 = numerical trouble (refactor & retry).
+  int iterate(bool phase1, bool bland);
+
+  void pivot(int entering, int leaving_row, double t, int entering_dir,
+             const std::vector<double>& w, Status leaving_status);
+
+  // --- problem data (immutable except bounds) ---
+  int n_ = 0;      // structural variables
+  int m_ = 0;      // rows
+  int total_ = 0;  // n_ + m_
+  std::vector<std::vector<Term>> cols_;  // structural columns: (row, coeff)
+  std::vector<double> lb_, ub_;          // size total_
+  std::vector<double> cost_;             // size total_ (phase-2 costs)
+  std::vector<double> rhs_;              // size m_
+
+  // --- simplex state ---
+  std::vector<int> basis_;          // size m_: column basic in each row
+  std::vector<std::int8_t> vstat_;  // size total_
+  std::vector<double> x_;           // size total_
+  std::vector<double> binv_;        // m_*m_ row-major
+  bool has_basis_ = false;
+  int pivots_since_refactor_ = 0;
+  int iterations_ = 0;
+  int degenerate_run_ = 0;
+
+  Options opt_;
+};
+
+}  // namespace advbist::lp

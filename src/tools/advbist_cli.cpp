@@ -1,0 +1,126 @@
+// advbist — command-line front end.
+//
+//   advbist synth   <circuit|file.dfg> [--k N] [--time S] [--verilog out.v]
+//   advbist sweep   <circuit|file.dfg> [--time S]        # all k, Table-2 row
+//   advbist compare <circuit|file.dfg> [--time S]        # vs the heuristics
+//   advbist print   <circuit>                            # dump .dfg text
+//
+// <circuit> is a built-in benchmark name (fig1, tseng, paulin, fir6, iir3,
+// dct4, wavelet6); anything containing '.' is read as a .dfg text file.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "bist/verilog.hpp"
+#include "core/synthesizer.hpp"
+#include "hls/benchmarks.hpp"
+#include "hls/dfg_parser.hpp"
+
+using namespace advbist;
+
+namespace {
+
+hls::ParsedDesign load_design(const std::string& spec) {
+  if (spec.find('.') == std::string::npos) {
+    const hls::Benchmark b = hls::benchmark_by_name(spec);
+    return hls::ParsedDesign{b.dfg, b.modules};
+  }
+  std::ifstream in(spec);
+  if (!in) throw std::invalid_argument("cannot open " + spec);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return hls::parse_dfg_text(text.str());
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: advbist <synth|sweep|compare|print> "
+               "<circuit|file.dfg> [--k N] [--time S] [--verilog out.v]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string spec = argv[2];
+  int k = 1;
+  double time_limit = 20.0;
+  std::string verilog_path;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--k") == 0) k = std::atoi(argv[i + 1]);
+    else if (std::strcmp(argv[i], "--time") == 0) time_limit = std::atof(argv[i + 1]);
+    else if (std::strcmp(argv[i], "--verilog") == 0) verilog_path = argv[i + 1];
+    else return usage();
+  }
+
+  try {
+    const hls::ParsedDesign design = load_design(spec);
+    if (cmd == "print") {
+      std::fputs(hls::to_dfg_text(design.dfg, design.modules).c_str(), stdout);
+      return 0;
+    }
+
+    core::SynthesizerOptions options;
+    options.solver.time_limit_seconds = time_limit;
+    const core::Synthesizer synth(design.dfg, design.modules, options);
+    const core::SynthesisResult ref = synth.synthesize_reference();
+    std::printf("%s: %d registers, %d modules, reference area %d%s\n",
+                design.dfg.name().c_str(), ref.design.area.num_registers,
+                design.modules.num_modules(), ref.design.area.total(),
+                ref.hit_limit ? " (budget hit)" : "");
+
+    auto report = [&](const core::SynthesisResult& r, int sessions) {
+      std::printf(
+          "k=%d: area %d (+%.1f%%) T=%d S=%d B=%d C=%d mux=%d %s (%s, %lld "
+          "nodes)\n",
+          sessions, r.design.area.total(),
+          bist::overhead_percent(r.design.area, ref.design.area),
+          r.design.area.tpgs, r.design.area.srs, r.design.area.bilbos,
+          r.design.area.cbilbos, r.design.area.mux_inputs,
+          r.hit_limit ? "*" : "", ilp::to_string(r.status).c_str(), r.nodes);
+    };
+
+    if (cmd == "synth") {
+      const core::SynthesisResult r = synth.synthesize_bist(k);
+      report(r, k);
+      if (!verilog_path.empty()) {
+        bist::VerilogOptions vo;
+        vo.module_name = design.dfg.name() + "_bist";
+        std::ofstream out(verilog_path);
+        out << bist::export_verilog(design.dfg, design.modules,
+                                    r.design.datapath, r.design.bist, vo);
+        std::printf("wrote %s\n", verilog_path.c_str());
+      }
+      return 0;
+    }
+    if (cmd == "sweep") {
+      for (int s = 1; s <= design.modules.num_modules(); ++s)
+        report(synth.synthesize_bist(s), s);
+      return 0;
+    }
+    if (cmd == "compare") {
+      const int sessions = design.modules.num_modules();
+      report(synth.synthesize_bist(sessions), sessions);
+      for (const char* method : {"ADVAN", "RALLOC", "BITS"}) {
+        const auto r = baselines::run_baseline(method, design.dfg,
+                                               design.modules, sessions,
+                                               bist::CostModel::paper_8bit());
+        std::printf("%-7s area %d (+%.1f%%) T=%d S=%d B=%d C=%d mux=%d\n",
+                    method, r.area.total(),
+                    bist::overhead_percent(r.area, ref.design.area),
+                    r.area.tpgs, r.area.srs, r.area.bilbos, r.area.cbilbos,
+                    r.area.mux_inputs);
+      }
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "advbist: %s\n", e.what());
+    return 1;
+  }
+}

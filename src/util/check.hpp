@@ -1,0 +1,43 @@
+// Contract checking helpers.
+//
+// ADVBIST_REQUIRE guards public-API preconditions (throws std::invalid_argument),
+// ADVBIST_ENSURE guards internal invariants (throws std::logic_error). Both stay
+// active in release builds: synthesis results feed silicon decisions, so a wrong
+// answer is strictly worse than an exception.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace advbist::util {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace advbist::util
+
+#define ADVBIST_REQUIRE(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::advbist::util::throw_precondition(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define ADVBIST_ENSURE(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::advbist::util::throw_invariant(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,56 @@
+// Deterministic xorshift128+ RNG for reproducible property tests and
+// workload generators. Not cryptographic.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace advbist::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to avoid correlated low-entropy states.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    state_[0] = next();
+    state_[1] = next();
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  std::uint64_t next_u64() {
+    std::uint64_t s1 = state_[0];
+    const std::uint64_t s0 = state_[1];
+    const std::uint64_t result = s0 + s1;
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi) {
+    ADVBIST_REQUIRE(lo <= hi, "empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_[2];
+};
+
+}  // namespace advbist::util

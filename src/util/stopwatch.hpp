@@ -1,0 +1,37 @@
+// Wall-clock stopwatch used for solver time limits and bench reporting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace advbist::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::int64_t milliseconds() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration the way the paper's Table 2 does: "4h 42m 0s",
+/// "1m 22s", "58s". Sub-second durations render as e.g. "0.42s".
+std::string format_duration(double seconds);
+
+}  // namespace advbist::util

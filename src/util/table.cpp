@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/stopwatch.hpp"
+
+namespace advbist::util {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    if (row.cells.size() > widths.size()) widths.resize(row.cells.size(), 0);
+    for (std::size_t i = 0; i < row.cells.size(); ++i)
+      widths[i] = std::max(widths[i], row.cells[i].size());
+  }
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  if (total >= 2) total -= 2;
+
+  std::ostringstream os;
+  bool first = true;
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      os << row.cells[i];
+      if (i + 1 < row.cells.size())
+        os << std::string(widths[i] - row.cells[i].size() + 2, ' ');
+    }
+    os << '\n';
+    if (first) {
+      os << std::string(total, '-') << '\n';
+      first = false;
+    }
+  }
+  return os.str();
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 1.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+    return buf;
+  }
+  auto total = static_cast<long long>(std::llround(seconds));
+  long long h = total / 3600;
+  long long m = (total % 3600) / 60;
+  long long s = total % 60;
+  std::ostringstream os;
+  if (h > 0) os << h << "h " << m << "m " << s << 's';
+  else if (m > 0) os << m << "m " << s << 's';
+  else os << s << 's';
+  return os.str();
+}
+
+}  // namespace advbist::util

@@ -1,0 +1,34 @@
+// Plain-text table rendering used by the bench harnesses to print
+// paper-style tables (Tables 1-3) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace advbist::util {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+/// The first added row is treated as the header and underlined.
+class TextTable {
+ public:
+  /// Adds a row; rows may have differing cell counts (short rows pad).
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line at the current position.
+  void add_separator();
+
+  /// Renders the table, two spaces between columns.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string format_fixed(double value, int digits);
+
+}  // namespace advbist::util

@@ -1,0 +1,125 @@
+// Baseline heuristics: every produced design must satisfy the BIST rules
+// (validated inside run_*) and exhibit the method-specific shapes the paper
+// reports (RALLOC avoids CBILBOs and may add registers; ADVAN has no
+// BILBOs/CBILBOs by construction; BITS concentrates duty).
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "hls/benchmarks.hpp"
+
+namespace advbist::baselines {
+namespace {
+
+const bist::CostModel kCost = bist::CostModel::paper_8bit();
+
+class BaselineCircuitTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(BaselineCircuitTest, ProducesValidDesignAtMaxSessions) {
+  const auto [method, circuit] = GetParam();
+  const hls::Benchmark b = hls::benchmark_by_name(circuit);
+  const BaselineResult r =
+      run_baseline(method, b.dfg, b.modules, b.modules.num_modules(), kCost);
+  // run_baseline validates internally; check the reported area is coherent.
+  EXPECT_GT(r.area.total(), 0);
+  EXPECT_EQ(r.area.num_registers, r.registers.num_registers());
+  EXPECT_GE(r.area.tpgs + r.area.bilbos + r.area.cbilbos, 1)
+      << "some register must generate patterns";
+  EXPECT_GE(r.area.srs + r.area.bilbos + r.area.cbilbos, 1)
+      << "some register must compact signatures";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsAllCircuits, BaselineCircuitTest,
+    ::testing::Combine(::testing::Values("RALLOC", "BITS", "ADVAN"),
+                       ::testing::Values("tseng", "paulin", "fir6", "iir3",
+                                         "dct4", "wavelet6")),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param);
+    });
+
+TEST(Ralloc, AvoidsCbilbos) {
+  for (const hls::Benchmark& b : hls::all_benchmarks()) {
+    const BaselineResult r =
+        run_ralloc(b.dfg, b.modules, b.modules.num_modules(), kCost);
+    EXPECT_EQ(r.area.cbilbos, 0) << b.dfg.name();
+  }
+}
+
+TEST(Ralloc, SelfAdjacencyConflictsMayAddRegisters) {
+  // The paper observes RALLOC opening an extra register on fir6, iir3 and
+  // wavelet6. Our reconstruction must show the same mechanism: extra
+  // conflicts can only increase the register count.
+  int total_extra = 0;
+  for (const hls::Benchmark& b : hls::all_benchmarks()) {
+    const BaselineResult r =
+        run_ralloc(b.dfg, b.modules, b.modules.num_modules(), kCost);
+    EXPECT_GE(r.extra_registers, 0) << b.dfg.name();
+    total_extra += r.extra_registers;
+  }
+  EXPECT_GT(total_extra, 0) << "self-adjacency avoidance never bound";
+}
+
+TEST(Advan, MostlySeparatesTpgAndSrDuty) {
+  // ADVAN separates SR registers from TPG duty (Table 3 shows B=C=0 because
+  // the real ADVAN co-designs the register allocation). Our reconstruction
+  // runs on a fixed left-edge allocation, so a port occasionally has no
+  // register source other than its module's SR; allow at most one CBILBO
+  // per circuit and require the shape to stay BILBO/CBILBO-light overall.
+  int bilbos = 0, cbilbos = 0;
+  for (const hls::Benchmark& b : hls::all_benchmarks()) {
+    const BaselineResult r =
+        run_advan(b.dfg, b.modules, b.modules.num_modules(), kCost);
+    EXPECT_LE(r.area.cbilbos, 1) << b.dfg.name();
+    bilbos += r.area.bilbos;
+    cbilbos += r.area.cbilbos;
+  }
+  EXPECT_LE(cbilbos, 2);
+  EXPECT_LE(bilbos + cbilbos, 6);
+}
+
+TEST(Advan, NoExtraRegisters) {
+  // ADVAN (like ADVBIST) never adds registers (paper Section 4.2).
+  for (const hls::Benchmark& b : hls::all_benchmarks()) {
+    const BaselineResult r =
+        run_advan(b.dfg, b.modules, b.modules.num_modules(), kCost);
+    EXPECT_EQ(r.extra_registers, 0) << b.dfg.name();
+  }
+}
+
+TEST(Bits, SharesTestRegisters) {
+  // BITS maximizes sharing: the number of distinct test registers should
+  // not exceed ADVAN's (which spreads duty more).
+  for (const hls::Benchmark& b : hls::all_benchmarks()) {
+    const int k = b.modules.num_modules();
+    const BaselineResult bits = run_bits(b.dfg, b.modules, k, kCost);
+    const int bits_test_regs =
+        bits.area.tpgs + bits.area.srs + bits.area.bilbos + bits.area.cbilbos;
+    EXPECT_GE(bits_test_regs, 1) << b.dfg.name();
+    EXPECT_LE(bits_test_regs, bits.registers.num_registers());
+  }
+}
+
+TEST(Baselines, UnknownMethodThrows) {
+  const hls::Benchmark b = hls::make_fig1();
+  EXPECT_THROW(run_baseline("MAGIC", b.dfg, b.modules, 1, kCost),
+               std::invalid_argument);
+}
+
+TEST(Baselines, BadSessionCountThrows) {
+  const hls::Benchmark b = hls::make_fig1();
+  EXPECT_THROW(run_ralloc(b.dfg, b.modules, 0, kCost), std::invalid_argument);
+  EXPECT_THROW(run_bits(b.dfg, b.modules, 5, kCost), std::invalid_argument);
+}
+
+TEST(Baselines, OneSessionAlsoFeasible) {
+  // k=1 is the tightest SR-sharing regime (all modules in one session).
+  for (const hls::Benchmark& b : hls::all_benchmarks()) {
+    EXPECT_NO_THROW(run_bits(b.dfg, b.modules, 1, kCost)) << b.dfg.name();
+    EXPECT_NO_THROW(run_advan(b.dfg, b.modules, 1, kCost)) << b.dfg.name();
+  }
+}
+
+}  // namespace
+}  // namespace advbist::baselines

@@ -1,0 +1,178 @@
+// BIST design semantics: register-type derivation (Section 2.2), the
+// validator's Eq. (6)-(13) rules, and area accounting.
+#include <gtest/gtest.h>
+
+#include "bist/bist_design.hpp"
+#include "hls/benchmarks.hpp"
+
+namespace advbist::bist {
+namespace {
+
+using hls::Datapath;
+using hls::RegisterAssignment;
+
+// Fig. 1 datapath under the paper's register assignment:
+// R0={0,4}, R1={1,3,6}, R2={2,5,7}; M0 = adder, M1 = multiplier.
+Datapath fig1_datapath() {
+  const hls::Benchmark b = hls::make_fig1();
+  return build_datapath(b.dfg, b.modules,
+                        RegisterAssignment(3, {0, 1, 2, 1, 0, 2, 1, 2}),
+                        identity_port_map(b.dfg));
+}
+
+// A valid 1-session assignment for fig1:
+//  adder (M0): ports fed by {R0,R1} / {R0,R1}; output drives R0, R2.
+//  mult  (M1): ports fed by {R0,R2} / {R1,R2}... (see datapath test).
+BistAssignment fig1_one_session() {
+  BistAssignment a;
+  a.k = 1;
+  a.modules.resize(2);
+  a.modules[0] = {0, 2, {0, 1}};  // SR = R2; TPGs R0 (port0), R1 (port1)
+  a.modules[1] = {0, 1, {0, 2}};  // SR = R1; TPGs R0, R2
+  return a;
+}
+
+TEST(Validate, AcceptsConsistentOneSession) {
+  EXPECT_NO_THROW(validate_bist_design(fig1_datapath(), fig1_one_session()));
+}
+
+TEST(Validate, RejectsUnconnectedSr) {
+  BistAssignment a = fig1_one_session();
+  a.modules[0].sr_reg = 1;  // R1 is not driven by the adder output
+  EXPECT_THROW(validate_bist_design(fig1_datapath(), a),
+               std::invalid_argument);
+}
+
+TEST(Validate, RejectsSharedSrInSameSession) {
+  BistAssignment a = fig1_one_session();
+  a.modules[0].sr_reg = 2;
+  a.modules[1].sr_reg = 2;  // mult output also drives R2 -> connected, but
+  EXPECT_THROW(validate_bist_design(fig1_datapath(), a),  // Eq. 8 violated
+               std::invalid_argument);
+}
+
+TEST(Validate, AcceptsSharedSrAcrossSessions) {
+  BistAssignment a = fig1_one_session();
+  a.k = 2;
+  a.modules[0] = {0, 2, {0, 1}};
+  a.modules[1] = {1, 2, {0, 2}};  // same SR register, different session
+  EXPECT_NO_THROW(validate_bist_design(fig1_datapath(), a));
+}
+
+TEST(Validate, RejectsUnconnectedTpg) {
+  BistAssignment a = fig1_one_session();
+  a.modules[0].tpg_reg = {2, 1};  // R2 does not feed adder port 0
+  EXPECT_THROW(validate_bist_design(fig1_datapath(), a),
+               std::invalid_argument);
+}
+
+TEST(Validate, RejectsTpgSharedBetweenPorts) {
+  BistAssignment a = fig1_one_session();
+  a.modules[0].tpg_reg = {0, 0};  // R0 feeds both adder ports (Eq. 13)
+  EXPECT_THROW(validate_bist_design(fig1_datapath(), a),
+               std::invalid_argument);
+}
+
+TEST(Validate, RejectsSessionOutOfRange) {
+  BistAssignment a = fig1_one_session();
+  a.modules[1].session = 1;  // k == 1
+  EXPECT_THROW(validate_bist_design(fig1_datapath(), a),
+               std::invalid_argument);
+}
+
+TEST(Validate, RejectsConstantTpgWithoutConstants) {
+  BistAssignment a = fig1_one_session();
+  a.modules[0].tpg_reg = {-1, 1};  // fig1 has no constants
+  EXPECT_THROW(validate_bist_design(fig1_datapath(), a),
+               std::invalid_argument);
+}
+
+TEST(RegisterTypes, TpgAndSrSameSessionIsCbilbo) {
+  BistAssignment a;
+  a.k = 1;
+  a.modules.resize(1);
+  a.modules[0] = {0, /*sr=*/0, /*tpg=*/{0, 1}};  // R0 is SR and TPG in p=0
+  const auto types = a.register_types(2);
+  EXPECT_EQ(types[0], TestRegisterType::kCbilbo);
+  EXPECT_EQ(types[1], TestRegisterType::kTpg);
+}
+
+TEST(RegisterTypes, TpgAndSrDifferentSessionsIsBilbo) {
+  BistAssignment a;
+  a.k = 2;
+  a.modules.resize(2);
+  a.modules[0] = {0, /*sr=*/0, {1, 2}};
+  a.modules[1] = {1, /*sr=*/2, {0, 1}};  // R0: SR in p0, TPG in p1
+  const auto types = a.register_types(3);
+  EXPECT_EQ(types[0], TestRegisterType::kBilbo);
+  EXPECT_EQ(types[1], TestRegisterType::kTpg);   // TPG in both sessions
+  EXPECT_EQ(types[2], TestRegisterType::kBilbo);  // TPG p0 + SR p1
+}
+
+TEST(RegisterTypes, UntouchedRegistersStayPlain) {
+  BistAssignment a;
+  a.k = 1;
+  a.modules.resize(1);
+  a.modules[0] = {0, 1, {2, 3}};
+  const auto types = a.register_types(5);
+  EXPECT_EQ(types[0], TestRegisterType::kRegister);
+  EXPECT_EQ(types[4], TestRegisterType::kRegister);
+}
+
+TEST(Area, ReferenceCountsPlainRegistersAndMuxes) {
+  const Datapath dp = fig1_datapath();
+  const AreaBreakdown area =
+      compute_reference_area(dp, CostModel::paper_8bit());
+  EXPECT_EQ(area.num_registers, 3);
+  EXPECT_EQ(area.register_transistors, 3 * 208);
+  EXPECT_EQ(area.tpgs + area.srs + area.bilbos + area.cbilbos, 0);
+  EXPECT_GT(area.mux_inputs, 0);
+  EXPECT_EQ(area.total(),
+            area.register_transistors + area.mux_transistors);
+}
+
+TEST(Area, BistAreaReflectsReconfiguration) {
+  const Datapath dp = fig1_datapath();
+  const CostModel cm = CostModel::paper_8bit();
+  const BistAssignment a = fig1_one_session();
+  const AreaBreakdown area = compute_bist_area(dp, a, cm);
+  // R0 is TPG for both modules; R1 TPG (adder) + SR (mult) same session ->
+  // CBILBO; R2 TPG (mult port1) + SR (adder) same session -> CBILBO.
+  EXPECT_EQ(area.tpgs, 1);
+  EXPECT_EQ(area.cbilbos, 2);
+  EXPECT_EQ(area.register_transistors, 256 + 596 + 596);
+  EXPECT_GT(area.total(), compute_reference_area(dp, cm).total());
+}
+
+TEST(Area, OverheadPercent) {
+  AreaBreakdown ref, bist;
+  ref.register_transistors = 1600;
+  bist.register_transistors = 2152;
+  EXPECT_NEAR(overhead_percent(bist, ref), 34.5, 0.1);
+  EXPECT_THROW(overhead_percent(bist, AreaBreakdown{}),
+               std::invalid_argument);
+}
+
+TEST(Area, ConstantTpgChargedAtTpgCost) {
+  const hls::Benchmark b = hls::make_paulin();
+  const Datapath dp = build_datapath(b.dfg, b.modules,
+                                     hls::left_edge_allocate(b.dfg),
+                                     identity_port_map(b.dfg));
+  BistAssignment a;
+  a.k = 1;
+  a.modules.resize(4);
+  // Only structural fields matter for the counting under test here.
+  for (int m = 0; m < 4; ++m) {
+    a.modules[m].session = 0;
+    a.modules[m].sr_reg = 0;
+    a.modules[m].tpg_reg.assign(2, 0);
+  }
+  a.modules[0].tpg_reg[1] = -1;  // dedicated constant TPG
+  EXPECT_EQ(a.num_constant_tpgs(), 1);
+  const AreaBreakdown area = compute_bist_area(dp, a, CostModel::paper_8bit());
+  EXPECT_EQ(area.constant_tpgs, 1);
+  EXPECT_EQ(area.constant_tpg_transistors, 256);
+}
+
+}  // namespace
+}  // namespace advbist::bist

@@ -1,0 +1,94 @@
+// LFSR/MISR substrate: maximal-length periods, lockup avoidance, signature
+// sensitivity — the circuit behaviour behind the TPG/SR/BILBO/CBILBO cost
+// entries of Table 1.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bist/lfsr.hpp"
+
+namespace advbist::bist {
+namespace {
+
+class LfsrWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LfsrWidthTest, MaximalLengthPeriod) {
+  const int width = GetParam();
+  Lfsr lfsr(width, 0);
+  // XNOR-form maximal LFSR cycles through 2^n - 1 states (all but the
+  // all-ones lockup).
+  EXPECT_EQ(lfsr.period(), (1ull << width) - 1);
+}
+
+TEST_P(LfsrWidthTest, VisitsEveryNonLockupState) {
+  const int width = GetParam();
+  if (width > 10) GTEST_SKIP() << "state sweep too large";
+  Lfsr lfsr(width, 0);
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t i = 0; i < (1ull << width) - 1; ++i)
+    seen.insert(lfsr.step());
+  EXPECT_EQ(seen.size(), (1ull << width) - 1);
+  EXPECT_EQ(seen.count((1u << width) - 1), 0u) << "lockup state visited";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrWidthTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 16),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(Lfsr, AllOnesSeedRejected) {
+  EXPECT_THROW(Lfsr(8, 0xFF), std::invalid_argument);
+  EXPECT_NO_THROW(Lfsr(8, 0xFE));
+}
+
+TEST(Lfsr, BadWidthRejected) {
+  EXPECT_THROW(Lfsr(1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(17), std::invalid_argument);
+  EXPECT_THROW(primitive_taps(0), std::invalid_argument);
+}
+
+TEST(Lfsr, DeterministicSequence) {
+  Lfsr a(8, 3), b(8, 3);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.step(), b.step());
+}
+
+TEST(Misr, FaultFreeStreamsAgree) {
+  Misr a(8), b(8);
+  for (std::uint32_t v : {1u, 2u, 3u, 250u, 17u}) {
+    a.absorb(v);
+    b.absorb(v);
+  }
+  EXPECT_EQ(a.signature(), b.signature());
+}
+
+TEST(Misr, SingleBitErrorChangesSignature) {
+  // A single-bit difference anywhere in the stream must never alias
+  // (linearity: the error syndrome is a nonzero LFSR state).
+  for (int pos = 0; pos < 20; ++pos) {
+    Misr good(8), bad(8);
+    for (int i = 0; i < 20; ++i) {
+      const std::uint32_t v = static_cast<std::uint32_t>(37 * i + 5) & 0xFF;
+      good.absorb(v);
+      bad.absorb(i == pos ? (v ^ 0x10) : v);
+    }
+    EXPECT_NE(good.signature(), bad.signature()) << "error at " << pos;
+  }
+}
+
+TEST(Misr, AliasingProbabilityBound) {
+  EXPECT_DOUBLE_EQ(Misr(8).aliasing_probability(), 1.0 / 256);
+  EXPECT_DOUBLE_EQ(Misr(16).aliasing_probability(), 1.0 / 65536);
+}
+
+TEST(Misr, OrderSensitive) {
+  Misr a(8), b(8);
+  a.absorb(1);
+  a.absorb(2);
+  b.absorb(2);
+  b.absorb(1);
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+}  // namespace
+}  // namespace advbist::bist

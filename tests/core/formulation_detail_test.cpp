@@ -1,0 +1,142 @@
+// White-box checks of the ILP formulation: the constraint families of
+// Sections 3.1-3.4 must appear with exactly the multiplicities the paper's
+// equations imply (constraints carry their equation names).
+#include <gtest/gtest.h>
+
+#include "core/formulation.hpp"
+#include "hls/benchmarks.hpp"
+
+namespace advbist::core {
+namespace {
+
+int count_rows_with_prefix(const lp::Model& m, const std::string& prefix) {
+  int n = 0;
+  for (int c = 0; c < m.num_constraints(); ++c)
+    if (m.constraint(c).name.rfind(prefix, 0) == 0) ++n;
+  return n;
+}
+
+int count_vars_with_prefix(const lp::Model& m, const std::string& prefix) {
+  int n = 0;
+  for (int v = 0; v < m.num_variables(); ++v)
+    if (m.variable(v).name.rfind(prefix, 0) == 0) ++n;
+  return n;
+}
+
+class FormulationDetail : public ::testing::Test {
+ protected:
+  FormulationDetail() : b_(hls::make_fig1()) {
+    FormulationOptions fo;
+    fo.k = 2;
+    fo.symmetry_reduction = false;
+    f_ = std::make_unique<Formulation>(b_.dfg, b_.modules, fo);
+  }
+  hls::Benchmark b_;
+  std::unique_ptr<Formulation> f_;
+};
+
+TEST_F(FormulationDetail, AssignmentRowsOnePerVariable) {
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "assign_v"), 8);
+}
+
+TEST_F(FormulationDetail, Eq7OneRowPerModule) {
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq7_"), 2);
+}
+
+TEST_F(FormulationDetail, Eq8OneRowPerRegisterSession) {
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq8_"), 3 * 2);
+}
+
+TEST_F(FormulationDetail, Eq6OneRowPerModuleRegister) {
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq6_"), 2 * 3);
+}
+
+TEST_F(FormulationDetail, Eq9OneRowPerRegisterPort) {
+  // r x m x l = 3 * 2 * 2.
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq9_"), 12);
+}
+
+TEST_F(FormulationDetail, Eq10OneRowPerPort) {
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq10_"), 4);
+}
+
+TEST_F(FormulationDetail, Eq11And12PerModuleSession) {
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq11_"), 2 * 2);
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq12_"), 2 * 2);
+}
+
+TEST_F(FormulationDetail, Eq13PerRegisterModuleSession) {
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq13_"), 3 * 2 * 2);
+}
+
+TEST_F(FormulationDetail, Eq17PerRegister) {
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq17_"), 3);
+}
+
+TEST_F(FormulationDetail, AdversePathRowsCoverEveryWire) {
+  // Eq. 1 family: one prevention row per (r, m, l).
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "eq1_"), 3 * 2 * 2);
+}
+
+TEST_F(FormulationDetail, PigeonholeCutsPresent) {
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "cut_sr_pigeonhole"), 1);
+  EXPECT_EQ(count_rows_with_prefix(f_->model(), "cut_tpg_pigeonhole"), 1);
+}
+
+TEST_F(FormulationDetail, VariableFamilies) {
+  const lp::Model& m = f_->model();
+  EXPECT_EQ(count_vars_with_prefix(m, "x_v"), 8 * 3);
+  EXPECT_EQ(count_vars_with_prefix(m, "smrp_"), 2 * 3 * 2);
+  EXPECT_EQ(count_vars_with_prefix(m, "t_r"), 3 * 2 * 2 * 2);
+  EXPECT_EQ(count_vars_with_prefix(m, "tr_"), 3);
+  EXPECT_EQ(count_vars_with_prefix(m, "trp_"), 3 * 2);
+  // fig1 has no constants: no tc or u variables.
+  EXPECT_EQ(count_vars_with_prefix(m, "tc_"), 0);
+  EXPECT_EQ(count_vars_with_prefix(m, "u_m"), 0);
+}
+
+TEST_F(FormulationDetail, MuxSelectorsOneHotPerInput) {
+  const lp::Model& m = f_->model();
+  // Registers: M+1 selectors each; ports: R+consts+1 each.
+  EXPECT_EQ(count_vars_with_prefix(m, "yr_"), 3 * (2 + 1));
+  EXPECT_EQ(count_vars_with_prefix(m, "yml_"), 4 * (3 + 1));
+}
+
+TEST(FormulationConstants, PaulinGrowsConstantMachinery) {
+  const hls::Benchmark b = hls::make_paulin();
+  FormulationOptions fo;
+  fo.k = 1;
+  const Formulation f(b.dfg, b.modules, fo);
+  // The shared constant '3' feeds both multipliers through commutative
+  // ports: u indicators and tc variables must exist.
+  EXPECT_GT(count_vars_with_prefix(f.model(), "u_m"), 0);
+  EXPECT_GT(count_vars_with_prefix(f.model(), "tc_"), 0);
+}
+
+TEST(FormulationSymmetry, PinsMaximalClique) {
+  const hls::Benchmark b = hls::make_fig1();
+  FormulationOptions fo;
+  fo.k = 1;
+  fo.symmetry_reduction = true;
+  const Formulation f(b.dfg, b.modules, fo);
+  // The maximal crossing is 3; 3 variables x 3 registers get fixed bounds.
+  int fixed = 0;
+  for (int v = 0; v < f.model().num_variables(); ++v) {
+    const auto& def = f.model().variable(v);
+    if (def.name.rfind("x_v", 0) == 0 && def.lower == def.upper) ++fixed;
+  }
+  EXPECT_EQ(fixed, 3 * 3);
+}
+
+TEST(FormulationReference, NoBistVariablesWithoutBist) {
+  const hls::Benchmark b = hls::make_fig1();
+  FormulationOptions fo;
+  fo.include_bist = false;
+  const Formulation f(b.dfg, b.modules, fo);
+  EXPECT_EQ(count_vars_with_prefix(f.model(), "smrp_"), 0);
+  EXPECT_EQ(count_vars_with_prefix(f.model(), "t_r"), 0);
+  EXPECT_EQ(count_rows_with_prefix(f.model(), "eq10_"), 0);
+}
+
+}  // namespace
+}  // namespace advbist::core

@@ -1,0 +1,91 @@
+// Shape validation of the six benchmark circuits against the parameters the
+// paper reports in Table 3: register demand R (maximal horizontal crossing)
+// and module count N (= maximal number of test sessions).
+#include <gtest/gtest.h>
+
+#include "hls/benchmarks.hpp"
+
+namespace advbist::hls {
+namespace {
+
+class BenchmarkShapeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchmarkShapeTest, ValidatesStructurally) {
+  const Benchmark b = benchmark_by_name(GetParam());
+  EXPECT_NO_THROW(b.dfg.validate());
+  EXPECT_NO_THROW(b.modules.validate(b.dfg));
+}
+
+TEST_P(BenchmarkShapeTest, RegisterDemandMatchesPaper) {
+  const Benchmark b = benchmark_by_name(GetParam());
+  EXPECT_EQ(b.dfg.max_crossing(), b.paper_registers)
+      << "circuit " << b.dfg.name();
+}
+
+TEST_P(BenchmarkShapeTest, ModuleCountMatchesPaperSessions) {
+  const Benchmark b = benchmark_by_name(GetParam());
+  EXPECT_EQ(b.modules.num_modules(), b.paper_max_sessions)
+      << "circuit " << b.dfg.name();
+}
+
+TEST_P(BenchmarkShapeTest, EveryModuleHasTwoPorts) {
+  const Benchmark b = benchmark_by_name(GetParam());
+  for (int m = 0; m < b.modules.num_modules(); ++m)
+    EXPECT_EQ(b.modules.num_ports(b.dfg, m), 2) << "module " << m;
+}
+
+TEST_P(BenchmarkShapeTest, BindingTypesRespected) {
+  const Benchmark b = benchmark_by_name(GetParam());
+  for (const Operation& op : b.dfg.operations()) {
+    const int m = b.modules.module_of(op.id);
+    ASSERT_GE(m, 0);
+    EXPECT_TRUE(b.modules.module(m).supports.count(op.type) > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, BenchmarkShapeTest,
+                         ::testing::Values("tseng", "paulin", "fir6", "iir3",
+                                           "dct4", "wavelet6"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(Benchmarks, AllSixPresentInPaperOrder) {
+  const auto all = all_benchmarks();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].dfg.name(), "tseng");
+  EXPECT_EQ(all[1].dfg.name(), "paulin");
+  EXPECT_EQ(all[2].dfg.name(), "fir6");
+  EXPECT_EQ(all[3].dfg.name(), "iir3");
+  EXPECT_EQ(all[4].dfg.name(), "dct4");
+  EXPECT_EQ(all[5].dfg.name(), "wavelet6");
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(benchmark_by_name("elliptic"), std::invalid_argument);
+}
+
+TEST(Benchmarks, PaulinUsesConstantThree) {
+  const Benchmark b = make_paulin();
+  ASSERT_EQ(b.dfg.num_constants(), 1);
+  EXPECT_DOUBLE_EQ(b.dfg.constant(0).value, 3.0);
+  // The constant feeds two different multiplications.
+  int const_uses = 0;
+  for (const Operation& op : b.dfg.operations())
+    for (const ValueRef& in : op.inputs)
+      if (in.is_constant) ++const_uses;
+  EXPECT_EQ(const_uses, 2);
+}
+
+TEST(Benchmarks, FirCoefficientsAreConstants) {
+  const Benchmark b = make_fir6();
+  EXPECT_EQ(b.dfg.num_constants(), 7);
+  // Every multiplier op has exactly one constant operand.
+  for (const Operation& op : b.dfg.operations())
+    if (op.type == OpType::kMul) {
+      int consts = 0;
+      for (const ValueRef& in : op.inputs) consts += in.is_constant ? 1 : 0;
+      EXPECT_EQ(consts, 1) << op.name;
+    }
+}
+
+}  // namespace
+}  // namespace advbist::hls

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "hls/benchmarks.hpp"
+#include "hls/datapath.hpp"
+
+namespace advbist::hls {
+namespace {
+
+RegisterAssignment fig1_paper_assignment() {
+  // R0 = {0,4}, R1 = {1,3,6}, R2 = {2,5,7}.
+  return RegisterAssignment(3, {0, 1, 2, 1, 0, 2, 1, 2});
+}
+
+TEST(RegisterAssignment, PaperAssignmentValidates) {
+  const Benchmark b = make_fig1();
+  EXPECT_NO_THROW(fig1_paper_assignment().validate(b.dfg));
+}
+
+TEST(RegisterAssignment, IncompatibleSharingThrows) {
+  const Benchmark b = make_fig1();
+  // v2 and v4 overlap at boundary 1; force them into one register.
+  RegisterAssignment bad(3, {0, 1, 2, 1, 2, 0, 1, 0});
+  EXPECT_THROW(bad.validate(b.dfg), std::invalid_argument);
+}
+
+TEST(LeftEdge, Fig1UsesThreeRegisters) {
+  const Benchmark b = make_fig1();
+  const RegisterAssignment regs = left_edge_allocate(b.dfg);
+  EXPECT_EQ(regs.num_registers(), 3);
+}
+
+TEST(LeftEdge, MatchesMaxCrossingOnAllBenchmarks) {
+  // Left-edge is optimal for interval graphs: register count == crossing.
+  for (const Benchmark& b : all_benchmarks()) {
+    const RegisterAssignment regs = left_edge_allocate(b.dfg);
+    EXPECT_EQ(regs.num_registers(), b.dfg.max_crossing()) << b.dfg.name();
+    EXPECT_NO_THROW(regs.validate(b.dfg));
+  }
+}
+
+TEST(LeftEdge, ExtraConflictsForceMoreRegisters) {
+  const Benchmark b = make_fig1();
+  // Forbid v0 and v4 from sharing (they share in the unconstrained run).
+  const RegisterAssignment base = left_edge_allocate(b.dfg);
+  std::vector<std::pair<int, int>> conflicts;
+  // Add conflicts between every compatible pair -> forces one register per
+  // variable.
+  for (int u = 0; u < b.dfg.num_variables(); ++u)
+    for (int v = u + 1; v < b.dfg.num_variables(); ++v) conflicts.push_back({u, v});
+  const RegisterAssignment regs = left_edge_allocate(b.dfg, conflicts);
+  EXPECT_EQ(regs.num_registers(), b.dfg.num_variables());
+  EXPECT_GE(regs.num_registers(), base.num_registers());
+}
+
+TEST(Datapath, Fig1StructureMatchesPaperFigure) {
+  const Benchmark b = make_fig1();
+  const Datapath dp = build_datapath(b.dfg, b.modules,
+                                     fig1_paper_assignment(),
+                                     identity_port_map(b.dfg));
+  ASSERT_EQ(dp.num_registers, 3);
+  // Module M3 (adder, id 0) output feeds R0 (v4) and R2 (v5).
+  EXPECT_TRUE(dp.reg_sources[0].count(0));
+  EXPECT_TRUE(dp.reg_sources[2].count(0));
+  // Module M4 (mult, id 1) output feeds R1 (v6) and R2 (v7).
+  EXPECT_TRUE(dp.reg_sources[1].count(1));
+  EXPECT_TRUE(dp.reg_sources[2].count(1));
+  // Adder port 0 reads v0 (R0) and v3 (R1).
+  EXPECT_TRUE(dp.port_reg_sources[0][0].count(0));
+  EXPECT_TRUE(dp.port_reg_sources[0][0].count(1));
+  // Adder port 1 reads v1 (R1) and v4 (R0).
+  EXPECT_TRUE(dp.port_reg_sources[0][1].count(0));
+  EXPECT_TRUE(dp.port_reg_sources[0][1].count(1));
+}
+
+TEST(Datapath, MuxAccountingSkipsDirectWires) {
+  const Benchmark b = make_fig1();
+  const Datapath dp = build_datapath(b.dfg, b.modules,
+                                     fig1_paper_assignment(),
+                                     identity_port_map(b.dfg));
+  for (int size : dp.mux_sizes()) EXPECT_GE(size, 2);
+  int muxed = 0;
+  for (int size : dp.mux_sizes()) muxed += size;
+  EXPECT_EQ(dp.total_mux_inputs(), muxed);
+}
+
+TEST(Datapath, CommutativeSwapChangesWiring) {
+  const Benchmark b = make_fig1();
+  PortMap ports = identity_port_map(b.dfg);
+  std::swap(ports[0][0], ports[0][1]);  // swap op8's operands (commutative add)
+  const Datapath dp = build_datapath(b.dfg, b.modules,
+                                     fig1_paper_assignment(), ports);
+  // v0 (R0) now feeds adder port 1 instead of port 0.
+  EXPECT_TRUE(dp.port_reg_sources[0][1].count(0));
+}
+
+TEST(Datapath, SwapOnNonCommutativeThrows) {
+  const Benchmark b = make_tseng();
+  PortMap ports = identity_port_map(b.dfg);
+  // op id 1 is t2 = c - d (subtraction).
+  std::swap(ports[1][0], ports[1][1]);
+  EXPECT_THROW(build_datapath(b.dfg, b.modules, left_edge_allocate(b.dfg),
+                              ports),
+               std::invalid_argument);
+}
+
+TEST(Datapath, ConstantsCountTowardPortFanin) {
+  const Benchmark b = make_paulin();
+  const Datapath dp = build_datapath(b.dfg, b.modules, left_edge_allocate(b.dfg),
+                                     identity_port_map(b.dfg));
+  // mul1 executes m1=3*x (port 1 = constant) and m3=m1*m2, m5=m4*dx: port 1
+  // sees {constant 3} + registers of m2 and dx.
+  const int fanin = dp.port_fanin(0, 1);
+  EXPECT_GE(fanin, 2);
+  EXPECT_EQ(dp.port_const_sources[0][1].size(), 1u);
+}
+
+TEST(Allocation, GreedyBinderMatchesConcurrency) {
+  const Benchmark b = make_fig1();
+  const ModuleAllocation alloc = bind_operations_greedy(b.dfg);
+  // One adder + one multiplier suffice for fig1's schedule.
+  EXPECT_EQ(alloc.num_modules(), 2);
+  EXPECT_NO_THROW(alloc.validate(b.dfg));
+}
+
+TEST(Allocation, DoubleBookingDetected) {
+  const Benchmark b = make_fig1();
+  ModuleAllocation alloc;
+  const int m = alloc.add_module("everything",
+                                 {OpType::kAdd, OpType::kMul});
+  for (const Operation& op : b.dfg.operations()) alloc.bind(op.id, m);
+  // op9 and op10 share cycle 1 on one module.
+  EXPECT_THROW(alloc.validate(b.dfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace advbist::hls

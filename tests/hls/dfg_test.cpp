@@ -1,0 +1,151 @@
+// DFG semantics validated against the paper's Section 2 running example
+// (Fig. 1): nomenclature sets, lifetimes, horizontal crossings and the
+// published register assignment R0={0,4}, R1={1,3,6}, R2={2,5,7}.
+#include <gtest/gtest.h>
+
+#include "hls/benchmarks.hpp"
+#include "hls/dfg.hpp"
+
+namespace advbist::hls {
+namespace {
+
+TEST(Fig1, NomenclatureMatchesPaper) {
+  const Benchmark b = make_fig1();
+  const Dfg& g = b.dfg;
+  EXPECT_EQ(g.num_variables(), 8);   // V_v = {0..7}
+  EXPECT_EQ(g.num_operations(), 4);  // V_o = {8..11}
+  EXPECT_EQ(g.num_constants(), 0);   // C = empty
+  EXPECT_EQ(g.num_boundaries(), 4);  // T = {0,1,2,3}
+}
+
+TEST(Fig1, InputEdgeSetMatchesPaper) {
+  const Dfg& g = make_fig1().dfg;
+  // E_i as (variable, op, port); op ids here are 0..3 for the paper's 8..11.
+  const std::vector<std::tuple<int, int, int>> expected = {
+      {0, 0, 0}, {1, 0, 1}, {3, 1, 0}, {4, 1, 1},
+      {4, 2, 0}, {2, 2, 1}, {5, 3, 0}, {6, 3, 1}};
+  for (const auto& [v, o, l] : expected) {
+    ASSERT_LT(l, static_cast<int>(g.operation(o).inputs.size()));
+    EXPECT_EQ(g.operation(o).inputs[l], ValueRef::variable(v))
+        << "edge (" << v << "," << o << "," << l << ")";
+  }
+}
+
+TEST(Fig1, OutputEdgeSetMatchesPaper) {
+  const Dfg& g = make_fig1().dfg;
+  EXPECT_EQ(g.operation(0).output, 4);
+  EXPECT_EQ(g.operation(1).output, 5);
+  EXPECT_EQ(g.operation(2).output, 6);
+  EXPECT_EQ(g.operation(3).output, 7);
+}
+
+TEST(Fig1, MaxCrossingIsThree) {
+  EXPECT_EQ(make_fig1().dfg.max_crossing(), 3);
+}
+
+TEST(Fig1, PaperRegisterAssignmentIsCompatible) {
+  const Dfg& g = make_fig1().dfg;
+  // R0 = {0,4}, R1 = {1,3,6}, R2 = {2,5,7} per Section 2.
+  const std::vector<std::vector<int>> regs = {{0, 4}, {1, 3, 6}, {2, 5, 7}};
+  for (const auto& members : regs)
+    for (std::size_t i = 0; i < members.size(); ++i)
+      for (std::size_t j = i + 1; j < members.size(); ++j)
+        EXPECT_TRUE(g.compatible(members[i], members[j]))
+            << "v" << members[i] << " vs v" << members[j];
+}
+
+TEST(Fig1, IncompatibleAcrossAssignment) {
+  const Dfg& g = make_fig1().dfg;
+  // v2, v3, v4 all alive at boundary 1 -> pairwise incompatible.
+  EXPECT_FALSE(g.compatible(2, 3));
+  EXPECT_FALSE(g.compatible(2, 4));
+  EXPECT_FALSE(g.compatible(3, 4));
+}
+
+TEST(Fig1, LifetimesFollowBoundaryModel) {
+  const Dfg& g = make_fig1().dfg;
+  // v0, v1: primary inputs consumed at cycle 0 -> [0,0].
+  EXPECT_EQ(g.lifetime(0).birth, 0);
+  EXPECT_EQ(g.lifetime(0).death, 0);
+  // v4: defined at cycle 0 (born boundary 1), last used at cycle 1.
+  EXPECT_EQ(g.lifetime(4).birth, 1);
+  EXPECT_EQ(g.lifetime(4).death, 1);
+  // v7: primary output born at boundary 3.
+  EXPECT_EQ(g.lifetime(7).birth, 3);
+  EXPECT_EQ(g.lifetime(7).death, 3);
+  // v2: primary input loaded just-in-time for cycle 1.
+  EXPECT_EQ(g.lifetime(2).birth, 1);
+}
+
+TEST(Dfg, ConsumersReportPorts) {
+  const Dfg& g = make_fig1().dfg;
+  const auto uses = g.consumers(4);  // v4 feeds op9 port 1 and op10 port 0
+  ASSERT_EQ(uses.size(), 2u);
+  EXPECT_EQ(uses[0], (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(uses[1], (std::pair<int, int>{2, 0}));
+}
+
+TEST(Dfg, DoubleDefinitionThrows) {
+  Dfg g("bad");
+  const int a = g.add_variable("a");
+  const int b = g.add_variable("b");
+  const int t = g.add_variable("t");
+  g.add_operation(OpType::kAdd, 0, {ValueRef::variable(a), ValueRef::variable(b)}, t);
+  EXPECT_THROW(g.add_operation(OpType::kAdd, 1,
+                               {ValueRef::variable(a), ValueRef::variable(b)}, t),
+               std::invalid_argument);
+}
+
+TEST(Dfg, UseBeforeDefFailsValidation) {
+  Dfg g("bad");
+  const int a = g.add_variable("a");
+  const int b = g.add_variable("b");
+  const int t = g.add_variable("t");
+  const int z = g.add_variable("z");
+  // t defined at cycle 1 but consumed at cycle 1 (needs >= 2).
+  g.add_operation(OpType::kAdd, 1, {ValueRef::variable(a), ValueRef::variable(b)}, t);
+  g.add_operation(OpType::kAdd, 1, {ValueRef::variable(t), ValueRef::variable(a)}, z);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Dfg, UnusedPrimaryInputFailsValidation) {
+  Dfg g("bad");
+  const int a = g.add_variable("a");
+  const int b = g.add_variable("b");
+  g.add_variable("orphan");
+  const int t = g.add_variable("t");
+  g.add_operation(OpType::kAdd, 0, {ValueRef::variable(a), ValueRef::variable(b)}, t);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Dfg, ConstantOperandsAllowed) {
+  Dfg g("const");
+  const int a = g.add_variable("a");
+  const int t = g.add_variable("t");
+  const int c = g.add_constant(3.0, "3");
+  g.add_operation(OpType::kMul, 0, {ValueRef::variable(a), ValueRef::constant(c)}, t);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.num_constants(), 1);
+  EXPECT_DOUBLE_EQ(g.constant(c).value, 3.0);
+}
+
+TEST(Dfg, CommutativityByType) {
+  EXPECT_TRUE(is_commutative(OpType::kAdd));
+  EXPECT_TRUE(is_commutative(OpType::kMul));
+  EXPECT_FALSE(is_commutative(OpType::kSub));
+  EXPECT_FALSE(is_commutative(OpType::kCompare));
+}
+
+TEST(Dfg, AliveAtMatchesLifetimes) {
+  const Dfg& g = make_fig1().dfg;
+  for (int bnd = 0; bnd < g.num_boundaries(); ++bnd) {
+    for (int v : g.alive_at(bnd)) {
+      const Lifetime lt = g.lifetime(v);
+      EXPECT_LE(lt.birth, bnd);
+      EXPECT_GE(lt.death, bnd);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace advbist::hls

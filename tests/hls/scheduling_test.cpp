@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "hls/scheduling.hpp"
+
+namespace advbist::hls {
+namespace {
+
+// A small diamond: t1 = a+b, t2 = a*c, t3 = t1+t2, t4 = t3*d.
+UnscheduledDfg make_diamond() {
+  UnscheduledDfg g;
+  g.name = "diamond";
+  g.variables = {"a", "b", "c", "d", "t1", "t2", "t3", "t4"};
+  g.operations = {
+      {OpType::kAdd, {ValueRef::variable(0), ValueRef::variable(1)}, 4, "t1"},
+      {OpType::kMul, {ValueRef::variable(0), ValueRef::variable(2)}, 5, "t2"},
+      {OpType::kAdd, {ValueRef::variable(4), ValueRef::variable(5)}, 6, "t3"},
+      {OpType::kMul, {ValueRef::variable(6), ValueRef::variable(3)}, 7, "t4"},
+  };
+  return g;
+}
+
+TEST(Asap, LevelsFollowDependences) {
+  const auto asap = asap_schedule(make_diamond());
+  EXPECT_EQ(asap[0], 0);
+  EXPECT_EQ(asap[1], 0);
+  EXPECT_EQ(asap[2], 1);
+  EXPECT_EQ(asap[3], 2);
+}
+
+TEST(Alap, LevelsPushLate) {
+  const auto alap = alap_schedule(make_diamond(), 4);
+  EXPECT_EQ(alap[3], 3);
+  EXPECT_EQ(alap[2], 2);
+  EXPECT_EQ(alap[0], 1);
+  EXPECT_EQ(alap[1], 1);
+}
+
+TEST(Alap, ThrowsBelowCriticalPath) {
+  EXPECT_THROW(alap_schedule(make_diamond(), 2), std::invalid_argument);
+}
+
+TEST(ListSchedule, RespectsResourceCaps) {
+  // Only one multiplier: t2 and t4 must occupy distinct cycles anyway
+  // (dependence), but add a second independent multiply to force a stall.
+  UnscheduledDfg g = make_diamond();
+  g.variables.push_back("t5");
+  g.operations.push_back(
+      {OpType::kMul, {ValueRef::variable(1), ValueRef::variable(2)}, 8, "t5"});
+  const Dfg out = list_schedule(g, {{OpType::kAdd, 1}, {OpType::kMul, 1}});
+  out.validate();
+  // No cycle runs two multiplications.
+  for (int c = 0; c < out.num_cycles(); ++c) {
+    int muls = 0;
+    for (const Operation& op : out.operations())
+      if (op.step == c && op.type == OpType::kMul) ++muls;
+    EXPECT_LE(muls, 1) << "cycle " << c;
+  }
+}
+
+TEST(ListSchedule, ProducesValidDependences) {
+  const Dfg out =
+      list_schedule(make_diamond(), {{OpType::kAdd, 2}, {OpType::kMul, 2}});
+  EXPECT_NO_THROW(out.validate());
+  EXPECT_EQ(out.num_cycles(), 3);  // critical path
+}
+
+TEST(ListSchedule, MissingResourceThrows) {
+  EXPECT_THROW(list_schedule(make_diamond(), {{OpType::kAdd, 1}}),
+               std::invalid_argument);
+}
+
+TEST(ApplySchedule, RejectsDependenceViolation) {
+  const UnscheduledDfg g = make_diamond();
+  EXPECT_THROW(apply_schedule(g, {0, 0, 0, 1}), std::invalid_argument);
+  EXPECT_NO_THROW(apply_schedule(g, {0, 0, 1, 2}));
+}
+
+TEST(Asap, CycleDetection) {
+  UnscheduledDfg g;
+  g.variables = {"a", "b"};
+  // a = f(b), b = f(a): dependence cycle.
+  g.operations = {
+      {OpType::kAdd, {ValueRef::variable(1), ValueRef::variable(1)}, 0, "a"},
+      {OpType::kAdd, {ValueRef::variable(0), ValueRef::variable(0)}, 1, "b"},
+  };
+  EXPECT_THROW(asap_schedule(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace advbist::hls

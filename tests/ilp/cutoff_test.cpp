@@ -1,0 +1,89 @@
+// Seeded-cutoff semantics: an initial_cutoff equal to the optimum must not
+// cut the optimum off; one below it yields kNoSolutionFound (not
+// kInfeasible); pruning strength shows in node counts.
+#include <gtest/gtest.h>
+
+#include "ilp/solver.hpp"
+#include "lp/model.hpp"
+#include "util/rng.hpp"
+
+namespace advbist::ilp {
+namespace {
+
+using lp::LinExpr;
+using lp::Model;
+using lp::Sense;
+
+Model knapsack(int n, std::uint64_t seed, double* out_optimum = nullptr) {
+  util::Rng rng(seed);
+  Model m;
+  LinExpr w;
+  for (int v = 0; v < n; ++v) {
+    m.add_binary(-rng.next_int(1, 20), "");
+    w.add(v, rng.next_int(1, 10));
+  }
+  m.add_constraint(std::move(w), Sense::kLessEqual, 2 * n);
+  if (out_optimum != nullptr) *out_optimum = Solver().solve(m).objective;
+  return m;
+}
+
+TEST(InitialCutoff, ExactOptimumStillFound) {
+  double opt = 0;
+  const Model m = knapsack(12, 3, &opt);
+  Options o;
+  o.initial_cutoff = opt;  // tightest valid seed
+  const Solution s = Solver(o).solve(m);
+  ASSERT_TRUE(s.is_optimal());
+  EXPECT_NEAR(s.objective, opt, 1e-6);
+}
+
+TEST(InitialCutoff, BelowOptimumReportsNoSolutionNotInfeasible) {
+  double opt = 0;
+  const Model m = knapsack(10, 5, &opt);
+  Options o;
+  o.initial_cutoff = opt - 5;  // unreachable
+  const Solution s = Solver(o).solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kNoSolutionFound);
+}
+
+TEST(InitialCutoff, LooseSeedPrunesNodes) {
+  double opt = 0;
+  const Model m = knapsack(16, 7, &opt);
+  Options seeded, unseeded;
+  seeded.initial_cutoff = opt + 3;
+  seeded.use_rounding_heuristic = false;
+  unseeded.use_rounding_heuristic = false;
+  const Solution with = Solver(seeded).solve(m);
+  const Solution without = Solver(unseeded).solve(m);
+  ASSERT_TRUE(with.is_optimal());
+  ASSERT_TRUE(without.is_optimal());
+  EXPECT_NEAR(with.objective, without.objective, 1e-6);
+  EXPECT_LE(with.stats.nodes, without.stats.nodes);
+}
+
+TEST(InitialCutoff, InfeasibleModelStillInfeasibleWithSeed) {
+  Model m;
+  const int x = m.add_binary(1, "x");
+  m.add_constraint(LinExpr().add(x, 1), Sense::kGreaterEqual, 2);
+  Options o;
+  o.initial_cutoff = 100;
+  // Presolve proves infeasibility regardless of the seed.
+  EXPECT_EQ(Solver(o).solve(m).status, SolveStatus::kInfeasible);
+}
+
+class CutoffSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutoffSweep, SeedNeverChangesOptimum) {
+  double opt = 0;
+  const Model m = knapsack(12, 100 + GetParam(), &opt);
+  Options o;
+  o.initial_cutoff = opt + GetParam();  // slack 0..4
+  const Solution s = Solver(o).solve(m);
+  ASSERT_TRUE(s.is_optimal());
+  EXPECT_NEAR(s.objective, opt, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slack, CutoffSweep, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace advbist::ilp

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "ilp/presolve.hpp"
+#include "lp/model.hpp"
+
+namespace advbist::ilp {
+namespace {
+
+using lp::LinExpr;
+using lp::Model;
+using lp::Sense;
+using lp::VarType;
+
+TEST(Presolve, FixesForcedBinaries) {
+  // x + y <= 0 with x,y binary -> both fixed to 0.
+  Model m;
+  const int x = m.add_binary(1, "x");
+  const int y = m.add_binary(1, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kLessEqual, 0);
+  const PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_EQ(m.variable(x).upper, 0.0);
+  EXPECT_EQ(m.variable(y).upper, 0.0);
+  EXPECT_EQ(r.variables_fixed, 2);
+}
+
+TEST(Presolve, PropagatesIndicatorChain) {
+  // The ADVBIST pattern: z <= a + b, t <= z, a = 0, b = 0 -> t fixed 0.
+  Model m;
+  const int a = m.add_binary(0, "a");
+  const int b = m.add_binary(0, "b");
+  const int z = m.add_binary(0, "z");
+  const int t = m.add_binary(0, "t");
+  m.set_bounds(a, 0, 0);
+  m.set_bounds(b, 0, 0);
+  // a + b - z >= 0  (z <= a+b)
+  m.add_constraint(LinExpr().add(a, 1).add(b, 1).add(z, -1),
+                   Sense::kGreaterEqual, 0);
+  // z - t >= 0 (t <= z)
+  m.add_constraint(LinExpr().add(z, 1).add(t, -1), Sense::kGreaterEqual, 0);
+  const PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_EQ(m.variable(z).upper, 0.0);
+  EXPECT_EQ(m.variable(t).upper, 0.0);
+}
+
+TEST(Presolve, IntegerRounding) {
+  // 2x <= 5 with x integer -> x <= 2.
+  Model m;
+  const int x = m.add_integer(0, 10, 1, "x");
+  m.add_constraint(LinExpr().add(x, 2), Sense::kLessEqual, 5);
+  presolve(m);
+  EXPECT_DOUBLE_EQ(m.variable(x).upper, 2.0);
+}
+
+TEST(Presolve, ContinuousNotRounded) {
+  Model m;
+  const int x = m.add_variable(0, 10, 1, VarType::kContinuous, "x");
+  m.add_constraint(LinExpr().add(x, 2), Sense::kLessEqual, 5);
+  presolve(m);
+  EXPECT_DOUBLE_EQ(m.variable(x).upper, 2.5);
+}
+
+TEST(Presolve, DetectsInfeasibleRow) {
+  Model m;
+  const int x = m.add_binary(0, "x");
+  const int y = m.add_binary(0, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kGreaterEqual, 3);
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, DetectsRedundantRow) {
+  Model m;
+  const int x = m.add_binary(0, "x");
+  const int y = m.add_binary(0, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kLessEqual, 5);
+  const PresolveResult r = presolve(m);
+  EXPECT_EQ(r.redundant_rows, 1);
+  ASSERT_EQ(r.row_redundant.size(), 1u);
+  EXPECT_TRUE(r.row_redundant[0]);
+}
+
+TEST(Presolve, EqualityForcesBothEnds) {
+  // x + y = 2 with binaries -> both fixed to 1.
+  Model m;
+  const int x = m.add_binary(0, "x");
+  const int y = m.add_binary(0, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kEqual, 2);
+  const PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_DOUBLE_EQ(m.variable(x).lower, 1.0);
+  EXPECT_DOUBLE_EQ(m.variable(y).lower, 1.0);
+}
+
+TEST(Presolve, GreaterEqualForcesVariableUp) {
+  // x >= 1 encoded as row; binary x fixed to 1.
+  Model m;
+  const int x = m.add_binary(0, "x");
+  m.add_constraint(LinExpr().add(x, 1), Sense::kGreaterEqual, 1);
+  presolve(m);
+  EXPECT_DOUBLE_EQ(m.variable(x).lower, 1.0);
+}
+
+TEST(Presolve, CrossedImpliedBoundsInfeasible) {
+  Model m;
+  const int x = m.add_integer(0, 1, 0, "x");
+  // 2x >= 1 and 2x <= 1: x must be 0.5, impossible for integer.
+  m.add_constraint(LinExpr().add(x, 2), Sense::kGreaterEqual, 1);
+  m.add_constraint(LinExpr().add(x, 2), Sense::kLessEqual, 1);
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, LeavesFeasibleModelSolvable) {
+  // Presolve must not cut off the integer optimum.
+  Model m;
+  const int x = m.add_integer(0, 4, -1, "x");
+  const int y = m.add_integer(0, 4, -1, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kLessEqual, 5);
+  presolve(m);
+  // (4,1) and (1,4) remain feasible.
+  EXPECT_LE(m.max_violation({4, 1}, true), 0.0 + 1e-9);
+  EXPECT_GE(m.variable(x).upper, 4.0);
+}
+
+}  // namespace
+}  // namespace advbist::ilp

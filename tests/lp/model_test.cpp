@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "lp/model.hpp"
+
+namespace advbist::lp {
+namespace {
+
+TEST(LinExpr, NormalizeMergesDuplicates) {
+  LinExpr e;
+  e.add(2, 1.0).add(0, 3.0).add(2, -1.0).add(1, 0.5);
+  e.normalize();
+  ASSERT_EQ(e.terms().size(), 2u);  // var 2 cancelled
+  EXPECT_EQ(e.terms()[0].var, 0);
+  EXPECT_DOUBLE_EQ(e.terms()[0].coeff, 3.0);
+  EXPECT_EQ(e.terms()[1].var, 1);
+}
+
+TEST(LinExpr, ConstantFoldsIntoRhs) {
+  Model m;
+  const int x = m.add_variable(0, 10, 1.0, VarType::kContinuous, "x");
+  LinExpr e;
+  e.add(x, 2.0).add_constant(5.0);
+  m.add_constraint(std::move(e), Sense::kLessEqual, 11.0);
+  EXPECT_DOUBLE_EQ(m.constraint(0).rhs, 6.0);
+}
+
+TEST(Model, AddVariableKinds) {
+  Model m;
+  const int a = m.add_variable(0, 1, 2.0, VarType::kContinuous, "a");
+  const int b = m.add_binary(3.0, "b");
+  const int c = m.add_integer(0, 7, 1.0, "c");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  EXPECT_EQ(m.num_integer_variables(), 2);
+  EXPECT_EQ(m.variable(b).type, VarType::kInteger);
+  EXPECT_DOUBLE_EQ(m.variable(c).upper, 7.0);
+}
+
+TEST(Model, CrossedBoundsThrow) {
+  Model m;
+  EXPECT_THROW(m.add_variable(2, 1, 0, VarType::kContinuous, "bad"),
+               std::invalid_argument);
+}
+
+TEST(Model, ConstraintRejectsUnknownVariable) {
+  Model m;
+  m.add_binary(0.0, "x");
+  LinExpr e;
+  e.add(5, 1.0);
+  EXPECT_THROW(m.add_constraint(std::move(e), Sense::kEqual, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Model, ObjectiveValue) {
+  Model m;
+  m.add_variable(0, 10, 2.0, VarType::kContinuous, "x");
+  m.add_variable(0, 10, -1.0, VarType::kContinuous, "y");
+  EXPECT_DOUBLE_EQ(m.objective_value({3.0, 4.0}), 2.0);
+}
+
+TEST(Model, MaxViolationBounds) {
+  Model m;
+  m.add_variable(0, 1, 0, VarType::kContinuous, "x");
+  EXPECT_DOUBLE_EQ(m.max_violation({1.5}), 0.5);
+  EXPECT_DOUBLE_EQ(m.max_violation({-0.25}), 0.25);
+  EXPECT_DOUBLE_EQ(m.max_violation({0.5}), 0.0);
+}
+
+TEST(Model, MaxViolationConstraints) {
+  Model m;
+  const int x = m.add_variable(0, 10, 0, VarType::kContinuous, "x");
+  LinExpr e;
+  e.add(x, 1.0);
+  m.add_constraint(std::move(e), Sense::kLessEqual, 3.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({5.0}), 2.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({2.0}), 0.0);
+}
+
+TEST(Model, MaxViolationIntegrality) {
+  Model m;
+  m.add_binary(0.0, "b");
+  EXPECT_DOUBLE_EQ(m.max_violation({0.5}, false), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({0.5}, true), 0.5);
+  EXPECT_DOUBLE_EQ(m.max_violation({1.0}, true), 0.0);
+}
+
+TEST(Model, ObjectiveIsIntegral) {
+  Model m;
+  m.add_binary(208.0, "r");
+  EXPECT_TRUE(m.objective_is_integral());
+  m.add_binary(0.5, "half");
+  EXPECT_FALSE(m.objective_is_integral());
+}
+
+TEST(Model, ObjectiveIntegralRejectsContinuousWithCost) {
+  Model m;
+  m.add_variable(0, 1, 1.0, VarType::kContinuous, "x");
+  EXPECT_FALSE(m.objective_is_integral());
+}
+
+TEST(Model, SetBoundsAndObjective) {
+  Model m;
+  const int x = m.add_binary(1.0, "x");
+  m.set_bounds(x, 1, 1);
+  EXPECT_DOUBLE_EQ(m.variable(x).lower, 1.0);
+  m.set_objective(x, 9.0);
+  EXPECT_DOUBLE_EQ(m.variable(x).objective, 9.0);
+  EXPECT_THROW(m.set_bounds(x, 2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace advbist::lp

@@ -1,0 +1,372 @@
+// Simplex correctness tests: textbook instances with known optima,
+// degenerate/infeasible/unbounded cases, warm-start behaviour, and a
+// randomized property sweep cross-checked against brute-force vertex
+// enumeration (exact for small instances).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace advbist::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// ---------------------------------------------------------------------------
+// Brute-force LP reference: enumerates candidate vertices by activating every
+// subset of n constraints (rows at equality or variables at a bound), solving
+// the linear system, and keeping the best feasible point. Exponential — only
+// for n <= 4.
+// ---------------------------------------------------------------------------
+bool gauss_solve(std::vector<std::vector<double>> a, std::vector<double> b,
+                 std::vector<double>& x) {
+  const int n = static_cast<int>(b.size());
+  for (int c = 0; c < n; ++c) {
+    int p = -1;
+    double best = 1e-9;
+    for (int r = c; r < n; ++r)
+      if (std::abs(a[r][c]) > best) {
+        best = std::abs(a[r][c]);
+        p = r;
+      }
+    if (p < 0) return false;
+    std::swap(a[p], a[c]);
+    std::swap(b[p], b[c]);
+    for (int r = 0; r < n; ++r) {
+      if (r == c) continue;
+      const double f = a[r][c] / a[c][c];
+      if (f == 0.0) continue;
+      for (int j = c; j < n; ++j) a[r][j] -= f * a[c][j];
+      b[r] -= f * b[c];
+    }
+  }
+  x.resize(n);
+  for (int i = 0; i < n; ++i) x[i] = b[i] / a[i][i];
+  return true;
+}
+
+struct BruteResult {
+  bool feasible = false;
+  double objective = 0.0;
+};
+
+BruteResult brute_force_lp(const Model& m) {
+  const int n = m.num_variables();
+  // Candidate active sets: each is a row (at rhs) or a variable bound.
+  struct Plane {
+    std::vector<double> a;
+    double b;
+  };
+  std::vector<Plane> planes;
+  for (int v = 0; v < n; ++v) {
+    std::vector<double> unit(n, 0.0);
+    unit[v] = 1.0;
+    if (std::isfinite(m.variable(v).lower))
+      planes.push_back({unit, m.variable(v).lower});
+    if (std::isfinite(m.variable(v).upper))
+      planes.push_back({unit, m.variable(v).upper});
+  }
+  for (int c = 0; c < m.num_constraints(); ++c) {
+    std::vector<double> a(n, 0.0);
+    for (const Term& t : m.constraint(c).terms) a[t.var] = t.coeff;
+    planes.push_back({a, m.constraint(c).rhs});
+  }
+  const int p = static_cast<int>(planes.size());
+  BruteResult best;
+  std::vector<int> idx(n);
+  // Enumerate all n-subsets of planes.
+  std::vector<int> comb(n);
+  for (int i = 0; i < n; ++i) comb[i] = i;
+  auto advance = [&]() {
+    int i = n - 1;
+    while (i >= 0 && comb[i] == p - n + i) --i;
+    if (i < 0) return false;
+    ++comb[i];
+    for (int j = i + 1; j < n; ++j) comb[j] = comb[j - 1] + 1;
+    return true;
+  };
+  if (p < n) return best;
+  do {
+    std::vector<std::vector<double>> a(n);
+    std::vector<double> b(n);
+    for (int i = 0; i < n; ++i) {
+      a[i] = planes[comb[i]].a;
+      b[i] = planes[comb[i]].b;
+    }
+    std::vector<double> x;
+    if (!gauss_solve(a, b, x)) continue;
+    if (m.max_violation(x) > 1e-7) continue;
+    const double obj = m.objective_value(x);
+    if (!best.feasible || obj < best.objective) {
+      best.feasible = true;
+      best.objective = obj;
+    }
+  } while (advance());
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Textbook cases
+// ---------------------------------------------------------------------------
+
+TEST(Simplex, TwoVarKnownOptimum) {
+  // min -3x - 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Classic Dantzig example; optimum at (2, 6), objective -36.
+  Model m;
+  const int x = m.add_variable(0, kInfinity, -3, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, kInfinity, -5, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1), Sense::kLessEqual, 4);
+  m.add_constraint(LinExpr().add(y, 2), Sense::kLessEqual, 12);
+  m.add_constraint(LinExpr().add(x, 3).add(y, 2), Sense::kLessEqual, 18);
+  SimplexSolver s(m);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -36.0, kTol);
+  EXPECT_NEAR(r.x[x], 2.0, kTol);
+  EXPECT_NEAR(r.x[y], 6.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y  s.t. x + y = 5, x <= 3  -> x=3, y=2, obj=7.
+  Model m;
+  const int x = m.add_variable(0, 3, 1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, kInfinity, 2, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kEqual, 5);
+  SimplexSolver s(m);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 7.0, kTol);
+}
+
+TEST(Simplex, GreaterEqualNeedsPhase1) {
+  // min x + y  s.t. x + 2y >= 4, 3x + y >= 6  -> x=1.6, y=1.2, obj=2.8.
+  Model m;
+  const int x = m.add_variable(0, kInfinity, 1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, kInfinity, 1, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 2), Sense::kGreaterEqual, 4);
+  m.add_constraint(LinExpr().add(x, 3).add(y, 1), Sense::kGreaterEqual, 6);
+  SimplexSolver s(m);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.8, kTol);
+  EXPECT_NEAR(r.x[x], 1.6, kTol);
+  EXPECT_NEAR(r.x[y], 1.2, kTol);
+}
+
+TEST(Simplex, UpperBoundedVariablesViaBoundFlips) {
+  // max x1 + 2x2 + 3x3 with xi in [0,1], x1+x2+x3 <= 2
+  // -> x3=1, x2=1, x1=0, obj=-5 (as minimization of negative).
+  Model m;
+  std::vector<int> v;
+  for (int i = 0; i < 3; ++i)
+    v.push_back(m.add_variable(0, 1, -(i + 1.0), VarType::kContinuous, ""));
+  LinExpr sum;
+  for (int x : v) sum.add(x, 1);
+  m.add_constraint(std::move(sum), Sense::kLessEqual, 2);
+  SimplexSolver s(m);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -5.0, kTol);
+  EXPECT_NEAR(r.x[v[0]], 0.0, kTol);
+  EXPECT_NEAR(r.x[v[1]], 1.0, kTol);
+  EXPECT_NEAR(r.x[v[2]], 1.0, kTol);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x >= 3 and x <= 1 via rows.
+  Model m;
+  const int x = m.add_variable(0, 10, 1, VarType::kContinuous, "x");
+  m.add_constraint(LinExpr().add(x, 1), Sense::kGreaterEqual, 3);
+  m.add_constraint(LinExpr().add(x, 1), Sense::kLessEqual, 1);
+  SimplexSolver s(m);
+  EXPECT_EQ(s.solve().status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, InfeasibleEqualityPair) {
+  Model m;
+  const int x = m.add_variable(0, 10, 0, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 10, 0, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kEqual, 3);
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kEqual, 5);
+  SimplexSolver s(m);
+  EXPECT_EQ(s.solve().status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x, x >= 0 unbounded below in objective.
+  Model m;
+  const int x = m.add_variable(0, kInfinity, -1, VarType::kContinuous, "x");
+  m.add_constraint(LinExpr().add(x, -1), Sense::kLessEqual, 0);  // -x <= 0
+  SimplexSolver s(m);
+  EXPECT_EQ(s.solve().status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Multiple constraints meeting at the optimum (degenerate pivots).
+  Model m;
+  const int x = m.add_variable(0, kInfinity, -1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, kInfinity, -1, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kLessEqual, 1);
+  m.add_constraint(LinExpr().add(x, 1), Sense::kLessEqual, 1);
+  m.add_constraint(LinExpr().add(y, 1), Sense::kLessEqual, 1);
+  m.add_constraint(LinExpr().add(x, 2).add(y, 1), Sense::kLessEqual, 2);
+  SimplexSolver s(m);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, kTol);
+}
+
+TEST(Simplex, NoConstraintsSolvesOnBounds) {
+  Model m;
+  const int x = m.add_variable(-2, 5, 3, VarType::kContinuous, "x");
+  const int y = m.add_variable(-1, 4, -2, VarType::kContinuous, "y");
+  SimplexSolver s(m);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], -2.0, kTol);
+  EXPECT_NEAR(r.x[y], 4.0, kTol);
+  EXPECT_NEAR(r.objective, -14.0, kTol);
+}
+
+TEST(Simplex, FixedVariableRespected) {
+  Model m;
+  const int x = m.add_variable(2, 2, 1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 10, 1, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kGreaterEqual, 5);
+  SimplexSolver s(m);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.0, kTol);
+  EXPECT_NEAR(r.x[y], 3.0, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Warm starts (the branch & bound access pattern)
+// ---------------------------------------------------------------------------
+
+TEST(Simplex, WarmStartAfterBoundTightening) {
+  // Solve, tighten a variable's bound past its optimal value, re-solve.
+  Model m;
+  const int x = m.add_variable(0, 10, -2, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 10, -1, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kLessEqual, 8);
+  SimplexSolver s(m);
+  LpResult r1 = s.solve();
+  ASSERT_EQ(r1.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, -16.0, kTol);  // x=8
+  s.set_variable_bounds(x, 0, 3);
+  LpResult r2 = s.solve();
+  ASSERT_EQ(r2.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r2.objective, -11.0, kTol);  // x=3, y=5
+  s.set_variable_bounds(x, 5, 10);         // infeasible against x<=3? no: reset
+  LpResult r3 = s.solve();
+  ASSERT_EQ(r3.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r3.objective, -16.0, kTol);  // x=8 again reachable
+}
+
+TEST(Simplex, WarmStartInfeasibleThenRelaxed) {
+  Model m;
+  const int x = m.add_variable(0, 1, 1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 1, 1, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kGreaterEqual, 1.5);
+  SimplexSolver s(m);
+  ASSERT_EQ(s.solve().status, LpStatus::kOptimal);
+  s.set_variable_bounds(x, 0, 0);
+  s.set_variable_bounds(y, 0, 0);
+  EXPECT_EQ(s.solve().status, LpStatus::kInfeasible);
+  s.set_variable_bounds(x, 0, 1);
+  s.set_variable_bounds(y, 0, 1);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.5, kTol);
+}
+
+TEST(Simplex, RepeatedWarmSolvesStayConsistent) {
+  Model m;
+  const int x = m.add_variable(0, 4, -1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 4, -1, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 2), Sense::kLessEqual, 6);
+  SimplexSolver s(m);
+  for (int round = 0; round < 20; ++round) {
+    const double cap = (round % 5);
+    s.set_variable_bounds(x, 0, cap);
+    const LpResult r = s.solve();
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    const double expect_y = std::min(4.0, (6.0 - cap) / 2.0);
+    EXPECT_NEAR(r.objective, -(cap + expect_y), kTol) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property sweep vs brute force
+// ---------------------------------------------------------------------------
+
+struct RandomLpParam {
+  int n;
+  int m;
+  std::uint64_t seed;
+};
+
+class SimplexRandomTest : public ::testing::TestWithParam<RandomLpParam> {};
+
+TEST_P(SimplexRandomTest, MatchesBruteForce) {
+  const RandomLpParam p = GetParam();
+  util::Rng rng(p.seed);
+  Model m;
+  for (int v = 0; v < p.n; ++v) {
+    const double lo = rng.next_int(-3, 0);
+    const double hi = lo + rng.next_int(1, 5);
+    m.add_variable(lo, hi, rng.next_int(-5, 5), VarType::kContinuous, "");
+  }
+  for (int c = 0; c < p.m; ++c) {
+    LinExpr e;
+    bool nonzero = false;
+    for (int v = 0; v < p.n; ++v) {
+      const int coeff = rng.next_int(-3, 3);
+      if (coeff != 0) {
+        e.add(v, coeff);
+        nonzero = true;
+      }
+    }
+    if (!nonzero) e.add(rng.next_int(0, p.n - 1), 1.0);
+    const int sense = rng.next_int(0, 2);
+    const double rhs = rng.next_int(-4, 8);
+    m.add_constraint(std::move(e),
+                     sense == 0   ? Sense::kLessEqual
+                     : sense == 1 ? Sense::kGreaterEqual
+                                  : Sense::kEqual,
+                     rhs);
+  }
+  const BruteResult brute = brute_force_lp(m);
+  SimplexSolver s(m);
+  const LpResult r = s.solve();
+  if (!brute.feasible) {
+    EXPECT_EQ(r.status, LpStatus::kInfeasible)
+        << "simplex found obj " << r.objective;
+  } else {
+    ASSERT_EQ(r.status, LpStatus::kOptimal)
+        << "brute-force optimum " << brute.objective;
+    EXPECT_NEAR(r.objective, brute.objective, 1e-5);
+    EXPECT_LE(m.max_violation(r.x), 1e-6);
+  }
+}
+
+std::vector<RandomLpParam> make_random_params() {
+  std::vector<RandomLpParam> params;
+  std::uint64_t seed = 1000;
+  for (int n = 2; n <= 4; ++n)
+    for (int rows = 1; rows <= 4; ++rows)
+      for (int rep = 0; rep < 6; ++rep)
+        params.push_back({n, rows, seed++});
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, SimplexRandomTest,
+                         ::testing::ValuesIn(make_random_params()));
+
+}  // namespace
+}  // namespace advbist::lp

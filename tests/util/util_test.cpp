@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace advbist::util {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(ADVBIST_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(ADVBIST_REQUIRE(true, "fine"));
+}
+
+TEST(Check, EnsureThrowsLogicError) {
+  EXPECT_THROW(ADVBIST_ENSURE(false, "boom"), std::logic_error);
+  EXPECT_NO_THROW(ADVBIST_ENSURE(true, "fine"));
+}
+
+TEST(Check, MessageContainsExpressionAndNote) {
+  try {
+    ADVBIST_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, IntRangeInclusive) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.next_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, IntEmptyRangeThrows) {
+  Rng rng;
+  EXPECT_THROW(rng.next_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Stopwatch, MeasuresNonNegative) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+TEST(FormatDuration, PaperStyle) {
+  EXPECT_EQ(format_duration(58.0), "58s");
+  EXPECT_EQ(format_duration(82.0), "1m 22s");
+  EXPECT_EQ(format_duration(4.0 * 3600 + 42 * 60), "4h 42m 0s");
+  EXPECT_EQ(format_duration(24.0 * 3600), "24h 0m 0s");
+  EXPECT_EQ(format_duration(0.42), "0.42s");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.add_row({"Ckt", "Area"});
+  t.add_row({"tseng", "2152"});
+  t.add_row({"fir6", "3040"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Ckt"), std::string::npos);
+  EXPECT_NE(out.find("tseng  2152"), std::string::npos);
+  EXPECT_NE(out.find("fir6   3040"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRenders) {
+  TextTable t;
+  t.add_row({"a"});
+  t.add_separator();
+  t.add_row({"b"});
+  EXPECT_NE(t.render().find('-'), std::string::npos);
+}
+
+TEST(FormatFixed, Digits) {
+  EXPECT_EQ(format_fixed(25.714, 1), "25.7");
+  EXPECT_EQ(format_fixed(11.25, 1), "11.2");  // round-to-even via printf
+  EXPECT_EQ(format_fixed(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace advbist::util
