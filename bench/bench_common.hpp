@@ -7,9 +7,12 @@
 //                        a 24 CPU-hour cap — entries that hit the limit are
 //                        marked with "*" exactly like Table 2's dct4 row)
 //   ADVBIST_CIRCUITS     comma-separated circuit filter (default: all six)
+//   ADVBIST_THREADS      branch & bound worker threads per solve (default 1;
+//                        0 = one per hardware thread)
 #pragma once
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -25,26 +28,47 @@ inline double time_limit_seconds() {
   return 20.0;
 }
 
-inline std::vector<hls::Benchmark> selected_benchmarks() {
-  const char* env = std::getenv("ADVBIST_CIRCUITS");
-  if (env == nullptr || std::string(env).empty())
-    return hls::all_benchmarks();
-  std::vector<hls::Benchmark> picked;
-  std::string list(env);
+/// Splits a comma-separated env value (`fallback` when unset/empty).
+inline std::vector<std::string> split_csv(const char* env,
+                                          const char* fallback) {
+  const std::string list = env != nullptr && *env != '\0' ? env : fallback;
+  std::vector<std::string> out;
   std::size_t pos = 0;
-  while (pos != std::string::npos) {
+  while (pos <= list.size()) {
     const std::size_t comma = list.find(',', pos);
-    const std::string name =
+    const std::string item =
         list.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    if (!name.empty()) picked.push_back(hls::benchmark_by_name(name));
-    pos = comma == std::string::npos ? comma : comma + 1;
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
   }
+  return out;
+}
+
+inline std::vector<hls::Benchmark> selected_benchmarks() {
+  std::vector<hls::Benchmark> picked;
+  for (const std::string& name :
+       split_csv(std::getenv("ADVBIST_CIRCUITS"), ""))
+    picked.push_back(hls::benchmark_by_name(name));
+  if (picked.empty()) return hls::all_benchmarks();
   return picked;
+}
+
+/// Worker threads per solve. Only a literal "0" selects auto (one per
+/// hardware thread); typos and negative values fall back to serial so a
+/// baseline bench run can never silently go wide.
+inline int num_threads() {
+  const char* env = std::getenv("ADVBIST_THREADS");
+  if (env == nullptr) return 1;
+  if (std::strcmp(env, "0") == 0) return 0;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 1;
 }
 
 inline core::SynthesizerOptions default_synth_options() {
   core::SynthesizerOptions o;
   o.solver.time_limit_seconds = time_limit_seconds();
+  o.solver.num_threads = num_threads();
   return o;
 }
 

@@ -1,0 +1,127 @@
+// Solver scaling sweep: threads x problem size over the built-in HLS
+// benchmarks, emitting machine-readable JSON (BENCH_solver.json) so future
+// PRs can diff nodes/sec against this one. Run via bench/run_bench.sh or the
+// CMake `bench` target.
+//
+// Environment knobs:
+//   ADVBIST_BENCH_MODELS   comma-separated circuits (default fig1,tseng,paulin)
+//   ADVBIST_BENCH_THREADS  comma-separated thread counts (default 1,2,4)
+//   ADVBIST_BENCH_NODES    node budget per solve (default 1000)
+//   ADVBIST_BENCH_OUT      output directory for BENCH_solver.json (default .)
+//   ADVBIST_GIT_COMMIT     commit hash recorded in the JSON (default unknown)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/formulation.hpp"
+#include "hls/benchmarks.hpp"
+#include "ilp/solver.hpp"
+
+namespace {
+
+using namespace advbist;
+using bench::split_csv;
+
+struct Row {
+  std::string model;
+  int vars = 0;
+  int rows = 0;
+  int threads = 0;
+  long long nodes = 0;
+  long long lp_iterations = 0;
+  long long dropped_nodes = 0;
+  double seconds = 0.0;
+  double objective = 0.0;
+  std::string status;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> circuits =
+      split_csv(std::getenv("ADVBIST_BENCH_MODELS"), "fig1,tseng,paulin");
+  const std::vector<std::string> thread_list =
+      split_csv(std::getenv("ADVBIST_BENCH_THREADS"), "1,2,4");
+  long long node_budget = 1000;
+  if (const char* env = std::getenv("ADVBIST_BENCH_NODES"))
+    if (std::atoll(env) > 0) node_budget = std::atoll(env);
+  const char* out_env = std::getenv("ADVBIST_BENCH_OUT");
+  const std::string out_dir = out_env != nullptr && *out_env ? out_env : ".";
+  const char* commit_env = std::getenv("ADVBIST_GIT_COMMIT");
+  const std::string commit =
+      commit_env != nullptr && *commit_env ? commit_env : "unknown";
+
+  std::vector<Row> rows;
+  for (const std::string& name : circuits) {
+    const hls::Benchmark b = hls::benchmark_by_name(name);
+    core::FormulationOptions fo;
+    fo.include_bist = true;
+    fo.k = 2;
+    const core::Formulation f(b.dfg, b.modules, fo);
+    for (const std::string& t : thread_list) {
+      ilp::Options opt;
+      // Mirror bench::num_threads(): only a literal "0" selects auto;
+      // typos fall back to serial so the recorded baseline stays serial.
+      const int n = std::atoi(t.c_str());
+      opt.num_threads = (n > 0 || t == "0") ? n : 1;
+      opt.node_limit = node_budget;
+      opt.time_limit_seconds = 120.0;
+      const ilp::Solution s = ilp::Solver(opt).solve(f.model());
+      Row row;
+      row.model = name;
+      row.vars = f.model().num_variables();
+      row.rows = f.model().num_constraints();
+      row.threads = s.stats.threads;
+      row.nodes = s.stats.nodes;
+      row.lp_iterations = s.stats.lp_iterations;
+      row.dropped_nodes = s.stats.dropped_nodes;
+      row.seconds = s.stats.seconds;
+      row.objective = s.has_solution() ? s.objective : 0.0;
+      row.status = ilp::to_string(s.status);
+      rows.push_back(row);
+      std::printf("%-8s threads=%d nodes=%lld t=%.2fs nodes/s=%.0f (%s)\n",
+                  name.c_str(), row.threads, row.nodes, row.seconds,
+                  row.seconds > 0 ? row.nodes / row.seconds : 0.0,
+                  row.status.c_str());
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"commit\": \"" << commit << "\",\n";
+  json << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  json << "  \"node_budget\": " << node_budget << ",\n";
+  json << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"model\": \"%s\", \"vars\": %d, \"rows\": %d, \"threads\": %d, "
+        "\"nodes\": %lld, \"lp_iterations\": %lld, \"dropped_nodes\": %lld, "
+        "\"seconds\": %.4f, \"nodes_per_sec\": %.1f, \"objective\": %.6f, "
+        "\"status\": \"%s\"}%s\n",
+        r.model.c_str(), r.vars, r.rows, r.threads, r.nodes, r.lp_iterations,
+        r.dropped_nodes, r.seconds,
+        r.seconds > 0 ? r.nodes / r.seconds : 0.0, r.objective,
+        r.status.c_str(), i + 1 < rows.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ]\n}\n";
+
+  const std::string path = out_dir + "/BENCH_solver.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json.str();
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the ILP scaling sweep and writes BENCH_solver.json at the repo root,
+# stamped with the current commit, so successive PRs can diff solver
+# throughput (nodes/sec per model x thread count).
+#
+# Usage: bench/run_bench.sh [build-dir]   (default build dir: ./build)
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [[ ! -x "$build_dir/bench_ilp_scaling" ]]; then
+  echo "bench_ilp_scaling not found in $build_dir — building..." >&2
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" --target bench_ilp_scaling -j >/dev/null
+fi
+
+export ADVBIST_GIT_COMMIT=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
+export ADVBIST_BENCH_OUT="$repo_root"
+
+exec "$build_dir/bench_ilp_scaling"

@@ -30,7 +30,9 @@ struct SynthesisResult {
 };
 
 struct SynthesizerOptions {
-  ilp::Options solver;            ///< time/node limits etc.
+  /// Time/node limits, branch & bound threads (solver.num_threads) etc.
+  /// Every synthesis call runs its ILP with these settings.
+  ilp::Options solver;
   bist::CostModel cost = bist::CostModel::paper_8bit();
   bool symmetry_reduction = true;
   bool commutative_swaps = true;

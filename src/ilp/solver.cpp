@@ -1,8 +1,14 @@
 #include "ilp/solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
 #include <limits>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "ilp/presolve.hpp"
 #include "lp/simplex.hpp"
@@ -80,13 +86,290 @@ int pick_branching_variable(const Model& model, const std::vector<double>& x,
   return best;
 }
 
+int resolve_num_threads(int requested) {
+  // Only exactly 0 means auto; negative values (unset sentinels, parse
+  // slips) fall back to serial rather than silently going wide.
+  if (requested < 0) return 1;
+  int n = requested;
+  if (n == 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  return std::clamp(n, 1, 64);
+}
+
+/// State shared by every worker of one tree search. The node pool, the
+/// incumbent vector and the termination bookkeeping live under one mutex;
+/// the cutoff is additionally mirrored in an atomic so pruning tests never
+/// take the lock.
+struct SearchContext {
+  // --- immutable during the search ---
+  const Model* model = nullptr;    ///< presolved working model (branching)
+  const Options* options = nullptr;
+  std::vector<double> root_lb, root_ub;
+  bool integral_obj = false;
+  int num_workers = 1;
+  util::Stopwatch watch;
+
+  // --- node pool and termination (guarded by mutex) ---
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Node> pool;
+  long long pops_since_resort = 0;
+  int idle_workers = 0;
+  bool done = false;  ///< pool drained with every worker idle
+  bool stop = false;  ///< limit hit / unbounded root: abandon the search
+
+  // --- incumbent ---
+  std::atomic<double> cutoff{lp::kInfinity};
+  std::vector<double> incumbent;        ///< guarded by mutex
+  double dropped_bound = lp::kInfinity;  // min over dropped nodes (guarded)
+
+  // --- accounting ---
+  std::atomic<long long> nodes{0};
+  std::atomic<long long> lp_iterations{0};
+  std::atomic<long long> dropped_nodes{0};
+  std::atomic<bool> exhausted{true};
+  std::atomic<bool> root_unbounded{false};
+  std::atomic<bool> hit_time_limit{false};
+  std::atomic<bool> hit_node_limit{false};
+
+  // First worker exception (guarded by mutex); rethrown on the main thread.
+  std::exception_ptr failure;
+
+  [[nodiscard]] double node_bound(double lp_obj) const {
+    return integral_obj ? std::ceil(lp_obj - 1e-6) : lp_obj;
+  }
+  [[nodiscard]] bool prunable(double bound) const {
+    const double cut = cutoff.load(std::memory_order_relaxed);
+    if (!std::isfinite(cut)) return false;
+    return integral_obj ? bound >= cut - 0.5 : bound >= cut - 1e-9;
+  }
+};
+
+/// One search worker: a private warm-starting SimplexSolver plus the node it
+/// is currently plunging on. Workers share nodes through ctx_.pool — each
+/// branching keeps the child nearer the LP value local and publishes the
+/// other, so idle workers steal the "far" subtrees.
+class Worker {
+ public:
+  Worker(SearchContext& ctx, const Model& reduced)
+      : ctx_(ctx), simplex_(reduced) {}
+
+  void run() {
+    for (;;) {
+      std::optional<Node> node = take();
+      if (!node) return;
+      process(std::move(*node));
+    }
+  }
+
+ private:
+  std::optional<Node> take() {
+    std::unique_lock<std::mutex> lock(ctx_.mutex);
+    for (;;) {
+      if (ctx_.stop || ctx_.done) {
+        // Abandoned search: the local node still carries a valid open bound.
+        if (local_) {
+          ctx_.pool.push_back(std::move(*local_));
+          local_.reset();
+        }
+        return std::nullopt;
+      }
+      if (local_) {
+        Node n = std::move(*local_);
+        local_.reset();
+        return n;
+      }
+      if (!ctx_.pool.empty()) {
+        // Hybrid node selection: depth-first plunging finds incumbents
+        // fast; a periodic re-sort brings the best-bound open node to the
+        // top, which closes the proven gap the way best-first search does.
+        if (++ctx_.pops_since_resort >= 256 && ctx_.pool.size() > 1) {
+          ctx_.pops_since_resort = 0;
+          std::sort(ctx_.pool.begin(), ctx_.pool.end(),
+                    [](const Node& a, const Node& b) {
+                      return a.parent_bound > b.parent_bound;  // best at back
+                    });
+        }
+        Node n = std::move(ctx_.pool.back());
+        ctx_.pool.pop_back();
+        return n;
+      }
+      ++ctx_.idle_workers;
+      if (ctx_.idle_workers == ctx_.num_workers) {
+        ctx_.done = true;  // every worker idle over an empty pool: finished
+        ctx_.cv.notify_all();
+        return std::nullopt;
+      }
+      ctx_.cv.wait(lock, [&] {
+        return ctx_.stop || ctx_.done || !ctx_.pool.empty();
+      });
+      --ctx_.idle_workers;
+    }
+  }
+
+  /// Flags a limit hit: the search stops but `node` (and every worker's
+  /// local node) is returned to the pool so the final best-bound reduction
+  /// still sees it.
+  void signal_stop(Node node) {
+    std::lock_guard<std::mutex> lock(ctx_.mutex);
+    ctx_.stop = true;
+    ctx_.exhausted = false;
+    ctx_.pool.push_back(std::move(node));
+    ctx_.cv.notify_all();
+  }
+
+  void apply_node(const Node& node) {
+    for (const BoundChange& bc : applied_)
+      simplex_.set_variable_bounds(bc.var, ctx_.root_lb[bc.var],
+                                   ctx_.root_ub[bc.var]);
+    applied_ = node.changes;
+    for (const BoundChange& bc : applied_)
+      simplex_.set_variable_bounds(bc.var, bc.lower, bc.upper);
+  }
+
+  /// Installs a candidate incumbent (single writer section; the atomic
+  /// cutoff mirror keeps lock-free pruning reads consistent).
+  void offer_incumbent(double objective, std::vector<double> values) {
+    std::lock_guard<std::mutex> lock(ctx_.mutex);
+    if (objective < ctx_.cutoff.load(std::memory_order_relaxed) - 1e-12) {
+      ctx_.cutoff.store(objective, std::memory_order_relaxed);
+      ctx_.incumbent = std::move(values);
+      if (ctx_.options->verbose)
+        util::log_info() << "incumbent " << objective << " at node "
+                         << ctx_.nodes.load() << " (" << ctx_.watch.seconds()
+                         << "s)";
+    }
+  }
+
+  void process(Node node) {
+    const Options& opt = *ctx_.options;
+    if (opt.time_limit_seconds > 0 &&
+        ctx_.watch.seconds() > opt.time_limit_seconds) {
+      ctx_.hit_time_limit = true;
+      signal_stop(std::move(node));
+      return;
+    }
+    if (opt.node_limit >= 0 && ctx_.nodes.load() >= opt.node_limit) {
+      ctx_.hit_node_limit = true;
+      signal_stop(std::move(node));
+      return;
+    }
+    if (ctx_.prunable(node.parent_bound)) return;
+
+    apply_node(node);
+    ctx_.nodes.fetch_add(1);
+
+    LpResult lp = simplex_.solve();
+    ctx_.lp_iterations.fetch_add(lp.iterations);
+    if (lp.status == LpStatus::kInfeasible) return;
+    if (lp.status == LpStatus::kUnbounded) {
+      // Integer feasibility cannot rescue an unbounded relaxation at the
+      // root; deeper nodes inherit the verdict only if the root saw it.
+      if (node.depth == 0) {
+        ctx_.root_unbounded = true;
+        std::lock_guard<std::mutex> lock(ctx_.mutex);
+        ctx_.stop = true;
+        ctx_.cv.notify_all();
+      }
+      return;
+    }
+    if (lp.status == LpStatus::kIterLimit) {
+      util::log_warn() << "LP iteration limit at node " << ctx_.nodes.load()
+                       << "; dropping the node (optimality proof forfeited)";
+      // The subtree is abandoned unexplored: the search can no longer prove
+      // optimality or infeasibility, and the node's inherited bound must
+      // stay part of the final best-bound reduction.
+      ctx_.dropped_nodes.fetch_add(1);
+      ctx_.exhausted = false;
+      std::lock_guard<std::mutex> lock(ctx_.mutex);
+      ctx_.dropped_bound = std::min(ctx_.dropped_bound, node.parent_bound);
+      return;
+    }
+
+    const double bound = ctx_.node_bound(lp.objective);
+    if (ctx_.prunable(bound)) return;
+
+    const Model& model = *ctx_.model;
+    const int n = model.num_variables();
+
+    // Root rounding heuristic: cheap incumbent to seed pruning.
+    if (node.depth == 0 && opt.use_rounding_heuristic) {
+      std::vector<double> rounded = lp.x;
+      for (int v = 0; v < n; ++v)
+        if (model.variable(v).type == VarType::kInteger)
+          rounded[v] = std::round(rounded[v]);
+      if (model.max_violation(rounded, true) <= 1e-6) {
+        const double obj = model.objective_value(rounded);
+        offer_incumbent(obj, std::move(rounded));
+      }
+    }
+
+    const int branch_var = pick_branching_variable(
+        model, lp.x, opt.branch_priority, opt.integrality_tol);
+    if (branch_var < 0) {
+      // Integral LP optimum: new incumbent.
+      std::vector<double> values = std::move(lp.x);
+      for (int v = 0; v < n; ++v)
+        if (model.variable(v).type == VarType::kInteger)
+          values[v] = std::round(values[v]);
+      offer_incumbent(lp.objective, std::move(values));
+      return;
+    }
+
+    const double xv = lp.x[branch_var];
+    const double floor_v = std::floor(xv);
+    // Children: "down" (x <= floor) and "up" (x >= floor+1). The side
+    // nearer the LP value is plunged on locally; the other is published
+    // for any idle worker to steal.
+    Node down{node.changes, bound, node.depth + 1};
+    double cur_lo = ctx_.root_lb[branch_var], cur_hi = ctx_.root_ub[branch_var];
+    for (const BoundChange& bc : node.changes)
+      if (bc.var == branch_var) {
+        cur_lo = bc.lower;
+        cur_hi = bc.upper;
+      }
+    down.changes.push_back(BoundChange{branch_var, cur_lo, floor_v});
+    Node up{std::move(node.changes), bound, node.depth + 1};
+    up.changes.push_back(BoundChange{branch_var, floor_v + 1.0, cur_hi});
+
+    const bool down_first = (xv - floor_v) < 0.5;
+    Node& near = down_first ? down : up;
+    Node& far = down_first ? up : down;
+    local_ = std::move(near);
+    {
+      std::lock_guard<std::mutex> lock(ctx_.mutex);
+      ctx_.pool.push_back(std::move(far));
+    }
+    ctx_.cv.notify_one();
+  }
+
+  SearchContext& ctx_;
+  SimplexSolver simplex_;
+  std::vector<BoundChange> applied_;  ///< changes currently applied
+  std::optional<Node> local_;         ///< child being plunged on
+};
+
+/// Constructs and runs one worker, capturing any exception (including a
+/// throwing SimplexSolver constructor) into ctx.failure so the main thread
+/// can rethrow it after the join instead of std::terminate firing.
+void run_worker(SearchContext& ctx, const Model& reduced) {
+  try {
+    Worker(ctx, reduced).run();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(ctx.mutex);
+    if (!ctx.failure) ctx.failure = std::current_exception();
+    ctx.stop = true;
+    ctx.exhausted = false;
+    ctx.cv.notify_all();
+  }
+}
+
 }  // namespace
 
 Solver::Solver(Options options) : options_(std::move(options)) {}
 
 Solution Solver::solve(const Model& original) const {
-  util::Stopwatch watch;
   Solution sol;
+  SearchContext ctx;
 
   Model model = original;  // working copy: presolve mutates bounds
   if (!options_.branch_priority.empty())
@@ -101,7 +384,7 @@ Solution Solver::solve(const Model& original) const {
     sol.stats.presolve_redundant_rows = pre.redundant_rows;
     if (pre.infeasible) {
       sol.status = SolveStatus::kInfeasible;
-      sol.stats.seconds = watch.seconds();
+      sol.stats.seconds = ctx.watch.seconds();
       return sol;
     }
     row_redundant = std::move(pre.row_redundant);
@@ -109,7 +392,6 @@ Solution Solver::solve(const Model& original) const {
 
   // Build the simplex over the non-redundant rows.
   Model reduced;
-  std::vector<int> keep_rows;
   for (int v = 0; v < model.num_variables(); ++v) {
     const auto& def = model.variable(v);
     reduced.add_variable(def.lower, def.upper, def.objective, def.type,
@@ -121,178 +403,71 @@ Solution Solver::solve(const Model& original) const {
     lp::LinExpr expr;
     for (const auto& t : row.terms) expr.add(t.var, t.coeff);
     reduced.add_constraint(std::move(expr), row.sense, row.rhs, row.name);
-    keep_rows.push_back(c);
   }
 
-  SimplexSolver simplex(reduced);
-  const bool integral_obj = model.objective_is_integral();
   const int n = model.num_variables();
-
-  // Root bounds after presolve: the baseline that node changes overlay.
-  std::vector<double> root_lb(n), root_ub(n);
+  ctx.model = &model;
+  ctx.options = &options_;
+  ctx.integral_obj = model.objective_is_integral();
+  ctx.root_lb.resize(n);
+  ctx.root_ub.resize(n);
   for (int v = 0; v < n; ++v) {
-    root_lb[v] = model.variable(v).lower;
-    root_ub[v] = model.variable(v).upper;
+    ctx.root_lb[v] = model.variable(v).lower;
+    ctx.root_ub[v] = model.variable(v).upper;
   }
-
-  double cutoff = lp::kInfinity;  // incumbent objective (or seeded bound)
-  std::vector<double> incumbent;
   if (std::isfinite(options_.initial_cutoff)) {
     // Seeded bound: keep nodes that can still reach objective ==
     // initial_cutoff (callers pass a heuristic solution's value).
-    cutoff = options_.initial_cutoff + (integral_obj ? 1.0 : 1e-6);
+    ctx.cutoff = options_.initial_cutoff + (ctx.integral_obj ? 1.0 : 1e-6);
+  }
+  ctx.pool.push_back(Node{{}, -lp::kInfinity, 0});
+  ctx.num_workers = resolve_num_threads(options_.num_threads);
+  sol.stats.threads = ctx.num_workers;
+
+  if (ctx.num_workers == 1) {
+    run_worker(ctx, reduced);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(ctx.num_workers);
+    for (int t = 0; t < ctx.num_workers; ++t)
+      threads.emplace_back([&ctx, &reduced] { run_worker(ctx, reduced); });
+    for (std::thread& t : threads) t.join();
+  }
+  if (ctx.failure) std::rethrow_exception(ctx.failure);
+
+  // Deterministic single-threaded result reduction: every branch below
+  // reads the joined workers' state under no concurrency.
+  sol.stats.nodes = ctx.nodes.load();
+  sol.stats.lp_iterations = ctx.lp_iterations.load();
+  sol.stats.dropped_nodes = ctx.dropped_nodes.load();
+  sol.stats.hit_time_limit = ctx.hit_time_limit.load();
+  sol.stats.hit_node_limit = ctx.hit_node_limit.load();
+  sol.stats.seconds = ctx.watch.seconds();
+
+  if (ctx.root_unbounded.load()) {
+    sol.status = SolveStatus::kUnbounded;
+    return sol;
   }
 
-  auto node_bound = [&](double lp_obj) {
-    return integral_obj ? std::ceil(lp_obj - 1e-6) : lp_obj;
-  };
-  auto prunable = [&](double bound) {
-    if (!std::isfinite(cutoff)) return false;
-    return integral_obj ? bound >= cutoff - 0.5 : bound >= cutoff - 1e-9;
-  };
+  const bool exhausted = ctx.exhausted.load();
+  const double cutoff = ctx.cutoff.load();
 
-  std::vector<Node> stack;
-  stack.push_back(Node{{}, -lp::kInfinity, 0});
-
-  std::vector<BoundChange> applied;  // changes currently applied to simplex
-  auto apply_node = [&](const Node& node) {
-    for (const BoundChange& bc : applied)
-      simplex.set_variable_bounds(bc.var, root_lb[bc.var], root_ub[bc.var]);
-    applied = node.changes;
-    for (const BoundChange& bc : applied)
-      simplex.set_variable_bounds(bc.var, bc.lower, bc.upper);
-  };
-
-  bool exhausted = true;
-  long long nodes_since_resort = 0;
-  while (!stack.empty()) {
-    // Hybrid node selection: depth-first plunging finds incumbents fast;
-    // a periodic re-sort brings the best-bound open node to the top, which
-    // closes the proven gap the way best-first search does.
-    if (++nodes_since_resort >= 256 && stack.size() > 1) {
-      nodes_since_resort = 0;
-      std::sort(stack.begin(), stack.end(),
-                [](const Node& a, const Node& b) {
-                  return a.parent_bound > b.parent_bound;  // best at back
-                });
-    }
-    if (options_.time_limit_seconds > 0 &&
-        watch.seconds() > options_.time_limit_seconds) {
-      sol.stats.hit_time_limit = true;
-      exhausted = false;
-      break;
-    }
-    if (options_.node_limit >= 0 && sol.stats.nodes >= options_.node_limit) {
-      sol.stats.hit_node_limit = true;
-      exhausted = false;
-      break;
-    }
-
-    Node node = std::move(stack.back());
-    stack.pop_back();
-    if (prunable(node.parent_bound)) continue;
-
-    apply_node(node);
-    ++sol.stats.nodes;
-
-    LpResult lp = simplex.solve();
-    sol.stats.lp_iterations += lp.iterations;
-    if (lp.status == LpStatus::kInfeasible) continue;
-    if (lp.status == LpStatus::kUnbounded) {
-      // Integer feasibility cannot rescue an unbounded relaxation at the
-      // root; deeper nodes inherit the verdict only if the root saw it.
-      if (node.depth == 0) {
-        sol.status = SolveStatus::kUnbounded;
-        sol.stats.seconds = watch.seconds();
-        return sol;
-      }
-      continue;
-    }
-    if (lp.status == LpStatus::kIterLimit) {
-      util::log_warn() << "LP iteration limit at node " << sol.stats.nodes
-                       << "; branching without a bound";
-      // fall through with parent's bound (lp.x may be empty; cannot branch
-      // on values) — resolve by treating node as un-prunable leaf split on
-      // first free integer var at its bound midpoint.
-      continue;
-    }
-
-    const double bound = node_bound(lp.objective);
-    if (prunable(bound)) continue;
-
-    // Root rounding heuristic: cheap incumbent to seed pruning.
-    if (node.depth == 0 && options_.use_rounding_heuristic) {
-      std::vector<double> rounded = lp.x;
-      for (int v = 0; v < n; ++v)
-        if (model.variable(v).type == VarType::kInteger)
-          rounded[v] = std::round(rounded[v]);
-      if (model.max_violation(rounded, true) <= 1e-6) {
-        const double obj = model.objective_value(rounded);
-        if (obj < cutoff) {
-          cutoff = obj;
-          incumbent = rounded;
-        }
-      }
-    }
-
-    const int branch_var = pick_branching_variable(
-        model, lp.x, options_.branch_priority, options_.integrality_tol);
-    if (branch_var < 0) {
-      // Integral LP optimum: new incumbent.
-      if (lp.objective < cutoff - 1e-12) {
-        cutoff = lp.objective;
-        incumbent = lp.x;
-        for (int v = 0; v < n; ++v)
-          if (model.variable(v).type == VarType::kInteger)
-            incumbent[v] = std::round(incumbent[v]);
-        if (options_.verbose)
-          util::log_info() << "incumbent " << cutoff << " at node "
-                           << sol.stats.nodes << " (" << watch.seconds()
-                           << "s)";
-      }
-      continue;
-    }
-
-    const double xv = lp.x[branch_var];
-    const double floor_v = std::floor(xv);
-    // Children: "down" (x <= floor) and "up" (x >= floor+1). Explore the
-    // side nearer the LP value first (it is pushed last).
-    Node down{node.changes, bound, node.depth + 1};
-    double cur_lo = root_lb[branch_var], cur_hi = root_ub[branch_var];
-    for (const BoundChange& bc : node.changes)
-      if (bc.var == branch_var) {
-        cur_lo = bc.lower;
-        cur_hi = bc.upper;
-      }
-    down.changes.push_back(BoundChange{branch_var, cur_lo, floor_v});
-    Node up{node.changes, bound, node.depth + 1};
-    up.changes.push_back(BoundChange{branch_var, floor_v + 1.0, cur_hi});
-
-    const bool down_first = (xv - floor_v) < 0.5;
-    if (down_first) {
-      stack.push_back(std::move(up));
-      stack.push_back(std::move(down));
-    } else {
-      stack.push_back(std::move(down));
-      stack.push_back(std::move(up));
-    }
-  }
-
-  // Final bound: min over open nodes and, if exhausted, the incumbent.
+  // Final bound: min over open nodes, dropped nodes and, if exhausted, the
+  // incumbent.
   double best_bound = exhausted ? cutoff : lp::kInfinity;
-  for (const Node& open : stack)
+  for (const Node& open : ctx.pool)
     best_bound = std::min(best_bound, open.parent_bound);
-  if (stack.empty() && exhausted) best_bound = cutoff;
+  best_bound = std::min(best_bound, ctx.dropped_bound);
+  if (ctx.pool.empty() && exhausted) best_bound = cutoff;
   sol.stats.best_bound = best_bound;
-  sol.stats.seconds = watch.seconds();
 
-  if (!incumbent.empty()) {
-    sol.values = std::move(incumbent);
+  if (!ctx.incumbent.empty()) {
+    sol.values = std::move(ctx.incumbent);
     sol.objective = cutoff;
     const bool proven = exhausted ||
                         (std::isfinite(best_bound) &&
-                         (integral_obj ? best_bound >= cutoff - 0.5
-                                       : best_bound >= cutoff - 1e-9));
+                         (ctx.integral_obj ? best_bound >= cutoff - 0.5
+                                           : best_bound >= cutoff - 1e-9));
     sol.status = proven ? SolveStatus::kOptimal : SolveStatus::kFeasible;
     if (sol.status == SolveStatus::kOptimal) sol.stats.best_bound = cutoff;
   } else if (exhausted && !std::isfinite(options_.initial_cutoff)) {

@@ -7,6 +7,14 @@
 // are transistor counts, i.e. integers, so a node with LP bound 2151.2
 // proves nothing better than 2152 exists below it).
 //
+// With Options::num_threads > 1 the tree search runs on a pool of worker
+// threads. Each worker owns a private SimplexSolver (so every LP re-solve
+// warm-starts from that worker's last basis) and plunges depth-first on one
+// child while sharing the other through a central node pool that idle
+// workers steal from; the incumbent objective is a shared atomic cutoff.
+// Parallel and serial solves prove the same optimum — only the order nodes
+// are explored in (and therefore node counts) differs.
+//
 // The paper used CPLEX 6.0 with a 24 CPU-hour cap; this solver plays the
 // same role with laptop-scale caps. Time-limited solves report the best
 // incumbent and the remaining optimality gap, mirroring Table 2's
@@ -41,16 +49,25 @@ struct Options {
   /// whose relaxation bound cannot beat it are pruned from the start.
   /// Solutions with objective == initial_cutoff are still found.
   double initial_cutoff = lp::kInfinity;
+  /// Worker threads for the tree search. 1 = serial (in-process, no thread
+  /// spawn); 0 = one per hardware thread; negative = serial; capped at 64.
+  int num_threads = 1;
   bool verbose = false;
 };
 
 struct Stats {
   long long nodes = 0;
   long long lp_iterations = 0;
+  /// Nodes abandoned because their LP hit the iteration limit. A dropped
+  /// node forfeits the exhaustive-search proof; its inherited bound is
+  /// folded into best_bound, so optimality is only still claimed when that
+  /// bound already met the incumbent.
+  long long dropped_nodes = 0;
   double seconds = 0.0;
   double best_bound = -lp::kInfinity;  ///< proven lower bound (minimization)
   int presolve_fixed = 0;
   int presolve_redundant_rows = 0;
+  int threads = 1;  ///< worker threads actually used
   bool hit_time_limit = false;
   bool hit_node_limit = false;
 };

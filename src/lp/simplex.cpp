@@ -18,7 +18,6 @@ SimplexSolver::SimplexSolver(const Model& model, Options options)
   m_ = model.num_constraints();
   total_ = n_ + m_;
 
-  cols_.assign(n_, {});
   lb_.assign(total_, 0.0);
   ub_.assign(total_, 0.0);
   cost_.assign(total_, 0.0);
@@ -30,9 +29,22 @@ SimplexSolver::SimplexSolver(const Model& model, Options options)
     ub_[v] = def.upper;
     cost_[v] = def.objective;
   }
+
+  // Structural columns in CSC form: count, prefix-sum, fill.
+  col_start_.assign(n_ + 1, 0);
+  for (int r = 0; r < m_; ++r)
+    for (const Term& t : model.constraint(r).terms) ++col_start_[t.var + 1];
+  for (int v = 0; v < n_; ++v) col_start_[v + 1] += col_start_[v];
+  col_row_.assign(col_start_[n_], 0);
+  col_val_.assign(col_start_[n_], 0.0);
+  std::vector<int> fill(col_start_.begin(), col_start_.end() - 1);
   for (int r = 0; r < m_; ++r) {
     const ConstraintDef& c = model.constraint(r);
-    for (const Term& t : c.terms) cols_[t.var].push_back(Term{r, t.coeff});
+    for (const Term& t : c.terms) {
+      const int p = fill[t.var]++;
+      col_row_[p] = r;
+      col_val_[p] = t.coeff;
+    }
     rhs_[r] = c.rhs;
     const int slack = n_ + r;
     switch (c.sense) {
@@ -54,7 +66,9 @@ SimplexSolver::SimplexSolver(const Model& model, Options options)
   basis_.assign(m_, -1);
   vstat_.assign(total_, kAtLower);
   x_.assign(total_, 0.0);
-  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+  perm_.assign(m_, 0);
+  u_diag_.assign(m_, 0.0);
+  work_.assign(m_, 0.0);
 }
 
 void SimplexSolver::set_variable_bounds(int var, double lower, double upper) {
@@ -62,12 +76,20 @@ void SimplexSolver::set_variable_bounds(int var, double lower, double upper) {
   ADVBIST_REQUIRE(lower <= upper, "bounds crossed");
   lb_[var] = lower;
   ub_[var] = upper;
-  // A nonbasic variable must sit on one of its (possibly moved) bounds;
-  // phase 1 repairs any basic-variable violation at the next solve.
+  if (vstat_[var] == kBasic) return;
+  // A nonbasic variable must sit on one of its (possibly moved) bounds. If
+  // its bound became infinite, move it to the other bound — and keep
+  // vstat_ consistent with the value it actually sits at, otherwise the
+  // next warm start prices it against the wrong bound.
+  if (vstat_[var] == kAtUpper && !std::isfinite(upper)) {
+    vstat_[var] = kAtLower;
+  } else if (vstat_[var] == kAtLower && !std::isfinite(lower)) {
+    if (std::isfinite(upper)) vstat_[var] = kAtUpper;
+  }
   if (vstat_[var] == kAtLower)
-    x_[var] = lower;
-  else if (vstat_[var] == kAtUpper)
-    x_[var] = std::isfinite(upper) ? upper : lower;
+    x_[var] = std::isfinite(lower) ? lower : 0.0;  // free: pinned at 0
+  else
+    x_[var] = upper;
 }
 
 void SimplexSolver::invalidate_basis() { has_basis_ = false; }
@@ -89,10 +111,27 @@ void SimplexSolver::cold_start() {
     basis_[r] = n_ + r;
     vstat_[n_ + r] = kBasic;
   }
-  std::fill(binv_.begin(), binv_.end(), 0.0);
-  for (int r = 0; r < m_; ++r) binv_[static_cast<std::size_t>(r) * m_ + r] = 1.0;
+  // The all-slack basis is the identity: trivial factors, empty eta file.
+  l_start_.assign(m_ + 1, 0);
+  l_idx_.clear();
+  l_val_.clear();
+  u_start_.assign(m_ + 1, 0);
+  u_idx_.clear();
+  u_val_.clear();
+  u_diag_.assign(m_, 1.0);
+  for (int r = 0; r < m_; ++r) perm_[r] = r;
+  clear_etas();
+  candidates_.clear();
   pivots_since_refactor_ = 0;
   has_basis_ = true;
+}
+
+void SimplexSolver::clear_etas() {
+  eta_row_.clear();
+  eta_diag_.clear();
+  eta_start_.assign(1, 0);
+  eta_idx_.clear();
+  eta_val_.clear();
 }
 
 void SimplexSolver::compute_basic_values() {
@@ -100,112 +139,177 @@ void SimplexSolver::compute_basic_values() {
   std::vector<double> residual(rhs_);
   for (int v = 0; v < n_; ++v) {
     if (vstat_[v] == kBasic || x_[v] == 0.0) continue;
-    for (const Term& t : cols_[v]) residual[t.var] -= t.coeff * x_[v];
+    const double xv = x_[v];
+    for (int p = col_start_[v]; p < col_start_[v + 1]; ++p)
+      residual[col_row_[p]] -= col_val_[p] * xv;
   }
   for (int r = 0; r < m_; ++r) {
     const int slack = n_ + r;
-    if (vstat_[slack] != kBasic && x_[slack] != 0.0)
-      residual[r] -= x_[slack];
+    if (vstat_[slack] != kBasic && x_[slack] != 0.0) residual[r] -= x_[slack];
   }
-  for (int i = 0; i < m_; ++i) {
-    const double* row = binv_.data() + static_cast<std::size_t>(i) * m_;
-    double acc = 0.0;
-    for (int r = 0; r < m_; ++r) acc += row[r] * residual[r];
-    x_[basis_[i]] = acc;
-  }
+  ftran_vec(residual);
+  for (int i = 0; i < m_; ++i) x_[basis_[i]] = residual[i];
 }
 
 bool SimplexSolver::refactorize() {
-  // Gauss-Jordan on [B | I] -> [I | B^{-1}] with partial pivoting.
+  // Dense LU with partial pivoting, column-major (right-looking). Rows are
+  // physically swapped as pivots are chosen; perm_ records the mapping
+  // lu row i <- original row perm_[i]. The dense sweep is cheap in practice
+  // because zero multiplier columns are skipped; the factors are then
+  // compressed into sparse column arrays for the solves and the m*m
+  // scratch is released (it would otherwise dominate per-worker memory).
   const std::size_t mm = static_cast<std::size_t>(m_);
-  std::vector<double> work(mm * mm, 0.0);  // B, row-major
+  std::vector<double> lu(mm * mm, 0.0);
   for (int k = 0; k < m_; ++k) {
     const int col = basis_[k];
+    double* lucol = lu.data() + static_cast<std::size_t>(k) * mm;
     if (col < n_) {
-      for (const Term& t : cols_[col]) work[static_cast<std::size_t>(t.var) * mm + k] = t.coeff;
+      for (int p = col_start_[col]; p < col_start_[col + 1]; ++p)
+        lucol[col_row_[p]] = col_val_[p];
     } else {
-      work[static_cast<std::size_t>(col - n_) * mm + k] = 1.0;
+      lucol[col - n_] = 1.0;
     }
   }
-  std::vector<double>& inv = binv_;
-  std::fill(inv.begin(), inv.end(), 0.0);
-  for (int r = 0; r < m_; ++r) inv[static_cast<std::size_t>(r) * mm + r] = 1.0;
+  for (int r = 0; r < m_; ++r) perm_[r] = r;
 
-  for (int c = 0; c < m_; ++c) {
+  for (int k = 0; k < m_; ++k) {
+    double* colk = lu.data() + static_cast<std::size_t>(k) * mm;
     int prow = -1;
     double best = opt_.pivot_tol;
-    for (int r = c; r < m_; ++r) {
-      const double v = std::abs(work[static_cast<std::size_t>(r) * mm + c]);
+    for (int i = k; i < m_; ++i) {
+      const double v = std::abs(colk[i]);
       if (v > best) {
         best = v;
-        prow = r;
+        prow = i;
       }
     }
     if (prow < 0) return false;  // singular basis
-    if (prow != c) {
-      // Row swaps are premultiplications absorbed into the accumulated
-      // inverse; the basis (column) order is unaffected.
-      for (int j = 0; j < m_; ++j) {
-        std::swap(work[static_cast<std::size_t>(prow) * mm + j],
-                  work[static_cast<std::size_t>(c) * mm + j]);
-        std::swap(inv[static_cast<std::size_t>(prow) * mm + j],
-                  inv[static_cast<std::size_t>(c) * mm + j]);
-      }
+    if (prow != k) {
+      for (int j = 0; j < m_; ++j)
+        std::swap(lu[static_cast<std::size_t>(j) * mm + prow],
+                  lu[static_cast<std::size_t>(j) * mm + k]);
+      std::swap(perm_[prow], perm_[k]);
     }
-    const double piv = work[static_cast<std::size_t>(c) * mm + c];
-    const double inv_piv = 1.0 / piv;
-    for (int j = 0; j < m_; ++j) {
-      work[static_cast<std::size_t>(c) * mm + j] *= inv_piv;
-      inv[static_cast<std::size_t>(c) * mm + j] *= inv_piv;
-    }
-    for (int r = 0; r < m_; ++r) {
-      if (r == c) continue;
-      const double f = work[static_cast<std::size_t>(r) * mm + c];
-      if (f == 0.0) continue;
-      for (int j = 0; j < m_; ++j) {
-        work[static_cast<std::size_t>(r) * mm + j] -=
-            f * work[static_cast<std::size_t>(c) * mm + j];
-        inv[static_cast<std::size_t>(r) * mm + j] -=
-            f * inv[static_cast<std::size_t>(c) * mm + j];
-      }
+    const double inv_piv = 1.0 / colk[k];
+    for (int i = k + 1; i < m_; ++i) colk[i] *= inv_piv;
+    for (int j = k + 1; j < m_; ++j) {
+      double* colj = lu.data() + static_cast<std::size_t>(j) * mm;
+      const double ujk = colj[k];
+      if (ujk == 0.0) continue;
+      for (int i = k + 1; i < m_; ++i) colj[i] -= colk[i] * ujk;
     }
   }
+
+  // Compress L (unit diagonal implicit) and U into sparse columns.
+  l_start_.assign(m_ + 1, 0);
+  l_idx_.clear();
+  l_val_.clear();
+  u_start_.assign(m_ + 1, 0);
+  u_idx_.clear();
+  u_val_.clear();
+  for (int k = 0; k < m_; ++k) {
+    const double* colk = lu.data() + static_cast<std::size_t>(k) * mm;
+    for (int i = 0; i < k; ++i) {
+      if (colk[i] != 0.0) {
+        u_idx_.push_back(i);
+        u_val_.push_back(colk[i]);
+      }
+    }
+    u_diag_[k] = colk[k];
+    for (int i = k + 1; i < m_; ++i) {
+      if (colk[i] != 0.0) {
+        l_idx_.push_back(i);
+        l_val_.push_back(colk[i]);
+      }
+    }
+    u_start_[k + 1] = static_cast<int>(u_idx_.size());
+    l_start_[k + 1] = static_cast<int>(l_idx_.size());
+  }
+
+  clear_etas();
   pivots_since_refactor_ = 0;
+  ++stats_.refactorizations;
   return true;
+}
+
+void SimplexSolver::ftran_vec(std::vector<double>& v) const {
+  std::vector<double>& w = work_;
+  w.resize(m_);
+  for (int i = 0; i < m_; ++i) w[i] = v[perm_[i]];
+  // L solve (unit lower), sparse columns, skipping zero positions.
+  for (int k = 0; k < m_; ++k) {
+    const double wk = w[k];
+    if (wk == 0.0) continue;
+    for (int p = l_start_[k]; p < l_start_[k + 1]; ++p)
+      w[l_idx_[p]] -= l_val_[p] * wk;
+  }
+  // U solve.
+  for (int k = m_ - 1; k >= 0; --k) {
+    const double wk = w[k] / u_diag_[k];
+    w[k] = wk;
+    if (wk == 0.0) continue;
+    for (int p = u_start_[k]; p < u_start_[k + 1]; ++p)
+      w[u_idx_[p]] -= u_val_[p] * wk;
+  }
+  // Eta file, oldest first: w <- E^{-1} w.
+  const int num_etas = static_cast<int>(eta_row_.size());
+  for (int e = 0; e < num_etas; ++e) {
+    const int r = eta_row_[e];
+    const double wr = w[r] / eta_diag_[e];
+    if (wr != 0.0)
+      for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
+        w[eta_idx_[p]] -= eta_val_[p] * wr;
+    w[r] = wr;
+  }
+  v.swap(w);
 }
 
 void SimplexSolver::ftran(int col, std::vector<double>& w) const {
   w.assign(m_, 0.0);
-  const std::size_t mm = static_cast<std::size_t>(m_);
   if (col < n_) {
-    for (const Term& t : cols_[col]) {
-      const double a = t.coeff;
-      const int r = t.var;
-      for (int i = 0; i < m_; ++i) w[i] += a * binv_[static_cast<std::size_t>(i) * mm + r];
-    }
+    for (int p = col_start_[col]; p < col_start_[col + 1]; ++p)
+      w[col_row_[p]] = col_val_[p];
   } else {
-    const int r = col - n_;
-    for (int i = 0; i < m_; ++i) w[i] = binv_[static_cast<std::size_t>(i) * mm + r];
+    w[col - n_] = 1.0;
   }
+  ftran_vec(w);
 }
 
-void SimplexSolver::compute_duals(const std::vector<double>& cb,
-                                  std::vector<double>& y) const {
-  y.assign(m_, 0.0);
-  const std::size_t mm = static_cast<std::size_t>(m_);
-  for (int i = 0; i < m_; ++i) {
-    const double c = cb[i];
-    if (c == 0.0) continue;
-    const double* row = binv_.data() + static_cast<std::size_t>(i) * mm;
-    for (int j = 0; j < m_; ++j) y[j] += c * row[j];
+void SimplexSolver::btran(const std::vector<double>& cb,
+                          std::vector<double>& y) const {
+  std::vector<double>& z = work_;
+  z.assign(cb.begin(), cb.end());
+  // Eta file in reverse: z' <- z' E^{-1} touches only component `row`.
+  for (int e = static_cast<int>(eta_row_.size()) - 1; e >= 0; --e) {
+    const int r = eta_row_[e];
+    double zr = z[r];
+    for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
+      zr -= eta_val_[p] * z[eta_idx_[p]];
+    z[r] = zr / eta_diag_[e];
   }
+  // v' U = z' (forward over sparse columns), then u' L = v' (backward).
+  for (int j = 0; j < m_; ++j) {
+    double acc = z[j];
+    for (int p = u_start_[j]; p < u_start_[j + 1]; ++p)
+      acc -= z[u_idx_[p]] * u_val_[p];
+    z[j] = acc / u_diag_[j];
+  }
+  for (int j = m_ - 1; j >= 0; --j) {
+    double acc = z[j];
+    for (int p = l_start_[j]; p < l_start_[j + 1]; ++p)
+      acc -= z[l_idx_[p]] * l_val_[p];
+    z[j] = acc;
+  }
+  y.assign(m_, 0.0);
+  for (int i = 0; i < m_; ++i) y[perm_[i]] = z[i];
 }
 
 double SimplexSolver::reduced_cost(int col, const std::vector<double>& y,
                                    const std::vector<double>& cost) const {
   double d = cost[col];
   if (col < n_) {
-    for (const Term& t : cols_[col]) d -= y[t.var] * t.coeff;
+    for (int p = col_start_[col]; p < col_start_[col + 1]; ++p)
+      d -= y[col_row_[p]] * col_val_[p];
   } else {
     d -= y[col - n_];
   }
@@ -222,60 +326,110 @@ double SimplexSolver::infeasibility() const {
   return total;
 }
 
+int SimplexSolver::price_column(int j, const std::vector<double>& y,
+                                const std::vector<double>& cost,
+                                double& score) const {
+  if (vstat_[j] == kBasic) return 0;
+  if (lb_[j] == ub_[j]) return 0;  // fixed
+  const double d = reduced_cost(j, y, cost);
+  if (vstat_[j] == kAtLower && d < -opt_.opt_tol) {
+    score = -d;
+    return +1;  // increase from lower bound
+  }
+  if (vstat_[j] == kAtUpper && d > opt_.opt_tol) {
+    score = d;
+    return -1;  // decrease from upper bound
+  }
+  return 0;
+}
+
 int SimplexSolver::iterate(bool phase1, bool bland) {
   // --- cost vector for this phase ---
-  std::vector<double> phase_cost;
   const std::vector<double>* cost = &cost_;
   if (phase1) {
-    phase_cost.assign(total_, 0.0);
+    phase_cost_.assign(total_, 0.0);
     for (int i = 0; i < m_; ++i) {
       const int col = basis_[i];
       if (x_[col] < lb_[col] - opt_.feas_tol)
-        phase_cost[col] = -1.0;
+        phase_cost_[col] = -1.0;
       else if (x_[col] > ub_[col] + opt_.feas_tol)
-        phase_cost[col] = 1.0;
+        phase_cost_[col] = 1.0;
     }
-    cost = &phase_cost;
+    cost = &phase_cost_;
   }
 
-  // --- pricing ---
-  std::vector<double> cb(m_);
-  for (int i = 0; i < m_; ++i) cb[i] = (*cost)[basis_[i]];
-  std::vector<double> y;
-  compute_duals(cb, y);
+  // --- duals: one BTRAN per iteration ---
+  cb_.resize(m_);
+  for (int i = 0; i < m_; ++i) cb_[i] = (*cost)[basis_[i]];
+  btran(cb_, duals_);
+  const std::vector<double>& y = duals_;
 
+  // --- pricing ---
   int entering = -1;
   int dir = +1;  // +1: increase from lower, -1: decrease from upper
   double best_score = opt_.opt_tol;
-  for (int j = 0; j < total_; ++j) {
-    if (vstat_[j] == kBasic) continue;
-    if (lb_[j] == ub_[j]) continue;  // fixed
-    const double d = reduced_cost(j, y, *cost);
-    double score = 0.0;
-    int cand_dir = 0;
-    if (vstat_[j] == kAtLower && d < -opt_.opt_tol) {
-      score = -d;
-      cand_dir = +1;
-    } else if (vstat_[j] == kAtUpper && d > opt_.opt_tol) {
-      score = d;
-      cand_dir = -1;
+  if (bland) {
+    // Bland's rule: first eligible index, full scan — guarantees
+    // termination under degeneracy.
+    for (int j = 0; j < total_; ++j) {
+      double score = 0.0;
+      const int cand_dir = price_column(j, y, *cost, score);
+      if (cand_dir != 0) {
+        entering = j;
+        dir = cand_dir;
+        break;
+      }
     }
-    if (cand_dir == 0) continue;
-    if (bland) {  // first eligible index
-      entering = j;
-      dir = cand_dir;
-      break;
+  } else {
+    // 1) Re-price the surviving candidate list (cheap: a handful of
+    //    columns priced against the fresh duals). On small instances a
+    //    full Dantzig scan is already cheap and picks strictly better
+    //    pivots, so the list is bypassed there.
+    if (total_ <= 256) candidates_.clear();
+    std::size_t keep = 0;
+    for (const int j : candidates_) {
+      double score = 0.0;
+      const int cand_dir = price_column(j, y, *cost, score);
+      if (cand_dir == 0) continue;
+      candidates_[keep++] = j;
+      if (score > best_score) {
+        best_score = score;
+        entering = j;
+        dir = cand_dir;
+      }
     }
-    if (score > best_score) {
-      best_score = score;
-      entering = j;
-      dir = cand_dir;
+    candidates_.resize(keep);
+    // 2) Cursor-based block scan when the list went dry. Optimality is
+    //    only declared after a full wrap finds nothing eligible.
+    if (entering < 0) {
+      candidates_.clear();
+      const int block =  // columns per pricing block; small: one full scan
+          (total_ <= 256) ? total_ : std::clamp(total_ / 8, 32, 256);
+      constexpr int kTargetCandidates = 8;
+      int scanned = 0;
+      int j = (price_cursor_ < total_) ? price_cursor_ : 0;
+      while (scanned < total_) {
+        const int stop = std::min(scanned + block, total_);
+        for (; scanned < stop; ++scanned, j = (j + 1 == total_) ? 0 : j + 1) {
+          double score = 0.0;
+          const int cand_dir = price_column(j, y, *cost, score);
+          if (cand_dir == 0) continue;
+          candidates_.push_back(j);
+          if (score > best_score) {
+            best_score = score;
+            entering = j;
+            dir = cand_dir;
+          }
+        }
+        if (static_cast<int>(candidates_.size()) >= kTargetCandidates) break;
+      }
+      price_cursor_ = j;
     }
   }
   if (entering < 0) return 1;  // phase optimal
 
   // --- ratio test ---
-  std::vector<double> w;
+  std::vector<double>& w = wcol_;
   ftran(entering, w);
 
   double t_max = ub_[entering] - lb_[entering];  // bound flip distance
@@ -358,6 +512,7 @@ void SimplexSolver::pivot(int entering, int leaving_row, double t,
     // Bound flip: entering stays nonbasic at its opposite bound.
     vstat_[entering] = (entering_dir > 0) ? kAtUpper : kAtLower;
     x_[entering] = (entering_dir > 0) ? ub_[entering] : lb_[entering];
+    ++stats_.bound_flips;
     ++iterations_;
     return;
   }
@@ -370,37 +525,44 @@ void SimplexSolver::pivot(int entering, int leaving_row, double t,
   basis_[leaving_row] = entering;
   vstat_[entering] = kBasic;
 
-  // Update the explicit inverse: row ops making column `entering` the
-  // leaving_row-th unit vector in B^{-1} A.
+  // Product-form update: append one eta vector built from the FTRANed
+  // entering column. O(nnz(w)) instead of an O(m^2) dense-inverse update.
   const double alpha = w[leaving_row];
   ADVBIST_ENSURE(std::abs(alpha) > opt_.pivot_tol, "pivot element too small");
-  const std::size_t mm = static_cast<std::size_t>(m_);
-  double* prow = binv_.data() + static_cast<std::size_t>(leaving_row) * mm;
-  const double inv_alpha = 1.0 / alpha;
-  for (int j = 0; j < m_; ++j) prow[j] *= inv_alpha;
+  eta_row_.push_back(leaving_row);
+  eta_diag_.push_back(alpha);
   for (int i = 0; i < m_; ++i) {
-    if (i == leaving_row) continue;
-    const double f = w[i];
-    if (f == 0.0) continue;
-    double* row = binv_.data() + static_cast<std::size_t>(i) * mm;
-    for (int j = 0; j < m_; ++j) row[j] -= f * prow[j];
+    if (i == leaving_row || w[i] == 0.0) continue;
+    eta_idx_.push_back(i);
+    eta_val_.push_back(w[i]);
   }
+  eta_start_.push_back(static_cast<int>(eta_idx_.size()));
   ++pivots_since_refactor_;
+  ++stats_.basis_pivots;
   ++iterations_;
 }
 
 LpResult SimplexSolver::solve() {
   LpResult result;
   if (!has_basis_) cold_start();
-  if (m_ > 0 && pivots_since_refactor_ > 0) {
-    if (!refactorize()) cold_start();
-  }
+  // A warm start keeps the existing factorization + eta file: the basis did
+  // not change, only bounds. needs_refactor() below compacts when the eta
+  // file has grown past its budget.
   compute_basic_values();
 
   iterations_ = 0;
   degenerate_run_ = 0;
   constexpr int kBlandTrigger = 60;
   int cold_restarts = 0;
+
+  // The eta file is compacted on a pivot-count budget and on a fill budget:
+  // long FTRAN/BTRAN chains cost more than the refactorization they avoid.
+  const std::size_t max_eta_nnz =
+      std::max<std::size_t>(4096, 16 * static_cast<std::size_t>(m_));
+  auto needs_refactor = [&] {
+    return pivots_since_refactor_ >= opt_.refactor_every ||
+           eta_idx_.size() > max_eta_nnz;
+  };
 
   // ---- phase 1: drive basic-variable bound violations to zero ----
   while (infeasibility() > opt_.feas_tol) {
@@ -409,7 +571,7 @@ LpResult SimplexSolver::solve() {
       result.iterations = iterations_;
       return result;
     }
-    if (pivots_since_refactor_ >= opt_.refactor_every) {
+    if (needs_refactor()) {
       if (!refactorize()) {
         cold_start();
       }
@@ -443,7 +605,7 @@ LpResult SimplexSolver::solve() {
       result.iterations = iterations_;
       return result;
     }
-    if (pivots_since_refactor_ >= opt_.refactor_every) {
+    if (needs_refactor()) {
       if (!refactorize()) {
         cold_start();
         compute_basic_values();

@@ -1,23 +1,53 @@
-// Bounded-variable primal simplex with an explicit dense basis inverse.
+// Bounded-variable primal simplex with a product-form-of-inverse basis.
 //
 // Solves   min c'x   s.t.  row_lhs (sense) rhs,  l <= x <= u
 // over the continuous relaxation of a lp::Model (integrality is ignored;
 // branch & bound lives in src/ilp).
 //
-// Design notes:
-//  * Each constraint row gets a logical (slack) column, so the initial
-//    all-slack basis is always available and phase 1 starts from any basis.
+// Architecture (this is the hot path of every ILP node re-solve):
+//
+//  * Constraint matrix. Structural columns live in one contiguous CSC
+//    triplet (col_start_/col_row_/col_val_) instead of a vector-of-vectors,
+//    so pricing and FTRAN walk cache-line-friendly arrays. Each row also
+//    gets a logical (slack) column — a unit vector that is never stored —
+//    so the all-slack basis is always available and phase 1 can start from
+//    any basis.
+//
+//  * Basis representation. The basis inverse is never formed explicitly.
+//    A periodic refactorization computes an LU factorization of the basis
+//    matrix (dense column-major sweep with partial pivoting) and then
+//    compresses both factors into sparse column arrays — the bases seen in
+//    this project are slack-heavy, so L and U stay close to the identity
+//    and the compressed solves cost O(nnz) rather than O(m^2). Between
+//    refactorizations each pivot appends one sparse *eta vector* to a flat
+//    eta file (product form of the inverse). FTRAN solves B w = a as
+//    w = Ek^-1 ... E1^-1 (U^-1 L^-1 P a) and BTRAN solves y'B = c' by
+//    applying the eta file in reverse followed by the transposed triangular
+//    solves. A pivot therefore costs O(nnz(w)) instead of the O(m^2)
+//    dense-inverse update the first version of this file used. The eta file
+//    is compacted (refactorized away) every `refactor_every` pivots or when
+//    its fill grows past a multiple of m, whichever comes first — the same
+//    mechanism caps numerical drift; a basis unchanged across warm-started
+//    re-solves is never refactorized again.
+//
+//  * Pricing. A candidate list + cyclic block scan replaces full Dantzig
+//    pricing: iterate() first re-prices the surviving candidates from the
+//    previous pivot (a handful of columns), and only when none is still
+//    attractive scans forward from a roving cursor in blocks until it finds
+//    new candidates. Optimality is declared only after a full wrap of the
+//    cursor finds no eligible column, so the partial scan never changes the
+//    answer, only the order pivots are discovered in. After a run of
+//    degenerate pivots pricing falls back to Bland's rule (full scan, first
+//    eligible index) which guarantees termination.
+//
 //  * Phase 1 is the "composite objective" method: it minimizes the sum of
 //    bound infeasibilities of basic variables directly, which allows warm
 //    starting from an arbitrary basis after branch & bound tightens variable
 //    bounds — the dominant use of this class.
-//  * Anti-cycling: Dantzig pricing switches to Bland's rule after a run of
-//    degenerate pivots.
-//  * The dense basis inverse is refactorized periodically (Gauss-Jordan on
-//    the basis columns) to cap numerical drift.
 //
-// Problem sizes in this project are a few thousand rows/columns, well within
-// the dense-inverse regime.
+// Problem sizes in this project are a few thousand rows/columns; the dense
+// LU factor is affordable while the eta file keeps the per-pivot cost
+// proportional to actual fill.
 #pragma once
 
 #include <cstdint>
@@ -42,7 +72,7 @@ struct SimplexOptions {
   double opt_tol = 1e-7;    ///< reduced-cost optimality tolerance
   double pivot_tol = 1e-9;  ///< minimum acceptable pivot magnitude
   int max_iterations = 500000;
-  int refactor_every = 150;  ///< pivots between basis refactorizations
+  int refactor_every = 100;  ///< pivots between basis refactorizations
 };
 
 class SimplexSolver {
@@ -69,21 +99,39 @@ class SimplexSolver {
   /// Solves the LP relaxation (minimization).
   LpResult solve();
 
+  /// Cumulative factorization/pivot counters (never reset; cheap to keep).
+  struct Stats {
+    long long refactorizations = 0;
+    long long basis_pivots = 0;
+    long long bound_flips = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
  private:
   enum Status : std::int8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
 
   void cold_start();
+  void clear_etas();
   void compute_basic_values();
-  bool refactorize();  // rebuilds binv_ from basis_; false if singular
+  bool refactorize();  // rebuilds the LU factors from basis_; false if singular
+
+  /// In-place B^{-1} v for a dense vector indexed by original row; the
+  /// result is indexed by basis position.
+  void ftran_vec(std::vector<double>& v) const;
+  /// w = B^{-1} a_col for a (structural or slack) column.
   void ftran(int col, std::vector<double>& w) const;
-  /// Accumulates y = cB' * B^{-1} where cb[i] is the cost of the variable
-  /// basic in row i (only rows with nonzero cb contribute).
-  void compute_duals(const std::vector<double>& cb,
-                     std::vector<double>& y) const;
+  /// y' = cb' B^{-1}: cb is indexed by basis position, y by original row.
+  void btran(const std::vector<double>& cb, std::vector<double>& y) const;
+
   [[nodiscard]] double reduced_cost(int col, const std::vector<double>& y,
                                     const std::vector<double>& cost) const;
-  [[nodiscard]] double column_cost(int col) const { return cost_[col]; }
   [[nodiscard]] double infeasibility() const;
+
+  /// Pricing helper: eligibility of nonbasic column j under `cost`/duals
+  /// `y`. Returns +1/-1 entering direction, 0 if not eligible; `score` is
+  /// the Dantzig score |reduced cost|.
+  int price_column(int j, const std::vector<double>& y,
+                   const std::vector<double>& cost, double& score) const;
 
   /// One pricing+pivot step. `phase1` selects the composite objective.
   /// Returns: 0 = pivoted, 1 = no improving column (optimal for the phase),
@@ -97,21 +145,57 @@ class SimplexSolver {
   int n_ = 0;      // structural variables
   int m_ = 0;      // rows
   int total_ = 0;  // n_ + m_
-  std::vector<std::vector<Term>> cols_;  // structural columns: (row, coeff)
-  std::vector<double> lb_, ub_;          // size total_
-  std::vector<double> cost_;             // size total_ (phase-2 costs)
-  std::vector<double> rhs_;              // size m_
+  // Structural columns in compressed sparse column form.
+  std::vector<int> col_start_;   // size n_+1
+  std::vector<int> col_row_;     // row indices, size nnz
+  std::vector<double> col_val_;  // coefficients, size nnz
+  std::vector<double> lb_, ub_;  // size total_
+  std::vector<double> cost_;     // size total_ (phase-2 costs)
+  std::vector<double> rhs_;      // size m_
 
   // --- simplex state ---
   std::vector<int> basis_;          // size m_: column basic in each row
   std::vector<std::int8_t> vstat_;  // size total_
   std::vector<double> x_;           // size total_
-  std::vector<double> binv_;        // m_*m_ row-major
   bool has_basis_ = false;
   int pivots_since_refactor_ = 0;
   int iterations_ = 0;
   int degenerate_run_ = 0;
 
+  // --- basis factorization ---
+  // Refactorization runs a dense column-major LU with partial pivoting (the
+  // m*m scratch lives only inside refactorize()), then compresses both
+  // factors into sparse column arrays: the bases seen here are slack-heavy
+  // and the factors stay close to the identity, so FTRAN / BTRAN over the
+  // compressed columns cost O(nnz(L)+nnz(U)) instead of O(m^2) dense
+  // triangular solves.
+  std::vector<int> perm_;    // row permutation: lu row i <- original row perm_[i]
+  std::vector<int> l_start_, l_idx_;  // unit-L off-diagonal columns (i > k)
+  std::vector<double> l_val_;
+  std::vector<int> u_start_, u_idx_;  // U strictly-above-diagonal columns
+  std::vector<double> u_val_;
+  std::vector<double> u_diag_;        // U diagonal, size m_
+
+  // Eta file as a flat arena (no per-pivot allocation): eta k covers
+  // entries eta_start_[k] .. eta_start_[k+1] of eta_idx_/eta_val_.
+  std::vector<int> eta_row_;
+  std::vector<double> eta_diag_;
+  std::vector<int> eta_start_;  // size num_etas+1
+  std::vector<int> eta_idx_;
+  std::vector<double> eta_val_;
+
+  // --- partial pricing state ---
+  std::vector<int> candidates_;  // surviving candidate columns
+  int price_cursor_ = 0;         // roving start of the cyclic block scan
+
+  // --- scratch (avoid per-iteration allocation) ---
+  mutable std::vector<double> work_;        // ftran/btran solves
+  std::vector<double> phase_cost_;          // composite phase-1 objective
+  std::vector<double> duals_;               // y
+  std::vector<double> cb_;                  // basic costs
+  std::vector<double> wcol_;                // FTRANed entering column
+
+  Stats stats_;
   Options opt_;
 };
 

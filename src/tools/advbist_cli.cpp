@@ -1,9 +1,13 @@
 // advbist — command-line front end.
 //
-//   advbist synth   <circuit|file.dfg> [--k N] [--time S] [--verilog out.v]
-//   advbist sweep   <circuit|file.dfg> [--time S]        # all k, Table-2 row
-//   advbist compare <circuit|file.dfg> [--time S]        # vs the heuristics
+//   advbist synth   <circuit|file.dfg> [--k N] [--time S] [--threads N]
+//                                      [--verilog out.v]
+//   advbist sweep   <circuit|file.dfg> [--time S] [--threads N]  # all k
+//   advbist compare <circuit|file.dfg> [--time S] [--threads N]  # heuristics
 //   advbist print   <circuit>                            # dump .dfg text
+//
+// --threads N runs the branch & bound on N worker threads (0 = one per
+// hardware thread); parallel solves prove the same optimum as serial ones.
 //
 // <circuit> is a built-in benchmark name (fig1, tseng, paulin, fir6, iir3,
 // dct4, wavelet6); anything containing '.' is read as a .dfg text file.
@@ -38,7 +42,8 @@ hls::ParsedDesign load_design(const std::string& spec) {
 int usage() {
   std::fprintf(stderr,
                "usage: advbist <synth|sweep|compare|print> "
-               "<circuit|file.dfg> [--k N] [--time S] [--verilog out.v]\n");
+               "<circuit|file.dfg> [--k N] [--time S] [--threads N] "
+               "[--verilog out.v]\n");
   return 2;
 }
 
@@ -50,10 +55,17 @@ int main(int argc, char** argv) {
   const std::string spec = argv[2];
   int k = 1;
   double time_limit = 20.0;
+  int threads = 1;
   std::string verilog_path;
   for (int i = 3; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--k") == 0) k = std::atoi(argv[i + 1]);
     else if (std::strcmp(argv[i], "--time") == 0) time_limit = std::atof(argv[i + 1]);
+    else if (std::strcmp(argv[i], "--threads") == 0) {
+      // Only a literal "0" selects auto (one worker per hardware thread);
+      // typos and negatives fall back to serial rather than going wide.
+      const int n = std::atoi(argv[i + 1]);
+      threads = (n > 0 || std::strcmp(argv[i + 1], "0") == 0) ? n : 1;
+    }
     else if (std::strcmp(argv[i], "--verilog") == 0) verilog_path = argv[i + 1];
     else return usage();
   }
@@ -67,6 +79,7 @@ int main(int argc, char** argv) {
 
     core::SynthesizerOptions options;
     options.solver.time_limit_seconds = time_limit;
+    options.solver.num_threads = threads;
     const core::Synthesizer synth(design.dfg, design.modules, options);
     const core::SynthesisResult ref = synth.synthesize_reference();
     std::printf("%s: %d registers, %d modules, reference area %d%s\n",

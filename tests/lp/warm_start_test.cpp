@@ -1,0 +1,163 @@
+// Warm-start correctness: after any sequence of set_variable_bounds calls
+// the warm-started solve must agree (status and objective) with a cold
+// solve of the same model. Covers the regression where a nonbasic variable
+// whose bound became infinite kept a stale vstat and was priced against
+// the wrong bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace advbist::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+/// Cold reference: a fresh solver over `model` with `bounds` applied.
+LpResult cold_solve(const Model& model,
+                    const std::vector<std::pair<double, double>>& bounds) {
+  SimplexSolver solver(model);
+  for (int v = 0; v < model.num_variables(); ++v)
+    solver.set_variable_bounds(v, bounds[v].first, bounds[v].second);
+  solver.invalidate_basis();
+  return solver.solve();
+}
+
+TEST(WarmStart, RelaxUpperBoundToInfinityRepricesVariable) {
+  // min -x  s.t.  x + y <= 10,  y in [0,1],  x in [0,5].
+  // Optimal: x = 5 (nonbasic at its upper bound).
+  Model m;
+  const int x = m.add_variable(0, 5, -1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 1, 0, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kLessEqual, 10);
+
+  SimplexSolver solver(m);
+  LpResult first = solver.solve();
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  EXPECT_NEAR(first.objective, -5.0, kTol);
+  EXPECT_NEAR(first.x[x], 5.0, kTol);
+
+  // Relax x's upper bound to +inf: the variable was sitting at that bound,
+  // so the solver must migrate it to the lower bound *and* reprice it as
+  // at-lower, otherwise the warm solve stops at x = 0.
+  solver.set_variable_bounds(x, 0, kInfinity);
+  LpResult relaxed = solver.solve();
+  ASSERT_EQ(relaxed.status, LpStatus::kOptimal);
+  EXPECT_NEAR(relaxed.objective, -10.0, kTol);
+  EXPECT_NEAR(relaxed.x[x], 10.0, kTol);
+}
+
+TEST(WarmStart, RelaxLowerBoundToInfinityKeepsValueFinite) {
+  // min x  s.t.  x - y >= -10,  y in [0,1],  x in [-5, 5].
+  // Optimal: x = -5 at its lower bound. Relaxing the lower bound to -inf
+  // must not leave the nonbasic value at -inf.
+  Model m;
+  const int x = m.add_variable(-5, 5, 1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 1, 0, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, -1), Sense::kGreaterEqual, -10);
+
+  SimplexSolver solver(m);
+  LpResult first = solver.solve();
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  EXPECT_NEAR(first.objective, -5.0, kTol);
+
+  solver.set_variable_bounds(x, -kInfinity, 5);
+  LpResult relaxed = solver.solve();
+  ASSERT_EQ(relaxed.status, LpStatus::kOptimal);
+  EXPECT_NEAR(relaxed.objective, -10.0, kTol);
+  EXPECT_TRUE(std::isfinite(relaxed.x[x]));
+}
+
+TEST(WarmStart, TightenThenRelaxSequenceMatchesColdSolves) {
+  // Branch & bound's access pattern: repeatedly fix binaries to 0/1 and
+  // un-fix them again, warm-starting every re-solve.
+  Model m;
+  const int n = 6;
+  for (int v = 0; v < n; ++v)
+    m.add_variable(0, 1, (v % 2 == 0) ? -3.0 - v : 2.0 - v,
+                   VarType::kContinuous, "");
+  m.add_constraint(
+      LinExpr().add(0, 1).add(1, 2).add(2, 1).add(3, 1).add(4, 2).add(5, 1),
+      Sense::kLessEqual, 4);
+  m.add_constraint(LinExpr().add(0, 1).add(2, -1).add(4, 1),
+                   Sense::kGreaterEqual, 0);
+
+  SimplexSolver warm(m);
+  std::vector<std::pair<double, double>> bounds(n, {0.0, 1.0});
+  ASSERT_EQ(warm.solve().status, LpStatus::kOptimal);
+
+  const std::vector<std::vector<std::pair<int, std::pair<double, double>>>>
+      steps = {
+          {{0, {1.0, 1.0}}},                    // fix x0 = 1
+          {{2, {0.0, 0.0}}, {4, {1.0, 1.0}}},   // fix x2 = 0, x4 = 1
+          {{0, {0.0, 1.0}}},                    // un-fix x0
+          {{4, {0.0, 0.0}}},                    // flip x4 to 0
+          {{2, {0.0, 1.0}}, {4, {0.0, 1.0}}},   // relax everything back
+      };
+  for (const auto& step : steps) {
+    for (const auto& [var, bds] : step) {
+      bounds[var] = bds;
+      warm.set_variable_bounds(var, bds.first, bds.second);
+    }
+    const LpResult w = warm.solve();
+    const LpResult c = cold_solve(m, bounds);
+    ASSERT_EQ(w.status, c.status);
+    if (w.status == LpStatus::kOptimal)
+      EXPECT_NEAR(w.objective, c.objective, kTol);
+  }
+}
+
+TEST(WarmStart, RandomizedBoundSequencesMatchColdSolves) {
+  util::Rng rng(20260726ULL);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = rng.next_int(3, 8);
+    const int rows = rng.next_int(2, 6);
+    Model m;
+    for (int v = 0; v < n; ++v)
+      m.add_variable(0, rng.next_int(1, 3), rng.next_int(-5, 5),
+                     VarType::kContinuous, "");
+    for (int r = 0; r < rows; ++r) {
+      LinExpr e;
+      for (int v = 0; v < n; ++v) {
+        const int coeff = rng.next_int(-2, 3);
+        if (coeff != 0) e.add(v, coeff);
+      }
+      m.add_constraint(std::move(e), Sense::kLessEqual, rng.next_int(2, 8));
+    }
+
+    SimplexSolver warm(m);
+    std::vector<std::pair<double, double>> bounds(n);
+    for (int v = 0; v < n; ++v)
+      bounds[v] = {m.variable(v).lower, m.variable(v).upper};
+    warm.solve();
+
+    for (int step = 0; step < 8; ++step) {
+      const int var = rng.next_int(0, n - 1);
+      const double orig_ub = m.variable(var).upper;
+      std::pair<double, double> next;
+      switch (rng.next_int(0, 3)) {
+        case 0: next = {0.0, 0.0}; break;               // fix at lower
+        case 1: next = {orig_ub, orig_ub}; break;       // fix at upper
+        case 2: next = {0.0, orig_ub}; break;           // relax to original
+        default: next = {0.0, kInfinity}; break;        // open the top
+      }
+      bounds[var] = next;
+      warm.set_variable_bounds(var, next.first, next.second);
+
+      const LpResult w = warm.solve();
+      const LpResult c = cold_solve(m, bounds);
+      ASSERT_EQ(w.status, c.status)
+          << "trial " << trial << " step " << step;
+      if (w.status == LpStatus::kOptimal)
+        ASSERT_NEAR(w.objective, c.objective, 1e-5)
+            << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace advbist::lp
