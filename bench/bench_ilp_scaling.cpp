@@ -5,8 +5,16 @@
 //
 // Environment knobs:
 //   ADVBIST_BENCH_MODELS   comma-separated circuits (default fig1,tseng,paulin)
-//   ADVBIST_BENCH_THREADS  comma-separated thread counts (default 1,2,4)
+//   ADVBIST_BENCH_THREADS  comma-separated thread counts (default 1,2,4).
+//                          Counts above hardware_concurrency are skipped —
+//                          on an undersized container they would record
+//                          queueing overhead, not scaling — unless
+//                          ADVBIST_BENCH_OVERSUBSCRIBE=1 keeps them
+//                          (annotated "oversubscribed": true in the JSON).
 //   ADVBIST_BENCH_NODES    node budget per solve (default 1000)
+//   ADVBIST_BENCH_REFACTOR pivots between basis refactorizations (default:
+//                          solver default)
+//   ADVBIST_BENCH_DENSE_LU=1  disable the sparse Markowitz factorization
 //   ADVBIST_BENCH_OUT      output directory for BENCH_solver.json (default .)
 //   ADVBIST_GIT_COMMIT     commit hash recorded in the JSON (default unknown)
 #include <cstdio>
@@ -32,9 +40,13 @@ struct Row {
   int vars = 0;
   int rows = 0;
   int threads = 0;
+  bool oversubscribed = false;
   long long nodes = 0;
   long long lp_iterations = 0;
   long long dropped_nodes = 0;
+  long long refactorizations = 0;
+  long long sparse_refactorizations = 0;
+  double fill_ratio = 1.0;
   double seconds = 0.0;
   double objective = 0.0;
   std::string status;
@@ -50,11 +62,19 @@ int main() {
   long long node_budget = 1000;
   if (const char* env = std::getenv("ADVBIST_BENCH_NODES"))
     if (std::atoll(env) > 0) node_budget = std::atoll(env);
+  int refactor_every = 0;
+  if (const char* env = std::getenv("ADVBIST_BENCH_REFACTOR"))
+    if (std::atoi(env) > 0) refactor_every = std::atoi(env);
+  const char* dense_env = std::getenv("ADVBIST_BENCH_DENSE_LU");
+  const bool dense_lu = dense_env != nullptr && *dense_env == '1';
+  const char* over_env = std::getenv("ADVBIST_BENCH_OVERSUBSCRIBE");
+  const bool keep_oversubscribed = over_env != nullptr && *over_env == '1';
   const char* out_env = std::getenv("ADVBIST_BENCH_OUT");
   const std::string out_dir = out_env != nullptr && *out_env ? out_env : ".";
   const char* commit_env = std::getenv("ADVBIST_GIT_COMMIT");
   const std::string commit =
       commit_env != nullptr && *commit_env ? commit_env : "unknown";
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
 
   std::vector<Row> rows;
   for (const std::string& name : circuits) {
@@ -71,23 +91,40 @@ int main() {
       opt.num_threads = (n > 0 || t == "0") ? n : 1;
       opt.node_limit = node_budget;
       opt.time_limit_seconds = 120.0;
+      if (refactor_every > 0) opt.lp_refactor_every = refactor_every;
+      opt.lp_sparse_factorization = !dense_lu;
+      const bool oversub = hw > 0 && opt.num_threads > hw;
+      if (oversub && !keep_oversubscribed) {
+        // More workers than cores measures scheduler queueing, not solver
+        // scaling; a 1-CPU container would record it as a "scaling" row.
+        std::printf(
+            "%-8s threads=%d skipped (> hardware_concurrency=%d; set "
+            "ADVBIST_BENCH_OVERSUBSCRIBE=1 to record anyway)\n",
+            name.c_str(), opt.num_threads, hw);
+        continue;
+      }
       const ilp::Solution s = ilp::Solver(opt).solve(f.model());
       Row row;
       row.model = name;
       row.vars = f.model().num_variables();
       row.rows = f.model().num_constraints();
       row.threads = s.stats.threads;
+      row.oversubscribed = oversub;
       row.nodes = s.stats.nodes;
       row.lp_iterations = s.stats.lp_iterations;
       row.dropped_nodes = s.stats.dropped_nodes;
+      row.refactorizations = s.stats.lp_refactorizations;
+      row.sparse_refactorizations = s.stats.lp_sparse_refactorizations;
+      row.fill_ratio = s.stats.lp_fill_ratio;
       row.seconds = s.stats.seconds;
       row.objective = s.has_solution() ? s.objective : 0.0;
       row.status = ilp::to_string(s.status);
       rows.push_back(row);
-      std::printf("%-8s threads=%d nodes=%lld t=%.2fs nodes/s=%.0f (%s)\n",
-                  name.c_str(), row.threads, row.nodes, row.seconds,
-                  row.seconds > 0 ? row.nodes / row.seconds : 0.0,
-                  row.status.c_str());
+      std::printf(
+          "%-8s threads=%d nodes=%lld t=%.2fs nodes/s=%.0f fill=%.3f (%s)%s\n",
+          name.c_str(), row.threads, row.nodes, row.seconds,
+          row.seconds > 0 ? row.nodes / row.seconds : 0.0, row.fill_ratio,
+          row.status.c_str(), row.oversubscribed ? " [oversubscribed]" : "");
     }
   }
 
@@ -100,17 +137,20 @@ int main() {
   json << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"model\": \"%s\", \"vars\": %d, \"rows\": %d, \"threads\": %d, "
         "\"nodes\": %lld, \"lp_iterations\": %lld, \"dropped_nodes\": %lld, "
-        "\"seconds\": %.4f, \"nodes_per_sec\": %.1f, \"objective\": %.6f, "
-        "\"status\": \"%s\"}%s\n",
+        "\"refactorizations\": %lld, \"sparse_refactorizations\": %lld, "
+        "\"fill_ratio\": %.4f, \"seconds\": %.4f, \"nodes_per_sec\": %.1f, "
+        "\"objective\": %.6f, \"status\": \"%s\"%s}%s\n",
         r.model.c_str(), r.vars, r.rows, r.threads, r.nodes, r.lp_iterations,
-        r.dropped_nodes, r.seconds,
-        r.seconds > 0 ? r.nodes / r.seconds : 0.0, r.objective,
-        r.status.c_str(), i + 1 < rows.size() ? "," : "");
+        r.dropped_nodes, r.refactorizations, r.sparse_refactorizations,
+        r.fill_ratio, r.seconds, r.seconds > 0 ? r.nodes / r.seconds : 0.0,
+        r.objective, r.status.c_str(),
+        r.oversubscribed ? ", \"oversubscribed\": true" : "",
+        i + 1 < rows.size() ? "," : "");
     json << buf;
   }
   json << "  ]\n}\n";

@@ -3,6 +3,18 @@
 # stamped with the current commit, so successive PRs can diff solver
 # throughput (nodes/sec per model x thread count).
 #
+# Per-run JSON columns include the LP basis-factorization counters:
+#   refactorizations         total basis refactorizations across workers
+#   sparse_refactorizations  of those, via the sparse Markowitz elimination
+#   fill_ratio               mean nnz(L+U)/nnz(B) over refactorizations
+#                            (1.0 = no fill beyond the basis itself)
+# Factorization knobs: ADVBIST_BENCH_REFACTOR (pivots between
+# refactorizations), ADVBIST_BENCH_DENSE_LU=1 (dense sweep only).
+#
+# Thread counts above hardware_concurrency are skipped — a 1-CPU container
+# would record queueing overhead as a scaling row — unless
+# ADVBIST_BENCH_OVERSUBSCRIBE=1 keeps them (annotated in the JSON).
+#
 # Usage: bench/run_bench.sh [build-dir]   (default build dir: ./build)
 set -euo pipefail
 

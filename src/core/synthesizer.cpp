@@ -67,6 +67,7 @@ SynthesisResult Synthesizer::run(const Formulation& formulation,
   result.status = solution.status;
   result.seconds = watch.seconds();
   result.nodes = solution.stats.nodes;
+  result.solver_stats = solution.stats;
   result.hit_limit =
       solution.stats.hit_time_limit || solution.stats.hit_node_limit;
 

@@ -20,6 +20,8 @@ struct SynthesisResult {
   double seconds = 0.0;
   long long nodes = 0;
   bool hit_limit = false;     ///< the paper's "*" marker (time/node limit)
+  /// Full branch & bound counters (LP iterations, factorization/fill stats).
+  ilp::Stats solver_stats;
   /// True when the ILP hit its limit before any incumbent and the result is
   /// the seeding heuristic's design instead.
   bool from_heuristic_fallback = false;

@@ -122,6 +122,9 @@ struct SearchContext {
   std::vector<double> incumbent;        ///< guarded by mutex
   double dropped_bound = lp::kInfinity;  // min over dropped nodes (guarded)
 
+  // --- LP factorization counters, summed as workers retire (guarded) ---
+  lp::SimplexSolver::Stats lp_stats;
+
   // --- accounting ---
   std::atomic<long long> nodes{0};
   std::atomic<long long> lp_iterations{0};
@@ -151,7 +154,31 @@ struct SearchContext {
 class Worker {
  public:
   Worker(SearchContext& ctx, const Model& reduced)
-      : ctx_(ctx), simplex_(reduced) {}
+      : ctx_(ctx), simplex_(reduced, simplex_options(*ctx.options)) {}
+
+  ~Worker() {
+    // Fold this worker's factorization counters into the shared totals.
+    // Runs on normal retirement and on unwinding alike.
+    const lp::SimplexSolver::Stats& s = simplex_.stats();
+    std::lock_guard<std::mutex> lock(ctx_.mutex);
+    ctx_.lp_stats.refactorizations += s.refactorizations;
+    ctx_.lp_stats.sparse_refactorizations += s.sparse_refactorizations;
+    ctx_.lp_stats.dense_refactorizations += s.dense_refactorizations;
+    ctx_.lp_stats.sparse_fallbacks += s.sparse_fallbacks;
+    ctx_.lp_stats.pivot_rejections += s.pivot_rejections;
+    ctx_.lp_stats.factor_basis_nnz += s.factor_basis_nnz;
+    ctx_.lp_stats.factor_fill_nnz += s.factor_fill_nnz;
+    ctx_.lp_stats.basis_pivots += s.basis_pivots;
+    ctx_.lp_stats.bound_flips += s.bound_flips;
+  }
+
+  static lp::SimplexOptions simplex_options(const Options& opt) {
+    lp::SimplexOptions so;
+    so.refactor_every = std::max(1, opt.lp_refactor_every);
+    so.sparse_factorization = opt.lp_sparse_factorization;
+    so.markowitz_tol = opt.lp_markowitz_tol;
+    return so;
+  }
 
   void run() {
     for (;;) {
@@ -443,6 +470,11 @@ Solution Solver::solve(const Model& original) const {
   sol.stats.hit_time_limit = ctx.hit_time_limit.load();
   sol.stats.hit_node_limit = ctx.hit_node_limit.load();
   sol.stats.seconds = ctx.watch.seconds();
+  sol.stats.lp_refactorizations = ctx.lp_stats.refactorizations;
+  sol.stats.lp_sparse_refactorizations = ctx.lp_stats.sparse_refactorizations;
+  sol.stats.lp_sparse_fallbacks = ctx.lp_stats.sparse_fallbacks;
+  sol.stats.lp_pivot_rejections = ctx.lp_stats.pivot_rejections;
+  sol.stats.lp_fill_ratio = ctx.lp_stats.fill_ratio();
 
   if (ctx.root_unbounded.load()) {
     sol.status = SolveStatus::kUnbounded;

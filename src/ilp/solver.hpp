@@ -52,6 +52,14 @@ struct Options {
   /// Worker threads for the tree search. 1 = serial (in-process, no thread
   /// spawn); 0 = one per hardware thread; negative = serial; capped at 64.
   int num_threads = 1;
+  // --- LP basis-factorization knobs (forwarded to every worker's simplex,
+  // see lp::SimplexOptions) ---
+  /// Pivots between basis refactorizations (see lp::SimplexOptions).
+  int lp_refactor_every = 50;
+  /// Sparse Markowitz LU (default); false = dense partial-pivot sweep only.
+  bool lp_sparse_factorization = true;
+  /// Relative threshold-pivoting tolerance for Markowitz pivots in (0, 1].
+  double lp_markowitz_tol = 0.1;
   bool verbose = false;
 };
 
@@ -70,6 +78,14 @@ struct Stats {
   int threads = 1;  ///< worker threads actually used
   bool hit_time_limit = false;
   bool hit_node_limit = false;
+  // --- LP factorization counters, summed over all workers' simplex solvers
+  // (see lp::SimplexSolver::Stats) ---
+  long long lp_refactorizations = 0;
+  long long lp_sparse_refactorizations = 0;  ///< via Markowitz elimination
+  long long lp_sparse_fallbacks = 0;  ///< Markowitz singular -> dense sweep
+  long long lp_pivot_rejections = 0;  ///< threshold-rejected pivot candidates
+  /// Mean nnz(L+U) / nnz(B) over all refactorizations (1.0 = no fill).
+  double lp_fill_ratio = 1.0;
 };
 
 struct Solution {

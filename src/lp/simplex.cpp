@@ -67,8 +67,10 @@ SimplexSolver::SimplexSolver(const Model& model, Options options)
   vstat_.assign(total_, kAtLower);
   x_.assign(total_, 0.0);
   perm_.assign(m_, 0);
+  cperm_.assign(m_, 0);
   u_diag_.assign(m_, 0.0);
   work_.assign(m_, 0.0);
+  work2_.assign(m_, 0.0);
 }
 
 void SimplexSolver::set_variable_bounds(int var, double lower, double upper) {
@@ -120,6 +122,7 @@ void SimplexSolver::cold_start() {
   u_val_.clear();
   u_diag_.assign(m_, 1.0);
   for (int r = 0; r < m_; ++r) perm_[r] = r;
+  for (int r = 0; r < m_; ++r) cperm_[r] = r;
   clear_etas();
   candidates_.clear();
   pivots_since_refactor_ = 0;
@@ -152,6 +155,348 @@ void SimplexSolver::compute_basic_values() {
 }
 
 bool SimplexSolver::refactorize() {
+  if (opt_.sparse_factorization && opt_.markowitz_tol > 0.0) {
+    if (refactorize_markowitz()) return true;
+    // Markowitz flagged the basis singular (or numerically empty columns):
+    // the dense sweep gets a second opinion before the caller cold-starts.
+    ++stats_.sparse_fallbacks;
+  }
+  return refactorize_dense();
+}
+
+bool SimplexSolver::refactorize_markowitz() {
+  // Sparse right-looking LU with Markowitz pivoting and relative threshold
+  // stability (Suhl-style). Only the active submatrix (unpivoted rows x
+  // unpivoted columns) is stored and updated; entries freeze into L/U as
+  // their row/column is pivoted, so the work is proportional to fill. The
+  // two singleton phases pivot count-1 columns (no multipliers, no update)
+  // and count-1 rows (multipliers, no fill) first — slack-heavy bases
+  // triangularize almost entirely this way — and the residual bump is
+  // eliminated by Markowitz count (rowcount-1)*(colcount-1), smallest
+  // first, among threshold-admissible entries.
+  const int m = m_;
+  MarkowitzWorkspace& w = mw_;
+  w.rows.resize(m);
+  w.cl.resize(m);
+  w.ucols.resize(m);
+  for (int i = 0; i < m; ++i) w.rows[i].clear();
+  for (int j = 0; j < m; ++j) {
+    w.cl[j].clear();
+    w.ucols[j].clear();
+  }
+  w.rowcount.assign(m, 0);
+  w.colcount.assign(m, 0);
+  w.rowpos.assign(m, -1);
+  w.colpos.assign(m, -1);
+  w.colq.clear();
+  w.rowq.clear();
+  w.wrow.assign(m, 0.0);
+  w.mark.assign(m, 0);
+  w.hit.assign(m, 0);
+  w.rmark.assign(m, 0);
+  w.l_orig_rows.clear();
+  w.l_vals.clear();
+  w.l_starts.assign(1, 0);
+
+  long long basis_nnz = 0;
+  for (int j = 0; j < m; ++j) {
+    const int col = basis_[j];
+    if (col < n_) {
+      for (int p = col_start_[col]; p < col_start_[col + 1]; ++p) {
+        w.rows[col_row_[p]].emplace_back(j, col_val_[p]);
+        w.cl[j].push_back(col_row_[p]);
+      }
+    } else {
+      w.rows[col - n_].emplace_back(j, 1.0);
+      w.cl[j].push_back(col - n_);
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    w.rowcount[i] = static_cast<int>(w.rows[i].size());
+    basis_nnz += w.rowcount[i];
+    if (w.rowcount[i] == 1) w.rowq.push_back(i);
+  }
+  for (int j = 0; j < m; ++j) {
+    w.colcount[j] = static_cast<int>(w.cl[j].size());
+    if (w.colcount[j] == 1) w.colq.push_back(j);
+  }
+
+  const double mtol = std::clamp(opt_.markowitz_tol, 1e-4, 1.0);
+
+  // Finds the (value, row) of active column j while compacting stale cl
+  // entries; returns the number of active entries (== colcount[j]).
+  auto find_in_row = [&](int i, int j) -> std::pair<double, int> {
+    const auto& row = w.rows[i];
+    for (int p = 0; p < static_cast<int>(row.size()); ++p)
+      if (row[p].first == j) return {row[p].second, p};
+    return {0.0, -1};
+  };
+
+  // Freezes pivot row r (minus the pivot entry itself, already removed) at
+  // step k: its entries become U entries of their columns and leave the
+  // active column counts. Also scatters them for the elimination updates.
+  auto freeze_pivot_row = [&](int r, int k) {
+    w.pcols.clear();
+    for (const auto& [j, v] : w.rows[r]) {
+      w.ucols[j].emplace_back(k, v);
+      --w.colcount[j];
+      if (w.colcount[j] == 1 && w.colpos[j] < 0) w.colq.push_back(j);
+      w.wrow[j] = v;
+      w.mark[j] = 1;
+      w.pcols.push_back(j);
+    }
+  };
+
+  // Eliminates column c against the frozen pivot row (scattered in wrow):
+  // emits L multipliers and updates the still-active rows.
+  auto eliminate_column = [&](int c, int r, double piv) {
+    for (const int i : w.cl[c]) {
+      if (i == r || w.rowpos[i] >= 0) continue;  // stale: frozen row
+      auto [vi, pos] = find_in_row(i, c);
+      if (pos < 0) continue;  // stale: entry cancelled earlier
+      auto& row = w.rows[i];
+      row[pos] = row.back();
+      row.pop_back();
+      --w.rowcount[i];
+      const double mult = vi / piv;
+      w.l_orig_rows.push_back(i);
+      w.l_vals.push_back(mult);
+      if (!w.pcols.empty()) {
+        // row_i -= mult * pivot_row: update matching entries, then append
+        // fill-in for pivot-row columns the row did not yet touch.
+        for (auto& [j, vj] : row) {
+          if (!w.mark[j]) continue;
+          vj -= mult * w.wrow[j];
+          w.hit[j] = 1;
+        }
+        for (const int j : w.pcols) {
+          if (w.hit[j]) {
+            w.hit[j] = 0;
+            continue;
+          }
+          const double nv = -mult * w.wrow[j];
+          if (std::abs(nv) < 1e-14) continue;  // exact/near cancellation
+          row.emplace_back(j, nv);
+          w.cl[j].push_back(i);
+          ++w.rowcount[i];
+          ++w.colcount[j];
+        }
+      }
+      if (w.rowcount[i] == 1) w.rowq.push_back(i);
+    }
+    // Drop entries a cancellation drove to (near) zero so counts stay honest.
+    for (const int i : w.cl[c]) {
+      if (w.rowpos[i] >= 0) continue;
+      auto& row = w.rows[i];
+      for (int p = static_cast<int>(row.size()) - 1; p >= 0; --p) {
+        if (std::abs(row[p].second) >= 1e-14) continue;
+        const int j = row[p].first;
+        row[p] = row.back();
+        row.pop_back();
+        --w.rowcount[i];
+        --w.colcount[j];
+        if (w.rowcount[i] == 1) w.rowq.push_back(i);
+        if (w.colcount[j] == 1 && w.colpos[j] < 0) w.colq.push_back(j);
+      }
+    }
+    for (const int j : w.pcols) {
+      w.mark[j] = 0;
+      w.wrow[j] = 0.0;
+    }
+  };
+
+  // Scans active column j: column max magnitude plus the admissible entry
+  // with the smallest Markowitz cost, and the unrestricted best cost (what
+  // the threshold vetoed, for the rejection diagnostic). Compacts stale and
+  // duplicate cl entries in place — fill-in re-inserts can duplicate a row
+  // in the pattern, and an undeduplicated recount would corrupt colcount.
+  struct ColScan {
+    double colmax = 0.0;
+    int best_row = -1;
+    double best_val = 0.0;
+    long long best_cost = 0;
+    long long best_any_cost = -1;  ///< ignoring the threshold; -1 if empty
+  };
+  auto scan_column = [&](int j) -> ColScan {
+    ColScan s;
+    auto& pat = w.cl[j];
+    auto& entries = w.scan_entries;
+    entries.clear();
+    std::size_t keep = 0;
+    for (const int i : pat) {
+      if (w.rowpos[i] >= 0 || w.rmark[i]) continue;
+      auto [vi, pos] = find_in_row(i, j);
+      if (pos < 0) continue;
+      w.rmark[i] = 1;
+      pat[keep++] = i;
+      entries.emplace_back(i, vi);
+      s.colmax = std::max(s.colmax, std::abs(vi));
+    }
+    pat.resize(keep);
+    for (const int i : pat) w.rmark[i] = 0;
+    w.colcount[j] = static_cast<int>(keep);
+    const double admit = std::max(mtol * s.colmax, opt_.pivot_tol);
+    for (const auto& [i, vi] : entries) {
+      const long long cost = static_cast<long long>(w.rowcount[i] - 1) *
+                             (w.colcount[j] - 1);
+      if (s.best_any_cost < 0 || cost < s.best_any_cost)
+        s.best_any_cost = cost;
+      if (std::abs(vi) < admit) continue;
+      if (s.best_row < 0 || cost < s.best_cost ||
+          (cost == s.best_cost && std::abs(vi) > std::abs(s.best_val))) {
+        s.best_row = i;
+        s.best_val = vi;
+        s.best_cost = cost;
+      }
+    }
+    return s;
+  };
+
+  for (int k = 0; k < m; ++k) {
+    int pr = -1, pc = -1;
+    double piv = 0.0;
+
+    // Phase A1: singleton columns — a pivot with no multipliers and no
+    // update work; only the pivot row's other entries freeze into U.
+    while (!w.colq.empty() && pr < 0) {
+      const int j = w.colq.back();
+      w.colq.pop_back();
+      if (w.colpos[j] >= 0 || w.colcount[j] != 1) continue;
+      for (const int i : w.cl[j]) {
+        if (w.rowpos[i] >= 0) continue;
+        auto [vi, pos] = find_in_row(i, j);
+        if (pos < 0) continue;
+        if (std::abs(vi) <= opt_.pivot_tol) return false;  // singular
+        pr = i;
+        pc = j;
+        piv = vi;
+        auto& row = w.rows[i];
+        row[pos] = row.back();
+        row.pop_back();
+        break;
+      }
+      // colcount said one active entry exists; an empty scan means the
+      // active part of the column vanished (numerically) — singular.
+      if (pr < 0) return false;
+    }
+
+    // Phase A2: singleton rows — multipliers but zero fill-in. Subject to
+    // the relative threshold against the pivot column's other entries.
+    while (pr < 0 && !w.rowq.empty()) {
+      const int i = w.rowq.back();
+      w.rowq.pop_back();
+      if (w.rowpos[i] >= 0 || w.rowcount[i] != 1) continue;
+      const int j = w.rows[i].front().first;
+      const double vi = w.rows[i].front().second;
+      const ColScan s = scan_column(j);
+      if (std::abs(vi) <= opt_.pivot_tol ||
+          std::abs(vi) < mtol * s.colmax) {
+        ++stats_.pivot_rejections;
+        continue;  // unstable as a pivot; the bump phase will cover it
+      }
+      pr = i;
+      pc = j;
+      piv = vi;
+      w.rows[i].clear();
+    }
+
+    // Phase B: Markowitz search over the bump. Examine a handful of
+    // smallest-count active columns; fall back to a full scan when none of
+    // them yields an admissible pivot.
+    if (pr < 0) {
+      constexpr int kCandidates = 4;
+      int cand[kCandidates];
+      int ncand = 0;
+      for (int j = 0; j < m; ++j) {
+        if (w.colpos[j] >= 0) continue;
+        int at = ncand;
+        for (; at > 0 && w.colcount[cand[at - 1]] > w.colcount[j]; --at) {
+        }
+        if (at >= kCandidates) continue;
+        if (ncand < kCandidates) ++ncand;
+        for (int q = ncand - 1; q > at; --q) cand[q] = cand[q - 1];
+        cand[at] = j;
+      }
+      long long best_cost = 0;
+      double best_val = 0.0;
+      long long best_any = -1;  // cheapest cost the threshold may have vetoed
+      auto consider = [&](int j, const ColScan& s) {
+        if (s.best_any_cost >= 0 &&
+            (best_any < 0 || s.best_any_cost < best_any))
+          best_any = s.best_any_cost;
+        if (s.best_row < 0) return;
+        if (pr < 0 || s.best_cost < best_cost ||
+            (s.best_cost == best_cost &&
+             std::abs(s.best_val) > std::abs(best_val))) {
+          pr = s.best_row;
+          pc = j;
+          piv = s.best_val;
+          best_cost = s.best_cost;
+          best_val = s.best_val;
+        }
+      };
+      for (int q = 0; q < ncand; ++q) consider(cand[q], scan_column(cand[q]));
+      if (pr < 0) {
+        // None of the low-count candidates was admissible: full sweep.
+        for (int j = 0; j < m; ++j) {
+          if (w.colpos[j] >= 0) continue;
+          consider(j, scan_column(j));
+        }
+      }
+      if (pr < 0) return false;  // no admissible pivot anywhere: singular
+      // Diagnostic: the stability threshold forced a strictly costlier
+      // pivot this step (counted once per step, not per rescan).
+      if (best_any >= 0 && best_any < best_cost) ++stats_.pivot_rejections;
+      const auto [v, pos] = find_in_row(pr, pc);
+      auto& row = w.rows[pr];
+      row[pos] = row.back();
+      row.pop_back();
+    }
+
+    // Commit pivot (pr, pc) as step k and eliminate.
+    w.rowpos[pr] = k;
+    w.colpos[pc] = k;
+    perm_[k] = pr;
+    cperm_[k] = pc;
+    u_diag_[k] = piv;
+    freeze_pivot_row(pr, k);
+    eliminate_column(pc, pr, piv);
+    w.l_starts.push_back(static_cast<int>(w.l_orig_rows.size()));
+  }
+
+  // Emit the factors in the layout FTRAN/BTRAN consume. L row indices are
+  // remapped from original rows to their final pivot position (always > k
+  // since an eliminated row is pivoted after the step that eliminated it).
+  l_start_.assign(m + 1, 0);
+  l_idx_.clear();
+  l_val_.clear();
+  u_start_.assign(m + 1, 0);
+  u_idx_.clear();
+  u_val_.clear();
+  for (int k = 0; k < m; ++k) {
+    for (int p = w.l_starts[k]; p < w.l_starts[k + 1]; ++p) {
+      l_idx_.push_back(w.rowpos[w.l_orig_rows[p]]);
+      l_val_.push_back(w.l_vals[p]);
+    }
+    l_start_[k + 1] = static_cast<int>(l_idx_.size());
+    for (const auto& [step, v] : w.ucols[cperm_[k]]) {
+      u_idx_.push_back(step);
+      u_val_.push_back(v);
+    }
+    u_start_[k + 1] = static_cast<int>(u_idx_.size());
+  }
+
+  stats_.factor_basis_nnz += basis_nnz;
+  stats_.factor_fill_nnz +=
+      static_cast<long long>(l_idx_.size() + u_idx_.size()) + m - basis_nnz;
+  ++stats_.refactorizations;
+  ++stats_.sparse_refactorizations;
+  clear_etas();
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+bool SimplexSolver::refactorize_dense() {
   // Dense LU with partial pivoting, column-major (right-looking). Rows are
   // physically swapped as pivots are chosen; perm_ records the mapping
   // lu row i <- original row perm_[i]. The dense sweep is cheap in practice
@@ -160,17 +505,21 @@ bool SimplexSolver::refactorize() {
   // scratch is released (it would otherwise dominate per-worker memory).
   const std::size_t mm = static_cast<std::size_t>(m_);
   std::vector<double> lu(mm * mm, 0.0);
+  long long basis_nnz = 0;
   for (int k = 0; k < m_; ++k) {
     const int col = basis_[k];
     double* lucol = lu.data() + static_cast<std::size_t>(k) * mm;
     if (col < n_) {
       for (int p = col_start_[col]; p < col_start_[col + 1]; ++p)
         lucol[col_row_[p]] = col_val_[p];
+      basis_nnz += col_start_[col + 1] - col_start_[col];
     } else {
       lucol[col - n_] = 1.0;
+      ++basis_nnz;
     }
   }
   for (int r = 0; r < m_; ++r) perm_[r] = r;
+  for (int r = 0; r < m_; ++r) cperm_[r] = r;  // columns stay in basis order
 
   for (int k = 0; k < m_; ++k) {
     double* colk = lu.data() + static_cast<std::size_t>(k) * mm;
@@ -226,9 +575,13 @@ bool SimplexSolver::refactorize() {
     l_start_[k + 1] = static_cast<int>(l_idx_.size());
   }
 
+  stats_.factor_basis_nnz += basis_nnz;
+  stats_.factor_fill_nnz +=
+      static_cast<long long>(l_idx_.size() + u_idx_.size()) + m_ - basis_nnz;
+  ++stats_.refactorizations;
+  ++stats_.dense_refactorizations;
   clear_etas();
   pivots_since_refactor_ = 0;
-  ++stats_.refactorizations;
   return true;
 }
 
@@ -251,17 +604,19 @@ void SimplexSolver::ftran_vec(std::vector<double>& v) const {
     for (int p = u_start_[k]; p < u_start_[k + 1]; ++p)
       w[u_idx_[p]] -= u_val_[p] * wk;
   }
-  // Eta file, oldest first: w <- E^{-1} w.
+  // Scatter from factor-column order back to basis position (cperm_ is the
+  // identity after a dense sweep; the Markowitz path pivots columns freely).
+  for (int k = 0; k < m_; ++k) v[cperm_[k]] = w[k];
+  // Eta file, oldest first, in basis-position space: v <- E^{-1} v.
   const int num_etas = static_cast<int>(eta_row_.size());
   for (int e = 0; e < num_etas; ++e) {
     const int r = eta_row_[e];
-    const double wr = w[r] / eta_diag_[e];
-    if (wr != 0.0)
+    const double vr = v[r] / eta_diag_[e];
+    if (vr != 0.0)
       for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
-        w[eta_idx_[p]] -= eta_val_[p] * wr;
-    w[r] = wr;
+        v[eta_idx_[p]] -= eta_val_[p] * vr;
+    v[r] = vr;
   }
-  v.swap(w);
 }
 
 void SimplexSolver::ftran(int col, std::vector<double>& w) const {
@@ -277,9 +632,10 @@ void SimplexSolver::ftran(int col, std::vector<double>& w) const {
 
 void SimplexSolver::btran(const std::vector<double>& cb,
                           std::vector<double>& y) const {
-  std::vector<double>& z = work_;
+  std::vector<double>& z = work2_;
   z.assign(cb.begin(), cb.end());
-  // Eta file in reverse: z' <- z' E^{-1} touches only component `row`.
+  // Eta file in reverse, in basis-position space: z' <- z' E^{-1} touches
+  // only component `row`.
   for (int e = static_cast<int>(eta_row_.size()) - 1; e >= 0; --e) {
     const int r = eta_row_[e];
     double zr = z[r];
@@ -287,21 +643,25 @@ void SimplexSolver::btran(const std::vector<double>& cb,
       zr -= eta_val_[p] * z[eta_idx_[p]];
     z[r] = zr / eta_diag_[e];
   }
-  // v' U = z' (forward over sparse columns), then u' L = v' (backward).
+  // Gather into factor-column order before the transposed triangular solves.
+  std::vector<double>& q = work_;
+  q.resize(m_);
+  for (int k = 0; k < m_; ++k) q[k] = z[cperm_[k]];
+  // v' U = q' (forward over sparse columns), then u' L = v' (backward).
   for (int j = 0; j < m_; ++j) {
-    double acc = z[j];
+    double acc = q[j];
     for (int p = u_start_[j]; p < u_start_[j + 1]; ++p)
-      acc -= z[u_idx_[p]] * u_val_[p];
-    z[j] = acc / u_diag_[j];
+      acc -= q[u_idx_[p]] * u_val_[p];
+    q[j] = acc / u_diag_[j];
   }
   for (int j = m_ - 1; j >= 0; --j) {
-    double acc = z[j];
+    double acc = q[j];
     for (int p = l_start_[j]; p < l_start_[j + 1]; ++p)
-      acc -= z[l_idx_[p]] * l_val_[p];
-    z[j] = acc;
+      acc -= q[l_idx_[p]] * l_val_[p];
+    q[j] = acc;
   }
   y.assign(m_, 0.0);
-  for (int i = 0; i < m_; ++i) y[perm_[i]] = z[i];
+  for (int i = 0; i < m_; ++i) y[perm_[i]] = q[i];
 }
 
 double SimplexSolver::reduced_cost(int col, const std::vector<double>& y,
@@ -647,6 +1007,43 @@ LpResult SimplexSolver::solve() {
   for (int v = 0; v < n_; ++v) obj += cost_[v] * x_[v];
   result.objective = obj;
   return result;
+}
+
+bool SimplexSolver::refactorize_for_testing() {
+  if (!has_basis_) cold_start();
+  if (refactorize()) return true;
+  cold_start();
+  return false;
+}
+
+std::vector<double> SimplexSolver::ftran_for_testing(
+    std::vector<double> rhs) const {
+  ADVBIST_REQUIRE(static_cast<int>(rhs.size()) == m_, "rhs size");
+  ftran_vec(rhs);
+  return rhs;
+}
+
+std::vector<double> SimplexSolver::btran_for_testing(
+    const std::vector<double>& cb) const {
+  ADVBIST_REQUIRE(static_cast<int>(cb.size()) == m_, "cb size");
+  std::vector<double> y;
+  btran(cb, y);
+  return y;
+}
+
+std::vector<double> SimplexSolver::dense_basis_for_testing() const {
+  std::vector<double> b(static_cast<std::size_t>(m_) * m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const int col = basis_[i];
+    double* c = b.data() + static_cast<std::size_t>(i) * m_;
+    if (col < n_) {
+      for (int p = col_start_[col]; p < col_start_[col + 1]; ++p)
+        c[col_row_[p]] = col_val_[p];
+    } else {
+      c[col - n_] = 1.0;
+    }
+  }
+  return b;
 }
 
 }  // namespace advbist::lp

@@ -15,13 +15,27 @@
 //
 //  * Basis representation. The basis inverse is never formed explicitly.
 //    A periodic refactorization computes an LU factorization of the basis
-//    matrix (dense column-major sweep with partial pivoting) and then
-//    compresses both factors into sparse column arrays — the bases seen in
-//    this project are slack-heavy, so L and U stay close to the identity
-//    and the compressed solves cost O(nnz) rather than O(m^2). Between
+//    matrix and compresses both factors into sparse column arrays. The
+//    default factorization is a sparse Markowitz-pivoting elimination
+//    (Suhl-style): singleton columns and rows are pivoted first at zero
+//    fill-in cost — the bases seen in this project are slack-heavy, so this
+//    triangularization usually resolves almost the whole basis — and the
+//    remaining "bump" is eliminated choosing pivots that minimize the
+//    Markowitz count (rowcount-1)*(colcount-1) subject to a relative
+//    threshold |a_rc| >= markowitz_tol * max|a_*c| for stability. Row and
+//    column counts are maintained incrementally; only the active submatrix
+//    is updated, so the cost is proportional to fill, not m^2. A basis the
+//    Markowitz elimination flags as singular (or a markowitz_tol of 0 /
+//    sparse_factorization = false) falls back to the original dense
+//    column-major sweep with partial pivoting; a basis singular under both
+//    falls back to the all-slack cold-start basis. Both factorizations
+//    produce the same sparse-column L/U arrays (plus row/column pivot
+//    permutations) consumed by FTRAN/BTRAN, so the paths are
+//    interchangeable — tests/lp/factorization_diff_test.cpp pins them
+//    against each other and a dense-inverse reference. Between
 //    refactorizations each pivot appends one sparse *eta vector* to a flat
 //    eta file (product form of the inverse). FTRAN solves B w = a as
-//    w = Ek^-1 ... E1^-1 (U^-1 L^-1 P a) and BTRAN solves y'B = c' by
+//    w = Ek^-1 ... E1^-1 Q (U^-1 L^-1 P a) and BTRAN solves y'B = c' by
 //    applying the eta file in reverse followed by the transposed triangular
 //    solves. A pivot therefore costs O(nnz(w)) instead of the O(m^2)
 //    dense-inverse update the first version of this file used. The eta file
@@ -45,12 +59,13 @@
 //    starting from an arbitrary basis after branch & bound tightens variable
 //    bounds — the dominant use of this class.
 //
-// Problem sizes in this project are a few thousand rows/columns; the dense
-// LU factor is affordable while the eta file keeps the per-pivot cost
-// proportional to actual fill.
+// Problem sizes in this project are a few thousand rows/columns; the sparse
+// factorization keeps the refactorization cost proportional to fill while
+// the eta file keeps the per-pivot cost proportional to actual fill.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "lp/model.hpp"
@@ -72,7 +87,16 @@ struct SimplexOptions {
   double opt_tol = 1e-7;    ///< reduced-cost optimality tolerance
   double pivot_tol = 1e-9;  ///< minimum acceptable pivot magnitude
   int max_iterations = 500000;
-  int refactor_every = 100;  ///< pivots between basis refactorizations
+  /// Pivots between basis refactorizations. The sparse factorization made
+  /// compaction cheap, so a short interval (short eta file, fast
+  /// FTRAN/BTRAN) beats the dense-era default of 100.
+  int refactor_every = 50;
+  /// Use the sparse Markowitz factorization (false: dense sweep only).
+  bool sparse_factorization = true;
+  /// Relative threshold-pivoting tolerance in (0, 1]: a Markowitz pivot
+  /// candidate a_rc is admissible only if |a_rc| >= markowitz_tol times the
+  /// largest magnitude in its column. Larger = more stable, more fill.
+  double markowitz_tol = 0.1;
 };
 
 class SimplexSolver {
@@ -101,11 +125,50 @@ class SimplexSolver {
 
   /// Cumulative factorization/pivot counters (never reset; cheap to keep).
   struct Stats {
-    long long refactorizations = 0;
+    long long refactorizations = 0;          ///< successful refactorizations
+    long long sparse_refactorizations = 0;   ///< via Markowitz elimination
+    long long dense_refactorizations = 0;    ///< via the dense sweep
+    /// Markowitz flagged the basis singular and the dense sweep was tried.
+    long long sparse_fallbacks = 0;
+    /// Times the relative stability threshold changed a pivot choice: a
+    /// singleton-row candidate vetoed, or a bump step forced onto a
+    /// strictly costlier pivot (counted once per step, not per rescan).
+    long long pivot_rejections = 0;
+    /// Cumulative nnz of the factorized bases and of the extra L/U entries
+    /// beyond them; fill ratio = (basis + fill) / basis.
+    long long factor_basis_nnz = 0;
+    long long factor_fill_nnz = 0;
     long long basis_pivots = 0;
     long long bound_flips = 0;
+
+    /// Mean nnz(L+U) / nnz(B) over all refactorizations (1.0 = no fill).
+    [[nodiscard]] double fill_ratio() const {
+      return factor_basis_nnz > 0
+                 ? static_cast<double>(factor_basis_nnz + factor_fill_nnz) /
+                       static_cast<double>(factor_basis_nnz)
+                 : 1.0;
+    }
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // --- testing/diagnostic hooks (tests/lp/factorization_diff_test.cpp) ---
+  /// Forces an immediate refactorization of the current basis (cold-starting
+  /// one first if none exists). Returns false if the basis was singular
+  /// under both factorization paths (the solver then cold-starts).
+  bool refactorize_for_testing();
+  /// Solves B w = rhs with the current factorization + eta file. `rhs` is
+  /// indexed by original row; the result by basis position.
+  [[nodiscard]] std::vector<double> ftran_for_testing(
+      std::vector<double> rhs) const;
+  /// Solves y' B = cb'. `cb` is indexed by basis position; the result by
+  /// original row.
+  [[nodiscard]] std::vector<double> btran_for_testing(
+      const std::vector<double>& cb) const;
+  /// Dense column-major copy of the current basis matrix (m x m; column i
+  /// is the column of basis()[i]).
+  [[nodiscard]] std::vector<double> dense_basis_for_testing() const;
+  [[nodiscard]] int num_rows() const { return m_; }
+  [[nodiscard]] const std::vector<int>& basis() const { return basis_; }
 
  private:
   enum Status : std::int8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
@@ -113,7 +176,12 @@ class SimplexSolver {
   void cold_start();
   void clear_etas();
   void compute_basic_values();
-  bool refactorize();  // rebuilds the LU factors from basis_; false if singular
+  /// Rebuilds the LU factors from basis_: Markowitz first (when enabled),
+  /// dense sweep as the singularity fallback; false if both flag the basis
+  /// singular.
+  bool refactorize();
+  bool refactorize_markowitz();  // sparse elimination; false if singular
+  bool refactorize_dense();      // dense partial-pivot sweep; false if singular
 
   /// In-place B^{-1} v for a dense vector indexed by original row; the
   /// result is indexed by basis position.
@@ -163,13 +231,16 @@ class SimplexSolver {
   int degenerate_run_ = 0;
 
   // --- basis factorization ---
-  // Refactorization runs a dense column-major LU with partial pivoting (the
-  // m*m scratch lives only inside refactorize()), then compresses both
-  // factors into sparse column arrays: the bases seen here are slack-heavy
-  // and the factors stay close to the identity, so FTRAN / BTRAN over the
+  // Both refactorization paths (sparse Markowitz elimination; dense
+  // column-major sweep as fallback) emit the same compressed sparse-column
+  // factors of P B Q = L U: the bases seen here are slack-heavy and the
+  // factors stay close to the identity, so FTRAN / BTRAN over the
   // compressed columns cost O(nnz(L)+nnz(U)) instead of O(m^2) dense
-  // triangular solves.
-  std::vector<int> perm_;    // row permutation: lu row i <- original row perm_[i]
+  // triangular solves. perm_ is the row pivot order P, cperm_ the column
+  // pivot order Q (identity for the dense sweep, which pivots columns in
+  // basis order).
+  std::vector<int> perm_;   // row permutation: lu row i <- original row perm_[i]
+  std::vector<int> cperm_;  // col permutation: lu col k <- basis position cperm_[k]
   std::vector<int> l_start_, l_idx_;  // unit-L off-diagonal columns (i > k)
   std::vector<double> l_val_;
   std::vector<int> u_start_, u_idx_;  // U strictly-above-diagonal columns
@@ -190,10 +261,41 @@ class SimplexSolver {
 
   // --- scratch (avoid per-iteration allocation) ---
   mutable std::vector<double> work_;        // ftran/btran solves
+  mutable std::vector<double> work2_;       // second solve buffer (btran)
   std::vector<double> phase_cost_;          // composite phase-1 objective
   std::vector<double> duals_;               // y
   std::vector<double> cb_;                  // basic costs
   std::vector<double> wcol_;                // FTRANed entering column
+
+  // Markowitz elimination workspace, reused across refactorizations so the
+  // per-row vectors keep their capacity (no allocation churn in the hot
+  // path). Cleared, not shrunk, at the start of each factorization.
+  struct MarkowitzWorkspace {
+    // Active submatrix, row-wise with exact values; rows hold only active
+    // columns. cl[j] is the column's row pattern and may carry stale
+    // entries (frozen rows, cancelled entries) that are skipped/compacted
+    // lazily on scan.
+    std::vector<std::vector<std::pair<int, double>>> rows;
+    std::vector<std::vector<int>> cl;
+    std::vector<int> rowcount, colcount;
+    std::vector<int> rowpos, colpos;  // pivot step, -1 while active
+    std::vector<int> colq, rowq;      // singleton candidate stacks
+    // Scatter of the current pivot row during elimination.
+    std::vector<double> wrow;
+    std::vector<char> mark, hit;
+    std::vector<int> pcols;
+    // Row-seen marker + entry scratch for column scans (dedup + no churn).
+    std::vector<char> rmark;
+    std::vector<std::pair<int, double>> scan_entries;
+    // L accumulated in step order with *original* row indices (remapped to
+    // permuted positions once the full pivot order is known).
+    std::vector<int> l_orig_rows;
+    std::vector<double> l_vals;
+    std::vector<int> l_starts;
+    // U entries frozen per factor column as (pivot step, value).
+    std::vector<std::vector<std::pair<int, double>>> ucols;
+  };
+  MarkowitzWorkspace mw_;
 
   Stats stats_;
   Options opt_;

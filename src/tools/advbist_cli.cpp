@@ -9,9 +9,16 @@
 // --threads N runs the branch & bound on N worker threads (0 = one per
 // hardware thread); parallel solves prove the same optimum as serial ones.
 //
+// LP factorization knobs (all commands that solve):
+//   --refactor N   pivots between basis refactorizations (default 50)
+//   --mtol X       Markowitz threshold-pivoting tolerance in (0,1]
+//                  (default 0.1; larger = more stable, more fill)
+//   --dense-lu     disable the sparse Markowitz factorization (dense sweep)
+//
 // <circuit> is a built-in benchmark name (fig1, tseng, paulin, fir6, iir3,
 // dct4, wavelet6); anything containing '.' is read as a .dfg text file.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -43,7 +50,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: advbist <synth|sweep|compare|print> "
                "<circuit|file.dfg> [--k N] [--time S] [--threads N] "
-               "[--verilog out.v]\n");
+               "[--refactor N] [--mtol X] [--dense-lu] [--verilog out.v]\n");
   return 2;
 }
 
@@ -56,8 +63,16 @@ int main(int argc, char** argv) {
   int k = 1;
   double time_limit = 20.0;
   int threads = 1;
+  int refactor_every = 0;      // 0: keep the solver default
+  double markowitz_tol = 0.0;  // 0: keep the solver default
+  bool dense_lu = false;
   std::string verilog_path;
-  for (int i = 3; i + 1 < argc; i += 2) {
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dense-lu") == 0) {
+      dense_lu = true;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
     if (std::strcmp(argv[i], "--k") == 0) k = std::atoi(argv[i + 1]);
     else if (std::strcmp(argv[i], "--time") == 0) time_limit = std::atof(argv[i + 1]);
     else if (std::strcmp(argv[i], "--threads") == 0) {
@@ -66,8 +81,26 @@ int main(int argc, char** argv) {
       const int n = std::atoi(argv[i + 1]);
       threads = (n > 0 || std::strcmp(argv[i + 1], "0") == 0) ? n : 1;
     }
+    else if (std::strcmp(argv[i], "--refactor") == 0) {
+      char* end = nullptr;
+      refactor_every = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || refactor_every < 1) {
+        std::fprintf(stderr, "advbist: --refactor wants an integer >= 1\n");
+        return usage();
+      }
+    }
+    else if (std::strcmp(argv[i], "--mtol") == 0) {
+      char* end = nullptr;
+      markowitz_tol = std::strtod(argv[i + 1], &end);
+      if (end == nullptr || *end != '\0' || markowitz_tol <= 0.0 ||
+          markowitz_tol > 1.0) {
+        std::fprintf(stderr, "advbist: --mtol wants a value in (0, 1]\n");
+        return usage();
+      }
+    }
     else if (std::strcmp(argv[i], "--verilog") == 0) verilog_path = argv[i + 1];
     else return usage();
+    ++i;
   }
 
   try {
@@ -80,6 +113,9 @@ int main(int argc, char** argv) {
     core::SynthesizerOptions options;
     options.solver.time_limit_seconds = time_limit;
     options.solver.num_threads = threads;
+    if (refactor_every > 0) options.solver.lp_refactor_every = refactor_every;
+    if (markowitz_tol > 0) options.solver.lp_markowitz_tol = markowitz_tol;
+    if (dense_lu) options.solver.lp_sparse_factorization = false;
     const core::Synthesizer synth(design.dfg, design.modules, options);
     const core::SynthesisResult ref = synth.synthesize_reference();
     std::printf("%s: %d registers, %d modules, reference area %d%s\n",
@@ -96,6 +132,15 @@ int main(int argc, char** argv) {
           r.design.area.tpgs, r.design.area.srs, r.design.area.bilbos,
           r.design.area.cbilbos, r.design.area.mux_inputs,
           r.hit_limit ? "*" : "", ilp::to_string(r.status).c_str(), r.nodes);
+      const ilp::Stats& st = r.solver_stats;
+      if (st.lp_refactorizations > 0)
+        std::printf(
+            "     lp: %lld iterations, %lld refactorizations (%lld sparse, "
+            "%lld dense fallbacks), fill %.3f, %lld pivot rejections, %d "
+            "threads\n",
+            st.lp_iterations, st.lp_refactorizations,
+            st.lp_sparse_refactorizations, st.lp_sparse_fallbacks,
+            st.lp_fill_ratio, st.lp_pivot_rejections, st.threads);
     };
 
     if (cmd == "synth") {
