@@ -12,11 +12,21 @@
 //                          ADVBIST_BENCH_OVERSUBSCRIBE=1 keeps them
 //                          (annotated "oversubscribed": true in the JSON).
 //   ADVBIST_BENCH_NODES    node budget per solve (default 1000)
+//   ADVBIST_BENCH_CUTS     0|1: run only the cuts-off or cuts-on config.
+//                          Unset: run BOTH per model x thread combination,
+//                          so the JSON carries an A/B pair ("cuts": bool)
+//                          and the cut win stays visible in the trajectory.
+//   ADVBIST_BENCH_CUT_ROUNDS    root separation rounds (default: solver)
+//   ADVBIST_BENCH_CUT_INTERVAL  in-tree separation interval (default: solver)
+//   ADVBIST_BENCH_MAX_CUTS      cuts per separation round (default: solver)
+//   ADVBIST_BENCH_PROBING=0     disable binary probing in the cuts-on config
+//   ADVBIST_BENCH_RCFIX=0       disable reduced-cost fixing in cuts-on
 //   ADVBIST_BENCH_REFACTOR pivots between basis refactorizations (default:
 //                          solver default)
 //   ADVBIST_BENCH_DENSE_LU=1  disable the sparse Markowitz factorization
 //   ADVBIST_BENCH_OUT      output directory for BENCH_solver.json (default .)
 //   ADVBIST_GIT_COMMIT     commit hash recorded in the JSON (default unknown)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -40,6 +50,7 @@ struct Row {
   int vars = 0;
   int rows = 0;
   int threads = 0;
+  bool cuts = false;
   bool oversubscribed = false;
   long long nodes = 0;
   long long lp_iterations = 0;
@@ -47,10 +58,39 @@ struct Row {
   long long refactorizations = 0;
   long long sparse_refactorizations = 0;
   double fill_ratio = 1.0;
+  long long cuts_applied = 0;
+  long long cuts_clique = 0;
+  long long cuts_cover = 0;
+  int probing_fixed = 0;
+  int rc_fixed = 0;
+  double root_gap_closed = 0.0;
+  double best_bound = 0.0;
+  double gap = 0.0;
   double seconds = 0.0;
   double objective = 0.0;
   std::string status;
 };
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name))
+    if (std::atoi(env) > 0) return std::atoi(env);
+  return fallback;
+}
+
+/// env_int that also honors an explicit "0" (a meaningful disable for the
+/// cut-rounds / cut-interval knobs, matching the CLI's --cut-* flags).
+int env_int_or_zero(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    if (env[0] == '0' && env[1] == '\0') return 0;
+    if (std::atoi(env) > 0) return std::atoi(env);
+  }
+  return fallback;
+}
+
+bool env_disabled(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && *env == '0';
+}
 
 }  // namespace
 
@@ -62,9 +102,7 @@ int main() {
   long long node_budget = 1000;
   if (const char* env = std::getenv("ADVBIST_BENCH_NODES"))
     if (std::atoll(env) > 0) node_budget = std::atoll(env);
-  int refactor_every = 0;
-  if (const char* env = std::getenv("ADVBIST_BENCH_REFACTOR"))
-    if (std::atoi(env) > 0) refactor_every = std::atoi(env);
+  const int refactor_every = env_int("ADVBIST_BENCH_REFACTOR", 0);
   const char* dense_env = std::getenv("ADVBIST_BENCH_DENSE_LU");
   const bool dense_lu = dense_env != nullptr && *dense_env == '1';
   const char* over_env = std::getenv("ADVBIST_BENCH_OVERSUBSCRIBE");
@@ -76,6 +114,23 @@ int main() {
       commit_env != nullptr && *commit_env ? commit_env : "unknown";
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
 
+  // Cuts A/B selection: "0" -> off only, "1" -> on only, unset -> both.
+  // Anything else is a typo; falling back to both keeps the A/B pair in
+  // the JSON instead of silently dropping one configuration.
+  std::vector<bool> cut_configs = {true, false};
+  if (const char* env = std::getenv("ADVBIST_BENCH_CUTS")) {
+    if (env[0] == '1' && env[1] == '\0') {
+      cut_configs = {true};
+    } else if (env[0] == '0' && env[1] == '\0') {
+      cut_configs = {false};
+    } else {
+      std::fprintf(stderr,
+                   "ADVBIST_BENCH_CUTS=%s not understood (want 0 or 1); "
+                   "recording both configurations\n",
+                   env);
+    }
+  }
+
   std::vector<Row> rows;
   for (const std::string& name : circuits) {
     const hls::Benchmark b = hls::benchmark_by_name(name);
@@ -84,47 +139,79 @@ int main() {
     fo.k = 2;
     const core::Formulation f(b.dfg, b.modules, fo);
     for (const std::string& t : thread_list) {
-      ilp::Options opt;
-      // Mirror bench::num_threads(): only a literal "0" selects auto;
-      // typos fall back to serial so the recorded baseline stays serial.
-      const int n = std::atoi(t.c_str());
-      opt.num_threads = (n > 0 || t == "0") ? n : 1;
-      opt.node_limit = node_budget;
-      opt.time_limit_seconds = 120.0;
-      if (refactor_every > 0) opt.lp_refactor_every = refactor_every;
-      opt.lp_sparse_factorization = !dense_lu;
-      const bool oversub = hw > 0 && opt.num_threads > hw;
-      if (oversub && !keep_oversubscribed) {
-        // More workers than cores measures scheduler queueing, not solver
-        // scaling; a 1-CPU container would record it as a "scaling" row.
+      for (const bool with_cuts : cut_configs) {
+        ilp::Options opt;
+        // Mirror bench::num_threads(): only a literal "0" selects auto;
+        // typos fall back to serial so the recorded baseline stays serial.
+        const int n = std::atoi(t.c_str());
+        opt.num_threads = (n > 0 || t == "0") ? n : 1;
+        opt.node_limit = node_budget;
+        opt.time_limit_seconds = 120.0;
+        if (refactor_every > 0) opt.lp_refactor_every = refactor_every;
+        opt.lp_sparse_factorization = !dense_lu;
+        if (with_cuts) {
+          opt.cut_rounds =
+              env_int_or_zero("ADVBIST_BENCH_CUT_ROUNDS", opt.cut_rounds);
+          opt.cut_node_interval = env_int_or_zero("ADVBIST_BENCH_CUT_INTERVAL",
+                                                  opt.cut_node_interval);
+          opt.max_cuts_per_round =
+              env_int("ADVBIST_BENCH_MAX_CUTS", opt.max_cuts_per_round);
+          opt.use_probing = !env_disabled("ADVBIST_BENCH_PROBING");
+          opt.use_rc_fixing = !env_disabled("ADVBIST_BENCH_RCFIX");
+        } else {
+          opt.cut_rounds = 0;
+          opt.cut_node_interval = 0;
+          opt.use_clique_cuts = false;
+          opt.use_cover_cuts = false;
+          opt.use_probing = false;
+          opt.use_rc_fixing = false;
+        }
+        const bool oversub = hw > 0 && opt.num_threads > hw;
+        if (oversub && !keep_oversubscribed) {
+          // More workers than cores measures scheduler queueing, not solver
+          // scaling; a 1-CPU container would record it as a "scaling" row.
+          std::printf(
+              "%-8s threads=%d skipped (> hardware_concurrency=%d; set "
+              "ADVBIST_BENCH_OVERSUBSCRIBE=1 to record anyway)\n",
+              name.c_str(), opt.num_threads, hw);
+          break;  // same for every cut config
+        }
+        const ilp::Solution s = ilp::Solver(opt).solve(f.model());
+        Row row;
+        row.model = name;
+        row.vars = f.model().num_variables();
+        row.rows = f.model().num_constraints();
+        row.threads = s.stats.threads;
+        row.cuts = with_cuts;
+        row.oversubscribed = oversub;
+        row.nodes = s.stats.nodes;
+        row.lp_iterations = s.stats.lp_iterations;
+        row.dropped_nodes = s.stats.dropped_nodes;
+        row.refactorizations = s.stats.lp_refactorizations;
+        row.sparse_refactorizations = s.stats.lp_sparse_refactorizations;
+        row.fill_ratio = s.stats.lp_fill_ratio;
+        row.cuts_clique = s.stats.cuts_clique_applied;
+        row.cuts_cover = s.stats.cuts_cover_applied;
+        row.cuts_applied =
+            s.stats.cuts_clique_applied + s.stats.cuts_cover_applied;
+        row.probing_fixed = s.stats.probing_fixed;
+        row.rc_fixed = s.stats.rc_fixed_root + s.stats.rc_fixed_incumbent;
+        row.root_gap_closed = s.stats.root_gap_closed;
+        row.best_bound =
+            std::isfinite(s.stats.best_bound) ? s.stats.best_bound : 0.0;
+        row.gap = std::isfinite(s.gap()) ? s.gap() : -1.0;
+        row.seconds = s.stats.seconds;
+        row.objective = s.has_solution() ? s.objective : 0.0;
+        row.status = ilp::to_string(s.status);
+        rows.push_back(row);
         std::printf(
-            "%-8s threads=%d skipped (> hardware_concurrency=%d; set "
-            "ADVBIST_BENCH_OVERSUBSCRIBE=1 to record anyway)\n",
-            name.c_str(), opt.num_threads, hw);
-        continue;
+            "%-8s threads=%d cuts=%d nodes=%lld t=%.2fs nodes/s=%.0f "
+            "cuts=%lld gap=%.4f (%s)%s\n",
+            name.c_str(), row.threads, with_cuts ? 1 : 0, row.nodes,
+            row.seconds, row.seconds > 0 ? row.nodes / row.seconds : 0.0,
+            row.cuts_applied, row.gap, row.status.c_str(),
+            row.oversubscribed ? " [oversubscribed]" : "");
       }
-      const ilp::Solution s = ilp::Solver(opt).solve(f.model());
-      Row row;
-      row.model = name;
-      row.vars = f.model().num_variables();
-      row.rows = f.model().num_constraints();
-      row.threads = s.stats.threads;
-      row.oversubscribed = oversub;
-      row.nodes = s.stats.nodes;
-      row.lp_iterations = s.stats.lp_iterations;
-      row.dropped_nodes = s.stats.dropped_nodes;
-      row.refactorizations = s.stats.lp_refactorizations;
-      row.sparse_refactorizations = s.stats.lp_sparse_refactorizations;
-      row.fill_ratio = s.stats.lp_fill_ratio;
-      row.seconds = s.stats.seconds;
-      row.objective = s.has_solution() ? s.objective : 0.0;
-      row.status = ilp::to_string(s.status);
-      rows.push_back(row);
-      std::printf(
-          "%-8s threads=%d nodes=%lld t=%.2fs nodes/s=%.0f fill=%.3f (%s)%s\n",
-          name.c_str(), row.threads, row.nodes, row.seconds,
-          row.seconds > 0 ? row.nodes / row.seconds : 0.0, row.fill_ratio,
-          row.status.c_str(), row.oversubscribed ? " [oversubscribed]" : "");
     }
   }
 
@@ -137,19 +224,24 @@ int main() {
   json << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[768];
+    char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"model\": \"%s\", \"vars\": %d, \"rows\": %d, \"threads\": %d, "
-        "\"nodes\": %lld, \"lp_iterations\": %lld, \"dropped_nodes\": %lld, "
-        "\"refactorizations\": %lld, \"sparse_refactorizations\": %lld, "
-        "\"fill_ratio\": %.4f, \"seconds\": %.4f, \"nodes_per_sec\": %.1f, "
-        "\"objective\": %.6f, \"status\": \"%s\"%s}%s\n",
-        r.model.c_str(), r.vars, r.rows, r.threads, r.nodes, r.lp_iterations,
-        r.dropped_nodes, r.refactorizations, r.sparse_refactorizations,
-        r.fill_ratio, r.seconds, r.seconds > 0 ? r.nodes / r.seconds : 0.0,
-        r.objective, r.status.c_str(),
-        r.oversubscribed ? ", \"oversubscribed\": true" : "",
+        "\"cuts\": %s, \"nodes\": %lld, \"lp_iterations\": %lld, "
+        "\"dropped_nodes\": %lld, \"refactorizations\": %lld, "
+        "\"sparse_refactorizations\": %lld, \"fill_ratio\": %.4f, "
+        "\"cuts_applied\": %lld, \"cuts_clique\": %lld, \"cuts_cover\": %lld, "
+        "\"probing_fixed\": %d, \"rc_fixed\": %d, \"root_gap_closed\": %.4f, "
+        "\"best_bound\": %.6f, \"gap\": %.6f, \"seconds\": %.4f, "
+        "\"nodes_per_sec\": %.1f, \"objective\": %.6f, \"status\": \"%s\"%s}%s\n",
+        r.model.c_str(), r.vars, r.rows, r.threads, r.cuts ? "true" : "false",
+        r.nodes, r.lp_iterations, r.dropped_nodes, r.refactorizations,
+        r.sparse_refactorizations, r.fill_ratio, r.cuts_applied, r.cuts_clique,
+        r.cuts_cover, r.probing_fixed, r.rc_fixed, r.root_gap_closed,
+        r.best_bound, r.gap, r.seconds,
+        r.seconds > 0 ? r.nodes / r.seconds : 0.0, r.objective,
+        r.status.c_str(), r.oversubscribed ? ", \"oversubscribed\": true" : "",
         i + 1 < rows.size() ? "," : "");
     json << buf;
   }

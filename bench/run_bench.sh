@@ -8,8 +8,22 @@
 #   sparse_refactorizations  of those, via the sparse Markowitz elimination
 #   fill_ratio               mean nnz(L+U)/nnz(B) over refactorizations
 #                            (1.0 = no fill beyond the basis itself)
+# and the cut-and-bound counters:
+#   cuts                     whether the cut/probing/rc-fixing stack ran
+#   cuts_applied/_clique/_cover  cutting planes appended to the LPs
+#   probing_fixed, rc_fixed  variables fixed by probing / reduced cost
+#   root_gap_closed          fraction of the root gap the cut loop closed
+#   best_bound, gap          proven bound and relative optimality gap
+#
+# By default every model x thread combination runs TWICE — cuts on and
+# cuts off — so the A/B pair lands in one BENCH_solver.json and the cut
+# win stays visible in the perf trajectory. ADVBIST_BENCH_CUTS=1 (or =0)
+# records only the one configuration.
+#
 # Factorization knobs: ADVBIST_BENCH_REFACTOR (pivots between
 # refactorizations), ADVBIST_BENCH_DENSE_LU=1 (dense sweep only).
+# Cut knobs: ADVBIST_BENCH_CUT_ROUNDS, ADVBIST_BENCH_CUT_INTERVAL,
+# ADVBIST_BENCH_MAX_CUTS, ADVBIST_BENCH_PROBING=0, ADVBIST_BENCH_RCFIX=0.
 #
 # Thread counts above hardware_concurrency are skipped — a 1-CPU container
 # would record queueing overhead as a scaling row — unless

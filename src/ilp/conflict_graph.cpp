@@ -1,0 +1,207 @@
+#include "ilp/conflict_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ilp/tolerances.hpp"
+#include "util/check.hpp"
+
+namespace advbist::ilp {
+
+using lp::ConstraintDef;
+using lp::Model;
+using lp::Sense;
+using lp::Term;
+using lp::VarType;
+
+ConflictGraph::ConflictGraph(int num_variables) { reset(num_variables); }
+
+void ConflictGraph::reset(int num_variables) {
+  adj_.assign(2 * static_cast<std::size_t>(num_variables), {});
+  num_edges_ = 0;
+  finalized_ = false;
+}
+
+void ConflictGraph::add_edge(int a, int b) {
+  if (a == b || lit_var(a) == lit_var(b)) return;
+  ADVBIST_REQUIRE(a >= 0 && a < static_cast<int>(adj_.size()) && b >= 0 &&
+                      b < static_cast<int>(adj_.size()),
+                  "literal out of range");
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  finalized_ = false;
+}
+
+void ConflictGraph::add_from_rows(const Model& model,
+                                  const std::vector<bool>& skip_row,
+                                  int max_row_length) {
+  const int n = model.num_variables();
+  if (static_cast<int>(adj_.size()) != 2 * n) reset(n);
+
+  // Candidate terms of one row: unfixed binaries with their coefficient.
+  std::vector<Term> bins;
+  for (int c = 0; c < model.num_constraints(); ++c) {
+    if (!skip_row.empty() && skip_row[c]) continue;
+    const ConstraintDef& row = model.constraint(c);
+    if (static_cast<int>(row.terms.size()) > max_row_length) continue;
+
+    // Fixed variables contribute constants; non-binary terms poison the
+    // pair logic only through their bound range, which we fold into the
+    // rest-activity below. Rows with any unbounded term are skipped.
+    double fixed_min = 0.0, fixed_max = 0.0;
+    bins.clear();
+    bool usable = true;
+    for (const Term& t : row.terms) {
+      const auto& v = model.variable(t.var);
+      if (!std::isfinite(v.lower) || !std::isfinite(v.upper)) {
+        usable = false;
+        break;
+      }
+      const bool binary = v.type == VarType::kInteger && v.lower >= 0.0 &&
+                          v.upper <= 1.0 && v.lower < v.upper;
+      if (binary) {
+        bins.push_back(t);
+      } else {
+        fixed_min += std::min(t.coeff * v.lower, t.coeff * v.upper);
+        fixed_max += std::max(t.coeff * v.lower, t.coeff * v.upper);
+      }
+    }
+    if (!usable || bins.size() < 2) continue;
+
+    // Minimum/maximum activity over the binary terms.
+    double bin_min = 0.0, bin_max = 0.0;
+    for (const Term& t : bins) {
+      bin_min += std::min(0.0, t.coeff);
+      bin_max += std::max(0.0, t.coeff);
+    }
+
+    const bool has_le = row.sense != Sense::kGreaterEqual;
+    const bool has_ge = row.sense != Sense::kLessEqual;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      for (std::size_t j = i + 1; j < bins.size(); ++j) {
+        const double ai = bins[i].coeff, aj = bins[j].coeff;
+        // Rest activity excluding variables i and j.
+        const double rest_min =
+            fixed_min + bin_min - std::min(0.0, ai) - std::min(0.0, aj);
+        const double rest_max =
+            fixed_max + bin_max - std::max(0.0, ai) - std::max(0.0, aj);
+        for (int vi = 0; vi <= 1; ++vi) {
+          for (int vj = 0; vj <= 1; ++vj) {
+            const double contrib = ai * vi + aj * vj;
+            const bool le_conflict =
+                has_le && rest_min + contrib > row.rhs + kActivityEps;
+            const bool ge_conflict =
+                has_ge && rest_max + contrib < row.rhs - kActivityEps;
+            if (le_conflict || ge_conflict)
+              add_edge(lit(bins[i].var, vi != 0), lit(bins[j].var, vj != 0));
+          }
+        }
+      }
+    }
+  }
+}
+
+void ConflictGraph::finalize() {
+  num_edges_ = 0;
+  for (auto& nb : adj_) {
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    num_edges_ += nb.size();
+  }
+  num_edges_ /= 2;
+  finalized_ = true;
+}
+
+bool ConflictGraph::conflicts_with(int a, int b) const {
+  ADVBIST_ENSURE(finalized_, "conflict graph queried before finalize()");
+  const auto& nb = adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  const int needle = adj_[a].size() <= adj_[b].size() ? b : a;
+  return std::binary_search(nb.begin(), nb.end(), needle);
+}
+
+std::vector<std::vector<int>> ConflictGraph::separate_cliques(
+    const std::vector<double>& x, double min_violation, int max_cuts) const {
+  ADVBIST_ENSURE(finalized_, "conflict graph queried before finalize()");
+  std::vector<std::vector<int>> cuts;
+  if (max_cuts <= 0 || num_edges_ == 0) return cuts;
+  const int num_lits = static_cast<int>(adj_.size());
+
+  auto weight = [&](int l) {
+    const double xv = x[lit_var(l)];
+    return lit_val(l) ? xv : 1.0 - xv;
+  };
+
+  // Seed order: literals with fractional weight, heaviest first. Literals
+  // at (or very near) an integer value of the wrong sign cannot start a
+  // violated clique, but may still join one during the greedy growth.
+  std::vector<int> order;
+  order.reserve(num_lits);
+  for (int l = 0; l < num_lits; ++l)
+    if (!adj_[l].empty() && weight(l) > kIntEps) order.push_back(l);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return weight(a) > weight(b);
+  });
+
+  std::vector<char> used_seed(num_lits, 0);
+  std::vector<int> clique, cand, next;
+  struct Found {
+    double violation;
+    std::vector<int> lits;
+  };
+  std::vector<Found> found;
+
+  // Greedy growth by running intersection: the candidate set is always the
+  // literals adjacent to *every* clique member (sorted by literal id), so
+  // each growth step is one pick plus one sorted-list intersection — the
+  // whole seed costs O(|clique| * deg(seed)) instead of a quadratic scan
+  // over all literals. Same-variable duplicates are impossible: a literal's
+  // adjacency never contains its own variable, so intersecting with a
+  // member's neighbors drops both literals of the member's variable.
+  for (const int seed : order) {
+    if (static_cast<int>(found.size()) >= 4 * max_cuts) break;
+    // A violated clique needs weight > 1 spread over its members; a seed
+    // this light cannot anchor one the heavier seeds did not already find.
+    if (weight(seed) < 0.05) break;
+    if (used_seed[seed]) continue;
+    clique.assign(1, seed);
+    double total = weight(seed);
+    cand = adj_[seed];
+    while (!cand.empty()) {
+      // Heaviest candidate joins (the candidate list stays id-sorted; the
+      // pick is a linear scan of an ever-shrinking list).
+      int best = cand.front();
+      double best_w = weight(best);
+      for (const int c : cand) {
+        const double w = weight(c);
+        if (w > best_w) {
+          best_w = w;
+          best = c;
+        }
+      }
+      clique.push_back(best);
+      total += best_w;
+      const std::vector<int>& nb = adj_[best];
+      next.clear();
+      std::set_intersection(cand.begin(), cand.end(), nb.begin(), nb.end(),
+                            std::back_inserter(next));
+      cand.swap(next);
+    }
+    // The loop ran to a maximal clique, so the zero-weight strengthening is
+    // already included; the violation check uses the summed weights.
+    if (clique.size() >= 2 && total > 1.0 + min_violation) {
+      for (const int member : clique) used_seed[member] = 1;
+      found.push_back(Found{total - 1.0, clique});
+    }
+  }
+
+  std::stable_sort(found.begin(), found.end(), [](const Found& a,
+                                                  const Found& b) {
+    return a.violation > b.violation;
+  });
+  if (static_cast<int>(found.size()) > max_cuts) found.resize(max_cuts);
+  cuts.reserve(found.size());
+  for (Found& f : found) cuts.push_back(std::move(f.lits));
+  return cuts;
+}
+
+}  // namespace advbist::ilp

@@ -1,0 +1,86 @@
+// Conflict graph over the 0/1 variables of a MILP.
+//
+// A node is a *literal* — a binary variable at a fixed value, lit(v, true)
+// meaning x_v = 1 and lit(v, false) meaning x_v = 0 — and an edge says the
+// two literals cannot hold in any integer-feasible point. Edges come from
+// two sources:
+//
+//  * Structural pair analysis of the rows. For a <=-row, literals (i, vi)
+//    and (j, vj) conflict when the row's minimum activity over the other
+//    variables plus a_i*vi + a_j*vj already exceeds the rhs; >=-rows are
+//    symmetric and equalities contribute both sides. This picks up the
+//    formulation's one-hot assignment rows (x_vr + x_vr' <= 1 after the
+//    = 1 split), the boundary clique rows, and the z <= x / zv <= s
+//    prevention-support pairs (zv = 1 conflicts with x = 0).
+//
+//  * Probing implications (see ilp/presolve.hpp): tentatively fixing a
+//    binary and propagating yields implications x = v  ->  y = w, recorded
+//    here as the edge (x, v) -- (y, !w).
+//
+// The payoff is clique-cut separation: a clique L in the graph admits at
+// most one true literal, so  sum_{(v,1) in L} x_v + sum_{(v,0) in L} (1-x_v)
+// <= 1  is valid for every integer-feasible point — and when the literals'
+// fractional weights sum past 1 the inequality cuts the LP point off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace advbist::ilp {
+
+class ConflictGraph {
+ public:
+  /// Literal id of binary variable `var` at value `val`.
+  static int lit(int var, bool val) { return 2 * var + (val ? 1 : 0); }
+  static int lit_var(int l) { return l >> 1; }
+  static bool lit_val(int l) { return (l & 1) != 0; }
+  /// The opposite literal of the same variable.
+  static int lit_neg(int l) { return l ^ 1; }
+
+  explicit ConflictGraph(int num_variables = 0);
+
+  void reset(int num_variables);
+
+  /// Records that literals `a` and `b` cannot both hold. Self-loops and
+  /// opposite-literal pairs of one variable are ignored (the latter is a
+  /// tautology, not a conflict). Duplicates are removed by finalize().
+  void add_edge(int a, int b);
+
+  /// Scans the rows of `model` (skipping indices flagged in `skip_row`, when
+  /// non-empty) for pairwise literal conflicts. Rows longer than
+  /// `max_row_length` are skipped — their pair set is quadratic and probing
+  /// covers them more cheaply. Call finalize() afterwards.
+  void add_from_rows(const lp::Model& model, const std::vector<bool>& skip_row,
+                     int max_row_length = 64);
+
+  /// Sorts and deduplicates adjacency; must be called after the last
+  /// add_edge/add_from_rows before conflicts_with/neighbors are used.
+  void finalize();
+
+  [[nodiscard]] bool conflicts_with(int a, int b) const;
+  [[nodiscard]] const std::vector<int>& neighbors(int l) const {
+    return adj_[l];
+  }
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(adj_.size()) / 2;
+  }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Greedy separation of violated clique cuts at the fractional point `x`:
+  /// literals are weighted x_v (positive) / 1 - x_v (complement), cliques
+  /// are grown greedily from the heaviest literals and reported when their
+  /// weight exceeds 1 + min_violation. Each cut is the literal set of one
+  /// clique (maximally extended with zero-weight literals for strength).
+  /// Returns at most `max_cuts` literal sets, best violation first.
+  [[nodiscard]] std::vector<std::vector<int>> separate_cliques(
+      const std::vector<double>& x, double min_violation, int max_cuts) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;  // literal -> sorted neighbor literals
+  std::size_t num_edges_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace advbist::ilp

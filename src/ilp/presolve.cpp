@@ -1,7 +1,10 @@
 #include "ilp/presolve.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "ilp/conflict_graph.hpp"
+#include "ilp/tolerances.hpp"
 #include "util/logging.hpp"
 
 namespace advbist::ilp {
@@ -13,8 +16,6 @@ using lp::Term;
 using lp::VarType;
 
 namespace {
-
-constexpr double kEps = 1e-9;
 
 struct RowActivity {
   double min_act = 0.0;
@@ -64,17 +65,19 @@ PresolveResult presolve(Model& model, int max_rounds) {
       }
 
       // Infeasibility: activity range entirely outside the row interval.
-      if (act.min_finite && act.min_act > row_hi + 1e-6) {
+      if (act.min_finite && act.min_act > row_hi + kActivityEps) {
         result.infeasible = true;
         return result;
       }
-      if (act.max_finite && act.max_act < row_lo - 1e-6) {
+      if (act.max_finite && act.max_act < row_lo - kActivityEps) {
         result.infeasible = true;
         return result;
       }
       // Redundancy: bounds alone already satisfy the row.
-      if ((!std::isfinite(row_hi) || (act.max_finite && act.max_act <= row_hi + kEps)) &&
-          (!std::isfinite(row_lo) || (act.min_finite && act.min_act >= row_lo - kEps)) &&
+      if ((!std::isfinite(row_hi) ||
+           (act.max_finite && act.max_act <= row_hi + kBoundEps)) &&
+          (!std::isfinite(row_lo) ||
+           (act.min_finite && act.min_act >= row_lo - kBoundEps)) &&
           row.sense != Sense::kEqual) {
         result.row_redundant[c] = true;
         ++result.redundant_rows;
@@ -114,15 +117,15 @@ PresolveResult presolve(Model& model, int max_rounds) {
             new_hi = std::min(new_hi, cap / t.coeff);
         }
         if (v.type == VarType::kInteger) {
-          new_lo = std::ceil(new_lo - 1e-6);
-          new_hi = std::floor(new_hi + 1e-6);
+          new_lo = std::ceil(new_lo - kIntEps);
+          new_hi = std::floor(new_hi + kIntEps);
         }
-        if (new_lo > new_hi + 1e-9) {
+        if (new_lo > new_hi + kBoundEps) {
           result.infeasible = true;
           return result;
         }
         new_hi = std::max(new_hi, new_lo);  // clamp FP noise
-        if (new_lo > lo + kEps || new_hi < hi - kEps) {
+        if (new_lo > lo + kBoundEps || new_hi < hi - kBoundEps) {
           model.set_bounds(t.var, std::max(lo, new_lo), std::min(hi, new_hi));
           ++result.bounds_tightened;
           changed = true;
@@ -139,6 +142,325 @@ PresolveResult presolve(Model& model, int max_rounds) {
                     << " bounds tightened, " << result.variables_fixed
                     << " vars fixed, " << result.redundant_rows
                     << " redundant rows";
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Probing: a flat row system + queue-driven propagation over candidate
+// bound vectors, cheap enough to run twice per binary.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Flattened copy of the model's (non-skipped) rows plus a variable->rows
+/// index, so probing never walks the Model's per-row vectors.
+struct RowSystem {
+  struct Row {
+    int start, end;  // term range in var/coeff
+    Sense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  std::vector<int> var;
+  std::vector<double> coeff;
+  std::vector<int> var_rows_start;  // size n+1
+  std::vector<int> var_rows;        // row indices touching each variable
+
+  RowSystem(const Model& model, const std::vector<bool>& skip_row) {
+    const int n = model.num_variables();
+    for (int c = 0; c < model.num_constraints(); ++c) {
+      if (!skip_row.empty() && skip_row[c]) continue;
+      const ConstraintDef& r = model.constraint(c);
+      const int start = static_cast<int>(var.size());
+      for (const Term& t : r.terms) {
+        var.push_back(t.var);
+        coeff.push_back(t.coeff);
+      }
+      rows.push_back(Row{start, static_cast<int>(var.size()), r.sense, r.rhs});
+    }
+    var_rows_start.assign(n + 1, 0);
+    for (const int v : var) ++var_rows_start[v + 1];
+    for (int v = 0; v < n; ++v) var_rows_start[v + 1] += var_rows_start[v];
+    var_rows.assign(var.size(), 0);
+    std::vector<int> fill(var_rows_start.begin(), var_rows_start.end() - 1);
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      for (int p = rows[r].start; p < rows[r].end; ++p)
+        var_rows[fill[var[p]]++] = static_cast<int>(r);
+  }
+};
+
+/// Queue-driven bound propagation on (lb, ub). Seeds from `seed_var`'s rows
+/// (or all rows when seed_var < 0) and tightens to fixpoint or until the
+/// work budget runs out. Returns false on a proven contradiction.
+bool propagate(const RowSystem& sys, const std::vector<VarType>& types,
+               std::vector<double>& lb, std::vector<double>& ub, int seed_var,
+               std::vector<int>& touched, std::vector<char>& touched_mark,
+               long long work_budget = 200000) {
+  std::vector<int> queue;
+  std::vector<char> queued(sys.rows.size(), 0);
+  auto enqueue_var_rows = [&](int v) {
+    for (int p = sys.var_rows_start[v]; p < sys.var_rows_start[v + 1]; ++p) {
+      const int r = sys.var_rows[p];
+      if (!queued[r]) {
+        queued[r] = 1;
+        queue.push_back(r);
+      }
+    }
+  };
+  if (seed_var >= 0) {
+    enqueue_var_rows(seed_var);
+  } else {
+    for (std::size_t r = 0; r < sys.rows.size(); ++r) {
+      queued[r] = 1;
+      queue.push_back(static_cast<int>(r));
+    }
+  }
+
+  auto record_touch = [&](int v) {
+    if (!touched_mark[v]) {
+      touched_mark[v] = 1;
+      touched.push_back(v);
+    }
+  };
+
+  std::size_t head = 0;
+  long long work = 0;
+  while (head < queue.size()) {
+    const int r = queue[head++];
+    queued[r] = 0;
+    const RowSystem::Row& row = sys.rows[r];
+    work += row.end - row.start;
+    if (work > work_budget) return true;  // budget out: bounds stay valid
+
+    double min_act = 0.0, max_act = 0.0;
+    bool min_finite = true, max_finite = true;
+    for (int p = row.start; p < row.end; ++p) {
+      const double c = sys.coeff[p];
+      const double lo = c > 0 ? c * lb[sys.var[p]] : c * ub[sys.var[p]];
+      const double hi = c > 0 ? c * ub[sys.var[p]] : c * lb[sys.var[p]];
+      if (std::isfinite(lo)) min_act += lo; else min_finite = false;
+      if (std::isfinite(hi)) max_act += hi; else max_finite = false;
+    }
+
+    double row_lo = -lp::kInfinity, row_hi = lp::kInfinity;
+    switch (row.sense) {
+      case Sense::kLessEqual: row_hi = row.rhs; break;
+      case Sense::kGreaterEqual: row_lo = row.rhs; break;
+      case Sense::kEqual: row_lo = row_hi = row.rhs; break;
+    }
+    if (min_finite && min_act > row_hi + kActivityEps) return false;
+    if (max_finite && max_act < row_lo - kActivityEps) return false;
+
+    for (int p = row.start; p < row.end; ++p) {
+      const int v = sys.var[p];
+      const double c = sys.coeff[p];
+      double lo = lb[v], hi = ub[v];
+      const double contrib_min = c > 0 ? c * lo : c * hi;
+      const double contrib_max = c > 0 ? c * hi : c * lo;
+      const bool rest_min_finite = min_finite && std::isfinite(contrib_min);
+      const bool rest_max_finite = max_finite && std::isfinite(contrib_max);
+      const double rest_min =
+          min_act - (std::isfinite(contrib_min) ? contrib_min : 0.0);
+      const double rest_max =
+          max_act - (std::isfinite(contrib_max) ? contrib_max : 0.0);
+
+      double new_lo = lo, new_hi = hi;
+      if (std::isfinite(row_hi) && rest_min_finite) {
+        const double cap = row_hi - rest_min;
+        if (c > 0)
+          new_hi = std::min(new_hi, cap / c);
+        else
+          new_lo = std::max(new_lo, cap / c);
+      }
+      if (std::isfinite(row_lo) && rest_max_finite) {
+        const double cap = row_lo - rest_max;
+        if (c > 0)
+          new_lo = std::max(new_lo, cap / c);
+        else
+          new_hi = std::min(new_hi, cap / c);
+      }
+      if (types[v] == VarType::kInteger) {
+        new_lo = std::ceil(new_lo - kIntEps);
+        new_hi = std::floor(new_hi + kIntEps);
+      }
+      if (new_lo > new_hi + kBoundEps) return false;
+      new_hi = std::max(new_hi, new_lo);
+      if (new_lo > lo + kBoundEps || new_hi < hi - kBoundEps) {
+        lb[v] = std::max(lo, new_lo);
+        ub[v] = std::min(hi, new_hi);
+        record_touch(v);
+        enqueue_var_rows(v);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ProbingResult probe_binaries(Model& model, const std::vector<bool>& skip_row,
+                             ConflictGraph& graph,
+                             const ProbingOptions& options) {
+  ProbingResult result;
+  const int n = model.num_variables();
+  const RowSystem sys(model, skip_row);
+
+  std::vector<VarType> types(n);
+  std::vector<double> base_lb(n), base_ub(n);
+  for (int v = 0; v < n; ++v) {
+    const auto& def = model.variable(v);
+    types[v] = def.type;
+    base_lb[v] = def.lower;
+    base_ub[v] = def.upper;
+  }
+  auto is_unfixed_binary = [&](int v) {
+    return types[v] == VarType::kInteger && base_lb[v] == 0.0 &&
+           base_ub[v] == 1.0;
+  };
+
+  std::vector<double> lb0, ub0, lb1, ub1;
+  std::vector<int> touched0, touched1;
+  std::vector<char> mark0(n, 0), mark1(n, 0);
+
+  auto adopt_bounds = [&](const std::vector<double>& lb,
+                          const std::vector<double>& ub,
+                          const std::vector<int>& touched) {
+    // A probe value that is forced (the other value contradicted) makes its
+    // propagated bounds unconditionally valid.
+    for (const int v : touched) {
+      if (lb[v] > base_lb[v] + kBoundEps || ub[v] < base_ub[v] - kBoundEps) {
+        base_lb[v] = std::max(base_lb[v], lb[v]);
+        base_ub[v] = std::min(base_ub[v], ub[v]);
+        if (base_lb[v] == base_ub[v])
+          ++result.fixed;
+        else
+          ++result.bounds_tightened;
+        model.set_bounds(v, base_lb[v], base_ub[v]);
+      }
+    }
+  };
+
+  for (int v = 0; v < n && result.probed < options.max_probes; ++v) {
+    if (!is_unfixed_binary(v)) continue;
+    ++result.probed;
+
+    lb0 = base_lb; ub0 = base_ub;
+    ub0[v] = 0.0;
+    touched0.clear();
+    const bool feas0 = propagate(sys, types, lb0, ub0, v, touched0, mark0);
+    lb1 = base_lb; ub1 = base_ub;
+    lb1[v] = 1.0;
+    touched1.clear();
+    const bool feas1 = propagate(sys, types, lb1, ub1, v, touched1, mark1);
+    for (const int t : touched0) mark0[t] = 0;
+    for (const int t : touched1) mark1[t] = 0;
+
+    if (!feas0 && !feas1) {
+      result.infeasible = true;
+      return result;
+    }
+    if (!feas0) {
+      base_lb[v] = base_ub[v] = 1.0;
+      model.set_bounds(v, 1.0, 1.0);
+      ++result.fixed;
+      adopt_bounds(lb1, ub1, touched1);
+      continue;
+    }
+    if (!feas1) {
+      base_lb[v] = base_ub[v] = 0.0;
+      model.set_bounds(v, 0.0, 0.0);
+      ++result.fixed;
+      adopt_bounds(lb0, ub0, touched0);
+      continue;
+    }
+
+    // Both probes feasible: harvest agreements (global bounds) and binary
+    // fixings (implication edges x = val -> y = w, i.e. the conflict
+    // (x, val) -- (y, !w)).
+    for (const int y : touched0) {
+      if (y == v) continue;
+      // Globally valid: y's domain is contained in [min lo, max hi] over
+      // the two branches.
+      const double glo = std::min(lb0[y], lb1[y]);
+      const double ghi = std::max(ub0[y], ub1[y]);
+      if (glo > base_lb[y] + kBoundEps || ghi < base_ub[y] - kBoundEps) {
+        base_lb[y] = std::max(base_lb[y], glo);
+        base_ub[y] = std::min(base_ub[y], ghi);
+        if (base_lb[y] == base_ub[y])
+          ++result.fixed;
+        else
+          ++result.bounds_tightened;
+        model.set_bounds(y, base_lb[y], base_ub[y]);
+      }
+      if (result.implications >= options.max_implications) continue;
+      if (is_unfixed_binary(y) && lb0[y] == ub0[y]) {
+        const bool w = lb0[y] > 0.5;
+        graph.add_edge(ConflictGraph::lit(v, false),
+                       ConflictGraph::lit(y, !w));
+        ++result.implications;
+      }
+    }
+    for (const int y : touched1) {
+      if (y == v || result.implications >= options.max_implications) continue;
+      if (is_unfixed_binary(y) && lb1[y] == ub1[y]) {
+        const bool w = lb1[y] > 0.5;
+        graph.add_edge(ConflictGraph::lit(v, true),
+                       ConflictGraph::lit(y, !w));
+        ++result.implications;
+      }
+    }
+  }
+
+  util::log_debug() << "probing: " << result.probed << " probes, "
+                    << result.fixed << " fixed, " << result.implications
+                    << " implications";
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Reduced-model construction.
+// ---------------------------------------------------------------------------
+
+ReducedModelResult build_reduced_model(const Model& model,
+                                       const std::vector<bool>& row_redundant) {
+  ReducedModelResult result;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    const auto& def = model.variable(v);
+    result.model.add_variable(def.lower, def.upper, def.objective, def.type,
+                              def.name);
+  }
+  for (int c = 0; c < model.num_constraints(); ++c) {
+    if (!row_redundant.empty() && row_redundant[c]) {
+      ++result.dropped_rows;
+      continue;
+    }
+    const ConstraintDef& row = model.constraint(c);
+    lp::LinExpr expr;
+    double fixed_activity = 0.0;
+    int live_terms = 0;
+    for (const Term& t : row.terms) {
+      const auto& def = model.variable(t.var);
+      if (def.lower == def.upper) {
+        fixed_activity += t.coeff * def.lower;
+        ++result.dropped_terms;
+      } else {
+        expr.add(t.var, t.coeff);
+        ++live_terms;
+      }
+    }
+    const double rhs = row.rhs - fixed_activity;
+    if (live_terms == 0) {
+      // Constant row: verify and drop.
+      const bool ok = row.sense == Sense::kLessEqual   ? 0.0 <= rhs + kActivityEps
+                      : row.sense == Sense::kGreaterEqual
+                          ? 0.0 >= rhs - kActivityEps
+                          : std::abs(rhs) <= kActivityEps;
+      if (!ok) result.infeasible = true;
+      ++result.dropped_rows;
+      continue;
+    }
+    result.model.add_constraint(std::move(expr), row.sense, rhs, row.name);
+  }
   return result;
 }
 

@@ -10,7 +10,10 @@
 #include <optional>
 #include <thread>
 
+#include "ilp/conflict_graph.hpp"
+#include "ilp/cuts.hpp"
 #include "ilp/presolve.hpp"
+#include "ilp/tolerances.hpp"
 #include "lp/simplex.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -18,9 +21,11 @@
 
 namespace advbist::ilp {
 
+using lp::ConstraintDef;
 using lp::LpResult;
 using lp::LpStatus;
 using lp::Model;
+using lp::Sense;
 using lp::SimplexSolver;
 using lp::VarType;
 
@@ -63,6 +68,14 @@ struct Node {
   int depth = 0;
 };
 
+/// A reduced-cost (or probing) domain restriction broadcast to workers
+/// after the search started. Only ever tightens.
+struct Fixing {
+  int var;
+  double lower;
+  double upper;
+};
+
 /// Picks the branching variable: among fractional integers, the highest
 /// priority; ties broken by most-fractional part.
 int pick_branching_variable(const Model& model, const std::vector<double>& x,
@@ -86,6 +99,21 @@ int pick_branching_variable(const Model& model, const std::vector<double>& x,
   return best;
 }
 
+/// Folds one simplex's factorization counters into a running total (used
+/// for retiring workers and the root cut-loop solver alike).
+void accumulate(lp::SimplexSolver::Stats& into,
+                const lp::SimplexSolver::Stats& s) {
+  into.refactorizations += s.refactorizations;
+  into.sparse_refactorizations += s.sparse_refactorizations;
+  into.dense_refactorizations += s.dense_refactorizations;
+  into.sparse_fallbacks += s.sparse_fallbacks;
+  into.pivot_rejections += s.pivot_rejections;
+  into.factor_basis_nnz += s.factor_basis_nnz;
+  into.factor_fill_nnz += s.factor_fill_nnz;
+  into.basis_pivots += s.basis_pivots;
+  into.bound_flips += s.bound_flips;
+}
+
 int resolve_num_threads(int requested) {
   // Only exactly 0 means auto; negative values (unset sentinels, parse
   // slips) fall back to serial rather than silently going wide.
@@ -96,16 +124,19 @@ int resolve_num_threads(int requested) {
 }
 
 /// State shared by every worker of one tree search. The node pool, the
-/// incumbent vector and the termination bookkeeping live under one mutex;
-/// the cutoff is additionally mirrored in an atomic so pruning tests never
-/// take the lock.
+/// incumbent vector, the cut pool and the termination bookkeeping live
+/// under one mutex; the cutoff is additionally mirrored in an atomic so
+/// pruning tests never take the lock.
 struct SearchContext {
   // --- immutable during the search ---
   const Model* model = nullptr;    ///< presolved working model (branching)
+  const Model* cut_model = nullptr;  ///< LP model + root cuts (cover source)
+  const ConflictGraph* graph = nullptr;  ///< clique-cut source
   const Options* options = nullptr;
-  std::vector<double> root_lb, root_ub;
+  std::vector<double> root_lb, root_ub;  ///< incl. probing + root rc fixing
   bool integral_obj = false;
   int num_workers = 1;
+  std::size_t root_applied_cuts = 0;  ///< pool cuts already rows of cut_model
   util::Stopwatch watch;
 
   // --- node pool and termination (guarded by mutex) ---
@@ -117,10 +148,27 @@ struct SearchContext {
   bool done = false;  ///< pool drained with every worker idle
   bool stop = false;  ///< limit hit / unbounded root: abandon the search
 
+  // --- cut pool (guarded by mutex) ---
+  CutPool* cut_pool = nullptr;
+  std::atomic<std::size_t> pool_applied{0};  ///< mirror of applied().size()
+  std::atomic<long long> clique_separated{0};
+  std::atomic<long long> cover_separated{0};
+
   // --- incumbent ---
   std::atomic<double> cutoff{lp::kInfinity};
   std::vector<double> incumbent;        ///< guarded by mutex
   double dropped_bound = lp::kInfinity;  // min over dropped nodes (guarded)
+
+  // --- reduced-cost fixing (root LP certificate; immutable post-root) ---
+  bool root_rc_valid = false;
+  double root_obj = -lp::kInfinity;
+  std::vector<double> root_x, root_d;
+  // Current globally tightened bounds + broadcast log (guarded by mutex;
+  // num_fixings is the lock-free "anything new?" hint).
+  std::vector<double> rc_lb, rc_ub;
+  std::vector<Fixing> fixings;
+  std::atomic<std::size_t> num_fixings{0};
+  int rc_fixed_incumbent = 0;  // guarded
 
   // --- LP factorization counters, summed as workers retire (guarded) ---
   lp::SimplexSolver::Stats lp_stats;
@@ -138,38 +186,79 @@ struct SearchContext {
   std::exception_ptr failure;
 
   [[nodiscard]] double node_bound(double lp_obj) const {
-    return integral_obj ? std::ceil(lp_obj - 1e-6) : lp_obj;
+    return integral_obj ? std::ceil(lp_obj - kIntEps) : lp_obj;
   }
   [[nodiscard]] bool prunable(double bound) const {
     const double cut = cutoff.load(std::memory_order_relaxed);
     if (!std::isfinite(cut)) return false;
-    return integral_obj ? bound >= cut - 0.5 : bound >= cut - 1e-9;
+    return integral_obj ? bound >= cut - 0.5 : bound >= cut - kBoundEps;
+  }
+  /// Objective threshold a solution must beat to be worth keeping; the
+  /// basis of every reduced-cost fixing decision.
+  [[nodiscard]] double improvement_threshold(double cut) const {
+    return integral_obj ? cut - 0.5 : cut - kBoundEps;
+  }
+
+  /// Reduced-cost domain tightening against the root LP certificate
+  /// (z_root, d, x_root): any solution better than the threshold satisfies
+  /// d_v * (x_v - x_root_v) < threshold - z_root for every variable.
+  /// Appends newly implied restrictions to the fixing log. Caller holds
+  /// the mutex (or is the only thread).
+  int rc_fix_against(double cut) {
+    if (!root_rc_valid) return 0;
+    const double gap = improvement_threshold(cut) - root_obj;
+    if (!std::isfinite(gap)) return 0;
+    int tightened = 0;
+    const Model& m = *model;
+    for (int v = 0; v < m.num_variables(); ++v) {
+      if (m.variable(v).type != VarType::kInteger) continue;
+      if (rc_lb[v] >= rc_ub[v]) continue;  // already fixed
+      const double d = root_d[v];
+      double lo = rc_lb[v], hi = rc_ub[v];
+      // The epsilon rounds towards KEEPING values (like presolve's
+      // ceil(lo - eps)): LP round-off in the cap may only weaken a fixing,
+      // never exclude an integer value the certificate permits.
+      if (d > 1e-7) {
+        const double cap = std::floor(root_x[v] + gap / d + kIntEps);
+        hi = std::min(hi, cap);
+      } else if (d < -1e-7) {
+        const double cap = std::ceil(root_x[v] + gap / d - kIntEps);
+        lo = std::max(lo, cap);
+      }
+      if (lo > hi) continue;  // no improving solution at all; search decides
+      if (lo > rc_lb[v] + kBoundEps || hi < rc_ub[v] - kBoundEps) {
+        rc_lb[v] = lo;
+        rc_ub[v] = hi;
+        fixings.push_back(Fixing{v, lo, hi});
+        ++tightened;
+      }
+    }
+    if (tightened > 0)
+      num_fixings.store(fixings.size(), std::memory_order_release);
+    return tightened;
   }
 };
 
 /// One search worker: a private warm-starting SimplexSolver plus the node it
 /// is currently plunging on. Workers share nodes through ctx_.pool — each
 /// branching keeps the child nearer the LP value local and publishes the
-/// other, so idle workers steal the "far" subtrees.
+/// other, so idle workers steal the "far" subtrees — and globally valid
+/// cutting planes through ctx_.cut_pool, replaying every cut the pool has
+/// applied into their own LP via SimplexSolver::add_rows.
 class Worker {
  public:
   Worker(SearchContext& ctx, const Model& reduced)
-      : ctx_(ctx), simplex_(reduced, simplex_options(*ctx.options)) {}
+      : ctx_(ctx),
+        simplex_(reduced, simplex_options(*ctx.options)),
+        root_lb_(ctx.root_lb),
+        root_ub_(ctx.root_ub),
+        pool_consumed_(ctx.root_applied_cuts) {}
 
   ~Worker() {
     // Fold this worker's factorization counters into the shared totals.
     // Runs on normal retirement and on unwinding alike.
-    const lp::SimplexSolver::Stats& s = simplex_.stats();
     std::lock_guard<std::mutex> lock(ctx_.mutex);
-    ctx_.lp_stats.refactorizations += s.refactorizations;
-    ctx_.lp_stats.sparse_refactorizations += s.sparse_refactorizations;
-    ctx_.lp_stats.dense_refactorizations += s.dense_refactorizations;
-    ctx_.lp_stats.sparse_fallbacks += s.sparse_fallbacks;
-    ctx_.lp_stats.pivot_rejections += s.pivot_rejections;
-    ctx_.lp_stats.factor_basis_nnz += s.factor_basis_nnz;
-    ctx_.lp_stats.factor_fill_nnz += s.factor_fill_nnz;
-    ctx_.lp_stats.basis_pivots += s.basis_pivots;
-    ctx_.lp_stats.bound_flips += s.bound_flips;
+    accumulate(ctx_.lp_stats, simplex_.stats());
   }
 
   static lp::SimplexOptions simplex_options(const Options& opt) {
@@ -244,22 +333,116 @@ class Worker {
     ctx_.cv.notify_all();
   }
 
-  void apply_node(const Node& node) {
+  /// Pulls reduced-cost fixings broadcast since the last sync into the
+  /// local root bounds (and the LP, for variables the current node does
+  /// not override).
+  void sync_fixings() {
+    if (fixings_consumed_ >=
+        ctx_.num_fixings.load(std::memory_order_acquire))
+      return;
+    fresh_fixings_.clear();
+    {
+      std::lock_guard<std::mutex> lock(ctx_.mutex);
+      fresh_fixings_.assign(ctx_.fixings.begin() + fixings_consumed_,
+                            ctx_.fixings.end());
+      fixings_consumed_ = ctx_.fixings.size();
+    }
+    for (const Fixing& f : fresh_fixings_) {
+      root_lb_[f.var] = std::max(root_lb_[f.var], f.lower);
+      root_ub_[f.var] = std::min(root_ub_[f.var], f.upper);
+      bool overridden = false;
+      for (const BoundChange& bc : applied_)
+        if (bc.var == f.var) {
+          overridden = true;  // next apply_node intersects for us
+          break;
+        }
+      if (!overridden)
+        simplex_.set_variable_bounds(f.var, root_lb_[f.var], root_ub_[f.var]);
+    }
+  }
+
+  /// Replays cuts the shared pool has applied since the last sync into this
+  /// worker's LP (slack-basic row append; no cold start).
+  void sync_pool_cuts() {
+    if (ctx_.cut_pool == nullptr) return;
+    if (pool_consumed_ >= ctx_.pool_applied.load(std::memory_order_acquire))
+      return;
+    new_rows_.clear();
+    {
+      std::lock_guard<std::mutex> lock(ctx_.mutex);
+      const std::vector<Cut>& applied = ctx_.cut_pool->applied();
+      for (std::size_t i = pool_consumed_; i < applied.size(); ++i)
+        new_rows_.push_back(ConstraintDef{applied[i].terms, Sense::kLessEqual,
+                                          applied[i].rhs, ""});
+      pool_consumed_ = applied.size();
+    }
+    simplex_.add_rows(new_rows_);
+  }
+
+  /// Separates cuts at the fractional point `x`, publishes them through the
+  /// pool and appends every newly applied pool cut to the own LP. Returns
+  /// the number of cuts the pool applied for this point.
+  int separate_at(const std::vector<double>& x) {
+    const Options& opt = *ctx_.options;
+    std::vector<Cut> found;
+    if (opt.use_clique_cuts && ctx_.graph != nullptr) {
+      const auto cliques = ctx_.graph->separate_cliques(
+          x, kCutViolationEps, opt.max_cuts_per_round);
+      ctx_.clique_separated.fetch_add(static_cast<long long>(cliques.size()));
+      for (const auto& lits : cliques)
+        found.push_back(clique_cut_from_literals(lits));
+    }
+    if (opt.use_cover_cuts && ctx_.cut_model != nullptr) {
+      auto covers = separate_cover_cuts(*ctx_.cut_model, {}, x,
+                                        kCutViolationEps,
+                                        opt.max_cuts_per_round);
+      ctx_.cover_separated.fetch_add(static_cast<long long>(covers.size()));
+      for (Cut& c : covers) found.push_back(std::move(c));
+    }
+    int applied = 0;
+    {
+      std::lock_guard<std::mutex> lock(ctx_.mutex);
+      for (Cut& c : found) ctx_.cut_pool->add(std::move(c));
+      applied = static_cast<int>(
+          ctx_.cut_pool
+              ->take_violated(x, kCutViolationEps, opt.max_cuts_per_round)
+              .size());
+      ctx_.pool_applied.store(ctx_.cut_pool->applied().size(),
+                              std::memory_order_release);
+    }
+    sync_pool_cuts();
+    return applied;
+  }
+
+  /// Applies the node's bound changes on top of the (rc-tightened) root
+  /// bounds. Returns false when a change crosses a tightened root bound:
+  /// the node region then contains no solution better than the incumbent
+  /// and is pruned.
+  bool apply_node(const Node& node) {
     for (const BoundChange& bc : applied_)
-      simplex_.set_variable_bounds(bc.var, ctx_.root_lb[bc.var],
-                                   ctx_.root_ub[bc.var]);
+      simplex_.set_variable_bounds(bc.var, root_lb_[bc.var],
+                                   root_ub_[bc.var]);
     applied_ = node.changes;
-    for (const BoundChange& bc : applied_)
-      simplex_.set_variable_bounds(bc.var, bc.lower, bc.upper);
+    for (const BoundChange& bc : applied_) {
+      const double lo = std::max(bc.lower, root_lb_[bc.var]);
+      const double hi = std::min(bc.upper, root_ub_[bc.var]);
+      if (lo > hi) return false;  // reset on the next apply_node
+      simplex_.set_variable_bounds(bc.var, lo, hi);
+    }
+    return true;
   }
 
   /// Installs a candidate incumbent (single writer section; the atomic
-  /// cutoff mirror keeps lock-free pruning reads consistent).
+  /// cutoff mirror keeps lock-free pruning reads consistent). An improved
+  /// cutoff re-runs reduced-cost fixing against the root certificate.
   void offer_incumbent(double objective, std::vector<double> values) {
     std::lock_guard<std::mutex> lock(ctx_.mutex);
-    if (objective < ctx_.cutoff.load(std::memory_order_relaxed) - 1e-12) {
+    if (objective <
+        ctx_.cutoff.load(std::memory_order_relaxed) - kObjImproveEps) {
       ctx_.cutoff.store(objective, std::memory_order_relaxed);
       ctx_.incumbent = std::move(values);
+      if (ctx_.options->use_rc_fixing)
+        ctx_.rc_fixed_incumbent += ctx_.rc_fix_against(objective);
       if (ctx_.options->verbose)
         util::log_info() << "incumbent " << objective << " at node "
                          << ctx_.nodes.load() << " (" << ctx_.watch.seconds()
@@ -282,7 +465,9 @@ class Worker {
     }
     if (ctx_.prunable(node.parent_bound)) return;
 
-    apply_node(node);
+    sync_fixings();
+    sync_pool_cuts();
+    if (!apply_node(node)) return;  // crossed an rc-tightened root bound
     ctx_.nodes.fetch_add(1);
 
     LpResult lp = simplex_.solve();
@@ -300,23 +485,15 @@ class Worker {
       return;
     }
     if (lp.status == LpStatus::kIterLimit) {
-      util::log_warn() << "LP iteration limit at node " << ctx_.nodes.load()
-                       << "; dropping the node (optimality proof forfeited)";
-      // The subtree is abandoned unexplored: the search can no longer prove
-      // optimality or infeasibility, and the node's inherited bound must
-      // stay part of the final best-bound reduction.
-      ctx_.dropped_nodes.fetch_add(1);
-      ctx_.exhausted = false;
-      std::lock_guard<std::mutex> lock(ctx_.mutex);
-      ctx_.dropped_bound = std::min(ctx_.dropped_bound, node.parent_bound);
+      drop_node(node);
       return;
     }
 
-    const double bound = ctx_.node_bound(lp.objective);
-    if (ctx_.prunable(bound)) return;
-
     const Model& model = *ctx_.model;
     const int n = model.num_variables();
+
+    double bound = ctx_.node_bound(lp.objective);
+    if (ctx_.prunable(bound)) return;
 
     // Root rounding heuristic: cheap incumbent to seed pruning.
     if (node.depth == 0 && opt.use_rounding_heuristic) {
@@ -324,14 +501,37 @@ class Worker {
       for (int v = 0; v < n; ++v)
         if (model.variable(v).type == VarType::kInteger)
           rounded[v] = std::round(rounded[v]);
-      if (model.max_violation(rounded, true) <= 1e-6) {
+      if (model.max_violation(rounded, true) <= kActivityEps) {
         const double obj = model.objective_value(rounded);
         offer_incumbent(obj, std::move(rounded));
       }
     }
 
-    const int branch_var = pick_branching_variable(
-        model, lp.x, opt.branch_priority, opt.integrality_tol);
+    // Branching target; in-tree separation may tighten the LP and retry.
+    int branch_var = pick_branching_variable(model, lp.x, opt.branch_priority,
+                                             opt.integrality_tol);
+    const bool cuts_on = opt.cut_node_interval > 0 && ctx_.cut_pool != nullptr &&
+                         (opt.use_clique_cuts || opt.use_cover_cuts);
+    if (cuts_on && branch_var >= 0 &&
+        ++nodes_since_separation_ >= opt.cut_node_interval) {
+      nodes_since_separation_ = 0;
+      for (int pass = 0; pass < 2 && branch_var >= 0; ++pass) {
+        if (separate_at(lp.x) == 0) break;
+        lp = simplex_.solve();
+        ctx_.lp_iterations.fetch_add(lp.iterations);
+        if (lp.status == LpStatus::kInfeasible) return;  // cuts are valid
+        if (lp.status == LpStatus::kIterLimit) {
+          drop_node(node);
+          return;
+        }
+        if (lp.status != LpStatus::kOptimal) return;
+        bound = ctx_.node_bound(lp.objective);
+        if (ctx_.prunable(bound)) return;
+        branch_var = pick_branching_variable(model, lp.x, opt.branch_priority,
+                                             opt.integrality_tol);
+      }
+    }
+
     if (branch_var < 0) {
       // Integral LP optimum: new incumbent.
       std::vector<double> values = std::move(lp.x);
@@ -348,7 +548,7 @@ class Worker {
     // nearer the LP value is plunged on locally; the other is published
     // for any idle worker to steal.
     Node down{node.changes, bound, node.depth + 1};
-    double cur_lo = ctx_.root_lb[branch_var], cur_hi = ctx_.root_ub[branch_var];
+    double cur_lo = root_lb_[branch_var], cur_hi = root_ub_[branch_var];
     for (const BoundChange& bc : node.changes)
       if (bc.var == branch_var) {
         cur_lo = bc.lower;
@@ -369,10 +569,28 @@ class Worker {
     ctx_.cv.notify_one();
   }
 
+  /// LP iteration limit: the subtree is abandoned unexplored. The search
+  /// can no longer prove optimality or infeasibility, and the node's
+  /// inherited bound must stay part of the final best-bound reduction.
+  void drop_node(const Node& node) {
+    util::log_warn() << "LP iteration limit at node " << ctx_.nodes.load()
+                     << "; dropping the node (optimality proof forfeited)";
+    ctx_.dropped_nodes.fetch_add(1);
+    ctx_.exhausted = false;
+    std::lock_guard<std::mutex> lock(ctx_.mutex);
+    ctx_.dropped_bound = std::min(ctx_.dropped_bound, node.parent_bound);
+  }
+
   SearchContext& ctx_;
   SimplexSolver simplex_;
+  std::vector<double> root_lb_, root_ub_;  ///< local rc-tightened root bounds
   std::vector<BoundChange> applied_;  ///< changes currently applied
   std::optional<Node> local_;         ///< child being plunged on
+  std::size_t pool_consumed_ = 0;     ///< pool.applied() rows already in LP
+  std::size_t fixings_consumed_ = 0;  ///< ctx.fixings entries already applied
+  int nodes_since_separation_ = 0;
+  std::vector<Fixing> fresh_fixings_;       // scratch
+  std::vector<ConstraintDef> new_rows_;     // scratch
 };
 
 /// Constructs and runs one worker, capturing any exception (including a
@@ -404,35 +622,68 @@ Solution Solver::solve(const Model& original) const {
                         model.num_variables(),
                     "branch_priority size mismatch");
 
+  const int n = model.num_variables();
+  ConflictGraph graph(n);
   std::vector<bool> row_redundant;
   if (options_.use_presolve) {
     PresolveResult pre = presolve(model);
-    sol.stats.presolve_fixed = pre.variables_fixed;
-    sol.stats.presolve_redundant_rows = pre.redundant_rows;
     if (pre.infeasible) {
       sol.status = SolveStatus::kInfeasible;
       sol.stats.seconds = ctx.watch.seconds();
       return sol;
     }
     row_redundant = std::move(pre.row_redundant);
+
+    // Probing: one level of implication depth on every unfixed binary.
+    // Fixings land in the model's bounds; implications in the conflict
+    // graph. A successful probe pass feeds a second presolve sweep.
+    if (options_.use_probing) {
+      const ProbingResult probe =
+          probe_binaries(model, row_redundant, graph);
+      sol.stats.probing_probed = probe.probed;
+      sol.stats.probing_fixed = probe.fixed;
+      sol.stats.probing_implications = probe.implications;
+      if (probe.infeasible) {
+        sol.status = SolveStatus::kInfeasible;
+        sol.stats.seconds = ctx.watch.seconds();
+        return sol;
+      }
+      if (probe.fixed > 0 || probe.bounds_tightened > 0) {
+        PresolveResult pre2 = presolve(model);
+        if (pre2.infeasible) {
+          sol.status = SolveStatus::kInfeasible;
+          sol.stats.seconds = ctx.watch.seconds();
+          return sol;
+        }
+        row_redundant = std::move(pre2.row_redundant);
+      }
+    }
+    PresolveResult recount;  // final fixed/redundant tallies for the stats
+    for (int v = 0; v < n; ++v)
+      if (model.variable(v).lower == model.variable(v).upper)
+        ++recount.variables_fixed;
+    for (const bool r : row_redundant)
+      if (r) ++recount.redundant_rows;
+    sol.stats.presolve_fixed = recount.variables_fixed;
+    sol.stats.presolve_redundant_rows = recount.redundant_rows;
   }
 
-  // Build the simplex over the non-redundant rows.
-  Model reduced;
-  for (int v = 0; v < model.num_variables(); ++v) {
-    const auto& def = model.variable(v);
-    reduced.add_variable(def.lower, def.upper, def.objective, def.type,
-                         def.name);
+  // The LP model: redundant rows dropped, fixed variables substituted out.
+  ReducedModelResult reduction = build_reduced_model(model, row_redundant);
+  sol.stats.presolve_dropped_rows = reduction.dropped_rows;
+  sol.stats.presolve_dropped_terms = reduction.dropped_terms;
+  if (reduction.infeasible) {
+    sol.status = SolveStatus::kInfeasible;
+    sol.stats.seconds = ctx.watch.seconds();
+    return sol;
   }
-  for (int c = 0; c < model.num_constraints(); ++c) {
-    if (!row_redundant.empty() && row_redundant[c]) continue;
-    const auto& row = model.constraint(c);
-    lp::LinExpr expr;
-    for (const auto& t : row.terms) expr.add(t.var, t.coeff);
-    reduced.add_constraint(std::move(expr), row.sense, row.rhs, row.name);
-  }
+  Model& reduced = reduction.model;
 
-  const int n = model.num_variables();
+  // Conflict edges readable straight off the surviving rows (one-hot and
+  // clique rows, z <= x style implications); probing added the deeper ones.
+  if (options_.use_clique_cuts) graph.add_from_rows(reduced, {});
+  graph.finalize();
+
   ctx.model = &model;
   ctx.options = &options_;
   ctx.integral_obj = model.objective_is_integral();
@@ -445,9 +696,168 @@ Solution Solver::solve(const Model& original) const {
   if (std::isfinite(options_.initial_cutoff)) {
     // Seeded bound: keep nodes that can still reach objective ==
     // initial_cutoff (callers pass a heuristic solution's value).
-    ctx.cutoff = options_.initial_cutoff + (ctx.integral_obj ? 1.0 : 1e-6);
+    ctx.cutoff = options_.initial_cutoff + (ctx.integral_obj ? 1.0 : kIntEps);
   }
-  ctx.pool.push_back(Node{{}, -lp::kInfinity, 0});
+
+  // ---------------------------------------------------------------------
+  // Root cut-and-fix loop: rounds of clique/cover separation against the
+  // root LP (rows appended in place on the factorized basis), a rounding
+  // incumbent per round, and reduced-cost fixing off the final root basis.
+  // ---------------------------------------------------------------------
+  CutPool pool(std::max(options_.max_pool_cuts,
+                        options_.max_cuts_per_round));
+  const bool cuts_enabled =
+      options_.use_clique_cuts || options_.use_cover_cuts;
+  const bool run_root_loop =
+      (options_.cut_rounds > 0 && cuts_enabled) || options_.use_rc_fixing;
+  double root_bound = -lp::kInfinity;
+  int rc_fixed_root = 0;
+
+  if (run_root_loop) {
+    SimplexSolver root_lp(reduced, Worker::simplex_options(options_));
+    LpResult rlp = root_lp.solve();
+    ctx.lp_iterations.fetch_add(rlp.iterations);
+    if (rlp.status == LpStatus::kInfeasible) {
+      sol.status = SolveStatus::kInfeasible;
+      sol.stats.seconds = ctx.watch.seconds();
+      return sol;
+    }
+    if (rlp.status == LpStatus::kUnbounded) {
+      sol.status = SolveStatus::kUnbounded;
+      sol.stats.seconds = ctx.watch.seconds();
+      return sol;
+    }
+    if (rlp.status == LpStatus::kOptimal) {
+      sol.stats.root_lp_bound = ctx.node_bound(rlp.objective);
+
+      auto try_round = [&](const std::vector<double>& x) {
+        if (!options_.use_rounding_heuristic) return;
+        std::vector<double> rounded = x;
+        for (int v = 0; v < n; ++v)
+          if (model.variable(v).type == VarType::kInteger)
+            rounded[v] = std::round(rounded[v]);
+        if (model.max_violation(rounded, true) <= kActivityEps) {
+          const double obj = model.objective_value(rounded);
+          if (obj < ctx.cutoff.load() - kObjImproveEps) {
+            ctx.cutoff.store(obj);
+            ctx.incumbent = std::move(rounded);
+          }
+        }
+      };
+      try_round(rlp.x);
+
+      if (options_.cut_rounds > 0 && cuts_enabled) {
+        double prev_bound = rlp.objective;
+        int stalled = 0;
+        for (int round = 0; round < options_.cut_rounds; ++round) {
+          if (options_.time_limit_seconds > 0 &&
+              ctx.watch.seconds() > options_.time_limit_seconds)
+            break;
+          const std::vector<double>& x = rlp.x;
+          if (pick_branching_variable(model, x, options_.branch_priority,
+                                      options_.integrality_tol) < 0)
+            break;  // integral root: the search concludes immediately
+          if (options_.use_clique_cuts) {
+            const auto cliques = graph.separate_cliques(
+                x, kCutViolationEps, options_.max_cuts_per_round);
+            ctx.clique_separated.fetch_add(
+                static_cast<long long>(cliques.size()));
+            for (const auto& lits : cliques)
+              pool.add(clique_cut_from_literals(lits));
+          }
+          if (options_.use_cover_cuts) {
+            auto covers =
+                separate_cover_cuts(reduced, {}, x, kCutViolationEps,
+                                    options_.max_cuts_per_round);
+            ctx.cover_separated.fetch_add(
+                static_cast<long long>(covers.size()));
+            for (Cut& c : covers) pool.add(std::move(c));
+          }
+          const std::vector<Cut> taken = pool.take_violated(
+              x, kCutViolationEps, options_.max_cuts_per_round);
+          if (taken.empty()) break;
+          std::vector<ConstraintDef> rows;
+          rows.reserve(taken.size());
+          for (const Cut& c : taken) {
+            rows.push_back(
+                ConstraintDef{c.terms, Sense::kLessEqual, c.rhs, ""});
+            lp::LinExpr expr;
+            for (const lp::Term& t : c.terms) expr.add(t.var, t.coeff);
+            reduced.add_constraint(std::move(expr), Sense::kLessEqual, c.rhs);
+          }
+          root_lp.add_rows(rows);
+          rlp = root_lp.solve();
+          ctx.lp_iterations.fetch_add(rlp.iterations);
+          if (rlp.status == LpStatus::kInfeasible) {
+            // Valid cuts + feasible LP turned infeasible: no integer point.
+            sol.status = SolveStatus::kInfeasible;
+            sol.stats.seconds = ctx.watch.seconds();
+            return sol;
+          }
+          if (rlp.status != LpStatus::kOptimal) break;
+          try_round(rlp.x);
+          // Two consecutive stalled rounds end the loop: the pool keeps the
+          // separated-but-idle cuts and ages them out.
+          if (rlp.objective < prev_bound + kIntEps) {
+            if (++stalled >= 2) break;
+          } else {
+            stalled = 0;
+          }
+          prev_bound = rlp.objective;
+        }
+      }
+
+      if (rlp.status == LpStatus::kOptimal) {
+        root_bound = ctx.node_bound(rlp.objective);
+        sol.stats.root_cut_bound = root_bound;
+        const double cut = ctx.cutoff.load();
+        if (std::isfinite(cut) && cut - sol.stats.root_lp_bound > kIntEps)
+          sol.stats.root_gap_closed =
+              std::clamp((root_bound - sol.stats.root_lp_bound) /
+                             (cut - sol.stats.root_lp_bound),
+                         0.0, 1.0);
+
+        // Root reduced-cost fixing: keep the certificate for incumbent
+        // improvements during the search.
+        if (options_.use_rc_fixing) {
+          ctx.root_rc_valid = true;
+          ctx.root_obj = rlp.objective;
+          ctx.root_x = rlp.x;
+          ctx.root_d = root_lp.reduced_costs();
+          ctx.rc_lb = ctx.root_lb;
+          ctx.rc_ub = ctx.root_ub;
+          if (std::isfinite(cut) && !ctx.prunable(root_bound))
+            rc_fixed_root = ctx.rc_fix_against(cut);
+          // Bake the root fixings into the root bounds and the LP model
+          // (workers copy both at construction).
+          for (int v = 0; v < n; ++v) {
+            if (ctx.rc_lb[v] > ctx.root_lb[v] ||
+                ctx.rc_ub[v] < ctx.root_ub[v]) {
+              ctx.root_lb[v] = ctx.rc_lb[v];
+              ctx.root_ub[v] = ctx.rc_ub[v];
+              reduced.set_bounds(v, ctx.rc_lb[v], ctx.rc_ub[v]);
+            }
+          }
+          ctx.fixings.clear();  // baked in; workers need no replay
+          ctx.num_fixings.store(0);
+        }
+      }
+    }
+    // Fold the root solver's factorization work into the shared counters.
+    accumulate(ctx.lp_stats, root_lp.stats());
+  }
+
+  ctx.cut_model = &reduced;
+  ctx.graph = options_.use_clique_cuts ? &graph : nullptr;
+  ctx.cut_pool = cuts_enabled ? &pool : nullptr;
+  ctx.root_applied_cuts = pool.applied().size();
+  ctx.pool_applied.store(pool.applied().size());
+  if (!ctx.root_rc_valid) {
+    ctx.rc_lb = ctx.root_lb;
+    ctx.rc_ub = ctx.root_ub;
+  }
+
+  ctx.pool.push_back(Node{{}, root_bound, 0});
   ctx.num_workers = resolve_num_threads(options_.num_threads);
   sol.stats.threads = ctx.num_workers;
 
@@ -475,6 +885,17 @@ Solution Solver::solve(const Model& original) const {
   sol.stats.lp_sparse_fallbacks = ctx.lp_stats.sparse_fallbacks;
   sol.stats.lp_pivot_rejections = ctx.lp_stats.pivot_rejections;
   sol.stats.lp_fill_ratio = ctx.lp_stats.fill_ratio();
+  sol.stats.cuts_clique_separated = ctx.clique_separated.load();
+  sol.stats.cuts_cover_separated = ctx.cover_separated.load();
+  for (const Cut& c : pool.applied()) {
+    if (c.cut_class == CutClass::kClique)
+      ++sol.stats.cuts_clique_applied;
+    else
+      ++sol.stats.cuts_cover_applied;
+  }
+  sol.stats.cuts_aged_out = pool.aged_out();
+  sol.stats.rc_fixed_root = rc_fixed_root;
+  sol.stats.rc_fixed_incumbent = ctx.rc_fixed_incumbent;
 
   if (ctx.root_unbounded.load()) {
     sol.status = SolveStatus::kUnbounded;
@@ -499,7 +920,7 @@ Solution Solver::solve(const Model& original) const {
     const bool proven = exhausted ||
                         (std::isfinite(best_bound) &&
                          (ctx.integral_obj ? best_bound >= cutoff - 0.5
-                                           : best_bound >= cutoff - 1e-9));
+                                           : best_bound >= cutoff - kBoundEps));
     sol.status = proven ? SolveStatus::kOptimal : SolveStatus::kFeasible;
     if (sol.status == SolveStatus::kOptimal) sol.stats.best_bound = cutoff;
   } else if (exhausted && !std::isfinite(options_.initial_cutoff)) {

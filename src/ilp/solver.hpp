@@ -1,4 +1,4 @@
-// Branch & bound MILP solver over the simplex LP relaxation.
+// Branch & cut MILP solver over the simplex LP relaxation.
 //
 // Depth-first search with warm-started LP re-solves (the simplex keeps its
 // basis across bound changes; composite phase 1 repairs feasibility),
@@ -6,6 +6,16 @@
 // heuristic, and integral-objective bound rounding (all ADVBIST objectives
 // are transistor counts, i.e. integers, so a node with LP bound 2151.2
 // proves nothing better than 2152 exists below it).
+//
+// Before the tree search starts, the solver runs a cut-and-fix root loop:
+// binary probing (ilp/presolve.hpp) fixes variables and feeds a conflict
+// graph (ilp/conflict_graph.hpp); rounds of clique and lifted cover cut
+// separation (ilp/cuts.hpp) tighten the root LP through the simplex's
+// incremental row append; and reduced-cost fixing against the incumbent
+// shrinks variable domains — at the root and again on every incumbent
+// improvement. In-tree separation continues at a configurable node
+// interval, sharing globally valid cuts between workers through a
+// deduplicating, activity-aged cut pool.
 //
 // With Options::num_threads > 1 the tree search runs on a pool of worker
 // threads. Each worker owns a private SimplexSolver (so every LP re-solve
@@ -42,6 +52,23 @@ struct Options {
   double integrality_tol = 1e-6;
   bool use_presolve = true;
   bool use_rounding_heuristic = true;
+  // --- cut-and-bound knobs ---
+  /// Rounds of root-node cut separation (0 disables the root cut loop).
+  int cut_rounds = 8;
+  /// Cuts appended to the LP per separation round.
+  int max_cuts_per_round = 64;
+  /// Separate clique cuts from the conflict graph.
+  bool use_clique_cuts = true;
+  /// Separate lifted knapsack cover cuts from the <=-rows.
+  bool use_cover_cuts = true;
+  /// Probe each 0/1 variable at the root (fixings + conflict-graph edges).
+  bool use_probing = true;
+  /// Reduced-cost fixing at the root and at incumbent improvements.
+  bool use_rc_fixing = true;
+  /// In-tree separation every N nodes per worker (0 disables).
+  int cut_node_interval = 16;
+  /// Cut-pool capacity; least-active unapplied cuts are evicted beyond it.
+  int max_pool_cuts = 1024;
   /// Optional per-variable branching priority (larger = branch earlier).
   /// Empty means uniform.
   std::vector<int> branch_priority;
@@ -73,8 +100,34 @@ struct Stats {
   long long dropped_nodes = 0;
   double seconds = 0.0;
   double best_bound = -lp::kInfinity;  ///< proven lower bound (minimization)
+  /// Variables with lower == upper once presolve + probing finished. Counts
+  /// the final state (including variables the input model already fixed,
+  /// as it always has); probing_fixed below attributes probing's share.
   int presolve_fixed = 0;
   int presolve_redundant_rows = 0;
+  /// Rows actually dropped from the LP (redundant + became constant).
+  int presolve_dropped_rows = 0;
+  /// Fixed-variable terms folded into right-hand sides.
+  int presolve_dropped_terms = 0;
+  // --- probing (root) ---
+  int probing_probed = 0;        ///< binaries probed
+  int probing_fixed = 0;         ///< variables fixed by probing
+  long long probing_implications = 0;  ///< conflict edges harvested
+  // --- cutting planes ---
+  long long cuts_clique_separated = 0;  ///< clique cuts found (pre-dedup)
+  long long cuts_cover_separated = 0;   ///< cover cuts found (pre-dedup)
+  int cuts_clique_applied = 0;          ///< clique cuts appended to LPs
+  int cuts_cover_applied = 0;           ///< cover cuts appended to LPs
+  long long cuts_aged_out = 0;          ///< pool evictions (inactivity)
+  // --- reduced-cost fixing ---
+  int rc_fixed_root = 0;       ///< bound tightenings at the root
+  int rc_fixed_incumbent = 0;  ///< bound tightenings at incumbent updates
+  /// Root LP bound before/after the cut loop, and the fraction of the
+  /// root gap (incumbent - first bound) the loop closed (0 when no
+  /// incumbent was known at the root).
+  double root_lp_bound = -lp::kInfinity;
+  double root_cut_bound = -lp::kInfinity;
+  double root_gap_closed = 0.0;
   int threads = 1;  ///< worker threads actually used
   bool hit_time_limit = false;
   bool hit_node_limit = false;

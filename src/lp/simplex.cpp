@@ -16,6 +16,7 @@ SimplexSolver::SimplexSolver(const Model& model, Options options)
     : opt_(options) {
   n_ = model.num_variables();
   m_ = model.num_constraints();
+  initial_m_ = m_;
   total_ = n_ + m_;
 
   lb_.assign(total_, 0.0);
@@ -96,6 +97,181 @@ void SimplexSolver::set_variable_bounds(int var, double lower, double upper) {
 
 void SimplexSolver::invalidate_basis() { has_basis_ = false; }
 
+void SimplexSolver::add_rows(const std::vector<ConstraintDef>& rows) {
+  if (rows.empty()) return;
+  const int old_m = m_;
+  const int add = static_cast<int>(rows.size());
+
+  // The factorization extension below needs factors that describe the
+  // *current* basis. The eta file is empty exactly when they do (every
+  // pivot appends an eta; refactorization clears them), so compact first
+  // when needed. A basis singular under both factorization paths falls
+  // back to a cold start at the new size.
+  bool extend = has_basis_;
+  if (extend && !eta_row_.empty() && !refactorize()) {
+    has_basis_ = false;
+    extend = false;
+  }
+
+  // Border rows l' of the extended L, computed against the old factors:
+  // l' U = g where g is the new row over the basic columns in factor-column
+  // order. Solved before any array is resized.
+  std::vector<std::vector<std::pair<int, double>>> border(add);
+  if (extend) {
+    std::vector<int> basis_pos(total_, -1);
+    for (int j = 0; j < old_m; ++j) basis_pos[basis_[j]] = j;
+    std::vector<double> g(old_m);
+    for (int i = 0; i < add; ++i) {
+      std::fill(g.begin(), g.end(), 0.0);
+      bool any = false;
+      for (const Term& t : rows[i].terms) {
+        ADVBIST_REQUIRE(t.var >= 0 && t.var < n_, "cut row variable index");
+        const int bp = basis_pos[t.var];
+        if (bp >= 0) {
+          g[bp] = t.coeff;
+          any = true;
+        }
+      }
+      if (!any) continue;
+      std::vector<double>& q = work_;
+      q.resize(old_m);
+      for (int k = 0; k < old_m; ++k) q[k] = g[cperm_[k]];
+      // Forward solve l' U = g over the sparse U columns (the same
+      // recurrence as btran's transposed U step).
+      for (int j = 0; j < old_m; ++j) {
+        double acc = q[j];
+        for (int p = u_start_[j]; p < u_start_[j + 1]; ++p)
+          acc -= q[u_idx_[p]] * u_val_[p];
+        q[j] = acc / u_diag_[j];
+      }
+      for (int k = 0; k < old_m; ++k)
+        if (std::abs(q[k]) > 1e-14) border[i].emplace_back(k, q[k]);
+    }
+  }
+
+  // Append row data; the new slacks take indices n_ + old_m + i, after the
+  // existing slacks, so no column is renumbered.
+  for (int i = 0; i < add; ++i) {
+    rhs_.push_back(rows[i].rhs);
+    double slo = 0.0, shi = 0.0;
+    switch (rows[i].sense) {
+      case Sense::kLessEqual:
+        slo = 0.0;
+        shi = kInf;
+        break;
+      case Sense::kGreaterEqual:
+        slo = -kInf;
+        shi = 0.0;
+        break;
+      case Sense::kEqual:
+        slo = shi = 0.0;
+        break;
+    }
+    lb_.push_back(slo);
+    ub_.push_back(shi);
+    cost_.push_back(0.0);
+    vstat_.push_back(kBasic);
+    x_.push_back(0.0);
+    basis_.push_back(n_ + old_m + i);
+  }
+
+  // Merge the new rows' structural coefficients into the CSC arrays.
+  std::vector<int> extra(n_, 0);
+  int extra_total = 0;
+  for (const ConstraintDef& row : rows)
+    for (const Term& t : row.terms) {
+      ++extra[t.var];
+      ++extra_total;
+    }
+  if (extra_total > 0) {
+    std::vector<int> ncs(n_ + 1, 0);
+    for (int v = 0; v < n_; ++v)
+      ncs[v + 1] = ncs[v] + (col_start_[v + 1] - col_start_[v]) + extra[v];
+    std::vector<int> nrow(ncs[n_]);
+    std::vector<double> nval(ncs[n_]);
+    std::vector<int> fill(ncs.begin(), ncs.end() - 1);
+    for (int v = 0; v < n_; ++v)
+      for (int p = col_start_[v]; p < col_start_[v + 1]; ++p) {
+        nrow[fill[v]] = col_row_[p];
+        nval[fill[v]++] = col_val_[p];
+      }
+    for (int i = 0; i < add; ++i)
+      for (const Term& t : rows[i].terms) {
+        nrow[fill[t.var]] = old_m + i;
+        nval[fill[t.var]++] = t.coeff;
+      }
+    col_start_ = std::move(ncs);
+    col_row_ = std::move(nrow);
+    col_val_ = std::move(nval);
+  }
+
+  m_ += add;
+  total_ = n_ + m_;
+
+  if (extend) {
+    // Extend the factors: identity rows/columns in P, Q and U, border rows
+    // in L. L is stored by column, so rebuild it once with the border
+    // entries appended to their columns (entry row old_m + i is always
+    // below its column k < old_m, preserving triangularity).
+    for (int i = 0; i < add; ++i) {
+      perm_.push_back(old_m + i);
+      cperm_.push_back(old_m + i);
+      u_diag_.push_back(1.0);
+      u_start_.push_back(u_start_.back());
+    }
+    std::vector<int> lextra(m_, 0);
+    int lextra_total = 0;
+    for (int i = 0; i < add; ++i)
+      for (const auto& [k, val] : border[i]) {
+        (void)val;
+        ++lextra[k];
+        ++lextra_total;
+      }
+    if (lextra_total > 0) {
+      std::vector<int> nls(m_ + 1, 0);
+      for (int k = 0; k < m_; ++k) {
+        const int old_len =
+            k < old_m ? l_start_[k + 1] - l_start_[k] : 0;
+        nls[k + 1] = nls[k] + old_len + lextra[k];
+      }
+      std::vector<int> nli(nls[m_]);
+      std::vector<double> nlv(nls[m_]);
+      std::vector<int> fill(nls.begin(), nls.end() - 1);
+      for (int k = 0; k < old_m; ++k)
+        for (int p = l_start_[k]; p < l_start_[k + 1]; ++p) {
+          nli[fill[k]] = l_idx_[p];
+          nlv[fill[k]++] = l_val_[p];
+        }
+      for (int i = 0; i < add; ++i)
+        for (const auto& [k, val] : border[i]) {
+          nli[fill[k]] = old_m + i;
+          nlv[fill[k]++] = val;
+        }
+      l_start_ = std::move(nls);
+      l_idx_ = std::move(nli);
+      l_val_ = std::move(nlv);
+    } else {
+      l_start_.resize(m_ + 1, l_start_[old_m]);
+    }
+  } else {
+    has_basis_ = false;  // next solve() cold-starts at the new size
+  }
+
+  // Appended cut rows reset the partial-pricing state: the candidate list's
+  // scores are stale against the new duals anyway.
+  candidates_.clear();
+}
+
+std::vector<double> SimplexSolver::reduced_costs() const {
+  std::vector<double> cb(m_);
+  for (int i = 0; i < m_; ++i) cb[i] = cost_[basis_[i]];
+  std::vector<double> y;
+  btran(cb, y);
+  std::vector<double> d(n_);
+  for (int v = 0; v < n_; ++v) d[v] = reduced_cost(v, y, cost_);
+  return d;
+}
+
 void SimplexSolver::cold_start() {
   for (int v = 0; v < n_; ++v) {
     if (std::isfinite(lb_[v])) {
@@ -121,6 +297,8 @@ void SimplexSolver::cold_start() {
   u_idx_.clear();
   u_val_.clear();
   u_diag_.assign(m_, 1.0);
+  perm_.resize(m_);   // add_rows may have grown the LP since construction
+  cperm_.resize(m_);
   for (int r = 0; r < m_; ++r) perm_[r] = r;
   for (int r = 0; r < m_; ++r) cperm_[r] = r;
   clear_etas();

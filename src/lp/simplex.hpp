@@ -120,6 +120,24 @@ class SimplexSolver {
   /// all-slack basis.
   void invalidate_basis();
 
+  /// Appends constraint rows (cutting planes) to the LP. Each new row's
+  /// slack enters the basis, so the basis stays valid and the next solve()
+  /// warm-starts (phase 1 repairs any violated cut). The factorization is
+  /// extended in place: with current factors P B Q = L U, the bordered
+  /// basis factors as L' = [[L,0],[l',1]], U' = [[U,0],[0,1]] where l'
+  /// solves l' U = (new row over the basic columns) — one sparse triangular
+  /// solve and an O(nnz) L rebuild per row, never a cold start. (A non-empty
+  /// eta file is compacted first so the factors describe the current basis.)
+  void add_rows(const std::vector<ConstraintDef>& rows);
+
+  /// Reduced costs d = c - y'A of the structural variables at the current
+  /// basis. Meaningful after a solve() returned kOptimal (used for
+  /// reduced-cost bound fixing in branch & bound).
+  [[nodiscard]] std::vector<double> reduced_costs() const;
+
+  /// Current number of constraint rows (grows with add_rows).
+  [[nodiscard]] int num_added_rows() const { return m_ - initial_m_; }
+
   /// Solves the LP relaxation (minimization).
   LpResult solve();
 
@@ -209,10 +227,11 @@ class SimplexSolver {
   void pivot(int entering, int leaving_row, double t, int entering_dir,
              const std::vector<double>& w, Status leaving_status);
 
-  // --- problem data (immutable except bounds) ---
-  int n_ = 0;      // structural variables
-  int m_ = 0;      // rows
-  int total_ = 0;  // n_ + m_
+  // --- problem data (immutable except bounds and appended cut rows) ---
+  int n_ = 0;          // structural variables
+  int m_ = 0;          // rows (model rows + appended cut rows)
+  int initial_m_ = 0;  // rows at construction
+  int total_ = 0;      // n_ + m_
   // Structural columns in compressed sparse column form.
   std::vector<int> col_start_;   // size n_+1
   std::vector<int> col_row_;     // row indices, size nnz

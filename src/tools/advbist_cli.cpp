@@ -15,6 +15,14 @@
 //                  (default 0.1; larger = more stable, more fill)
 //   --dense-lu     disable the sparse Markowitz factorization (dense sweep)
 //
+// Cut-and-bound knobs (all commands that solve):
+//   --cuts 0|1       clique + cover cutting planes (default 1)
+//   --cut-rounds N   root separation rounds (default 8)
+//   --cut-interval N in-tree separation every N nodes, 0 = off (default 16)
+//   --max-cuts N     cuts applied per separation round (default 64)
+//   --probing 0|1    binary probing presolve (default 1)
+//   --rcfix 0|1      reduced-cost fixing (default 1)
+//
 // <circuit> is a built-in benchmark name (fig1, tseng, paulin, fir6, iir3,
 // dct4, wavelet6); anything containing '.' is read as a .dfg text file.
 #include <cstdio>
@@ -50,7 +58,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: advbist <synth|sweep|compare|print> "
                "<circuit|file.dfg> [--k N] [--time S] [--threads N] "
-               "[--refactor N] [--mtol X] [--dense-lu] [--verilog out.v]\n");
+               "[--refactor N] [--mtol X] [--dense-lu] [--cuts 0|1] "
+               "[--cut-rounds N] [--cut-interval N] [--max-cuts N] "
+               "[--probing 0|1] [--rcfix 0|1] [--verilog out.v]\n");
   return 2;
 }
 
@@ -66,6 +76,12 @@ int main(int argc, char** argv) {
   int refactor_every = 0;      // 0: keep the solver default
   double markowitz_tol = 0.0;  // 0: keep the solver default
   bool dense_lu = false;
+  int cuts = -1;          // -1: keep the solver default
+  int cut_rounds = -1;
+  int cut_interval = -1;
+  int max_cuts = -1;
+  int probing = -1;
+  int rcfix = -1;
   std::string verilog_path;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dense-lu") == 0) {
@@ -98,6 +114,37 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
+    else if (std::strcmp(argv[i], "--cuts") == 0 ||
+             std::strcmp(argv[i], "--probing") == 0 ||
+             std::strcmp(argv[i], "--rcfix") == 0) {
+      const char* val = argv[i + 1];
+      if (std::strcmp(val, "0") != 0 && std::strcmp(val, "1") != 0) {
+        std::fprintf(stderr, "advbist: %s wants 0 or 1\n", argv[i]);
+        return usage();
+      }
+      const int on = val[0] == '1' ? 1 : 0;
+      if (argv[i][2] == 'c') cuts = on;
+      else if (argv[i][2] == 'p') probing = on;
+      else rcfix = on;
+    }
+    else if (std::strcmp(argv[i], "--cut-rounds") == 0 ||
+             std::strcmp(argv[i], "--cut-interval") == 0 ||
+             std::strcmp(argv[i], "--max-cuts") == 0) {
+      // 0 is a meaningful disable for rounds/interval; --max-cuts needs a
+      // positive count (use --cuts 0 to turn separation off entirely).
+      const bool is_max_cuts = std::strcmp(argv[i], "--max-cuts") == 0;
+      const int min_value = is_max_cuts ? 1 : 0;
+      char* end = nullptr;
+      const int v = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || v < min_value) {
+        std::fprintf(stderr, "advbist: %s wants an integer >= %d\n", argv[i],
+                     min_value);
+        return usage();
+      }
+      if (std::strcmp(argv[i], "--cut-rounds") == 0) cut_rounds = v;
+      else if (std::strcmp(argv[i], "--cut-interval") == 0) cut_interval = v;
+      else max_cuts = v;
+    }
     else if (std::strcmp(argv[i], "--verilog") == 0) verilog_path = argv[i + 1];
     else return usage();
     ++i;
@@ -116,6 +163,17 @@ int main(int argc, char** argv) {
     if (refactor_every > 0) options.solver.lp_refactor_every = refactor_every;
     if (markowitz_tol > 0) options.solver.lp_markowitz_tol = markowitz_tol;
     if (dense_lu) options.solver.lp_sparse_factorization = false;
+    if (cuts == 0) {
+      options.solver.use_clique_cuts = false;
+      options.solver.use_cover_cuts = false;
+      options.solver.cut_rounds = 0;
+      options.solver.cut_node_interval = 0;
+    }
+    if (cut_rounds >= 0) options.solver.cut_rounds = cut_rounds;
+    if (cut_interval >= 0) options.solver.cut_node_interval = cut_interval;
+    if (max_cuts > 0) options.solver.max_cuts_per_round = max_cuts;
+    if (probing >= 0) options.solver.use_probing = probing == 1;
+    if (rcfix >= 0) options.solver.use_rc_fixing = rcfix == 1;
     const core::Synthesizer synth(design.dfg, design.modules, options);
     const core::SynthesisResult ref = synth.synthesize_reference();
     std::printf("%s: %d registers, %d modules, reference area %d%s\n",
@@ -141,6 +199,17 @@ int main(int argc, char** argv) {
             st.lp_iterations, st.lp_refactorizations,
             st.lp_sparse_refactorizations, st.lp_sparse_fallbacks,
             st.lp_fill_ratio, st.lp_pivot_rejections, st.threads);
+      if (st.cuts_clique_applied + st.cuts_cover_applied > 0 ||
+          st.probing_fixed > 0 || st.rc_fixed_root + st.rc_fixed_incumbent > 0)
+        std::printf(
+            "     cuts: %d clique + %d cover applied (%lld/%lld separated, "
+            "%lld aged out), probing fixed %d of %d probed, rc fixed %d+%d, "
+            "root gap closed %.0f%%\n",
+            st.cuts_clique_applied, st.cuts_cover_applied,
+            st.cuts_clique_separated, st.cuts_cover_separated,
+            st.cuts_aged_out, st.probing_fixed, st.probing_probed,
+            st.rc_fixed_root, st.rc_fixed_incumbent,
+            100.0 * st.root_gap_closed);
     };
 
     if (cmd == "synth") {

@@ -172,13 +172,14 @@ TEST(ParallelSolver, FullSolveTsengDeterministicAcrossThreadCounts) {
 }
 
 TEST(ParallelSolver, FullSolvePaulinDeterministicAcrossThreadCounts) {
-  // paulin's k=2 BIST ILP takes CPU-hours to close even seeded (the paper
-  // capped CPLEX at 24 CPU-hours on these formulations), so the full proof
-  // only runs when explicitly requested; the invariant itself is identical
-  // to the fig1/tseng tests above.
+  // Pre-cuts, paulin's k=2 BIST ILP took CPU-hours to close (the paper
+  // capped CPLEX at 24 CPU-hours on these formulations); the PR-3
+  // cut-and-bound stack proves it in ~30s per thread count on one core.
+  // The gate stays so an undersized container cannot turn the tier-1 run
+  // red on wall clock alone; set ADVBIST_FULL_DETERMINISM=1 to include it.
   if (std::getenv("ADVBIST_FULL_DETERMINISM") == nullptr)
-    GTEST_SKIP() << "set ADVBIST_FULL_DETERMINISM=1 to run the multi-hour "
-                    "paulin optimality-proof determinism check";
+    GTEST_SKIP() << "set ADVBIST_FULL_DETERMINISM=1 to run the paulin "
+                    "optimality-proof determinism check (~2 min serial)";
   expect_full_solve_deterministic("paulin", 24.0 * 3600.0);
 }
 
