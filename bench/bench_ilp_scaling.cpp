@@ -16,6 +16,14 @@
 //                          Unset: run BOTH per model x thread combination,
 //                          so the JSON carries an A/B pair ("cuts": bool)
 //                          and the cut win stays visible in the trajectory.
+//   ADVBIST_BENCH_DUAL     0|1: pin dual-simplex re-solves off or on for
+//                          every run. Unset: cuts-on runs record a
+//                          dual-on/dual-off A/B pair ("dual": bool); the
+//                          cuts-off run uses the solver default (dual on) —
+//                          cuts-off already exists as the other axis of the
+//                          A/B grid and a third axis would double the sweep.
+//   ADVBIST_BENCH_ROW_AGE  LP cut-row age limit (consecutive slack-basic
+//                          re-solves before deletion; 0 = never delete)
 //   ADVBIST_BENCH_CUT_ROUNDS    root separation rounds (default: solver)
 //   ADVBIST_BENCH_CUT_INTERVAL  in-tree separation interval (default: solver)
 //   ADVBIST_BENCH_MAX_CUTS      cuts per separation round (default: solver)
@@ -51,9 +59,18 @@ struct Row {
   int rows = 0;
   int threads = 0;
   bool cuts = false;
+  bool dual = false;
   bool oversubscribed = false;
   long long nodes = 0;
   long long lp_iterations = 0;
+  long long lp_primal1 = 0;
+  long long lp_primal2 = 0;
+  long long lp_dual = 0;
+  long long dual_solves = 0;
+  long long dual_fallbacks = 0;
+  long long bound_flips = 0;
+  long long rows_deleted = 0;
+  int peak_rows = 0;
   long long dropped_nodes = 0;
   long long refactorizations = 0;
   long long sparse_refactorizations = 0;
@@ -131,6 +148,22 @@ int main() {
     }
   }
 
+  // Dual-simplex A/B: unset records dual-on AND dual-off for the cuts-on
+  // configuration (the dual win on the in-tree re-solves is the pair that
+  // matters); "0"/"1" pins one side for every run.
+  int dual_pin = -1;
+  if (const char* env = std::getenv("ADVBIST_BENCH_DUAL")) {
+    if ((env[0] == '0' || env[0] == '1') && env[1] == '\0') {
+      dual_pin = env[0] - '0';
+    } else {
+      std::fprintf(stderr,
+                   "ADVBIST_BENCH_DUAL=%s not understood (want 0 or 1); "
+                   "recording the A/B pair\n",
+                   env);
+    }
+  }
+  const int row_age = env_int_or_zero("ADVBIST_BENCH_ROW_AGE", -1);
+
   std::vector<Row> rows;
   for (const std::string& name : circuits) {
     const hls::Benchmark b = hls::benchmark_by_name(name);
@@ -140,6 +173,15 @@ int main() {
     const core::Formulation f(b.dfg, b.modules, fo);
     for (const std::string& t : thread_list) {
       for (const bool with_cuts : cut_configs) {
+        std::vector<bool> dual_configs;
+        if (dual_pin >= 0)
+          dual_configs = {dual_pin == 1};
+        else if (with_cuts)
+          dual_configs = {true, false};
+        else
+          dual_configs = {true};  // solver default; cuts-off is its own axis
+        bool skipped_oversubscribed = false;
+        for (const bool with_dual : dual_configs) {
         ilp::Options opt;
         // Mirror bench::num_threads(): only a literal "0" selects auto;
         // typos fall back to serial so the recorded baseline stays serial.
@@ -149,6 +191,8 @@ int main() {
         opt.time_limit_seconds = 120.0;
         if (refactor_every > 0) opt.lp_refactor_every = refactor_every;
         opt.lp_sparse_factorization = !dense_lu;
+        opt.lp_dual_simplex = with_dual;
+        if (row_age >= 0) opt.lp_row_age_limit = row_age;
         if (with_cuts) {
           opt.cut_rounds =
               env_int_or_zero("ADVBIST_BENCH_CUT_ROUNDS", opt.cut_rounds);
@@ -174,7 +218,8 @@ int main() {
               "%-8s threads=%d skipped (> hardware_concurrency=%d; set "
               "ADVBIST_BENCH_OVERSUBSCRIBE=1 to record anyway)\n",
               name.c_str(), opt.num_threads, hw);
-          break;  // same for every cut config
+          skipped_oversubscribed = true;
+          break;  // same for every cut/dual config
         }
         const ilp::Solution s = ilp::Solver(opt).solve(f.model());
         Row row;
@@ -183,9 +228,18 @@ int main() {
         row.rows = f.model().num_constraints();
         row.threads = s.stats.threads;
         row.cuts = with_cuts;
+        row.dual = with_dual;
         row.oversubscribed = oversub;
         row.nodes = s.stats.nodes;
         row.lp_iterations = s.stats.lp_iterations;
+        row.lp_primal1 = s.stats.lp_primal_phase1_iterations;
+        row.lp_primal2 = s.stats.lp_primal_phase2_iterations;
+        row.lp_dual = s.stats.lp_dual_iterations;
+        row.dual_solves = s.stats.lp_dual_solves;
+        row.dual_fallbacks = s.stats.lp_dual_fallbacks;
+        row.bound_flips = s.stats.lp_bound_flips;
+        row.rows_deleted = s.stats.lp_rows_deleted;
+        row.peak_rows = s.stats.lp_peak_rows;
         row.dropped_nodes = s.stats.dropped_nodes;
         row.refactorizations = s.stats.lp_refactorizations;
         row.sparse_refactorizations = s.stats.lp_sparse_refactorizations;
@@ -205,12 +259,15 @@ int main() {
         row.status = ilp::to_string(s.status);
         rows.push_back(row);
         std::printf(
-            "%-8s threads=%d cuts=%d nodes=%lld t=%.2fs nodes/s=%.0f "
-            "cuts=%lld gap=%.4f (%s)%s\n",
-            name.c_str(), row.threads, with_cuts ? 1 : 0, row.nodes,
-            row.seconds, row.seconds > 0 ? row.nodes / row.seconds : 0.0,
-            row.cuts_applied, row.gap, row.status.c_str(),
+            "%-8s threads=%d cuts=%d dual=%d nodes=%lld t=%.2fs nodes/s=%.0f "
+            "cuts=%lld rows_del=%lld gap=%.4f (%s)%s\n",
+            name.c_str(), row.threads, with_cuts ? 1 : 0, with_dual ? 1 : 0,
+            row.nodes, row.seconds,
+            row.seconds > 0 ? row.nodes / row.seconds : 0.0, row.cuts_applied,
+            row.rows_deleted, row.gap, row.status.c_str(),
             row.oversubscribed ? " [oversubscribed]" : "");
+        }
+        if (skipped_oversubscribed) break;  // same for every cut config
       }
     }
   }
@@ -224,11 +281,15 @@ int main() {
   json << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[1024];
+    char buf[1536];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"model\": \"%s\", \"vars\": %d, \"rows\": %d, \"threads\": %d, "
-        "\"cuts\": %s, \"nodes\": %lld, \"lp_iterations\": %lld, "
+        "\"cuts\": %s, \"dual\": %s, \"nodes\": %lld, "
+        "\"lp_iterations\": %lld, \"lp_primal_phase1\": %lld, "
+        "\"lp_primal_phase2\": %lld, \"lp_dual\": %lld, "
+        "\"dual_solves\": %lld, \"dual_fallbacks\": %lld, "
+        "\"bound_flips\": %lld, \"rows_deleted\": %lld, \"peak_rows\": %d, "
         "\"dropped_nodes\": %lld, \"refactorizations\": %lld, "
         "\"sparse_refactorizations\": %lld, \"fill_ratio\": %.4f, "
         "\"cuts_applied\": %lld, \"cuts_clique\": %lld, \"cuts_cover\": %lld, "
@@ -236,7 +297,10 @@ int main() {
         "\"best_bound\": %.6f, \"gap\": %.6f, \"seconds\": %.4f, "
         "\"nodes_per_sec\": %.1f, \"objective\": %.6f, \"status\": \"%s\"%s}%s\n",
         r.model.c_str(), r.vars, r.rows, r.threads, r.cuts ? "true" : "false",
-        r.nodes, r.lp_iterations, r.dropped_nodes, r.refactorizations,
+        r.dual ? "true" : "false", r.nodes, r.lp_iterations, r.lp_primal1,
+        r.lp_primal2, r.lp_dual, r.dual_solves, r.dual_fallbacks,
+        r.bound_flips, r.rows_deleted, r.peak_rows, r.dropped_nodes,
+        r.refactorizations,
         r.sparse_refactorizations, r.fill_ratio, r.cuts_applied, r.cuts_clique,
         r.cuts_cover, r.probing_fixed, r.rc_fixed, r.root_gap_closed,
         r.best_bound, r.gap, r.seconds,

@@ -29,6 +29,13 @@
 # would record queueing overhead as a scaling row — unless
 # ADVBIST_BENCH_OVERSUBSCRIBE=1 keeps them (annotated in the JSON).
 #
+# After the sweep, every run is diffed against the BENCH_solver.json
+# committed at HEAD: a circuit whose proven status regressed (a committed
+# "optimal" or "infeasible" that the new run no longer reproduces at the
+# same configuration) FAILS the script with a non-zero exit, so a perf PR
+# cannot silently lose an optimality proof. ADVBIST_BENCH_ALLOW_REGRESSION=1
+# downgrades the failure to a warning (for intentionally lossy experiments).
+#
 # Usage: bench/run_bench.sh [build-dir]   (default build dir: ./build)
 set -euo pipefail
 
@@ -44,4 +51,63 @@ fi
 export ADVBIST_GIT_COMMIT=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
 export ADVBIST_BENCH_OUT="$repo_root"
 
-exec "$build_dir/bench_ilp_scaling"
+# Snapshot the committed baseline BEFORE the sweep overwrites the file.
+baseline=$(git -C "$repo_root" show HEAD:BENCH_solver.json 2>/dev/null || true)
+
+"$build_dir/bench_ilp_scaling"
+
+if [[ -z "$baseline" ]]; then
+  echo "run_bench: no committed BENCH_solver.json at HEAD; skipping the" \
+       "status-regression check" >&2
+  exit 0
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "run_bench: python3 not available; skipping the status-regression" \
+       "check" >&2
+  exit 0
+fi
+
+BASELINE_JSON="$baseline" python3 - "$repo_root/BENCH_solver.json" <<'EOF'
+import json, os, sys
+
+baseline = json.loads(os.environ["BASELINE_JSON"])
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+
+# A run's configuration key. Committed baselines that predate the "dual"
+# column match the new default configuration (dual on).
+def key(run):
+    return (run["model"], run["threads"], run["cuts"], run.get("dual", True))
+
+current_by_key = {key(r): r for r in current["runs"]}
+PROVEN = ("optimal", "infeasible")
+regressions, missing = [], []
+for old in baseline["runs"]:
+    if old["status"] not in PROVEN:
+        continue  # budget-limited rows legitimately drift with trajectory
+    new = current_by_key.get(key(old))
+    if new is None:
+        missing.append(old)  # e.g. a restricted ADVBIST_BENCH_* sweep
+        continue
+    if new["status"] != old["status"]:
+        regressions.append((old, new))
+    elif old["status"] == "optimal" and \
+            abs(new["objective"] - old["objective"]) > 1e-6:
+        regressions.append((old, new))
+
+for old in missing:
+    print(f"run_bench: note: no new run for {key(old)} "
+          f"(restricted sweep?); baseline status '{old['status']}' "
+          "not re-verified", file=sys.stderr)
+for old, new in regressions:
+    print(f"run_bench: STATUS REGRESSION at {key(old)}: "
+          f"'{old['status']}' (obj {old['objective']}) -> "
+          f"'{new['status']}' (obj {new['objective']})", file=sys.stderr)
+if regressions:
+    if os.environ.get("ADVBIST_BENCH_ALLOW_REGRESSION") == "1":
+        print("run_bench: regression ALLOWED by "
+              "ADVBIST_BENCH_ALLOW_REGRESSION=1", file=sys.stderr)
+        sys.exit(0)
+    sys.exit(1)
+print("run_bench: no status regression vs the committed BENCH_solver.json")
+EOF

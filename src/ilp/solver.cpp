@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cmath>
 #include <condition_variable>
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <memory>
 #include <optional>
 #include <thread>
 
@@ -66,6 +69,13 @@ struct Node {
   std::vector<BoundChange> changes;  ///< relative to root bounds
   double parent_bound;               ///< LP bound inherited from parent
   int depth = 0;
+  // Pseudocost bookkeeping: the branching that created this node. When its
+  // LP is solved, the observed objective degradation per unit of bound
+  // movement feeds the branching-variable statistics.
+  int branch_var = -1;       ///< variable branched on (-1: root)
+  bool branch_up = false;    ///< true: the x >= ceil child
+  double branch_dist = 0.0;  ///< |bound movement| of the branching
+  double parent_obj = 0.0;   ///< parent's raw LP objective
 };
 
 /// A reduced-cost (or probing) domain restriction broadcast to workers
@@ -112,6 +122,14 @@ void accumulate(lp::SimplexSolver::Stats& into,
   into.factor_fill_nnz += s.factor_fill_nnz;
   into.basis_pivots += s.basis_pivots;
   into.bound_flips += s.bound_flips;
+  into.dual_solves += s.dual_solves;
+  into.dual_fallbacks += s.dual_fallbacks;
+  into.dual_iterations += s.dual_iterations;
+  into.primal_phase1_iterations += s.primal_phase1_iterations;
+  into.primal_phase2_iterations += s.primal_phase2_iterations;
+  into.dual_bound_flips += s.dual_bound_flips;
+  into.rows_deleted += s.rows_deleted;
+  into.peak_rows = std::max(into.peak_rows, s.peak_rows);
 }
 
 int resolve_num_threads(int requested) {
@@ -249,6 +267,7 @@ class Worker {
  public:
   Worker(SearchContext& ctx, const Model& reduced)
       : ctx_(ctx),
+        reduced_(reduced),
         simplex_(reduced, simplex_options(*ctx.options)),
         root_lb_(ctx.root_lb),
         root_ub_(ctx.root_ub),
@@ -259,6 +278,7 @@ class Worker {
     // Runs on normal retirement and on unwinding alike.
     std::lock_guard<std::mutex> lock(ctx_.mutex);
     accumulate(ctx_.lp_stats, simplex_.stats());
+    if (dive_lp_) accumulate(ctx_.lp_stats, dive_lp_->stats());
   }
 
   static lp::SimplexOptions simplex_options(const Options& opt) {
@@ -414,6 +434,223 @@ class Worker {
     return applied;
   }
 
+  /// One node LP re-solve on the configured path — the dual simplex by
+  /// default (the warm basis stays dual-feasible across branching bound
+  /// changes and slack-basic row appends; lp::SimplexSolver falls back to
+  /// the primal path itself when it is not) — followed by cut-row aging.
+  LpResult resolve_lp() {
+    LpResult lp = ctx_.options->lp_dual_simplex ? simplex_.solve_dual()
+                                                : simplex_.solve();
+    age_cut_rows();
+    return lp;
+  }
+
+  /// LP-side cut aging, mirroring the pool's: an appended cut row whose
+  /// slack stayed basic (cut not binding) for lp_row_age_limit consecutive
+  /// re-solves is deleted from the LP, so FTRAN/BTRAN and refactorizations
+  /// stop paying for it. Deletion only ever shrinks this worker's LP; the
+  /// shared pool is untouched (the cut stays valid and applied elsewhere).
+  void age_cut_rows() {
+    const int limit = ctx_.options->lp_row_age_limit;
+    if (limit <= 0) return;
+    const int added = simplex_.num_added_rows();
+    row_age_.resize(added, 0);
+    doomed_rows_.clear();
+    const int base = simplex_.num_rows() - added;
+    for (int i = 0; i < added; ++i) {
+      if (simplex_.added_row_slack_basic(i)) {
+        if (++row_age_[i] >= limit) doomed_rows_.push_back(base + i);
+      } else {
+        row_age_[i] = 0;
+      }
+    }
+    if (doomed_rows_.empty()) return;
+    simplex_.delete_rows(doomed_rows_);
+    std::size_t keep = 0;
+    std::size_t next_doomed = 0;
+    for (int i = 0; i < added; ++i) {
+      if (next_doomed < doomed_rows_.size() &&
+          doomed_rows_[next_doomed] - base == i) {
+        ++next_doomed;
+        continue;
+      }
+      row_age_[keep++] = row_age_[i];
+    }
+    row_age_.resize(keep);
+  }
+
+  /// Pseudocost branching: among fractional integers of top priority, pick
+  /// the variable with the best product of estimated per-unit objective
+  /// degradations (up x down), each estimated from this worker's observed
+  /// branchings; a side with no history yet borrows the average over
+  /// initialized variables, and with no history anywhere the score reduces
+  /// to most-fractional (the old rule). Degenerate 0/1 relaxations carry
+  /// many alternative optima, so "closest to 0.5" alone is nearly a coin
+  /// flip — steering by observed bound movement is what keeps the proven
+  /// bound climbing.
+  int pick_branch(const std::vector<double>& x, double int_tol) {
+    const Model& model = *ctx_.model;
+    const std::vector<int>& priority = ctx_.options->branch_priority;
+    const int n = model.num_variables();
+    if (pc_up_sum_.empty()) {
+      pc_up_sum_.assign(n, 0.0);
+      pc_down_sum_.assign(n, 0.0);
+      pc_up_cnt_.assign(n, 0);
+      pc_down_cnt_.assign(n, 0);
+    }
+    double avg_up = 0.0, avg_down = 0.0;
+    int nu = 0, nd = 0;
+    for (int v = 0; v < n; ++v) {
+      if (pc_up_cnt_[v] > 0) {
+        avg_up += pc_up_sum_[v] / pc_up_cnt_[v];
+        ++nu;
+      }
+      if (pc_down_cnt_[v] > 0) {
+        avg_down += pc_down_sum_[v] / pc_down_cnt_[v];
+        ++nd;
+      }
+    }
+    avg_up = nu > 0 ? avg_up / nu : 0.0;
+    avg_down = nd > 0 ? avg_down / nd : 0.0;
+
+    int best = -1;
+    int best_prio = std::numeric_limits<int>::min();
+    double best_score = -1.0;
+    for (int v = 0; v < n; ++v) {
+      if (model.variable(v).type != VarType::kInteger) continue;
+      const double frac = x[v] - std::floor(x[v]);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist <= int_tol) continue;
+      const int prio = priority.empty() ? 0 : priority[v];
+      const double est_up =
+          pc_up_cnt_[v] > 0 ? pc_up_sum_[v] / pc_up_cnt_[v] : avg_up;
+      const double est_down =
+          pc_down_cnt_[v] > 0 ? pc_down_sum_[v] / pc_down_cnt_[v] : avg_down;
+      // The product rule, floored so a zero estimate (no data at all, or a
+      // genuinely free direction) degrades to most-fractional scoring
+      // instead of flattening every candidate to zero.
+      const double score = std::max(est_up * (1.0 - frac), 1e-6 * dist) *
+                           std::max(est_down * frac, 1e-6 * dist);
+      if (prio > best_prio || (prio == best_prio && score > best_score)) {
+        best = v;
+        best_prio = prio;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  /// Feeds the observed LP objective degradation of a branched node back
+  /// into the pseudocosts of the variable that was branched on.
+  void record_pseudocost(const Node& node, double lp_obj) {
+    if (node.branch_var < 0 || node.branch_dist <= 1e-9) return;
+    if (pc_up_sum_.empty()) {
+      // A stolen node can arrive before this worker's first pick_branch:
+      // size the tables here too so the observation is not dropped.
+      const int n = ctx_.model->num_variables();
+      pc_up_sum_.assign(n, 0.0);
+      pc_down_sum_.assign(n, 0.0);
+      pc_up_cnt_.assign(n, 0);
+      pc_down_cnt_.assign(n, 0);
+    }
+    const double per_unit =
+        std::max(0.0, lp_obj - node.parent_obj) / node.branch_dist;
+    if (node.branch_up) {
+      pc_up_sum_[node.branch_var] += per_unit;
+      ++pc_up_cnt_[node.branch_var];
+    } else {
+      pc_down_sum_[node.branch_var] += per_unit;
+      ++pc_down_cnt_[node.branch_var];
+    }
+  }
+
+  /// Fractional diving primal heuristic. From the node relaxation, fix the
+  /// most-integral fractional variable to its rounding and re-solve (dual
+  /// warm re-solves are what make this affordable); an infeasible or
+  /// cutoff-crossing fixing is repaired once by flipping to the opposite
+  /// integer before the dive gives up. Runs on a private warm-started
+  /// solver so the tree search's own simplex (and therefore the node
+  /// exploration order) is completely unaffected; the only side effect is
+  /// a candidate incumbent.
+  void dive(const LpResult& start) {
+    const Options& opt = *ctx_.options;
+    const Model& model = *ctx_.model;
+    const int n = model.num_variables();
+    if (!dive_lp_) {
+      dive_lp_ = std::make_unique<SimplexSolver>(reduced_,
+                                                 simplex_options(opt));
+    }
+    // Mirror the node's bounds (they already fold in root rc fixings).
+    for (int v = 0; v < n; ++v)
+      dive_lp_->set_variable_bounds(v, simplex_.variable_lower(v),
+                                    simplex_.variable_upper(v));
+    const bool debug = std::getenv("ADVBIST_DIVE_DEBUG") != nullptr;
+    std::vector<double> x = start.x;
+    int repairs = 0;
+    for (int step = 0; step < 4 * n; ++step) {
+      // A dive is pure heuristic work: never let it outlive the search
+      // limits (each step below is a full LP re-solve).
+      if (opt.time_limit_seconds > 0 &&
+          ctx_.watch.seconds() > opt.time_limit_seconds)
+        return;
+      if (opt.node_limit >= 0 && ctx_.nodes.load() >= opt.node_limit) return;
+      int pick = -1;
+      double pick_dist = 1.0;
+      for (int v = 0; v < n; ++v) {
+        if (model.variable(v).type != VarType::kInteger) continue;
+        if (dive_lp_->variable_lower(v) >= dive_lp_->variable_upper(v))
+          continue;
+        const double dist = std::abs(x[v] - std::round(x[v]));
+        if (dist <= opt.integrality_tol) continue;
+        if (dist < pick_dist) {
+          pick_dist = dist;
+          pick = v;
+        }
+      }
+      if (pick < 0) {
+        // Integral relaxation: a feasible point of the original model.
+        std::vector<double> rounded = std::move(x);
+        for (int v = 0; v < n; ++v)
+          if (model.variable(v).type == VarType::kInteger)
+            rounded[v] = std::round(rounded[v]);
+        if (model.max_violation(rounded, true) <= kActivityEps) {
+          const double obj = model.objective_value(rounded);
+          if (debug)
+            std::fprintf(stderr, "dive: integral obj=%.1f after %d steps\n",
+                         obj, step);
+          offer_incumbent(obj, std::move(rounded));
+        }
+        return;
+      }
+      const double lo = dive_lp_->variable_lower(pick);
+      const double hi = dive_lp_->variable_upper(pick);
+      double t = std::clamp(std::round(x[pick]), lo, hi);
+      for (int attempt = 0;; ++attempt) {
+        dive_lp_->set_variable_bounds(pick, t, t);
+        LpResult lp =
+            opt.lp_dual_simplex ? dive_lp_->solve_dual() : dive_lp_->solve();
+        ctx_.lp_iterations.fetch_add(lp.iterations);
+        const bool ok = lp.status == LpStatus::kOptimal &&
+                        !ctx_.prunable(ctx_.node_bound(lp.objective));
+        if (ok) {
+          x = std::move(lp.x);
+          break;
+        }
+        // Repair: the nearest rounding hit a wall — try the opposite
+        // integer once (one-hot rows make this a common rescue).
+        const double t2 =
+            std::clamp(t + (x[pick] > t ? 1.0 : -1.0), lo, hi);
+        if (attempt > 0 || ++repairs > 16 || t2 == t) {
+          if (debug)
+            std::fprintf(stderr, "dive: stuck at step %d (%s)\n", step,
+                         lp.status == LpStatus::kOptimal ? "cutoff" : "lp");
+          return;
+        }
+        t = t2;
+      }
+    }
+  }
+
   /// Applies the node's bound changes on top of the (rc-tightened) root
   /// bounds. Returns false when a change crosses a tightened root bound:
   /// the node region then contains no solution better than the incumbent
@@ -470,7 +707,7 @@ class Worker {
     if (!apply_node(node)) return;  // crossed an rc-tightened root bound
     ctx_.nodes.fetch_add(1);
 
-    LpResult lp = simplex_.solve();
+    LpResult lp = resolve_lp();
     ctx_.lp_iterations.fetch_add(lp.iterations);
     if (lp.status == LpStatus::kInfeasible) return;
     if (lp.status == LpStatus::kUnbounded) {
@@ -492,24 +729,28 @@ class Worker {
     const Model& model = *ctx_.model;
     const int n = model.num_variables();
 
+    record_pseudocost(node, lp.objective);
     double bound = ctx_.node_bound(lp.objective);
     if (ctx_.prunable(bound)) return;
 
-    // Root rounding heuristic: cheap incumbent to seed pruning.
-    if (node.depth == 0 && opt.use_rounding_heuristic) {
+    // Rounding heuristic: cheap incumbent to seed pruning. One rounding +
+    // feasibility check is O(nnz), noise next to the node's LP re-solve, so
+    // it runs at every node — incumbents surface long before the tree
+    // search reaches an integral leaf by branching alone.
+    if (opt.use_rounding_heuristic) {
       std::vector<double> rounded = lp.x;
       for (int v = 0; v < n; ++v)
         if (model.variable(v).type == VarType::kInteger)
           rounded[v] = std::round(rounded[v]);
       if (model.max_violation(rounded, true) <= kActivityEps) {
         const double obj = model.objective_value(rounded);
-        offer_incumbent(obj, std::move(rounded));
+        if (obj < ctx_.cutoff.load(std::memory_order_relaxed) - kObjImproveEps)
+          offer_incumbent(obj, std::move(rounded));
       }
     }
 
     // Branching target; in-tree separation may tighten the LP and retry.
-    int branch_var = pick_branching_variable(model, lp.x, opt.branch_priority,
-                                             opt.integrality_tol);
+    int branch_var = pick_branch(lp.x, opt.integrality_tol);
     const bool cuts_on = opt.cut_node_interval > 0 && ctx_.cut_pool != nullptr &&
                          (opt.use_clique_cuts || opt.use_cover_cuts);
     if (cuts_on && branch_var >= 0 &&
@@ -517,7 +758,7 @@ class Worker {
       nodes_since_separation_ = 0;
       for (int pass = 0; pass < 2 && branch_var >= 0; ++pass) {
         if (separate_at(lp.x) == 0) break;
-        lp = simplex_.solve();
+        lp = resolve_lp();
         ctx_.lp_iterations.fetch_add(lp.iterations);
         if (lp.status == LpStatus::kInfeasible) return;  // cuts are valid
         if (lp.status == LpStatus::kIterLimit) {
@@ -527,9 +768,18 @@ class Worker {
         if (lp.status != LpStatus::kOptimal) return;
         bound = ctx_.node_bound(lp.objective);
         if (ctx_.prunable(bound)) return;
-        branch_var = pick_branching_variable(model, lp.x, opt.branch_priority,
-                                             opt.integrality_tol);
+        branch_var = pick_branch(lp.x, opt.integrality_tol);
       }
+    }
+
+    // Diving heuristic: at the root and periodically thereafter, chase the
+    // fractional point down to an integer-feasible incumbent. (The naive
+    // one-shot rounding above almost never survives the one-hot rows; the
+    // dive re-solves its way to feasibility instead.)
+    if (branch_var >= 0 && opt.use_rounding_heuristic &&
+        (node.depth == 0 || ++nodes_since_dive_ >= 128)) {
+      nodes_since_dive_ = 0;
+      dive(lp);
     }
 
     if (branch_var < 0) {
@@ -555,8 +805,16 @@ class Worker {
         cur_hi = bc.upper;
       }
     down.changes.push_back(BoundChange{branch_var, cur_lo, floor_v});
+    down.branch_var = branch_var;
+    down.branch_up = false;
+    down.branch_dist = xv - floor_v;
+    down.parent_obj = lp.objective;
     Node up{std::move(node.changes), bound, node.depth + 1};
     up.changes.push_back(BoundChange{branch_var, floor_v + 1.0, cur_hi});
+    up.branch_var = branch_var;
+    up.branch_up = true;
+    up.branch_dist = floor_v + 1.0 - xv;
+    up.parent_obj = lp.objective;
 
     const bool down_first = (xv - floor_v) < 0.5;
     Node& near = down_first ? down : up;
@@ -582,15 +840,24 @@ class Worker {
   }
 
   SearchContext& ctx_;
+  const Model& reduced_;  ///< LP model workers are built from (dive solver)
   SimplexSolver simplex_;
+  std::unique_ptr<SimplexSolver> dive_lp_;  ///< lazily built dive solver
   std::vector<double> root_lb_, root_ub_;  ///< local rc-tightened root bounds
   std::vector<BoundChange> applied_;  ///< changes currently applied
   std::optional<Node> local_;         ///< child being plunged on
   std::size_t pool_consumed_ = 0;     ///< pool.applied() rows already in LP
   std::size_t fixings_consumed_ = 0;  ///< ctx.fixings entries already applied
   int nodes_since_separation_ = 0;
+  int nodes_since_dive_ = 0;
+  std::vector<int> row_age_;  ///< consecutive slack-basic re-solves per cut row
+  // Per-worker pseudocosts (mean objective degradation per unit of bound
+  // movement, by direction), sized lazily by pick_branch.
+  std::vector<double> pc_up_sum_, pc_down_sum_;
+  std::vector<int> pc_up_cnt_, pc_down_cnt_;
   std::vector<Fixing> fresh_fixings_;       // scratch
   std::vector<ConstraintDef> new_rows_;     // scratch
+  std::vector<int> doomed_rows_;            // scratch (age_cut_rows)
 };
 
 /// Constructs and runs one worker, capturing any exception (including a
@@ -786,7 +1053,10 @@ Solution Solver::solve(const Model& original) const {
             reduced.add_constraint(std::move(expr), Sense::kLessEqual, c.rhs);
           }
           root_lp.add_rows(rows);
-          rlp = root_lp.solve();
+          // The appended rows enter slack-basic, so the dual re-solve path
+          // applies at the root exactly as it does in the tree.
+          rlp = options_.lp_dual_simplex ? root_lp.solve_dual()
+                                         : root_lp.solve();
           ctx.lp_iterations.fetch_add(rlp.iterations);
           if (rlp.status == LpStatus::kInfeasible) {
             // Valid cuts + feasible LP turned infeasible: no integer point.
@@ -885,6 +1155,17 @@ Solution Solver::solve(const Model& original) const {
   sol.stats.lp_sparse_fallbacks = ctx.lp_stats.sparse_fallbacks;
   sol.stats.lp_pivot_rejections = ctx.lp_stats.pivot_rejections;
   sol.stats.lp_fill_ratio = ctx.lp_stats.fill_ratio();
+  sol.stats.lp_primal_phase1_iterations =
+      ctx.lp_stats.primal_phase1_iterations;
+  sol.stats.lp_primal_phase2_iterations =
+      ctx.lp_stats.primal_phase2_iterations;
+  sol.stats.lp_dual_iterations = ctx.lp_stats.dual_iterations;
+  sol.stats.lp_dual_solves = ctx.lp_stats.dual_solves;
+  sol.stats.lp_dual_fallbacks = ctx.lp_stats.dual_fallbacks;
+  sol.stats.lp_bound_flips =
+      ctx.lp_stats.bound_flips + ctx.lp_stats.dual_bound_flips;
+  sol.stats.lp_rows_deleted = ctx.lp_stats.rows_deleted;
+  sol.stats.lp_peak_rows = ctx.lp_stats.peak_rows;
   sol.stats.cuts_clique_separated = ctx.clique_separated.load();
   sol.stats.cuts_cover_separated = ctx.cover_separated.load();
   for (const Cut& c : pool.applied()) {

@@ -87,12 +87,29 @@ struct Options {
   bool lp_sparse_factorization = true;
   /// Relative threshold-pivoting tolerance for Markowitz pivots in (0, 1].
   double lp_markowitz_tol = 0.1;
+  // --- dual re-solves + LP cut-row aging ---
+  /// Re-solve node LPs with the dual simplex: after a branching bound
+  /// change (and after cut rows are appended slack-basic) the warm basis
+  /// stays dual-feasible, so a handful of dual pivots replaces the primal
+  /// phase-1/phase-2 pass. Falls back to the primal path per-solve when
+  /// the basis cannot be made dual-feasible (see lp::SimplexSolver).
+  bool lp_dual_simplex = true;
+  /// Delete a cut row from a worker's LP once its slack stayed basic for
+  /// this many consecutive node re-solves — the cut has not been binding,
+  /// and the factorization stops paying for it (the shared pool keeps its
+  /// own aging; this only shrinks the LP). 0 disables deletion.
+  int lp_row_age_limit = 40;
   bool verbose = false;
 };
 
 struct Stats {
   long long nodes = 0;
+  /// Total simplex pivots/flips; split below into primal phase-1, primal
+  /// phase-2 and dual pivots so perf work can see where they go.
   long long lp_iterations = 0;
+  long long lp_primal_phase1_iterations = 0;
+  long long lp_primal_phase2_iterations = 0;
+  long long lp_dual_iterations = 0;
   /// Nodes abandoned because their LP hit the iteration limit. A dropped
   /// node forfeits the exhaustive-search proof; its inherited bound is
   /// folded into best_bound, so optimality is only still claimed when that
@@ -139,6 +156,14 @@ struct Stats {
   long long lp_pivot_rejections = 0;  ///< threshold-rejected pivot candidates
   /// Mean nnz(L+U) / nnz(B) over all refactorizations (1.0 = no fill).
   double lp_fill_ratio = 1.0;
+  // --- dual re-solves + LP row aging (summed over workers) ---
+  long long lp_dual_solves = 0;     ///< solve_dual() re-solves attempted
+  long long lp_dual_fallbacks = 0;  ///< of those, finished by the primal path
+  /// Nonbasic bound flips: primal ratio-test flips plus the dual path's
+  /// (feasibility-restoration and ratio-test) flips.
+  long long lp_bound_flips = 0;
+  long long lp_rows_deleted = 0;  ///< aged-out cut rows deleted from LPs
+  int lp_peak_rows = 0;           ///< high-water LP row count across workers
 };
 
 struct Solution {

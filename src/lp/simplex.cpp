@@ -67,6 +67,7 @@ SimplexSolver::SimplexSolver(const Model& model, Options options)
   basis_.assign(m_, -1);
   vstat_.assign(total_, kAtLower);
   x_.assign(total_, 0.0);
+  stats_.peak_rows = m_;
   perm_.assign(m_, 0);
   cperm_.assign(m_, 0);
   u_diag_.assign(m_, 0.0);
@@ -207,6 +208,7 @@ void SimplexSolver::add_rows(const std::vector<ConstraintDef>& rows) {
 
   m_ += add;
   total_ = n_ + m_;
+  stats_.peak_rows = std::max(stats_.peak_rows, m_);
 
   if (extend) {
     // Extend the factors: identity rows/columns in P, Q and U, border rows
@@ -1031,6 +1033,10 @@ int SimplexSolver::iterate(bool phase1, bool bland) {
     degenerate_run_ = 0;
 
   pivot(entering, leaving_row, t_max, dir, w, leaving_status);
+  if (phase1)
+    ++iter_phase1_;
+  else
+    ++iter_phase2_;
   return 0;
 }
 
@@ -1080,36 +1086,58 @@ void SimplexSolver::pivot(int entering, int leaving_row, double t,
   ++iterations_;
 }
 
+bool SimplexSolver::needs_compaction() const {
+  // Pivot-count budget, plus a fill budget: long FTRAN/BTRAN eta chains
+  // cost more than the refactorization they avoid.
+  const std::size_t max_eta_nnz =
+      std::max<std::size_t>(4096, 16 * static_cast<std::size_t>(m_));
+  return pivots_since_refactor_ >= opt_.refactor_every ||
+         eta_idx_.size() > max_eta_nnz;
+}
+
+void SimplexSolver::finalize_result(LpResult& result, LpStatus status) {
+  result.status = status;
+  result.iterations = iterations_;
+  result.phase1_iterations = iter_phase1_;
+  result.phase2_iterations = iter_phase2_;
+  result.dual_iterations = iter_dual_;
+  stats_.primal_phase1_iterations += iter_phase1_;
+  stats_.primal_phase2_iterations += iter_phase2_;
+  stats_.dual_iterations += iter_dual_;
+}
+
 LpResult SimplexSolver::solve() {
+  iterations_ = 0;
+  iter_phase1_ = 0;
+  iter_phase2_ = 0;
+  iter_dual_ = 0;
+  return run_primal();
+}
+
+LpResult SimplexSolver::run_primal() {
   LpResult result;
   if (!has_basis_) cold_start();
   // A warm start keeps the existing factorization + eta file: the basis did
-  // not change, only bounds. needs_refactor() below compacts when the eta
+  // not change, only bounds. needs_compaction() below compacts when the eta
   // file has grown past its budget.
   compute_basic_values();
 
-  iterations_ = 0;
   degenerate_run_ = 0;
   constexpr int kBlandTrigger = 60;
   int cold_restarts = 0;
 
-  // The eta file is compacted on a pivot-count budget and on a fill budget:
-  // long FTRAN/BTRAN chains cost more than the refactorization they avoid.
-  const std::size_t max_eta_nnz =
-      std::max<std::size_t>(4096, 16 * static_cast<std::size_t>(m_));
-  auto needs_refactor = [&] {
-    return pivots_since_refactor_ >= opt_.refactor_every ||
-           eta_idx_.size() > max_eta_nnz;
+  // Every exit of the primal loop (and of the dual path, which tails into
+  // it) goes through finalize_result exactly once: the iteration split is
+  // filled and folded into the cumulative counters.
+  auto finalize = [&](LpStatus st) {
+    finalize_result(result, st);
+    return result;
   };
 
   // ---- phase 1: drive basic-variable bound violations to zero ----
   while (infeasibility() > opt_.feas_tol) {
-    if (iterations_ >= opt_.max_iterations) {
-      result.status = LpStatus::kIterLimit;
-      result.iterations = iterations_;
-      return result;
-    }
-    if (needs_refactor()) {
+    if (iterations_ >= opt_.max_iterations) return finalize(LpStatus::kIterLimit);
+    if (needs_compaction()) {
       if (!refactorize()) {
         cold_start();
       }
@@ -1118,11 +1146,8 @@ LpResult SimplexSolver::solve() {
     const bool bland = degenerate_run_ > kBlandTrigger;
     const int rc = iterate(/*phase1=*/true, bland);
     if (rc == 1) {
-      if (infeasibility() > opt_.feas_tol * (1.0 + std::abs(infeasibility()))) {
-        result.status = LpStatus::kInfeasible;
-        result.iterations = iterations_;
-        return result;
-      }
+      if (infeasibility() > opt_.feas_tol * (1.0 + std::abs(infeasibility())))
+        return finalize(LpStatus::kInfeasible);
       break;
     }
     if (rc == 3) {
@@ -1138,12 +1163,8 @@ LpResult SimplexSolver::solve() {
 
   // ---- phase 2: optimize the true objective ----
   for (;;) {
-    if (iterations_ >= opt_.max_iterations) {
-      result.status = LpStatus::kIterLimit;
-      result.iterations = iterations_;
-      return result;
-    }
-    if (needs_refactor()) {
+    if (iterations_ >= opt_.max_iterations) return finalize(LpStatus::kIterLimit);
+    if (needs_compaction()) {
       if (!refactorize()) {
         cold_start();
         compute_basic_values();
@@ -1155,21 +1176,14 @@ LpResult SimplexSolver::solve() {
     // sends us through a phase-1 repair.
     if (infeasibility() > opt_.feas_tol * 10.0) {
       const int rc1 = iterate(/*phase1=*/true, degenerate_run_ > kBlandTrigger);
-      if (rc1 == 1 && infeasibility() > opt_.feas_tol * 10.0) {
-        result.status = LpStatus::kInfeasible;
-        result.iterations = iterations_;
-        return result;
-      }
+      if (rc1 == 1 && infeasibility() > opt_.feas_tol * 10.0)
+        return finalize(LpStatus::kInfeasible);
       continue;
     }
     const bool bland = degenerate_run_ > kBlandTrigger;
     const int rc = iterate(/*phase1=*/false, bland);
     if (rc == 0) continue;
-    if (rc == 2) {
-      result.status = LpStatus::kUnbounded;
-      result.iterations = iterations_;
-      return result;
-    }
+    if (rc == 2) return finalize(LpStatus::kUnbounded);
     if (rc == 3) {
       if (!refactorize()) cold_start();
       compute_basic_values();
@@ -1178,13 +1192,388 @@ LpResult SimplexSolver::solve() {
     break;  // rc == 1: optimal
   }
 
-  result.status = LpStatus::kOptimal;
-  result.iterations = iterations_;
   result.x.assign(x_.begin(), x_.begin() + n_);
   double obj = 0.0;
   for (int v = 0; v < n_; ++v) obj += cost_[v] * x_[v];
   result.objective = obj;
-  return result;
+  return finalize(LpStatus::kOptimal);
+}
+
+void SimplexSolver::compute_dual_reduced_costs() {
+  cb_.resize(m_);
+  for (int i = 0; i < m_; ++i) cb_[i] = cost_[basis_[i]];
+  btran(cb_, duals_);
+  dual_d_.assign(total_, 0.0);
+  for (int j = 0; j < total_; ++j) {
+    if (vstat_[j] == kBasic) continue;
+    dual_d_[j] = reduced_cost(j, duals_, cost_);
+  }
+}
+
+bool SimplexSolver::restore_dual_feasibility() {
+  for (int j = 0; j < total_; ++j) {
+    if (vstat_[j] == kBasic || lb_[j] == ub_[j]) continue;
+    const double d = dual_d_[j];
+    if (vstat_[j] == kAtLower && d < -opt_.opt_tol) {
+      if (!std::isfinite(ub_[j])) return false;
+      vstat_[j] = kAtUpper;
+      x_[j] = ub_[j];
+      ++stats_.dual_bound_flips;
+    } else if (vstat_[j] == kAtUpper && d > opt_.opt_tol) {
+      if (!std::isfinite(lb_[j])) return false;
+      vstat_[j] = kAtLower;
+      x_[j] = lb_[j];
+      ++stats_.dual_bound_flips;
+    }
+  }
+  return true;
+}
+
+int SimplexSolver::iterate_dual() {
+  // --- leaving row: the basic variable with the largest bound violation ---
+  int r = -1;
+  double viol = opt_.feas_tol;
+  int sgn = 0;  // -1: below its lower bound (leaves at lower), +1: above upper
+  for (int i = 0; i < m_; ++i) {
+    const int col = basis_[i];
+    const double below = lb_[col] - x_[col];
+    const double above = x_[col] - ub_[col];
+    if (below > viol) {
+      viol = below;
+      r = i;
+      sgn = -1;
+    }
+    if (above > viol) {
+      viol = above;
+      r = i;
+      sgn = +1;
+    }
+  }
+  if (r < 0) return 1;  // primal feasible: dual optimal
+
+  // --- pivot row: rho' = e_r' B^{-1}; alpha_j = sgn * rho' a_j for every
+  // nonbasic column (the sign normalization makes "d_j decreasing with the
+  // dual step" read the same for both violation directions) ---
+  dual_unit_.assign(m_, 0.0);
+  dual_unit_[r] = 1.0;
+  btran(dual_unit_, dual_rho_);
+
+  dual_alpha_.assign(total_, 0.0);
+  dual_cands_.clear();
+  for (int j = 0; j < total_; ++j) {
+    if (vstat_[j] == kBasic || lb_[j] == ub_[j]) continue;
+    double a;
+    if (j < n_) {
+      a = 0.0;
+      for (int p = col_start_[j]; p < col_start_[j + 1]; ++p)
+        a += dual_rho_[col_row_[p]] * col_val_[p];
+    } else {
+      a = dual_rho_[j - n_];
+    }
+    const double at = sgn * a;
+    if (std::abs(at) <= opt_.pivot_tol) continue;
+    dual_alpha_[j] = at;
+    // Eligible entering columns: their reduced cost is driven towards zero
+    // as the dual step grows; the breakpoint is the dual ratio.
+    double ratio;
+    if (vstat_[j] == kAtLower && at > 0.0)
+      ratio = std::max(dual_d_[j], 0.0) / at;
+    else if (vstat_[j] == kAtUpper && at < 0.0)
+      ratio = std::min(dual_d_[j], 0.0) / at;
+    else
+      continue;
+    dual_cands_.push_back(DualCandidate{j, ratio, at});
+  }
+  if (dual_cands_.empty()) return 2;  // dual ray: primal infeasible
+
+  // --- bound-flipping ratio test: walk the breakpoints in dual-step order;
+  // a boxed candidate whose full flip still leaves the leaving variable
+  // violated is flipped (no basis change, reduced cost crosses zero
+  // consistently with the new bound) and the walk continues with the
+  // residual violation; the first candidate that cannot be passed enters ---
+  std::sort(dual_cands_.begin(), dual_cands_.end(),
+            [](const DualCandidate& a, const DualCandidate& b) {
+              return a.ratio != b.ratio ? a.ratio < b.ratio : a.col < b.col;
+            });
+  double delta = viol;
+  dual_flips_.clear();
+  int chosen = -1;
+  double theta = 0.0;
+  for (std::size_t c = 0; c < dual_cands_.size(); ++c) {
+    const DualCandidate& cand = dual_cands_[c];
+    const double range = ub_[cand.col] - lb_[cand.col];
+    const double gain = std::abs(cand.alpha) * range;
+    if (c + 1 < dual_cands_.size() && std::isfinite(range) &&
+        delta - gain > opt_.feas_tol) {
+      dual_flips_.push_back(cand.col);
+      delta -= gain;
+      continue;
+    }
+    // Entering candidate found at breakpoint c. These LPs are heavily dual
+    // degenerate (stacks of ratio-0 ties); among the near-ties pick the
+    // largest |alpha|: the primal step delta/|alpha| shrinks with it, so
+    // fewer new violations cascade out of the pivot (and the pivot is
+    // numerically safer).
+    chosen = cand.col;
+    theta = std::max(cand.ratio, 0.0);
+    double best_alpha = std::abs(cand.alpha);
+    for (std::size_t t = c + 1; t < dual_cands_.size(); ++t) {
+      if (dual_cands_[t].ratio > cand.ratio + 1e-9) break;
+      if (std::abs(dual_cands_[t].alpha) > best_alpha) {
+        best_alpha = std::abs(dual_cands_[t].alpha);
+        chosen = dual_cands_[t].col;
+        theta = std::max(dual_cands_[t].ratio, 0.0);
+      }
+    }
+    break;
+  }
+
+  // --- dual step: every nonbasic reduced cost moves along the pivot row.
+  // Flipped candidates cross zero (consistent with their new bound); the
+  // entering column lands exactly at zero. ---
+  if (theta > 0.0) {
+    for (int j = 0; j < total_; ++j) {
+      if (dual_alpha_[j] != 0.0) dual_d_[j] -= theta * dual_alpha_[j];
+    }
+  }
+  dual_d_[chosen] = 0.0;
+
+  // --- apply the flips: nonbasic values jump to the opposite bound; one
+  // accumulated FTRAN updates every basic value ---
+  if (!dual_flips_.empty()) {
+    dual_fcol_.assign(m_, 0.0);
+    for (const int j : dual_flips_) {
+      const double old = x_[j];
+      double nv;
+      if (vstat_[j] == kAtLower) {
+        vstat_[j] = kAtUpper;
+        nv = ub_[j];
+      } else {
+        vstat_[j] = kAtLower;
+        nv = lb_[j];
+      }
+      x_[j] = nv;
+      const double dx = nv - old;
+      if (j < n_) {
+        for (int p = col_start_[j]; p < col_start_[j + 1]; ++p)
+          dual_fcol_[col_row_[p]] += col_val_[p] * dx;
+      } else {
+        dual_fcol_[j - n_] += dx;
+      }
+    }
+    ftran_vec(dual_fcol_);
+    for (int i = 0; i < m_; ++i)
+      if (dual_fcol_[i] != 0.0) x_[basis_[i]] -= dual_fcol_[i];
+    stats_.dual_bound_flips += static_cast<long long>(dual_flips_.size());
+  }
+
+  // --- entering column FTRAN + primal step onto the violated bound ---
+  std::vector<double>& w = wcol_;
+  ftran(chosen, w);
+  const double wr = w[r];
+  // w[r] and the BTRANed pivot-row entry are the same number computed two
+  // ways; a disagreement (or a tiny pivot) flags factorization drift.
+  const double a_chosen = sgn * dual_alpha_[chosen];
+  if (std::abs(wr) <= opt_.pivot_tol ||
+      std::abs(wr - a_chosen) > 1e-5 * std::max(1.0, std::abs(wr)))
+    return 3;
+
+  const int leaving = basis_[r];
+  const double target = (sgn < 0) ? lb_[leaving] : ub_[leaving];
+  const int dir = (vstat_[chosen] == kAtUpper) ? -1 : +1;
+  double t = (x_[leaving] - target) / (dir * wr);
+  if (!(t > 0.0)) t = 0.0;  // flips covered the violation: degenerate pivot
+
+  if (theta <= 1e-12)
+    ++degenerate_run_;
+  else
+    degenerate_run_ = 0;
+
+  pivot(chosen, r, t, dir, w, sgn < 0 ? kAtLower : kAtUpper);
+  ++iter_dual_;
+  dual_d_[leaving] = -sgn * theta;  // the leaving variable's new reduced cost
+  return 0;
+}
+
+LpResult SimplexSolver::solve_dual() {
+  ++stats_.dual_solves;
+  iterations_ = 0;
+  iter_phase1_ = 0;
+  iter_phase2_ = 0;
+  iter_dual_ = 0;
+  degenerate_run_ = 0;
+
+  auto fallback = [&] {
+    ++stats_.dual_fallbacks;
+    LpResult r = run_primal();
+    r.dual_fallback = true;
+    return r;
+  };
+
+  // No warm basis to be dual-feasible about: the primal cold start is the
+  // right tool.
+  if (!has_basis_) return fallback();
+
+  compute_dual_reduced_costs();
+  if (!restore_dual_feasibility()) return fallback();
+  compute_basic_values();
+
+  constexpr int kDualDegenerateCap = 2000;
+  int trouble = 0;
+  bool infeasibility_reverified = false;
+
+  for (;;) {
+    if (iterations_ >= opt_.max_iterations) return fallback();
+    if (needs_compaction()) {
+      if (!refactorize()) {
+        cold_start();
+        return fallback();
+      }
+      compute_basic_values();
+      compute_dual_reduced_costs();
+    }
+    const int rc = iterate_dual();
+    if (rc == 0) {
+      if (degenerate_run_ > kDualDegenerateCap) return fallback();
+      infeasibility_reverified = false;
+      continue;
+    }
+    if (rc == 1) break;  // primal feasible: let the primal loop certify
+    if (rc == 2) {
+      // Re-verify the dual ray on a fresh factorization before trusting it
+      // (the pivot row and reduced costs may carry eta-file drift).
+      if (!infeasibility_reverified) {
+        infeasibility_reverified = true;
+        if (!refactorize()) {
+          cold_start();
+          return fallback();
+        }
+        compute_basic_values();
+        compute_dual_reduced_costs();
+        continue;
+      }
+      LpResult result;
+      finalize_result(result, LpStatus::kInfeasible);
+      return result;
+    }
+    // rc == 3: numerical trouble — refactorize and retry, then bail.
+    if (++trouble > 2) return fallback();
+    if (!refactorize()) {
+      cold_start();
+      return fallback();
+    }
+    compute_basic_values();
+    compute_dual_reduced_costs();
+  }
+
+  // Primal-feasible and dual-feasible: the primal loop verifies optimality
+  // (in the clean case, zero further pivots) and assembles the result.
+  return run_primal();
+}
+
+void SimplexSolver::delete_rows(const std::vector<int>& rows) {
+  if (rows.empty()) return;
+  const int del = static_cast<int>(rows.size());
+  int prev = initial_m_ - 1;
+  for (const int r : rows) {
+    ADVBIST_REQUIRE(r > prev && r < m_,
+                    "delete_rows: strictly increasing appended-row indices");
+    ADVBIST_REQUIRE(vstat_[n_ + r] == kBasic,
+                    "delete_rows: slack must be basic (aged-out cut row)");
+    prev = r;
+  }
+
+  // Old row -> new row mapping (-1 = deleted).
+  std::vector<int> new_row(m_);
+  {
+    int k = 0, next = 0;
+    for (int r = 0; r < m_; ++r) {
+      if (k < del && rows[k] == r) {
+        new_row[r] = -1;
+        ++k;
+      } else {
+        new_row[r] = next++;
+      }
+    }
+  }
+  const int nm = m_ - del;
+  auto renumber = [&](int col) {
+    return col < n_ ? col : n_ + new_row[col - n_];
+  };
+
+  // Basis: drop the positions holding the deleted slacks (each was a unit
+  // column, so the remaining basis over the remaining rows is nonsingular
+  // and the surviving basic values are untouched — the deleted slack was
+  // the only basic variable in its row).
+  {
+    std::size_t keep = 0;
+    for (int i = 0; i < m_; ++i) {
+      const int col = basis_[i];
+      if (col >= n_ && new_row[col - n_] < 0) continue;
+      basis_[keep++] = renumber(col);
+    }
+    basis_.resize(keep);
+  }
+
+  // Per-column state: erase the deleted slacks' slots.
+  auto compact_cols = [&](auto& v) {
+    std::size_t keep = n_;
+    for (int r = 0; r < m_; ++r)
+      if (new_row[r] >= 0) v[keep++] = v[n_ + r];
+    v.resize(keep);
+  };
+  compact_cols(lb_);
+  compact_cols(ub_);
+  compact_cols(cost_);
+  compact_cols(x_);
+  compact_cols(vstat_);
+
+  {
+    std::size_t keep = 0;
+    for (int r = 0; r < m_; ++r)
+      if (new_row[r] >= 0) rhs_[keep++] = rhs_[r];
+    rhs_.resize(keep);
+  }
+
+  // CSC: drop entries of deleted rows, remap the rest (in-place compaction;
+  // the write cursor never passes the read cursor).
+  {
+    int write = 0;
+    for (int v = 0; v < n_; ++v) {
+      const int begin = col_start_[v];
+      const int end = col_start_[v + 1];
+      col_start_[v] = write;
+      for (int p = begin; p < end; ++p) {
+        const int nr = new_row[col_row_[p]];
+        if (nr < 0) continue;
+        col_row_[write] = nr;
+        col_val_[write] = col_val_[p];
+        ++write;
+      }
+    }
+    col_start_[n_] = write;
+    col_row_.resize(write);
+    col_val_.resize(write);
+  }
+
+  m_ = nm;
+  total_ = n_ + m_;
+  perm_.resize(m_);
+  cperm_.resize(m_);
+  u_diag_.resize(m_);
+  work_.resize(m_);
+  work2_.resize(m_);
+  candidates_.clear();
+  price_cursor_ = 0;
+  stats_.rows_deleted += del;
+
+  if (has_basis_) {
+    // Rebuild the factors at the shrunken size. This is where the fill
+    // accounting must see the *current* row count: refactorize() measures
+    // basis and fill nnz against m_, which has already been shrunk, so
+    // aged-out rows neither inflate the basis term nor deflate the ratio.
+    if (!refactorize()) has_basis_ = false;  // next solve() cold-starts
+  }
 }
 
 bool SimplexSolver::refactorize_for_testing() {

@@ -59,6 +59,23 @@
 //    starting from an arbitrary basis after branch & bound tightens variable
 //    bounds — the dominant use of this class.
 //
+//  * Dual simplex (solve_dual). A branch & bound bound change leaves the
+//    old optimal basis dual-feasible (reduced costs do not depend on
+//    bounds), and add_rows appends cut rows slack-basic (dual-feasible by
+//    construction) — so the natural re-solve is a dual one: pick the
+//    leaving row by primal bound violation, BTRAN a single unit vector for
+//    the pivot row, and run a bound-flipping dual ratio test (boxed
+//    candidates cheaper than the entering breakpoint are flipped to their
+//    other bound, shrinking the infeasibility without a basis change —
+//    0/1-dominated models flip a lot). A handful of dual pivots replaces
+//    the full primal phase-1/phase-2 pass. Wrong-sign reduced costs of
+//    boxed nonbasics are repaired at entry by bound flips; anything the
+//    flips cannot repair, plus numerical trouble and dual degeneracy, falls
+//    back to the primal path, so solve_dual() is always exact. delete_rows
+//    removes aged-out cut rows whose slack stayed basic — the remaining
+//    basis is provably nonsingular and still dual-feasible — so the
+//    factorization stops paying for dead cuts.
+//
 // Problem sizes in this project are a few thousand rows/columns; the sparse
 // factorization keeps the refactorization cost proportional to fill while
 // the eta file keeps the per-pivot cost proportional to actual fill.
@@ -79,7 +96,16 @@ struct LpResult {
   double objective = 0.0;
   /// Values of the model's structural variables (empty unless kOptimal).
   std::vector<double> x;
-  int iterations = 0;
+  int iterations = 0;  ///< total pivots/flips = phase1 + phase2 + dual
+  // Where the pivots went (solve() fills the primal pair; solve_dual() all
+  // three — perf PRs read these to see which path is paying).
+  int phase1_iterations = 0;  ///< primal composite phase-1 pivots
+  int phase2_iterations = 0;  ///< primal phase-2 pivots (incl. bound flips)
+  int dual_iterations = 0;    ///< dual simplex pivots
+  /// solve_dual() only: the dual path bailed (warm basis not dual-feasible,
+  /// numerical trouble, or degeneracy) and the primal path produced the
+  /// result instead.
+  bool dual_fallback = false;
 };
 
 struct SimplexOptions {
@@ -130,6 +156,24 @@ class SimplexSolver {
   /// eta file is compacted first so the factors describe the current basis.)
   void add_rows(const std::vector<ConstraintDef>& rows);
 
+  /// Deletes appended cut rows (indices must be >= the construction row
+  /// count and strictly increasing). Every deleted row's slack must be
+  /// basic — the aging policy in src/ilp guarantees it, and it is what makes
+  /// deletion cheap: removing a basic-slack row keeps the remaining basis
+  /// nonsingular (expand the determinant along the slack's unit column) and
+  /// leaves every reduced cost unchanged (the row's dual is zero), so the
+  /// shrunken basis is still dual-feasible and the next solve_dual() warm
+  /// starts. The LU factors are rebuilt at the new size; basic values are
+  /// recomputed by the next solve().
+  void delete_rows(const std::vector<int>& rows);
+
+  /// True if the slack of appended row `added` (0-based among the rows
+  /// appended via add_rows) is basic at the current basis — i.e. the cut is
+  /// inactive and a candidate for delete_rows aging.
+  [[nodiscard]] bool added_row_slack_basic(int added) const {
+    return vstat_[n_ + initial_m_ + added] == kBasic;
+  }
+
   /// Reduced costs d = c - y'A of the structural variables at the current
   /// basis. Meaningful after a solve() returned kOptimal (used for
   /// reduced-cost bound fixing in branch & bound).
@@ -138,8 +182,22 @@ class SimplexSolver {
   /// Current number of constraint rows (grows with add_rows).
   [[nodiscard]] int num_added_rows() const { return m_ - initial_m_; }
 
-  /// Solves the LP relaxation (minimization).
+  /// Solves the LP relaxation (minimization) through the primal path:
+  /// composite phase 1 repairs any warm-start infeasibility, phase 2
+  /// optimizes.
   LpResult solve();
+
+  /// Solves the LP relaxation through the dual simplex. Intended for the
+  /// branch & bound re-solve pattern: after a bound change (or add_rows,
+  /// whose cut rows enter slack-basic) the old optimal basis stays
+  /// dual-feasible, so a handful of dual pivots replaces a full primal
+  /// phase-1/phase-2 pass. Boxed nonbasic variables whose reduced cost has
+  /// the wrong sign are first flipped to their other bound (restoring dual
+  /// feasibility for free); if that is impossible (free or one-sided
+  /// variable) or the dual path hits numerical trouble, the primal path
+  /// finishes the solve and the result is flagged dual_fallback. Either way
+  /// the returned status/objective matches solve().
+  LpResult solve_dual();
 
   /// Cumulative factorization/pivot counters (never reset; cheap to keep).
   struct Stats {
@@ -158,6 +216,20 @@ class SimplexSolver {
     long long factor_fill_nnz = 0;
     long long basis_pivots = 0;
     long long bound_flips = 0;
+
+    // --- dual simplex (solve_dual) ---
+    long long dual_solves = 0;     ///< solve_dual() calls
+    long long dual_fallbacks = 0;  ///< of those, finished by the primal path
+    long long dual_iterations = 0;          ///< dual pivots
+    long long primal_phase1_iterations = 0; ///< composite phase-1 pivots
+    long long primal_phase2_iterations = 0; ///< phase-2 pivots + bound flips
+    /// Nonbasic bounds flipped by the dual path: dual-feasibility
+    /// restoration at entry plus bound-flipping ratio-test flips.
+    long long dual_bound_flips = 0;
+
+    // --- row deletion (delete_rows) ---
+    long long rows_deleted = 0;  ///< cut rows aged out of the LP
+    int peak_rows = 0;           ///< high-water row count (add_rows growth)
 
     /// Mean nnz(L+U) / nnz(B) over all refactorizations (1.0 = no fill).
     [[nodiscard]] double fill_ratio() const {
@@ -227,6 +299,31 @@ class SimplexSolver {
   void pivot(int entering, int leaving_row, double t, int entering_dir,
              const std::vector<double>& w, Status leaving_status);
 
+  // --- dual simplex internals (solve_dual) ---
+  /// The primal phase-1/phase-2 loop shared by solve() and the dual
+  /// fallback; assumes counters were reset by the public entry point.
+  LpResult run_primal();
+  /// True when the eta file should be compacted: the pivot-count budget or
+  /// the fill budget (long FTRAN/BTRAN chains cost more than the
+  /// refactorization they avoid) is exhausted.
+  [[nodiscard]] bool needs_compaction() const;
+  /// Fills the per-solve iteration split of `result` and folds it into the
+  /// cumulative stats. Must run exactly once per public solve entry.
+  void finalize_result(LpResult& result, LpStatus status);
+  /// Recomputes the full reduced-cost vector dual_d_ (one BTRAN + one pass
+  /// over the columns) for the current basis.
+  void compute_dual_reduced_costs();
+  /// Flips boxed nonbasic variables whose reduced cost has the wrong sign
+  /// for their bound onto the other bound. Returns false when a wrong-sign
+  /// variable cannot flip (infinite opposite bound): the basis cannot be
+  /// made dual-feasible by flipping and solve_dual must fall back.
+  bool restore_dual_feasibility();
+  /// One dual pivot: leaving row by largest primal bound violation,
+  /// entering column by a bound-flipping dual ratio test over the BTRANed
+  /// pivot row. Returns 0 = pivoted, 1 = primal feasible (dual optimal),
+  /// 2 = primal infeasible (dual ray), 3 = numerical trouble.
+  int iterate_dual();
+
   // --- problem data (immutable except bounds and appended cut rows) ---
   int n_ = 0;          // structural variables
   int m_ = 0;          // rows (model rows + appended cut rows)
@@ -248,6 +345,11 @@ class SimplexSolver {
   int pivots_since_refactor_ = 0;
   int iterations_ = 0;
   int degenerate_run_ = 0;
+  // Per-solve iteration split (reset by solve()/solve_dual(), reported in
+  // LpResult and accumulated into stats_).
+  int iter_phase1_ = 0;
+  int iter_phase2_ = 0;
+  int iter_dual_ = 0;
 
   // --- basis factorization ---
   // Both refactorization paths (sparse Markowitz elimination; dense
@@ -285,6 +387,21 @@ class SimplexSolver {
   std::vector<double> duals_;               // y
   std::vector<double> cb_;                  // basic costs
   std::vector<double> wcol_;                // FTRANed entering column
+
+  // --- dual simplex scratch (sized lazily in solve_dual) ---
+  std::vector<double> dual_d_;      // reduced costs, size total_
+  std::vector<double> dual_rho_;    // BTRANed leaving row, size m_
+  std::vector<double> dual_unit_;   // e_r scratch for the rho BTRAN
+  std::vector<double> dual_alpha_;  // pivot row sgn * (rho' A), size total_
+  /// Candidate entering columns of one dual ratio test.
+  struct DualCandidate {
+    int col;
+    double ratio;
+    double alpha;  // signed pivot-row entry sgn * (rho' a_col)
+  };
+  std::vector<DualCandidate> dual_cands_;
+  std::vector<int> dual_flips_;     // columns flipped by the BFRT walk
+  std::vector<double> dual_fcol_;   // accumulated flip column, size m_
 
   // Markowitz elimination workspace, reused across refactorizations so the
   // per-row vectors keep their capacity (no allocation churn in the hot

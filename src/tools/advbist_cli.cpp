@@ -14,6 +14,10 @@
 //   --mtol X       Markowitz threshold-pivoting tolerance in (0,1]
 //                  (default 0.1; larger = more stable, more fill)
 //   --dense-lu     disable the sparse Markowitz factorization (dense sweep)
+//   --dual 0|1     dual-simplex warm re-solves after bound changes and cut
+//                  appends (default 1; 0 = primal phase-1/2 re-solves)
+//   --row-age N    delete a cut row after its slack stayed basic for N
+//                  consecutive re-solves (default 40, 0 = never delete)
 //
 // Cut-and-bound knobs (all commands that solve):
 //   --cuts 0|1       clique + cover cutting planes (default 1)
@@ -58,7 +62,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: advbist <synth|sweep|compare|print> "
                "<circuit|file.dfg> [--k N] [--time S] [--threads N] "
-               "[--refactor N] [--mtol X] [--dense-lu] [--cuts 0|1] "
+               "[--refactor N] [--mtol X] [--dense-lu] [--dual 0|1] "
+               "[--row-age N] [--cuts 0|1] "
                "[--cut-rounds N] [--cut-interval N] [--max-cuts N] "
                "[--probing 0|1] [--rcfix 0|1] [--verilog out.v]\n");
   return 2;
@@ -76,6 +81,8 @@ int main(int argc, char** argv) {
   int refactor_every = 0;      // 0: keep the solver default
   double markowitz_tol = 0.0;  // 0: keep the solver default
   bool dense_lu = false;
+  int dual = -1;     // -1: keep the solver default
+  int row_age = -1;  // -1: keep the solver default
   int cuts = -1;          // -1: keep the solver default
   int cut_rounds = -1;
   int cut_interval = -1;
@@ -116,7 +123,8 @@ int main(int argc, char** argv) {
     }
     else if (std::strcmp(argv[i], "--cuts") == 0 ||
              std::strcmp(argv[i], "--probing") == 0 ||
-             std::strcmp(argv[i], "--rcfix") == 0) {
+             std::strcmp(argv[i], "--rcfix") == 0 ||
+             std::strcmp(argv[i], "--dual") == 0) {
       const char* val = argv[i + 1];
       if (std::strcmp(val, "0") != 0 && std::strcmp(val, "1") != 0) {
         std::fprintf(stderr, "advbist: %s wants 0 or 1\n", argv[i]);
@@ -125,7 +133,18 @@ int main(int argc, char** argv) {
       const int on = val[0] == '1' ? 1 : 0;
       if (argv[i][2] == 'c') cuts = on;
       else if (argv[i][2] == 'p') probing = on;
+      else if (argv[i][2] == 'd') dual = on;
       else rcfix = on;
+    }
+    else if (std::strcmp(argv[i], "--row-age") == 0) {
+      // 0 is a meaningful disable (rows are never deleted).
+      char* end = nullptr;
+      const int v = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "advbist: --row-age wants an integer >= 0\n");
+        return usage();
+      }
+      row_age = v;
     }
     else if (std::strcmp(argv[i], "--cut-rounds") == 0 ||
              std::strcmp(argv[i], "--cut-interval") == 0 ||
@@ -163,6 +182,8 @@ int main(int argc, char** argv) {
     if (refactor_every > 0) options.solver.lp_refactor_every = refactor_every;
     if (markowitz_tol > 0) options.solver.lp_markowitz_tol = markowitz_tol;
     if (dense_lu) options.solver.lp_sparse_factorization = false;
+    if (dual >= 0) options.solver.lp_dual_simplex = dual == 1;
+    if (row_age >= 0) options.solver.lp_row_age_limit = row_age;
     if (cuts == 0) {
       options.solver.use_clique_cuts = false;
       options.solver.use_cover_cuts = false;
@@ -193,12 +214,21 @@ int main(int argc, char** argv) {
       const ilp::Stats& st = r.solver_stats;
       if (st.lp_refactorizations > 0)
         std::printf(
-            "     lp: %lld iterations, %lld refactorizations (%lld sparse, "
+            "     lp: %lld iterations (%lld phase-1 / %lld phase-2 / %lld "
+            "dual), %lld refactorizations (%lld sparse, "
             "%lld dense fallbacks), fill %.3f, %lld pivot rejections, %d "
             "threads\n",
-            st.lp_iterations, st.lp_refactorizations,
+            st.lp_iterations, st.lp_primal_phase1_iterations,
+            st.lp_primal_phase2_iterations, st.lp_dual_iterations,
+            st.lp_refactorizations,
             st.lp_sparse_refactorizations, st.lp_sparse_fallbacks,
             st.lp_fill_ratio, st.lp_pivot_rejections, st.threads);
+      if (st.lp_dual_solves > 0)
+        std::printf(
+            "     dual: %lld re-solves (%lld fell back to primal), %lld "
+            "bound flips, %lld cut rows aged out of the LPs (peak %d rows)\n",
+            st.lp_dual_solves, st.lp_dual_fallbacks, st.lp_bound_flips,
+            st.lp_rows_deleted, st.lp_peak_rows);
       if (st.cuts_clique_applied + st.cuts_cover_applied > 0 ||
           st.probing_fixed > 0 || st.rc_fixed_root + st.rc_fixed_incumbent > 0)
         std::printf(

@@ -1,0 +1,354 @@
+// Dual-simplex differential suite: over seeded bound-change and
+// add_rows/delete_rows sequences, solve_dual() must agree with a
+// warm-started primal solve() and with a cold-started solve of the same
+// model — on status, objective, and primal feasibility of the returned
+// point. Also pins the intended fast path (dual re-solves without primal
+// fallback after bound tightenings and slack-basic row appends), the
+// mandatory fallback on a warm start that cannot be made dual-feasible by
+// bound flips, and the delete_rows bookkeeping (fill accounting against the
+// current row count, not the high-water mark).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace advbist::lp {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+/// Cold reference: a fresh solver over `model` (plus `extra` appended rows)
+/// with `bounds` applied.
+LpResult cold_solve(const Model& model,
+                    const std::vector<std::pair<double, double>>& bounds,
+                    const std::vector<ConstraintDef>& extra = {}) {
+  SimplexSolver solver(model);
+  if (!extra.empty()) solver.add_rows(extra);
+  for (int v = 0; v < model.num_variables(); ++v)
+    solver.set_variable_bounds(v, bounds[v].first, bounds[v].second);
+  solver.invalidate_basis();
+  return solver.solve();
+}
+
+/// Feasibility of structural point `x` under `bounds` and the rows of
+/// `model` + `extra` (the solver's own rhs_/senses are not exposed; rebuild
+/// the check from the definitions).
+double max_violation(const Model& model,
+                     const std::vector<std::pair<double, double>>& bounds,
+                     const std::vector<ConstraintDef>& extra,
+                     const std::vector<double>& x) {
+  double worst = 0.0;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    worst = std::max(worst, bounds[v].first - x[v]);
+    worst = std::max(worst, x[v] - bounds[v].second);
+  }
+  auto check_row = [&](const ConstraintDef& c) {
+    double act = 0.0;
+    for (const Term& t : c.terms) act += t.coeff * x[t.var];
+    switch (c.sense) {
+      case Sense::kLessEqual: worst = std::max(worst, act - c.rhs); break;
+      case Sense::kGreaterEqual: worst = std::max(worst, c.rhs - act); break;
+      case Sense::kEqual: worst = std::max(worst, std::abs(act - c.rhs)); break;
+    }
+  };
+  for (int r = 0; r < model.num_constraints(); ++r)
+    check_row(model.constraint(r));
+  for (const ConstraintDef& c : extra) check_row(c);
+  return worst;
+}
+
+Model random_lp(util::Rng& rng) {
+  Model m;
+  const int n = rng.next_int(4, 10);
+  for (int v = 0; v < n; ++v)
+    m.add_variable(0, rng.next_int(1, 3), rng.next_int(-5, 5),
+                   VarType::kContinuous, "");
+  const int rows = rng.next_int(2, 6);
+  for (int r = 0; r < rows; ++r) {
+    LinExpr e;
+    for (int v = 0; v < n; ++v) {
+      const int coeff = rng.next_int(-2, 3);
+      if (coeff != 0) e.add(v, coeff);
+    }
+    const Sense sense =
+        rng.next_bool(0.75) ? Sense::kLessEqual : Sense::kGreaterEqual;
+    m.add_constraint(std::move(e), sense, rng.next_int(1, 8));
+  }
+  return m;
+}
+
+/// A random valid-looking <=-row over a subset of the variables (not
+/// necessarily a valid cut — validity is irrelevant here, only that every
+/// solver sees the same row set).
+ConstraintDef random_row(util::Rng& rng, int n) {
+  ConstraintDef c;
+  for (int v = 0; v < n; ++v) {
+    if (!rng.next_bool(0.4)) continue;
+    c.terms.push_back(Term{v, static_cast<double>(rng.next_int(1, 3))});
+  }
+  if (c.terms.empty()) c.terms.push_back(Term{0, 1.0});
+  c.sense = Sense::kLessEqual;
+  // Loose enough to usually stay feasible, tight enough to sometimes bind.
+  c.rhs = rng.next_int(2, 6);
+  return c;
+}
+
+TEST(DualSimplex, RandomizedBoundSequencesMatchPrimalAndCold) {
+  util::Rng rng(8260726ULL);
+  long long dual_pivots = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Model m = random_lp(rng);
+    const int n = m.num_variables();
+    SimplexSolver dual(m);
+    SimplexSolver primal(m);
+    std::vector<std::pair<double, double>> bounds(n);
+    for (int v = 0; v < n; ++v)
+      bounds[v] = {m.variable(v).lower, m.variable(v).upper};
+    dual.solve();
+    primal.solve();
+
+    for (int step = 0; step < 10; ++step) {
+      const int var = rng.next_int(0, n - 1);
+      const double orig_ub = m.variable(var).upper;
+      std::pair<double, double> next;
+      switch (rng.next_int(0, 4)) {
+        case 0: next = {0.0, 0.0}; break;          // fix at lower
+        case 1: next = {orig_ub, orig_ub}; break;  // fix at upper
+        case 2: next = {0.0, orig_ub}; break;      // relax to original
+        case 3: next = {1.0, orig_ub}; break;      // tighten from below
+        default: next = {0.0, kInfinity}; break;   // open the top
+      }
+      bounds[var] = next;
+      dual.set_variable_bounds(var, next.first, next.second);
+      primal.set_variable_bounds(var, next.first, next.second);
+
+      const LpResult d = dual.solve_dual();
+      const LpResult p = primal.solve();
+      const LpResult c = cold_solve(m, bounds);
+      dual_pivots += d.dual_iterations;
+      ASSERT_EQ(d.status, c.status) << "trial " << trial << " step " << step;
+      ASSERT_EQ(p.status, c.status) << "trial " << trial << " step " << step;
+      if (c.status == LpStatus::kOptimal) {
+        ASSERT_NEAR(d.objective, c.objective, kTol)
+            << "trial " << trial << " step " << step;
+        ASSERT_NEAR(p.objective, c.objective, kTol)
+            << "trial " << trial << " step " << step;
+        EXPECT_LE(max_violation(m, bounds, {}, d.x), kTol);
+      }
+    }
+  }
+  // The point of the suite: the dual path must actually be exercised.
+  EXPECT_GT(dual_pivots, 0);
+}
+
+TEST(DualSimplex, AddAndDeleteRowSequencesMatchCold) {
+  util::Rng rng(42617ULL);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Model m = random_lp(rng);
+    const int n = m.num_variables();
+    SimplexSolver dual(m);
+    std::vector<std::pair<double, double>> bounds(n);
+    for (int v = 0; v < n; ++v)
+      bounds[v] = {m.variable(v).lower, m.variable(v).upper};
+    std::vector<ConstraintDef> active;  // appended rows still in the LP
+    dual.solve();
+
+    for (int step = 0; step < 8; ++step) {
+      const int action = rng.next_int(0, 2);
+      if (action == 0) {
+        // Append 1-2 rows; they enter slack-basic, so the warm basis stays
+        // dual-feasible by construction.
+        std::vector<ConstraintDef> rows;
+        for (int i = rng.next_int(1, 2); i > 0; --i)
+          rows.push_back(random_row(rng, n));
+        dual.add_rows(rows);
+        for (const ConstraintDef& c : rows) active.push_back(c);
+      } else if (action == 1 && dual.num_added_rows() > 0) {
+        // Delete every appended row whose slack is basic (the aged-out-cut
+        // shape delete_rows is specified for).
+        const int base = dual.num_rows() - dual.num_added_rows();
+        std::vector<int> doomed;
+        std::vector<ConstraintDef> kept;
+        for (int i = 0; i < dual.num_added_rows(); ++i) {
+          if (dual.added_row_slack_basic(i) && rng.next_bool(0.7))
+            doomed.push_back(base + i);
+          else
+            kept.push_back(active[i]);
+        }
+        if (!doomed.empty()) {
+          dual.delete_rows(doomed);
+          active = std::move(kept);
+        }
+      } else {
+        const int var = rng.next_int(0, n - 1);
+        const double orig_ub = m.variable(var).upper;
+        std::pair<double, double> next =
+            rng.next_bool(0.5)
+                ? std::pair<double, double>{0.0, 0.0}
+                : std::pair<double, double>{0.0, orig_ub};
+        bounds[var] = next;
+        dual.set_variable_bounds(var, next.first, next.second);
+      }
+
+      const LpResult d = dual.solve_dual();
+      const LpResult c = cold_solve(m, bounds, active);
+      ASSERT_EQ(d.status, c.status) << "trial " << trial << " step " << step;
+      if (c.status == LpStatus::kOptimal) {
+        ASSERT_NEAR(d.objective, c.objective, kTol)
+            << "trial " << trial << " step " << step;
+        EXPECT_LE(max_violation(m, bounds, active, d.x), kTol);
+      }
+    }
+  }
+}
+
+TEST(DualSimplex, BoundTighteningResolvesWithoutFallback) {
+  // The branch & bound access pattern on a clean instance: tightening a
+  // bound of an optimal basis must re-solve on the dual path alone.
+  Model m;
+  const int x = m.add_variable(0, 4, -2, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 4, -1, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kLessEqual, 6);
+  SimplexSolver solver(m);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+
+  solver.set_variable_bounds(x, 0, 1);  // x was 4: basis now primal infeasible
+  const LpResult d = solver.solve_dual();
+  ASSERT_EQ(d.status, LpStatus::kOptimal);
+  EXPECT_FALSE(d.dual_fallback);
+  EXPECT_NEAR(d.objective, -2.0 * 1 - 1.0 * 4, kTol);
+  EXPECT_GE(solver.stats().dual_iterations, 1);
+  EXPECT_EQ(solver.stats().dual_fallbacks, 0);
+}
+
+TEST(DualSimplex, AppendedViolatedRowResolvesWithoutFallback) {
+  // A violated cut row enters slack-basic (dual-feasible by construction):
+  // the re-solve must stay on the dual path.
+  Model m;
+  const int x = m.add_variable(0, 3, -1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 3, -1, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kLessEqual, 5);
+  SimplexSolver solver(m);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+
+  ConstraintDef cut;
+  cut.terms = {Term{x, 1.0}, Term{y, 1.0}};
+  cut.sense = Sense::kLessEqual;
+  cut.rhs = 2.0;
+  solver.add_rows({cut});
+  const LpResult d = solver.solve_dual();
+  ASSERT_EQ(d.status, LpStatus::kOptimal);
+  EXPECT_FALSE(d.dual_fallback);
+  EXPECT_NEAR(d.objective, -2.0, kTol);
+  EXPECT_GE(d.dual_iterations, 1);
+}
+
+TEST(DualSimplex, InfeasibleBoundChangeDetectedOnDualPath) {
+  //  x + y >= 4 with both variables boxed into [0,1] has no feasible point.
+  Model m;
+  const int x = m.add_variable(0, 3, 1, VarType::kContinuous, "x");
+  const int y = m.add_variable(0, 3, 1, VarType::kContinuous, "y");
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kGreaterEqual, 4);
+  SimplexSolver solver(m);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+
+  solver.set_variable_bounds(x, 0, 1);
+  solver.set_variable_bounds(y, 0, 1);
+  EXPECT_EQ(solver.solve_dual().status, LpStatus::kInfeasible);
+}
+
+TEST(DualSimplex, DualInfeasibleWarmStartFallsBackToPrimal) {
+  // min -x s.t. x <= 10, x fixed at [1,1]: the fixed variable is never
+  // priced, so its reduced cost ends at -1. Opening its top to +infinity
+  // leaves it nonbasic-at-lower with a wrong-sign reduced cost and no
+  // opposite bound to flip to: solve_dual must fall back to the primal
+  // path and still return the true optimum.
+  Model m;
+  const int x = m.add_variable(1, 1, -1, VarType::kContinuous, "x");
+  m.add_constraint(LinExpr().add(x, 1), Sense::kLessEqual, 10);
+  SimplexSolver solver(m);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+
+  solver.set_variable_bounds(x, 1, kInfinity);
+  const LpResult d = solver.solve_dual();
+  ASSERT_EQ(d.status, LpStatus::kOptimal);
+  EXPECT_TRUE(d.dual_fallback);
+  EXPECT_NEAR(d.objective, -10.0, kTol);
+  EXPECT_EQ(solver.stats().dual_fallbacks, 1);
+}
+
+TEST(DualSimplex, DegenerateWarmStartStaysExact) {
+  // Several ties at every breakpoint: a degenerate dual ratio test must
+  // still terminate and agree with the cold solve.
+  Model m;
+  const int n = 6;
+  for (int v = 0; v < n; ++v)
+    m.add_variable(0, 1, 1, VarType::kContinuous, "");
+  for (int r = 0; r < 4; ++r) {
+    LinExpr e;
+    for (int v = 0; v < n; ++v) e.add(v, 1);
+    m.add_constraint(std::move(e), Sense::kGreaterEqual, 2);
+  }
+  SimplexSolver solver(m);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+  std::vector<std::pair<double, double>> bounds(n, {0.0, 1.0});
+  for (int v = 0; v < 3; ++v) {
+    bounds[v] = {0.0, 0.0};
+    solver.set_variable_bounds(v, 0, 0);
+    const LpResult d = solver.solve_dual();
+    const LpResult c = cold_solve(m, bounds);
+    ASSERT_EQ(d.status, c.status) << "fix " << v;
+    ASSERT_NEAR(d.objective, c.objective, kTol) << "fix " << v;
+  }
+}
+
+TEST(DualSimplex, DeleteRowsKeepsFillAccountingAtCurrentRowCount) {
+  // Regression for the delete_rows/add_rows fill interaction: after rows
+  // age out, refactorization statistics must be measured against the
+  // current (shrunken) row count — the per-refactorization fill increment
+  // can never be negative, which is exactly what a high-water-mark row
+  // count would produce on an almost-slack basis.
+  util::Rng rng(99901ULL);
+  const Model m = random_lp(rng);
+  const int n = m.num_variables();
+  SimplexSolver solver(m);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+
+  std::vector<ConstraintDef> rows;
+  for (int i = 0; i < 8; ++i) rows.push_back(random_row(rng, n));
+  solver.add_rows(rows);
+  EXPECT_EQ(solver.num_added_rows(), 8);
+  ASSERT_EQ(solver.solve_dual().status, LpStatus::kOptimal);
+  EXPECT_EQ(solver.stats().peak_rows, m.num_constraints() + 8);
+
+  const long long basis_before = solver.stats().factor_basis_nnz;
+  const long long fill_before = solver.stats().factor_fill_nnz;
+  const int base = solver.num_rows() - solver.num_added_rows();
+  std::vector<int> doomed;
+  for (int i = 0; i < solver.num_added_rows(); ++i)
+    if (solver.added_row_slack_basic(i)) doomed.push_back(base + i);
+  ASSERT_FALSE(doomed.empty());
+  solver.delete_rows(doomed);  // refactorizes at the shrunken size
+  EXPECT_EQ(solver.stats().rows_deleted,
+            static_cast<long long>(doomed.size()));
+  EXPECT_EQ(solver.num_rows(), m.num_constraints() + 8 -
+                                   static_cast<int>(doomed.size()));
+  // The post-deletion refactorization's increments, in isolation: the
+  // basis term is positive and the fill term non-negative.
+  EXPECT_GT(solver.stats().factor_basis_nnz, basis_before);
+  EXPECT_GE(solver.stats().factor_fill_nnz, fill_before);
+  // Peak keeps the high-water mark even though the LP shrank.
+  EXPECT_EQ(solver.stats().peak_rows, m.num_constraints() + 8);
+
+  const LpResult after = solver.solve_dual();
+  ASSERT_EQ(after.status, LpStatus::kOptimal);
+  EXPECT_GE(solver.stats().fill_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace advbist::lp
