@@ -22,6 +22,18 @@
 //                          cuts-off run uses the solver default (dual on) —
 //                          cuts-off already exists as the other axis of the
 //                          A/B grid and a third axis would double the sweep.
+//   ADVBIST_BENCH_DUAL_PRICING  dantzig|devex|se: pin the dual leaving-row
+//                          pricing rule for every run. Unset: the
+//                          cuts-on/dual-on configuration records a
+//                          devex/dantzig A/B pair ("pricing": string) so
+//                          the pricing win stays visible per circuit; the
+//                          other configurations use the solver default
+//                          (devex).
+//   ADVBIST_BENCH_STRONG_BRANCH  root strong-branching candidate count
+//                          (0 disables the probing + pseudocost seeding)
+//   ADVBIST_BENCH_PC_REL   pseudocost reliability threshold (observations
+//                          per variable+direction before its own average
+//                          is trusted alone)
 //   ADVBIST_BENCH_ROW_AGE  LP cut-row age limit (consecutive slack-basic
 //                          re-solves before deletion; 0 = never delete)
 //   ADVBIST_BENCH_CUT_ROUNDS    root separation rounds (default: solver)
@@ -60,6 +72,7 @@ struct Row {
   int threads = 0;
   bool cuts = false;
   bool dual = false;
+  std::string pricing;
   bool oversubscribed = false;
   long long nodes = 0;
   long long lp_iterations = 0;
@@ -69,6 +82,9 @@ struct Row {
   long long dual_solves = 0;
   long long dual_fallbacks = 0;
   long long bound_flips = 0;
+  long long devex_resets = 0;
+  int sb_probes = 0;
+  int sb_fixed = 0;
   long long rows_deleted = 0;
   int peak_rows = 0;
   long long dropped_nodes = 0;
@@ -163,6 +179,25 @@ int main() {
     }
   }
   const int row_age = env_int_or_zero("ADVBIST_BENCH_ROW_AGE", -1);
+  const int strong_branch =
+      env_int_or_zero("ADVBIST_BENCH_STRONG_BRANCH", -1);
+  const int pc_rel = env_int("ADVBIST_BENCH_PC_REL", -1);
+
+  // Dual-pricing A/B: unset records devex AND dantzig for the cuts-on /
+  // dual-on configuration (the pricing win on the in-tree dual re-solves is
+  // the pair that matters); a valid value pins one rule for every run.
+  std::string pricing_pin;
+  if (const char* env = std::getenv("ADVBIST_BENCH_DUAL_PRICING")) {
+    lp::DualPricing parsed;
+    if (lp::parse_dual_pricing(env, parsed)) {
+      pricing_pin = env;
+    } else {
+      std::fprintf(stderr,
+                   "ADVBIST_BENCH_DUAL_PRICING=%s not understood (want "
+                   "dantzig, devex or se); recording the A/B pair\n",
+                   env);
+    }
+  }
 
   std::vector<Row> rows;
   for (const std::string& name : circuits) {
@@ -182,6 +217,15 @@ int main() {
           dual_configs = {true};  // solver default; cuts-off is its own axis
         bool skipped_oversubscribed = false;
         for (const bool with_dual : dual_configs) {
+        std::vector<std::string> pricing_configs;
+        if (!pricing_pin.empty())
+          pricing_configs = {pricing_pin};
+        else if (with_cuts && with_dual)
+          pricing_configs = {"devex", "dantzig"};  // the A/B pair per circuit
+        else
+          pricing_configs = {"devex"};  // solver default; pricing is
+                                        // irrelevant when dual is off
+        for (const std::string& pricing : pricing_configs) {
         ilp::Options opt;
         // Mirror bench::num_threads(): only a literal "0" selects auto;
         // typos fall back to serial so the recorded baseline stays serial.
@@ -192,6 +236,9 @@ int main() {
         if (refactor_every > 0) opt.lp_refactor_every = refactor_every;
         opt.lp_sparse_factorization = !dense_lu;
         opt.lp_dual_simplex = with_dual;
+        lp::parse_dual_pricing(pricing, opt.lp_dual_pricing);
+        if (strong_branch >= 0) opt.strong_branch_vars = strong_branch;
+        if (pc_rel > 0) opt.pseudocost_reliability = pc_rel;
         if (row_age >= 0) opt.lp_row_age_limit = row_age;
         if (with_cuts) {
           opt.cut_rounds =
@@ -229,6 +276,7 @@ int main() {
         row.threads = s.stats.threads;
         row.cuts = with_cuts;
         row.dual = with_dual;
+        row.pricing = pricing;
         row.oversubscribed = oversub;
         row.nodes = s.stats.nodes;
         row.lp_iterations = s.stats.lp_iterations;
@@ -238,6 +286,9 @@ int main() {
         row.dual_solves = s.stats.lp_dual_solves;
         row.dual_fallbacks = s.stats.lp_dual_fallbacks;
         row.bound_flips = s.stats.lp_bound_flips;
+        row.devex_resets = s.stats.lp_devex_resets;
+        row.sb_probes = s.stats.strong_branch_probed;
+        row.sb_fixed = s.stats.strong_branch_fixed;
         row.rows_deleted = s.stats.lp_rows_deleted;
         row.peak_rows = s.stats.lp_peak_rows;
         row.dropped_nodes = s.stats.dropped_nodes;
@@ -259,13 +310,15 @@ int main() {
         row.status = ilp::to_string(s.status);
         rows.push_back(row);
         std::printf(
-            "%-8s threads=%d cuts=%d dual=%d nodes=%lld t=%.2fs nodes/s=%.0f "
-            "cuts=%lld rows_del=%lld gap=%.4f (%s)%s\n",
+            "%-8s threads=%d cuts=%d dual=%d pricing=%s nodes=%lld t=%.2fs "
+            "nodes/s=%.0f cuts=%lld rows_del=%lld gap=%.4f (%s)%s\n",
             name.c_str(), row.threads, with_cuts ? 1 : 0, with_dual ? 1 : 0,
-            row.nodes, row.seconds,
+            pricing.c_str(), row.nodes, row.seconds,
             row.seconds > 0 ? row.nodes / row.seconds : 0.0, row.cuts_applied,
             row.rows_deleted, row.gap, row.status.c_str(),
             row.oversubscribed ? " [oversubscribed]" : "");
+        }
+        if (skipped_oversubscribed) break;  // same for every pricing config
         }
         if (skipped_oversubscribed) break;  // same for every cut config
       }
@@ -281,15 +334,16 @@ int main() {
   json << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[1536];
+    char buf[1792];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"model\": \"%s\", \"vars\": %d, \"rows\": %d, \"threads\": %d, "
-        "\"cuts\": %s, \"dual\": %s, \"nodes\": %lld, "
+        "\"cuts\": %s, \"dual\": %s, \"pricing\": \"%s\", \"nodes\": %lld, "
         "\"lp_iterations\": %lld, \"lp_primal_phase1\": %lld, "
         "\"lp_primal_phase2\": %lld, \"lp_dual\": %lld, "
         "\"dual_solves\": %lld, \"dual_fallbacks\": %lld, "
-        "\"bound_flips\": %lld, \"rows_deleted\": %lld, \"peak_rows\": %d, "
+        "\"bound_flips\": %lld, \"devex_resets\": %lld, \"sb_probes\": %d, "
+        "\"sb_fixed\": %d, \"rows_deleted\": %lld, \"peak_rows\": %d, "
         "\"dropped_nodes\": %lld, \"refactorizations\": %lld, "
         "\"sparse_refactorizations\": %lld, \"fill_ratio\": %.4f, "
         "\"cuts_applied\": %lld, \"cuts_clique\": %lld, \"cuts_cover\": %lld, "
@@ -297,9 +351,11 @@ int main() {
         "\"best_bound\": %.6f, \"gap\": %.6f, \"seconds\": %.4f, "
         "\"nodes_per_sec\": %.1f, \"objective\": %.6f, \"status\": \"%s\"%s}%s\n",
         r.model.c_str(), r.vars, r.rows, r.threads, r.cuts ? "true" : "false",
-        r.dual ? "true" : "false", r.nodes, r.lp_iterations, r.lp_primal1,
+        r.dual ? "true" : "false", r.pricing.c_str(), r.nodes,
+        r.lp_iterations, r.lp_primal1,
         r.lp_primal2, r.lp_dual, r.dual_solves, r.dual_fallbacks,
-        r.bound_flips, r.rows_deleted, r.peak_rows, r.dropped_nodes,
+        r.bound_flips, r.devex_resets, r.sb_probes, r.sb_fixed,
+        r.rows_deleted, r.peak_rows, r.dropped_nodes,
         r.refactorizations,
         r.sparse_refactorizations, r.fill_ratio, r.cuts_applied, r.cuts_clique,
         r.cuts_cover, r.probing_fixed, r.rc_fixed, r.root_gap_closed,

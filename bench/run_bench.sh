@@ -15,15 +15,19 @@
 #   root_gap_closed          fraction of the root gap the cut loop closed
 #   best_bound, gap          proven bound and relative optimality gap
 #
-# By default every model x thread combination runs TWICE — cuts on and
-# cuts off — so the A/B pair lands in one BENCH_solver.json and the cut
-# win stays visible in the perf trajectory. ADVBIST_BENCH_CUTS=1 (or =0)
-# records only the one configuration.
+# By default every model x thread combination runs with cuts on and cuts
+# off, dual-simplex re-solves on and off (cuts-on config), and devex vs
+# dantzig dual pricing (cuts-on/dual-on config) — the A/B pairs land in one
+# BENCH_solver.json so the cut/dual/pricing wins stay visible in the perf
+# trajectory. ADVBIST_BENCH_CUTS, ADVBIST_BENCH_DUAL and
+# ADVBIST_BENCH_DUAL_PRICING pin a single configuration.
 #
 # Factorization knobs: ADVBIST_BENCH_REFACTOR (pivots between
 # refactorizations), ADVBIST_BENCH_DENSE_LU=1 (dense sweep only).
 # Cut knobs: ADVBIST_BENCH_CUT_ROUNDS, ADVBIST_BENCH_CUT_INTERVAL,
 # ADVBIST_BENCH_MAX_CUTS, ADVBIST_BENCH_PROBING=0, ADVBIST_BENCH_RCFIX=0.
+# Branching knobs: ADVBIST_BENCH_STRONG_BRANCH, ADVBIST_BENCH_PC_REL.
+# The full reference: docs/solver.md.
 #
 # Thread counts above hardware_concurrency are skipped — a 1-CPU container
 # would record queueing overhead as a scaling row — unless
@@ -74,10 +78,11 @@ baseline = json.loads(os.environ["BASELINE_JSON"])
 with open(sys.argv[1]) as f:
     current = json.load(f)
 
-# A run's configuration key. Committed baselines that predate the "dual"
-# column match the new default configuration (dual on).
+# A run's configuration key. Committed baselines that predate the "dual" /
+# "pricing" columns match the new default configuration (dual on, devex).
 def key(run):
-    return (run["model"], run["threads"], run["cuts"], run.get("dual", True))
+    return (run["model"], run["threads"], run["cuts"],
+            run.get("dual", True), run.get("pricing", "devex"))
 
 current_by_key = {key(r): r for r in current["runs"]}
 PROVEN = ("optimal", "infeasible")
@@ -108,6 +113,10 @@ if regressions:
         print("run_bench: regression ALLOWED by "
               "ADVBIST_BENCH_ALLOW_REGRESSION=1", file=sys.stderr)
         sys.exit(0)
+    print("run_bench: FAILING: a committed proven status regressed. If the "
+          "loss is intentional (lossy experiment, knob sweep), re-run with "
+          "ADVBIST_BENCH_ALLOW_REGRESSION=1 to downgrade this failure to a "
+          "warning — see docs/solver.md.", file=sys.stderr)
     sys.exit(1)
 print("run_bench: no status regression vs the committed BENCH_solver.json")
 EOF

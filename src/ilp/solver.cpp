@@ -86,6 +86,82 @@ struct Fixing {
   double upper;
 };
 
+/// Shared pseudocost store: per variable and direction, the running sum and
+/// count of observed per-unit objective degradations from every worker's
+/// branchings, seeded by root strong branching. record() is lock-free
+/// (atomic fetch_add); estimates are relaxed-load averages, so two workers
+/// reading concurrently may see marginally different snapshots — that only
+/// perturbs the node exploration ORDER, never the proven optimum (the
+/// post-join reduction stays deterministic across thread counts, pinned by
+/// tests/ilp/parallel_test.cpp). Below `reliability` observations a
+/// variable's own average is blended towards the global average, so one
+/// early outlier cannot steer every worker's branching.
+class PseudocostStore {
+ public:
+  explicit PseudocostStore(int n)
+      : n_(n), entries_(std::make_unique<Entry[]>(static_cast<size_t>(n))) {}
+
+  /// Adds an observation with `weight` (> 1 counts it as that many
+  /// observations towards reliability). Tree observations use weight 1;
+  /// root strong branching records with weight = pseudocost_reliability —
+  /// a probe is an EXACT LP degradation, not a noisy estimate, so it is
+  /// trusted immediately instead of being blended away.
+  void record(int var, bool up, double per_unit, int weight = 1) {
+    Entry& e = entries_[var];
+    if (up) {
+      e.up_sum.fetch_add(weight * per_unit, std::memory_order_relaxed);
+      e.up_cnt.fetch_add(weight, std::memory_order_relaxed);
+    } else {
+      e.down_sum.fetch_add(weight * per_unit, std::memory_order_relaxed);
+      e.down_cnt.fetch_add(weight, std::memory_order_relaxed);
+    }
+  }
+
+  /// Mean of the per-variable averages over every direction with at least
+  /// one observation (0 with no history anywhere).
+  void global_averages(double& avg_up, double& avg_down) const {
+    double su = 0.0, sd = 0.0;
+    int nu = 0, nd = 0;
+    for (int v = 0; v < n_; ++v) {
+      const Entry& e = entries_[v];
+      const int uc = e.up_cnt.load(std::memory_order_relaxed);
+      const int dc = e.down_cnt.load(std::memory_order_relaxed);
+      if (uc > 0) {
+        su += e.up_sum.load(std::memory_order_relaxed) / uc;
+        ++nu;
+      }
+      if (dc > 0) {
+        sd += e.down_sum.load(std::memory_order_relaxed) / dc;
+        ++nd;
+      }
+    }
+    avg_up = nu > 0 ? su / nu : 0.0;
+    avg_down = nd > 0 ? sd / nd : 0.0;
+  }
+
+  /// Reliability-blended estimate: with >= `reliability` observations the
+  /// variable's own average; below, the missing observations are filled in
+  /// from the global average (count 0 returns the global average exactly).
+  double estimate(int var, bool up, int reliability,
+                  double global_avg) const {
+    const Entry& e = entries_[var];
+    const double sum = (up ? e.up_sum : e.down_sum)
+                           .load(std::memory_order_relaxed);
+    const int cnt =
+        (up ? e.up_cnt : e.down_cnt).load(std::memory_order_relaxed);
+    if (cnt >= reliability) return sum / cnt;
+    return (sum + (reliability - cnt) * global_avg) / reliability;
+  }
+
+ private:
+  struct Entry {
+    std::atomic<double> up_sum{0.0}, down_sum{0.0};
+    std::atomic<int> up_cnt{0}, down_cnt{0};
+  };
+  int n_;
+  std::unique_ptr<Entry[]> entries_;
+};
+
 /// Picks the branching variable: among fractional integers, the highest
 /// priority; ties broken by most-fractional part.
 int pick_branching_variable(const Model& model, const std::vector<double>& x,
@@ -128,6 +204,7 @@ void accumulate(lp::SimplexSolver::Stats& into,
   into.primal_phase1_iterations += s.primal_phase1_iterations;
   into.primal_phase2_iterations += s.primal_phase2_iterations;
   into.dual_bound_flips += s.dual_bound_flips;
+  into.devex_resets += s.devex_resets;
   into.rows_deleted += s.rows_deleted;
   into.peak_rows = std::max(into.peak_rows, s.peak_rows);
 }
@@ -165,6 +242,9 @@ struct SearchContext {
   int idle_workers = 0;
   bool done = false;  ///< pool drained with every worker idle
   bool stop = false;  ///< limit hit / unbounded root: abandon the search
+
+  // --- shared pseudocosts (lock-free atomics; see PseudocostStore) ---
+  PseudocostStore* pseudocosts = nullptr;
 
   // --- cut pool (guarded by mutex) ---
   CutPool* cut_pool = nullptr;
@@ -286,6 +366,7 @@ class Worker {
     so.refactor_every = std::max(1, opt.lp_refactor_every);
     so.sparse_factorization = opt.lp_sparse_factorization;
     so.markowitz_tol = opt.lp_markowitz_tol;
+    so.dual_pricing = opt.lp_dual_pricing;
     return so;
   }
 
@@ -481,37 +562,29 @@ class Worker {
 
   /// Pseudocost branching: among fractional integers of top priority, pick
   /// the variable with the best product of estimated per-unit objective
-  /// degradations (up x down), each estimated from this worker's observed
-  /// branchings; a side with no history yet borrows the average over
-  /// initialized variables, and with no history anywhere the score reduces
-  /// to most-fractional (the old rule). Degenerate 0/1 relaxations carry
-  /// many alternative optima, so "closest to 0.5" alone is nearly a coin
-  /// flip — steering by observed bound movement is what keeps the proven
-  /// bound climbing.
+  /// degradations (up x down). The estimates come from the SHARED store —
+  /// every worker's observed branchings plus the root strong-branching
+  /// seed — with a reliability blend towards the global average until a
+  /// variable+direction has pseudocost_reliability observations of its
+  /// own. Degenerate 0/1 relaxations carry many alternative optima, so
+  /// "closest to 0.5" alone is nearly a coin flip — steering by observed
+  /// bound movement is what keeps the proven bound climbing.
   int pick_branch(const std::vector<double>& x, double int_tol) {
     const Model& model = *ctx_.model;
     const std::vector<int>& priority = ctx_.options->branch_priority;
     const int n = model.num_variables();
-    if (pc_up_sum_.empty()) {
-      pc_up_sum_.assign(n, 0.0);
-      pc_down_sum_.assign(n, 0.0);
-      pc_up_cnt_.assign(n, 0);
-      pc_down_cnt_.assign(n, 0);
+    const PseudocostStore& pc = *ctx_.pseudocosts;
+    const int rel = std::max(1, ctx_.options->pseudocost_reliability);
+    // The global averages are an O(n) scan over shared atomics; refreshing
+    // them every few picks (instead of every pick) keeps the branching
+    // hot path off the cross-worker cache lines record() keeps dirtying.
+    // Staleness only perturbs the blend for under-observed variables.
+    if (--pc_avg_cooldown_ < 0) {
+      pc_avg_cooldown_ = 7;
+      pc.global_averages(pc_avg_up_, pc_avg_down_);
     }
-    double avg_up = 0.0, avg_down = 0.0;
-    int nu = 0, nd = 0;
-    for (int v = 0; v < n; ++v) {
-      if (pc_up_cnt_[v] > 0) {
-        avg_up += pc_up_sum_[v] / pc_up_cnt_[v];
-        ++nu;
-      }
-      if (pc_down_cnt_[v] > 0) {
-        avg_down += pc_down_sum_[v] / pc_down_cnt_[v];
-        ++nd;
-      }
-    }
-    avg_up = nu > 0 ? avg_up / nu : 0.0;
-    avg_down = nd > 0 ? avg_down / nd : 0.0;
+    const double avg_up = pc_avg_up_;
+    const double avg_down = pc_avg_down_;
 
     int best = -1;
     int best_prio = std::numeric_limits<int>::min();
@@ -522,10 +595,8 @@ class Worker {
       const double dist = std::min(frac, 1.0 - frac);
       if (dist <= int_tol) continue;
       const int prio = priority.empty() ? 0 : priority[v];
-      const double est_up =
-          pc_up_cnt_[v] > 0 ? pc_up_sum_[v] / pc_up_cnt_[v] : avg_up;
-      const double est_down =
-          pc_down_cnt_[v] > 0 ? pc_down_sum_[v] / pc_down_cnt_[v] : avg_down;
+      const double est_up = pc.estimate(v, true, rel, avg_up);
+      const double est_down = pc.estimate(v, false, rel, avg_down);
       // The product rule, floored so a zero estimate (no data at all, or a
       // genuinely free direction) degrades to most-fractional scoring
       // instead of flattening every candidate to zero.
@@ -541,27 +612,12 @@ class Worker {
   }
 
   /// Feeds the observed LP objective degradation of a branched node back
-  /// into the pseudocosts of the variable that was branched on.
+  /// into the shared pseudocosts of the variable that was branched on.
   void record_pseudocost(const Node& node, double lp_obj) {
     if (node.branch_var < 0 || node.branch_dist <= 1e-9) return;
-    if (pc_up_sum_.empty()) {
-      // A stolen node can arrive before this worker's first pick_branch:
-      // size the tables here too so the observation is not dropped.
-      const int n = ctx_.model->num_variables();
-      pc_up_sum_.assign(n, 0.0);
-      pc_down_sum_.assign(n, 0.0);
-      pc_up_cnt_.assign(n, 0);
-      pc_down_cnt_.assign(n, 0);
-    }
     const double per_unit =
         std::max(0.0, lp_obj - node.parent_obj) / node.branch_dist;
-    if (node.branch_up) {
-      pc_up_sum_[node.branch_var] += per_unit;
-      ++pc_up_cnt_[node.branch_var];
-    } else {
-      pc_down_sum_[node.branch_var] += per_unit;
-      ++pc_down_cnt_[node.branch_var];
-    }
+    ctx_.pseudocosts->record(node.branch_var, node.branch_up, per_unit);
   }
 
   /// Fractional diving primal heuristic. From the node relaxation, fix the
@@ -850,11 +906,11 @@ class Worker {
   std::size_t fixings_consumed_ = 0;  ///< ctx.fixings entries already applied
   int nodes_since_separation_ = 0;
   int nodes_since_dive_ = 0;
+  // Cached pseudocost global averages (refreshed every few picks; see
+  // pick_branch). Start expired so the first pick reads fresh values.
+  double pc_avg_up_ = 0.0, pc_avg_down_ = 0.0;
+  int pc_avg_cooldown_ = 0;
   std::vector<int> row_age_;  ///< consecutive slack-basic re-solves per cut row
-  // Per-worker pseudocosts (mean objective degradation per unit of bound
-  // movement, by direction), sized lazily by pick_branch.
-  std::vector<double> pc_up_sum_, pc_down_sum_;
-  std::vector<int> pc_up_cnt_, pc_down_cnt_;
   std::vector<Fixing> fresh_fixings_;       // scratch
   std::vector<ConstraintDef> new_rows_;     // scratch
   std::vector<int> doomed_rows_;            // scratch (age_cut_rows)
@@ -980,9 +1036,16 @@ Solution Solver::solve(const Model& original) const {
   double root_bound = -lp::kInfinity;
   int rc_fixed_root = 0;
 
+  // The root LP solver outlives the cut loop: strong branching below
+  // probes on its warm optimal basis instead of cold-solving the root a
+  // second time. Its factorization counters are folded into the shared
+  // stats once, after both uses.
+  std::optional<SimplexSolver> root_lp;
+  LpResult rlp;  // most recent root LP result (kIterLimit until solved)
+
   if (run_root_loop) {
-    SimplexSolver root_lp(reduced, Worker::simplex_options(options_));
-    LpResult rlp = root_lp.solve();
+    root_lp.emplace(reduced, Worker::simplex_options(options_));
+    rlp = root_lp->solve();
     ctx.lp_iterations.fetch_add(rlp.iterations);
     if (rlp.status == LpStatus::kInfeasible) {
       sol.status = SolveStatus::kInfeasible;
@@ -1052,11 +1115,11 @@ Solution Solver::solve(const Model& original) const {
             for (const lp::Term& t : c.terms) expr.add(t.var, t.coeff);
             reduced.add_constraint(std::move(expr), Sense::kLessEqual, c.rhs);
           }
-          root_lp.add_rows(rows);
+          root_lp->add_rows(rows);
           // The appended rows enter slack-basic, so the dual re-solve path
           // applies at the root exactly as it does in the tree.
-          rlp = options_.lp_dual_simplex ? root_lp.solve_dual()
-                                         : root_lp.solve();
+          rlp = options_.lp_dual_simplex ? root_lp->solve_dual()
+                                         : root_lp->solve();
           ctx.lp_iterations.fetch_add(rlp.iterations);
           if (rlp.status == LpStatus::kInfeasible) {
             // Valid cuts + feasible LP turned infeasible: no integer point.
@@ -1093,7 +1156,7 @@ Solution Solver::solve(const Model& original) const {
           ctx.root_rc_valid = true;
           ctx.root_obj = rlp.objective;
           ctx.root_x = rlp.x;
-          ctx.root_d = root_lp.reduced_costs();
+          ctx.root_d = root_lp->reduced_costs();
           ctx.rc_lb = ctx.root_lb;
           ctx.rc_ub = ctx.root_ub;
           if (std::isfinite(cut) && !ctx.prunable(root_bound))
@@ -1113,8 +1176,162 @@ Solution Solver::solve(const Model& original) const {
         }
       }
     }
-    // Fold the root solver's factorization work into the shared counters.
-    accumulate(ctx.lp_stats, root_lp.stats());
+  }
+
+  // ---------------------------------------------------------------------
+  // Root strong branching: bounded dual probing re-solves on the most
+  // fractional candidates seed the shared pseudocost store, so no worker's
+  // first branchings run on guesswork. The probes run on the root LP
+  // solver's warm optimal basis (each probe is a bound change away from
+  // it — exactly the dual re-solve pattern), so no second cold root solve
+  // happens. A direction whose probe proves LP-infeasible fixes the
+  // variable the other way — globally valid, like a reduced-cost fixing —
+  // and two infeasible directions prove the whole model infeasible.
+  // ---------------------------------------------------------------------
+  PseudocostStore pcstore(n);
+  ctx.pseudocosts = &pcstore;
+  long long probe_dual_solves = 0, probe_dual_fallbacks = 0;
+  if (options_.strong_branch_vars > 0 &&
+      !(options_.time_limit_seconds > 0 &&
+        ctx.watch.seconds() > options_.time_limit_seconds)) {
+    if (!root_lp) {  // cuts + rc fixing disabled: no root solve happened yet
+      root_lp.emplace(reduced, Worker::simplex_options(options_));
+      rlp = root_lp->solve();
+      ctx.lp_iterations.fetch_add(rlp.iterations);
+    }
+    SimplexSolver& sb = *root_lp;
+    // Local copy: an infeasible probe that fixes a variable re-solves the
+    // base, so later candidates measure degradation against the CURRENT
+    // root optimum, not a stale pre-fixing one (their seeds enter the
+    // store at full reliability weight — they must be exact).
+    LpResult base = rlp;
+    // Probes honor lp_dual_simplex like every other re-solve site, so a
+    // --dual 0 run really never touches the dual path.
+    const auto probe_solve = [&] {
+      return options_.lp_dual_simplex ? sb.solve_dual() : sb.solve();
+    };
+    // Probe solves are iteration-capped and routinely hit the cap; keep
+    // them out of the dual_solves/dual_fallbacks health diagnostic (which
+    // measures warm-start quality of NODE re-solves) by snapshotting.
+    const long long pre_dual_solves = sb.stats().dual_solves;
+    const long long pre_dual_fallbacks = sb.stats().dual_fallbacks;
+    bool sb_infeasible = false;
+    if (base.status == LpStatus::kOptimal) {
+      struct Cand {
+        int v;
+        double frac;
+        int prio;
+      };
+      std::vector<Cand> cands;
+      for (int v = 0; v < n; ++v) {
+        if (model.variable(v).type != VarType::kInteger) continue;
+        const double frac = base.x[v] - std::floor(base.x[v]);
+        if (std::min(frac, 1.0 - frac) <= options_.integrality_tol) continue;
+        cands.push_back(Cand{v, frac,
+                             options_.branch_priority.empty()
+                                 ? 0
+                                 : options_.branch_priority[v]});
+      }
+      std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+        const double da = std::min(a.frac, 1.0 - a.frac);
+        const double db = std::min(b.frac, 1.0 - b.frac);
+        if (a.prio != b.prio) return a.prio > b.prio;
+        if (da != db) return da > db;  // most fractional first
+        return a.v < b.v;
+      });
+      if (static_cast<int>(cands.size()) > options_.strong_branch_vars)
+        cands.resize(options_.strong_branch_vars);
+      // Every probe from here on is a BOUNDED dual re-solve: a probe that
+      // runs out of its iteration budget returns kIterLimit and records
+      // nothing, so strong branching cannot blow the root time up.
+      sb.set_max_iterations(std::max(1, options_.strong_branch_lp_iters));
+      for (const Cand& c : cands) {
+        if (options_.time_limit_seconds > 0 &&
+            ctx.watch.seconds() > options_.time_limit_seconds)
+          break;
+        // Re-derive fractionality from the CURRENT base (a fixing may have
+        // re-solved it since the candidates were ranked).
+        const double xv = base.x[c.v];
+        const double fl = std::floor(xv);
+        if (std::min(xv - fl, fl + 1.0 - xv) <= options_.integrality_tol)
+          continue;
+        bool fixed_here = false;
+        for (const bool up : {false, true}) {
+          const double lo = ctx.root_lb[c.v], hi = ctx.root_ub[c.v];
+          const double plo = up ? fl + 1.0 : lo;
+          const double phi = up ? hi : fl;
+          if (plo > phi) continue;  // a prior fixing emptied this branch
+          sb.set_variable_bounds(c.v, plo, phi);
+          const LpResult probe = probe_solve();
+          ctx.lp_iterations.fetch_add(probe.iterations);
+          ++sol.stats.strong_branch_probed;
+          sb.set_variable_bounds(c.v, lo, hi);
+          if (probe.status == LpStatus::kOptimal) {
+            const double dist = up ? fl + 1.0 - xv : xv - fl;
+            pcstore.record(c.v, up,
+                           std::max(0.0, probe.objective - base.objective) /
+                               std::max(dist, 1e-9),
+                           std::max(1, options_.pseudocost_reliability));
+          } else if (probe.status == LpStatus::kInfeasible) {
+            // No LP point in the branch, hence no integer point: the
+            // complement bound is globally valid.
+            const double nlo = up ? lo : fl + 1.0;
+            const double nhi = up ? fl : hi;
+            if (nlo > nhi) {
+              sb_infeasible = true;  // both directions empty
+              break;
+            }
+            ctx.root_lb[c.v] = nlo;
+            ctx.root_ub[c.v] = nhi;
+            if (ctx.root_rc_valid) {
+              ctx.rc_lb[c.v] = std::max(ctx.rc_lb[c.v], nlo);
+              ctx.rc_ub[c.v] = std::min(ctx.rc_ub[c.v], nhi);
+            }
+            reduced.set_bounds(c.v, nlo, nhi);
+            sb.set_variable_bounds(c.v, nlo, nhi);
+            ++sol.stats.strong_branch_fixed;
+            fixed_here = true;
+            break;  // the base moved; re-solve before probing further
+          }
+        }
+        if (sb_infeasible) break;
+        if (fixed_here) {
+          // A fixing moved the root optimum: re-solve (uncapped) so every
+          // later candidate's degradation is measured against the true
+          // current base, then restore the probe budget.
+          sb.set_max_iterations(lp::SimplexOptions{}.max_iterations);
+          const LpResult rebase = probe_solve();
+          ctx.lp_iterations.fetch_add(rebase.iterations);
+          sb.set_max_iterations(std::max(1, options_.strong_branch_lp_iters));
+          if (rebase.status == LpStatus::kInfeasible) {
+            sb_infeasible = true;
+            break;
+          }
+          if (rebase.status != LpStatus::kOptimal) break;  // stop probing
+          base = rebase;
+        }
+      }
+    }
+    probe_dual_solves = sb.stats().dual_solves - pre_dual_solves;
+    probe_dual_fallbacks = sb.stats().dual_fallbacks - pre_dual_fallbacks;
+    if (sb_infeasible) {
+      // Early infeasible return: like the other pre-search returns, only
+      // status/seconds are reported (no lp_* stats reduction happens).
+      sol.status = SolveStatus::kInfeasible;
+      sol.stats.seconds = ctx.watch.seconds();
+      return sol;
+    }
+  }
+  if (root_lp) {
+    accumulate(ctx.lp_stats, root_lp->stats());
+    // The probes' dual-solve accounting belongs to strong branching
+    // (sol.stats.strong_branch_probed), not to the dual_solves /
+    // dual_fallbacks warm-start health diagnostic: iteration-capped probes
+    // routinely "fall back" by running out of budget, which says nothing
+    // about NODE re-solve quality. Their iterations stay counted — they
+    // are real LP work.
+    ctx.lp_stats.dual_solves -= probe_dual_solves;
+    ctx.lp_stats.dual_fallbacks -= probe_dual_fallbacks;
   }
 
   ctx.cut_model = &reduced;
@@ -1166,6 +1383,7 @@ Solution Solver::solve(const Model& original) const {
       ctx.lp_stats.bound_flips + ctx.lp_stats.dual_bound_flips;
   sol.stats.lp_rows_deleted = ctx.lp_stats.rows_deleted;
   sol.stats.lp_peak_rows = ctx.lp_stats.peak_rows;
+  sol.stats.lp_devex_resets = ctx.lp_stats.devex_resets;
   sol.stats.cuts_clique_separated = ctx.clique_separated.load();
   sol.stats.cuts_cover_separated = ctx.cover_separated.load();
   for (const Cut& c : pool.applied()) {

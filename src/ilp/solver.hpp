@@ -1,11 +1,15 @@
 // Branch & cut MILP solver over the simplex LP relaxation.
 //
-// Depth-first search with warm-started LP re-solves (the simplex keeps its
-// basis across bound changes; composite phase 1 repairs feasibility),
-// most-fractional branching with optional user priorities, a root rounding
-// heuristic, and integral-objective bound rounding (all ADVBIST objectives
-// are transistor counts, i.e. integers, so a node with LP bound 2151.2
-// proves nothing better than 2152 exists below it).
+// Depth-first search with warm-started LP re-solves (dual simplex with
+// Devex row pricing by default: after a branching bound change the old
+// basis stays dual-feasible, so a handful of weighted dual pivots replaces
+// a primal phase-1/phase-2 pass), pseudocost branching over a store SHARED
+// by all workers and seeded by bounded strong branching at the root (with
+// reliability thresholds before a per-variable average is trusted),
+// optional user priorities, a root rounding heuristic, and
+// integral-objective bound rounding (all ADVBIST objectives are transistor
+// counts, i.e. integers, so a node with LP bound 2151.2 proves nothing
+// better than 2152 exists below it).
 //
 // Before the tree search starts, the solver runs a cut-and-fix root loop:
 // binary probing (ilp/presolve.hpp) fixes variables and feeds a conflict
@@ -35,6 +39,7 @@
 #include <vector>
 
 #include "lp/model.hpp"
+#include "lp/simplex.hpp"
 
 namespace advbist::ilp {
 
@@ -99,6 +104,32 @@ struct Options {
   /// and the factorization stops paying for it (the shared pool keeps its
   /// own aging; this only shrinks the LP). 0 disables deletion.
   int lp_row_age_limit = 40;
+  /// Leaving-row pricing rule for the dual re-solves (`--dual-pricing
+  /// dantzig|devex|se`). Devex (default) prices rows by violation^2 over a
+  /// reference weight approximating the steepest-edge row norm — the
+  /// standard 2-3x on heavily degenerate 0/1 relaxations; kSteepestEdge is
+  /// the exact (one extra FTRAN per pivot) reference mode; kDantzig is the
+  /// PR-4 largest-violation rule. See lp::DualPricing.
+  lp::DualPricing lp_dual_pricing = lp::DualPricing::kDevex;
+  // --- branching (shared pseudocosts + root strong branching) ---
+  /// Fractional root variables probed by strong branching before the tree
+  /// search starts (`--strong-branch N`, 0 disables). Each candidate gets
+  /// one bounded dual re-solve per direction; the observed objective
+  /// degradations seed the shared pseudocost store (at full reliability
+  /// weight — a probe is an exact LP degradation, not a noisy estimate),
+  /// and a direction whose probe proves LP-infeasible fixes the variable
+  /// the other way globally.
+  int strong_branch_vars = 12;
+  /// Simplex iteration cap per strong-branching probe re-solve (a probe
+  /// that runs out is simply not recorded).
+  int strong_branch_lp_iters = 200;
+  /// Observations (across ALL workers; the store is shared) a
+  /// variable+direction needs before its own pseudocost average is trusted
+  /// alone; below the threshold the estimate is blended towards the global
+  /// average, so one worker's early outlier cannot steer every other
+  /// worker's branching. Strong-branch seeds count as `pseudocost_reliability`
+  /// observations, so probed variables are reliable from node one.
+  int pseudocost_reliability = 2;
   bool verbose = false;
 };
 
@@ -164,6 +195,14 @@ struct Stats {
   long long lp_bound_flips = 0;
   long long lp_rows_deleted = 0;  ///< aged-out cut rows deleted from LPs
   int lp_peak_rows = 0;           ///< high-water LP row count across workers
+  /// Dual pricing-weight resets to the reference framework, summed over
+  /// workers (see lp::SimplexSolver::Stats::devex_resets). Roughly one per
+  /// dual solve is normal; one per dual pivot means the weights never
+  /// accumulate and Devex has silently degraded to Dantzig.
+  long long lp_devex_resets = 0;
+  // --- root strong branching (seeds the shared pseudocost store) ---
+  int strong_branch_probed = 0;  ///< bounded probe re-solves performed
+  int strong_branch_fixed = 0;   ///< variables fixed by an infeasible probe
 };
 
 struct Solution {

@@ -12,6 +12,19 @@ namespace {
 constexpr double kInf = kInfinity;
 }
 
+bool parse_dual_pricing(const std::string& name, DualPricing& out) {
+  if (name == "dantzig") {
+    out = DualPricing::kDantzig;
+  } else if (name == "devex") {
+    out = DualPricing::kDevex;
+  } else if (name == "se") {
+    out = DualPricing::kSteepestEdge;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 SimplexSolver::SimplexSolver(const Model& model, Options options)
     : opt_(options) {
   n_ = model.num_variables();
@@ -259,9 +272,11 @@ void SimplexSolver::add_rows(const std::vector<ConstraintDef>& rows) {
     has_basis_ = false;  // next solve() cold-starts at the new size
   }
 
-  // Appended cut rows reset the partial-pricing state: the candidate list's
-  // scores are stale against the new duals anyway.
+  // Appended cut rows reset the partial-pricing state (the candidate list's
+  // scores are stale against the new duals anyway) and the dual pricing
+  // weights (the row dimension changed).
   candidates_.clear();
+  dual_w_valid_ = false;
 }
 
 std::vector<double> SimplexSolver::reduced_costs() const {
@@ -307,6 +322,7 @@ void SimplexSolver::cold_start() {
   candidates_.clear();
   pivots_since_refactor_ = 0;
   has_basis_ = true;
+  dual_w_valid_ = false;  // all-slack basis: stale dual pricing weights
 }
 
 void SimplexSolver::clear_etas() {
@@ -673,6 +689,7 @@ bool SimplexSolver::refactorize_markowitz() {
   ++stats_.sparse_refactorizations;
   clear_etas();
   pivots_since_refactor_ = 0;
+  dual_w_valid_ = false;  // refactorization resets the pricing framework
   return true;
 }
 
@@ -762,6 +779,7 @@ bool SimplexSolver::refactorize_dense() {
   ++stats_.dense_refactorizations;
   clear_etas();
   pivots_since_refactor_ = 0;
+  dual_w_valid_ = false;  // refactorization resets the pricing framework
   return true;
 }
 
@@ -1033,6 +1051,9 @@ int SimplexSolver::iterate(bool phase1, bool bland) {
     degenerate_run_ = 0;
 
   pivot(entering, leaving_row, t_max, dir, w, leaving_status);
+  // A primal pivot (fallback, phase 1 repair, or the phase-2 certificate)
+  // moves the basis outside the dual pricing framework: reset it.
+  dual_w_valid_ = false;
   if (phase1)
     ++iter_phase1_;
   else
@@ -1229,24 +1250,83 @@ bool SimplexSolver::restore_dual_feasibility() {
   return true;
 }
 
+void SimplexSolver::ensure_dual_weights() {
+  if (opt_.dual_pricing == DualPricing::kDantzig) return;
+  if (dual_w_valid_ && static_cast<int>(dual_w_.size()) == m_) return;
+  dual_w_.assign(m_, 1.0);  // the all-ones reference framework
+  dual_w_valid_ = true;
+  ++stats_.devex_resets;
+}
+
+void SimplexSolver::update_dual_weights(int r, const std::vector<double>& w,
+                                        const std::vector<double>& rho) {
+  if (opt_.dual_pricing == DualPricing::kDantzig || !dual_w_valid_) return;
+  const double wr = w[r];
+  if (wr == 0.0) {
+    dual_w_valid_ = false;
+    return;
+  }
+  const double inv_wr2 = 1.0 / (wr * wr);
+  if (opt_.dual_pricing == DualPricing::kDevex) {
+    // Devex: w_i approximates ||e_i' B^-1||^2 relative to the reference
+    // framework; the update needs only the FTRANed entering column already
+    // in hand. Monotone (max), so a degraded framework is detected by
+    // weight growth and restarted rather than silently trusted.
+    const double ref = dual_w_[r];
+    double worst = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r || w[i] == 0.0) continue;
+      const double cand = w[i] * w[i] * inv_wr2 * ref;
+      if (cand > dual_w_[i]) dual_w_[i] = cand;
+      if (dual_w_[i] > worst) worst = dual_w_[i];
+    }
+    dual_w_[r] = std::max(ref * inv_wr2, 1.0);
+    if (std::max(worst, dual_w_[r]) > 1e7) dual_w_valid_ = false;
+  } else {
+    // Dual steepest edge (Forrest-Goldfarb): gamma_r = ||rho||^2 is exact
+    // (the BTRANed pivot row is in hand); the other rows follow the exact
+    // update recurrence via tau = B^-1 rho — the one extra FTRAN that
+    // makes this the expensive reference mode the Devex approximation is
+    // validated against. (Weights still restart from all-ones at each
+    // framework reset, so they are true row norms only between resets.)
+    double gamma_r = 0.0;
+    for (int i = 0; i < m_; ++i) gamma_r += rho[i] * rho[i];
+    dual_tau_.assign(rho.begin(), rho.end());
+    ftran_vec(dual_tau_);  // original-row input -> basis-position output
+    for (int i = 0; i < m_; ++i) {
+      if (i == r || w[i] == 0.0) continue;
+      const double k = w[i] / wr;
+      const double g = dual_w_[i] - 2.0 * k * dual_tau_[i] + k * k * gamma_r;
+      dual_w_[i] = std::max(g, std::max(k * k * gamma_r, 1e-10));
+    }
+    dual_w_[r] = std::max(gamma_r * inv_wr2, 1e-10);
+  }
+}
+
 int SimplexSolver::iterate_dual() {
-  // --- leaving row: the basic variable with the largest bound violation ---
+  // --- leaving row. Dantzig: the basic variable with the largest bound
+  // violation. Devex / steepest edge: the largest violation^2 / w_i, where
+  // w_i (approximately) carries ||e_i' B^-1||^2 — a violation is only worth
+  // chasing if the dual step it buys is long in the steepest-edge norm. ---
+  ensure_dual_weights();
+  const bool weighted = opt_.dual_pricing != DualPricing::kDantzig;
   int r = -1;
-  double viol = opt_.feas_tol;
+  double best_score = 0.0;
+  double viol = 0.0;
   int sgn = 0;  // -1: below its lower bound (leaves at lower), +1: above upper
   for (int i = 0; i < m_; ++i) {
     const int col = basis_[i];
     const double below = lb_[col] - x_[col];
     const double above = x_[col] - ub_[col];
-    if (below > viol) {
-      viol = below;
+    const double v = below > above ? below : above;
+    if (v <= opt_.feas_tol) continue;
+    const double score =
+        weighted ? v * v / std::max(dual_w_[i], 1e-10) : v;
+    if (score > best_score) {
+      best_score = score;
+      viol = v;
       r = i;
-      sgn = -1;
-    }
-    if (above > viol) {
-      viol = above;
-      r = i;
-      sgn = +1;
+      sgn = below > above ? -1 : +1;
     }
   }
   if (r < 0) return 1;  // primal feasible: dual optimal
@@ -1389,6 +1469,9 @@ int SimplexSolver::iterate_dual() {
   else
     degenerate_run_ = 0;
 
+  // The dual iteration computed both vectors the weight update needs: the
+  // FTRANed entering column and the BTRANed pivot row.
+  update_dual_weights(r, w, dual_rho_);
   pivot(chosen, r, t, dir, w, sgn < 0 ? kAtLower : kAtUpper);
   ++iter_dual_;
   dual_d_[leaving] = -sgn * theta;  // the leaving variable's new reduced cost
@@ -1565,6 +1648,7 @@ void SimplexSolver::delete_rows(const std::vector<int>& rows) {
   work2_.resize(m_);
   candidates_.clear();
   price_cursor_ = 0;
+  dual_w_valid_ = false;  // basis positions shifted: weights are stale
   stats_.rows_deleted += del;
 
   if (has_basis_) {

@@ -63,8 +63,8 @@
 //    old optimal basis dual-feasible (reduced costs do not depend on
 //    bounds), and add_rows appends cut rows slack-basic (dual-feasible by
 //    construction) — so the natural re-solve is a dual one: pick the
-//    leaving row by primal bound violation, BTRAN a single unit vector for
-//    the pivot row, and run a bound-flipping dual ratio test (boxed
+//    leaving row (see "Dual row pricing" below), BTRAN a single unit vector
+//    for the pivot row, and run a bound-flipping dual ratio test (boxed
 //    candidates cheaper than the entering breakpoint are flipped to their
 //    other bound, shrinking the infeasibility without a basis change —
 //    0/1-dominated models flip a lot). A handful of dual pivots replaces
@@ -76,12 +76,36 @@
 //    basis is provably nonsingular and still dual-feasible — so the
 //    factorization stops paying for dead cuts.
 //
+//  * Dual row pricing. Picking the leaving row by raw bound violation
+//    (Dantzig-like) is blind to the geometry: on the massively degenerate
+//    0/1 relaxations seen here it walks long chains of near-useless pivots.
+//    The default rule is *Devex* (Forrest–Goldfarb's approximation of dual
+//    steepest edge): each row i carries a reference weight w_i that
+//    approximates ||e_i' B^-1||^2 relative to the reference framework, and
+//    the leaving row maximizes violation_i^2 / w_i. After each pivot the
+//    weights are updated in O(nnz) from the FTRANed entering column and the
+//    BTRANed pivot row that the dual iteration computes anyway. A dual
+//    steepest-edge mode (one extra FTRAN per pivot, the exact
+//    Forrest–Goldfarb update recurrence) is kept as the reference
+//    implementation the Devex approximation is validated against — note
+//    its weights also restart from the all-ones framework on each reset,
+//    so they are true row norms only up to that restart approximation.
+//    The weights are only meaningful for the basis they
+//    were accumulated on: they are RESET to the all-ones reference
+//    framework on refactorization, on any primal pivot (fallback or
+//    phase-2 certificate), on cold start, on add_rows/delete_rows, and
+//    when the framework degrades (a weight outgrows 1e7) — a stale weight
+//    set silently degrades the rule back to (worse than) Dantzig, which is
+//    why resets are counted in Stats::devex_resets and pinned by
+//    tests/lp/dual_simplex_test.cpp.
+//
 // Problem sizes in this project are a few thousand rows/columns; the sparse
 // factorization keeps the refactorization cost proportional to fill while
 // the eta file keeps the per-pivot cost proportional to actual fill.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -108,6 +132,21 @@ struct LpResult {
   bool dual_fallback = false;
 };
 
+/// Leaving-row selection rule for solve_dual() (see the header comment).
+enum class DualPricing {
+  kDantzig,       ///< largest primal bound violation (the PR-4 rule)
+  kDevex,         ///< reference-framework Devex weights (default)
+  kSteepestEdge,  ///< dual steepest edge (exact Forrest-Goldfarb update
+                  ///< recurrence; weights restart all-ones on each reset) —
+                  ///< reference mode, one extra FTRAN per pivot; use to
+                  ///< validate the Devex path
+};
+
+/// Parses the user-facing pricing names ("dantzig", "devex", "se") shared
+/// by the CLI and the bench harness. Returns false on an unknown name and
+/// leaves `out` untouched.
+bool parse_dual_pricing(const std::string& name, DualPricing& out);
+
 struct SimplexOptions {
   double feas_tol = 1e-7;   ///< bound/row feasibility tolerance
   double opt_tol = 1e-7;    ///< reduced-cost optimality tolerance
@@ -123,6 +162,12 @@ struct SimplexOptions {
   /// candidate a_rc is admissible only if |a_rc| >= markowitz_tol times the
   /// largest magnitude in its column. Larger = more stable, more fill.
   double markowitz_tol = 0.1;
+  /// Leaving-row rule for solve_dual(). kDevex (default) prices rows by
+  /// violation^2 / reference-weight; kSteepestEdge maintains dual
+  /// steepest-edge weights via the exact update recurrence (one extra
+  /// FTRAN per pivot; all-ones restart on each reset); kDantzig is the
+  /// plain largest-violation rule.
+  DualPricing dual_pricing = DualPricing::kDevex;
 };
 
 class SimplexSolver {
@@ -146,25 +191,45 @@ class SimplexSolver {
   /// all-slack basis.
   void invalidate_basis();
 
-  /// Appends constraint rows (cutting planes) to the LP. Each new row's
-  /// slack enters the basis, so the basis stays valid and the next solve()
-  /// warm-starts (phase 1 repairs any violated cut). The factorization is
-  /// extended in place: with current factors P B Q = L U, the bordered
-  /// basis factors as L' = [[L,0],[l',1]], U' = [[U,0],[0,1]] where l'
-  /// solves l' U = (new row over the basic columns) — one sparse triangular
+  /// Caps the pivots/flips of every subsequent solve()/solve_dual() call.
+  /// Used by strong branching to bound each probing re-solve: a capped
+  /// solve that runs out returns kIterLimit (no objective) and leaves a
+  /// valid warm basis for the next call. Pass SimplexOptions{}.max_iterations
+  /// to restore the default.
+  void set_max_iterations(int max_iterations) {
+    opt_.max_iterations = max_iterations;
+  }
+
+  /// Appends constraint rows (cutting planes) to the LP.
+  ///
+  /// Precondition (by construction, not checked): every term references a
+  /// structural variable of the original model. Each new row's slack enters
+  /// the basis — this is what makes the append warm-start-safe: a
+  /// slack-basic row keeps the basis nonsingular AND dual-feasible (the new
+  /// row's dual value is zero, so no reduced cost moves), which is why the
+  /// natural follow-up is solve_dual(). The factorization is extended in
+  /// place: with current factors P B Q = L U, the bordered basis factors as
+  /// L' = [[L,0],[l',1]], U' = [[U,0],[0,1]] where l' solves
+  /// l' U = (new row over the basic columns) — one sparse triangular
   /// solve and an O(nnz) L rebuild per row, never a cold start. (A non-empty
   /// eta file is compacted first so the factors describe the current basis.)
+  /// Devex/steepest-edge dual weights are reset (the row dimension changed).
   void add_rows(const std::vector<ConstraintDef>& rows);
 
-  /// Deletes appended cut rows (indices must be >= the construction row
-  /// count and strictly increasing). Every deleted row's slack must be
-  /// basic — the aging policy in src/ilp guarantees it, and it is what makes
-  /// deletion cheap: removing a basic-slack row keeps the remaining basis
-  /// nonsingular (expand the determinant along the slack's unit column) and
-  /// leaves every reduced cost unchanged (the row's dual is zero), so the
-  /// shrunken basis is still dual-feasible and the next solve_dual() warm
-  /// starts. The LU factors are rebuilt at the new size; basic values are
-  /// recomputed by the next solve().
+  /// Deletes appended cut rows.
+  ///
+  /// Preconditions (checked): every index is >= the construction row count
+  /// (only rows appended via add_rows may be deleted, never model rows),
+  /// the indices are strictly increasing, and every deleted row's slack is
+  /// BASIC at the current basis — query added_row_slack_basic() first; the
+  /// aging policy in src/ilp guarantees it by construction. The basic-slack
+  /// requirement is what makes deletion cheap and exact: removing a
+  /// basic-slack row keeps the remaining basis nonsingular (expand the
+  /// determinant along the slack's unit column) and leaves every reduced
+  /// cost unchanged (the row's dual is zero), so the shrunken basis is
+  /// still dual-feasible and the next solve_dual() warm starts. The LU
+  /// factors are rebuilt at the new size; basic values are recomputed by
+  /// the next solve(); Devex/steepest-edge dual weights are reset.
   void delete_rows(const std::vector<int>& rows);
 
   /// True if the slack of appended row `added` (0-based among the rows
@@ -226,6 +291,12 @@ class SimplexSolver {
     /// Nonbasic bounds flipped by the dual path: dual-feasibility
     /// restoration at entry plus bound-flipping ratio-test flips.
     long long dual_bound_flips = 0;
+    /// Devex/steepest-edge weight resets to the all-ones reference
+    /// framework (refactorization, primal pivots, cold start, row
+    /// add/delete, framework degradation). A reset per dual solve is
+    /// normal churn; a reset per dual PIVOT means the weights never
+    /// accumulate and the rule has degraded to Dantzig.
+    long long devex_resets = 0;
 
     // --- row deletion (delete_rows) ---
     long long rows_deleted = 0;  ///< cut rows aged out of the LP
@@ -318,11 +389,20 @@ class SimplexSolver {
   /// variable cannot flip (infinite opposite bound): the basis cannot be
   /// made dual-feasible by flipping and solve_dual must fall back.
   bool restore_dual_feasibility();
-  /// One dual pivot: leaving row by largest primal bound violation,
-  /// entering column by a bound-flipping dual ratio test over the BTRANed
-  /// pivot row. Returns 0 = pivoted, 1 = primal feasible (dual optimal),
+  /// One dual pivot: leaving row by the configured pricing rule (Devex /
+  /// steepest-edge weights or largest primal bound violation), entering
+  /// column by a bound-flipping dual ratio test over the BTRANed pivot
+  /// row. Returns 0 = pivoted, 1 = primal feasible (dual optimal),
   /// 2 = primal infeasible (dual ray), 3 = numerical trouble.
   int iterate_dual();
+  /// Re-initializes the dual pricing weights to the all-ones reference
+  /// framework when they are missing or stale (no-op under kDantzig).
+  void ensure_dual_weights();
+  /// Devex / exact steepest-edge weight update after a dual pivot with
+  /// leaving row r, FTRANed entering column w (pivot element w[r]) and
+  /// BTRANed pivot row rho (= e_r' B^-1, indexed by original row).
+  void update_dual_weights(int r, const std::vector<double>& w,
+                           const std::vector<double>& rho);
 
   // --- problem data (immutable except bounds and appended cut rows) ---
   int n_ = 0;          // structural variables
@@ -402,6 +482,13 @@ class SimplexSolver {
   std::vector<DualCandidate> dual_cands_;
   std::vector<int> dual_flips_;     // columns flipped by the BFRT walk
   std::vector<double> dual_fcol_;   // accumulated flip column, size m_
+  // Dual pricing weights (Devex reference framework / exact steepest-edge
+  // row norms), valid only while dual_w_valid_: any primal pivot,
+  // refactorization, cold start or row add/delete invalidates them and the
+  // next dual iteration resets to all ones (counted in stats_).
+  std::vector<double> dual_w_;      // size m_ while valid
+  bool dual_w_valid_ = false;
+  std::vector<double> dual_tau_;    // B^-1 rho scratch (steepest edge only)
 
   // Markowitz elimination workspace, reused across refactorizations so the
   // per-row vectors keep their capacity (no allocation churn in the hot

@@ -16,6 +16,10 @@
 //   --dense-lu     disable the sparse Markowitz factorization (dense sweep)
 //   --dual 0|1     dual-simplex warm re-solves after bound changes and cut
 //                  appends (default 1; 0 = primal phase-1/2 re-solves)
+//   --dual-pricing dantzig|devex|se
+//                  leaving-row rule for the dual re-solves: devex reference
+//                  weights (default), exact steepest edge (se, one extra
+//                  FTRAN per pivot) or plain largest violation (dantzig)
 //   --row-age N    delete a cut row after its slack stayed basic for N
 //                  consecutive re-solves (default 40, 0 = never delete)
 //
@@ -26,6 +30,12 @@
 //   --max-cuts N     cuts applied per separation round (default 64)
 //   --probing 0|1    binary probing presolve (default 1)
 //   --rcfix 0|1      reduced-cost fixing (default 1)
+//
+// Branching knobs (all commands that solve):
+//   --strong-branch N  fractional root variables probed by strong branching
+//                      to seed the shared pseudocosts (default 12, 0 = off)
+//
+// The full knob/stat reference lives in docs/solver.md.
 //
 // <circuit> is a built-in benchmark name (fig1, tseng, paulin, fir6, iir3,
 // dct4, wavelet6); anything containing '.' is read as a .dfg text file.
@@ -63,7 +73,8 @@ int usage() {
                "usage: advbist <synth|sweep|compare|print> "
                "<circuit|file.dfg> [--k N] [--time S] [--threads N] "
                "[--refactor N] [--mtol X] [--dense-lu] [--dual 0|1] "
-               "[--row-age N] [--cuts 0|1] "
+               "[--dual-pricing dantzig|devex|se] [--row-age N] "
+               "[--strong-branch N] [--cuts 0|1] "
                "[--cut-rounds N] [--cut-interval N] [--max-cuts N] "
                "[--probing 0|1] [--rcfix 0|1] [--verilog out.v]\n");
   return 2;
@@ -83,6 +94,8 @@ int main(int argc, char** argv) {
   bool dense_lu = false;
   int dual = -1;     // -1: keep the solver default
   int row_age = -1;  // -1: keep the solver default
+  std::string dual_pricing;  // empty: keep the solver default
+  int strong_branch = -1;    // -1: keep the solver default
   int cuts = -1;          // -1: keep the solver default
   int cut_rounds = -1;
   int cut_interval = -1;
@@ -136,6 +149,25 @@ int main(int argc, char** argv) {
       else if (argv[i][2] == 'd') dual = on;
       else rcfix = on;
     }
+    else if (std::strcmp(argv[i], "--dual-pricing") == 0) {
+      lp::DualPricing parsed;
+      if (!lp::parse_dual_pricing(argv[i + 1], parsed)) {
+        std::fprintf(stderr,
+                     "advbist: --dual-pricing wants dantzig, devex or se\n");
+        return usage();
+      }
+      dual_pricing = argv[i + 1];
+    }
+    else if (std::strcmp(argv[i], "--strong-branch") == 0) {
+      // 0 is a meaningful disable (no root strong branching).
+      char* end = nullptr;
+      const int v = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "advbist: --strong-branch wants an integer >= 0\n");
+        return usage();
+      }
+      strong_branch = v;
+    }
     else if (std::strcmp(argv[i], "--row-age") == 0) {
       // 0 is a meaningful disable (rows are never deleted).
       char* end = nullptr;
@@ -183,7 +215,10 @@ int main(int argc, char** argv) {
     if (markowitz_tol > 0) options.solver.lp_markowitz_tol = markowitz_tol;
     if (dense_lu) options.solver.lp_sparse_factorization = false;
     if (dual >= 0) options.solver.lp_dual_simplex = dual == 1;
+    if (!dual_pricing.empty())
+      lp::parse_dual_pricing(dual_pricing, options.solver.lp_dual_pricing);
     if (row_age >= 0) options.solver.lp_row_age_limit = row_age;
+    if (strong_branch >= 0) options.solver.strong_branch_vars = strong_branch;
     if (cuts == 0) {
       options.solver.use_clique_cuts = false;
       options.solver.use_cover_cuts = false;
@@ -226,9 +261,15 @@ int main(int argc, char** argv) {
       if (st.lp_dual_solves > 0)
         std::printf(
             "     dual: %lld re-solves (%lld fell back to primal), %lld "
-            "bound flips, %lld cut rows aged out of the LPs (peak %d rows)\n",
+            "bound flips, %lld pricing resets, %lld cut rows aged out of the "
+            "LPs (peak %d rows)\n",
             st.lp_dual_solves, st.lp_dual_fallbacks, st.lp_bound_flips,
-            st.lp_rows_deleted, st.lp_peak_rows);
+            st.lp_devex_resets, st.lp_rows_deleted, st.lp_peak_rows);
+      if (st.strong_branch_probed > 0)
+        std::printf(
+            "     branching: %d strong-branch probes seeded the shared "
+            "pseudocosts (%d variables fixed by infeasible probes)\n",
+            st.strong_branch_probed, st.strong_branch_fixed);
       if (st.cuts_clique_applied + st.cuts_cover_applied > 0 ||
           st.probing_fixed > 0 || st.rc_fixed_root + st.rc_fixed_incumbent > 0)
         std::printf(

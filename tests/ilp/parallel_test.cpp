@@ -183,9 +183,76 @@ TEST(ParallelSolver, FullSolvePaulinDeterministicAcrossThreadCounts) {
   // alone.
   if (std::getenv("ADVBIST_FULL_DETERMINISM") == nullptr)
     GTEST_SKIP() << "set ADVBIST_FULL_DETERMINISM=1 to run the paulin "
-                    "optimality-proof determinism check (~17s serial; "
-                    "always-on in the CI long-determinism job)";
+                    "optimality-proof determinism check (~13s for all three "
+                    "thread counts on one core; always-on in the CI "
+                    "long-determinism job)";
   expect_full_solve_deterministic("paulin", 24.0 * 3600.0);
+}
+
+TEST(ParallelSolver, SharedPseudocostsKeepReductionDeterministic) {
+  // The pseudocost store is shared between workers through relaxed atomics:
+  // concurrent readers may see different snapshots, which legitimately
+  // perturbs the node exploration order — but the post-join reduction must
+  // still prove the identical optimum at every thread count, with and
+  // without the root strong-branching seed.
+  const hls::Benchmark bench = hls::benchmark_by_name("fig1");
+  core::FormulationOptions fo;
+  fo.include_bist = true;
+  fo.k = 2;
+  const core::Formulation f(bench.dfg, bench.modules, fo);
+
+  for (const int sb : {0, 16}) {
+    Options opt;
+    opt.branch_priority = f.branch_priorities();
+    opt.strong_branch_vars = sb;
+    double optimum = 0.0;
+    for (const int threads : {1, 2, 4}) {
+      const Solution s = solve_with_threads(f.model(), threads, opt);
+      ASSERT_EQ(s.status, SolveStatus::kOptimal)
+          << "sb=" << sb << " threads=" << threads;
+      EXPECT_LE(f.model().max_violation(s.values, true), 1e-6);
+      if (sb > 0)
+        EXPECT_GT(s.stats.strong_branch_probed, 0)
+            << "sb=" << sb << " threads=" << threads;
+      else
+        EXPECT_EQ(s.stats.strong_branch_probed, 0);
+      if (threads == 1)
+        optimum = s.objective;
+      else
+        EXPECT_NEAR(s.objective, optimum, 1e-6)
+            << "sb=" << sb << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelSolver, PricingModesProveTheSameOptimum) {
+  // Devex / steepest-edge / Dantzig dual pricing change which vertex each
+  // node re-solve lands on (and therefore the tree), never the optimum.
+  const hls::Benchmark bench = hls::benchmark_by_name("fig1");
+  core::FormulationOptions fo;
+  fo.include_bist = true;
+  fo.k = 2;
+  const core::Formulation f(bench.dfg, bench.modules, fo);
+
+  double optimum = 0.0;
+  bool first = true;
+  for (const lp::DualPricing pricing :
+       {lp::DualPricing::kDantzig, lp::DualPricing::kDevex,
+        lp::DualPricing::kSteepestEdge}) {
+    Options opt;
+    opt.branch_priority = f.branch_priorities();
+    opt.lp_dual_pricing = pricing;
+    const Solution s = solve_with_threads(f.model(), 1, opt);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal)
+        << "pricing " << static_cast<int>(pricing);
+    if (first) {
+      optimum = s.objective;
+      first = false;
+    } else {
+      EXPECT_NEAR(s.objective, optimum, 1e-6)
+          << "pricing " << static_cast<int>(pricing);
+    }
+  }
 }
 
 TEST(ParallelSolver, ProvenStatusesNeverCoincideWithLimitHits) {

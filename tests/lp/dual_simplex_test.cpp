@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
@@ -98,13 +100,18 @@ ConstraintDef random_row(util::Rng& rng, int n) {
   return c;
 }
 
-TEST(DualSimplex, RandomizedBoundSequencesMatchPrimalAndCold) {
+/// Runs the seeded bound-change differential sweep under `pricing` and
+/// returns the total dual pivot count. Every step must agree with a
+/// warm-started primal solve and a cold solve of the same model.
+long long run_bound_sequences(DualPricing pricing) {
   util::Rng rng(8260726ULL);
   long long dual_pivots = 0;
   for (int trial = 0; trial < 40; ++trial) {
     const Model m = random_lp(rng);
     const int n = m.num_variables();
-    SimplexSolver dual(m);
+    SimplexOptions opts;
+    opts.dual_pricing = pricing;
+    SimplexSolver dual(m, opts);
     SimplexSolver primal(m);
     std::vector<std::pair<double, double>> bounds(n);
     for (int v = 0; v < n; ++v)
@@ -131,19 +138,44 @@ TEST(DualSimplex, RandomizedBoundSequencesMatchPrimalAndCold) {
       const LpResult p = primal.solve();
       const LpResult c = cold_solve(m, bounds);
       dual_pivots += d.dual_iterations;
-      ASSERT_EQ(d.status, c.status) << "trial " << trial << " step " << step;
-      ASSERT_EQ(p.status, c.status) << "trial " << trial << " step " << step;
-      if (c.status == LpStatus::kOptimal) {
-        ASSERT_NEAR(d.objective, c.objective, kTol)
+      EXPECT_EQ(d.status, c.status) << "trial " << trial << " step " << step;
+      EXPECT_EQ(p.status, c.status) << "trial " << trial << " step " << step;
+      if (c.status == LpStatus::kOptimal && d.status == c.status) {
+        EXPECT_NEAR(d.objective, c.objective, kTol)
             << "trial " << trial << " step " << step;
-        ASSERT_NEAR(p.objective, c.objective, kTol)
+        EXPECT_NEAR(p.objective, c.objective, kTol)
             << "trial " << trial << " step " << step;
         EXPECT_LE(max_violation(m, bounds, {}, d.x), kTol);
       }
     }
+    if (::testing::Test::HasFailure()) break;
   }
   // The point of the suite: the dual path must actually be exercised.
   EXPECT_GT(dual_pivots, 0);
+  return dual_pivots;
+}
+
+TEST(DualSimplex, RandomizedBoundSequencesMatchPrimalAndCold) {
+  // All three pricing rules choose different pivot SEQUENCES but must land
+  // on the same optimum at every step of the seeded sweep.
+  const long long dantzig = run_bound_sequences(DualPricing::kDantzig);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  const long long devex = run_bound_sequences(DualPricing::kDevex);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  const long long se = run_bound_sequences(DualPricing::kSteepestEdge);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  // Pivot-count pins (seeded, hence deterministic): the weighted rules must
+  // not blow up against Dantzig — a stale- or garbage-weight bug shows up
+  // here as a pivot-count explosion long before it corrupts an optimum.
+  // (This is also the apples-to-apples pricing comparison: identical models
+  // and bound-change sequences, unlike in-tree counts where the pricing
+  // reshapes the tree itself.)
+  std::printf("[ pricing  ] dual pivots over the seeded sweep: dantzig=%lld "
+              "devex=%lld se=%lld\n",
+              dantzig, devex, se);
+  EXPECT_LE(devex, dantzig * 3 / 2) << "devex=" << devex
+                                    << " dantzig=" << dantzig;
+  EXPECT_LE(se, dantzig * 3 / 2) << "se=" << se << " dantzig=" << dantzig;
 }
 
 TEST(DualSimplex, AddAndDeleteRowSequencesMatchCold) {
@@ -348,6 +380,144 @@ TEST(DualSimplex, DeleteRowsKeepsFillAccountingAtCurrentRowCount) {
   const LpResult after = solver.solve_dual();
   ASSERT_EQ(after.status, LpStatus::kOptimal);
   EXPECT_GE(solver.stats().fill_ratio(), 1.0);
+}
+
+// A model where tightening one bound forces real dual pivots: n variables
+// with distinct negative costs all pushed to a shared capacity row.
+Model pivoting_lp(int n) {
+  Model m;
+  for (int v = 0; v < n; ++v)
+    m.add_variable(0, 4, -(v + 1), VarType::kContinuous, "");
+  LinExpr e;
+  for (int v = 0; v < n; ++v) e.add(v, 1);
+  m.add_constraint(std::move(e), Sense::kLessEqual, 2 * n);
+  for (int r = 0; r < n / 2; ++r) {
+    LinExpr pair;
+    pair.add(2 * r, 1).add(2 * r + 1, 1);
+    m.add_constraint(std::move(pair), Sense::kLessEqual, 5);
+  }
+  return m;
+}
+
+TEST(DualSimplex, DevexWeightsResetAcrossRefactorizationAndFallback) {
+  // The Devex reference framework is only meaningful for the basis it was
+  // accumulated on. Every boundary that moves the basis outside it —
+  // refactorization, a primal solve (the fallback path), cold start — must
+  // reset the weights; Stats::devex_resets counts exactly those resets.
+  // Without the reset, stale weights silently mis-price rows, which the
+  // pivot-count pins in RandomizedBoundSequencesMatchPrimalAndCold would
+  // catch as an explosion. Here we pin the reset *accounting* one boundary
+  // at a time.
+  const Model m = pivoting_lp(8);
+  SimplexOptions opts;
+  opts.dual_pricing = DualPricing::kDevex;
+  SimplexSolver solver(m, opts);
+  ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+  ASSERT_EQ(solver.stats().devex_resets, 0);  // no dual solve yet
+
+  // Fixing capacity-absorbing variables at 0 forces real dual pivots (the
+  // displaced quantity cannot be absorbed inside the remaining bounds).
+  // The first dual re-solve initializes the reference framework: >= 1 reset.
+  for (const int v : {7, 5, 3}) {
+    solver.set_variable_bounds(v, 0, 0);
+    const LpResult d = solver.solve_dual();
+    ASSERT_EQ(d.status, LpStatus::kOptimal) << "fix " << v;
+    EXPECT_FALSE(d.dual_fallback) << "fix " << v;
+  }
+  EXPECT_GE(solver.stats().dual_iterations, 1);
+  const long long resets_after_first = solver.stats().devex_resets;
+  EXPECT_GE(resets_after_first, 1);
+
+  // Refactorization boundary: the framework restarts on the next dual
+  // iteration even though the basis itself did not change.
+  ASSERT_TRUE(solver.refactorize_for_testing());
+  solver.set_variable_bounds(1, 0, 0);
+  ASSERT_EQ(solver.solve_dual().status, LpStatus::kOptimal);
+  const long long resets_after_refactor = solver.stats().devex_resets;
+  EXPECT_GT(resets_after_refactor, resets_after_first);
+
+  // Primal-solve (fallback-path) boundary: primal pivots move the basis
+  // outside the framework; the next dual solve must reset again.
+  for (const int v : {7, 5, 3, 1}) solver.set_variable_bounds(v, 0, 4);
+  const LpResult p = solver.solve();  // relaxed vars re-enter: primal pivots
+  ASSERT_EQ(p.status, LpStatus::kOptimal);
+  ASSERT_GT(p.iterations, 0);
+  solver.set_variable_bounds(7, 0, 0);
+  ASSERT_EQ(solver.solve_dual().status, LpStatus::kOptimal);
+  EXPECT_GT(solver.stats().devex_resets, resets_after_refactor);
+
+  // Dantzig never touches the framework: a whole sweep records zero resets.
+  SimplexOptions dopts;
+  dopts.dual_pricing = DualPricing::kDantzig;
+  SimplexSolver dantzig(m, dopts);
+  ASSERT_EQ(dantzig.solve().status, LpStatus::kOptimal);
+  for (const int v : {7, 5, 3}) {
+    dantzig.set_variable_bounds(v, 0, 0);
+    ASSERT_EQ(dantzig.solve_dual().status, LpStatus::kOptimal);
+  }
+  EXPECT_GE(dantzig.stats().dual_iterations, 1);
+  EXPECT_EQ(dantzig.stats().devex_resets, 0);
+}
+
+TEST(DualSimplex, WeightedPricingAgreesAfterAddDeleteRows) {
+  // add_rows / delete_rows change the row dimension: the weights must reset
+  // (not read out of bounds, not mis-price) and the re-solve must still
+  // agree with a cold solver under every pricing rule.
+  // First seed whose base LP is feasible (random_lp can emit infeasible
+  // >=-row combinations; those are differential-tested elsewhere).
+  Model feasible;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+    util::Rng rng(seed);
+    Model candidate = random_lp(rng);
+    if (SimplexSolver(candidate).solve().status == LpStatus::kOptimal) {
+      feasible = std::move(candidate);
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  for (const DualPricing pricing :
+       {DualPricing::kDantzig, DualPricing::kDevex,
+        DualPricing::kSteepestEdge}) {
+    util::Rng rng(5150ULL);
+    const Model& m = feasible;
+    const int n = m.num_variables();
+    SimplexOptions opts;
+    opts.dual_pricing = pricing;
+    SimplexSolver solver(m, opts);
+    std::vector<std::pair<double, double>> bounds(n);
+    for (int v = 0; v < n; ++v)
+      bounds[v] = {m.variable(v).lower, m.variable(v).upper};
+    ASSERT_EQ(solver.solve().status, LpStatus::kOptimal);
+
+    std::vector<ConstraintDef> active;
+    for (int i = 0; i < 4; ++i) active.push_back(random_row(rng, n));
+    solver.add_rows(active);
+    ASSERT_EQ(solver.solve_dual().status,
+              cold_solve(m, bounds, active).status);
+
+    const int base = solver.num_rows() - solver.num_added_rows();
+    std::vector<int> doomed;
+    std::vector<ConstraintDef> kept;
+    for (int i = 0; i < solver.num_added_rows(); ++i) {
+      if (solver.added_row_slack_basic(i))
+        doomed.push_back(base + i);
+      else
+        kept.push_back(active[i]);
+    }
+    if (!doomed.empty()) {
+      solver.delete_rows(doomed);
+      active = std::move(kept);
+    }
+    solver.set_variable_bounds(0, 0, 0);
+    bounds[0] = {0.0, 0.0};
+    const LpResult d = solver.solve_dual();
+    const LpResult c = cold_solve(m, bounds, active);
+    ASSERT_EQ(d.status, c.status) << "pricing " << static_cast<int>(pricing);
+    if (c.status == LpStatus::kOptimal)
+      EXPECT_NEAR(d.objective, c.objective, kTol)
+          << "pricing " << static_cast<int>(pricing);
+  }
 }
 
 }  // namespace
