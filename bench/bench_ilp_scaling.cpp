@@ -44,6 +44,9 @@
 //   ADVBIST_BENCH_REFACTOR pivots between basis refactorizations (default:
 //                          solver default)
 //   ADVBIST_BENCH_DENSE_LU=1  disable the sparse Markowitz factorization
+//   ADVBIST_BENCH_AUDIT=0  disable the exit audit (A/B for its overhead;
+//                          default on, and the recorded audit_seconds
+//                          column keeps the cost visible per run)
 //   ADVBIST_BENCH_OUT      output directory for BENCH_solver.json (default .)
 //   ADVBIST_GIT_COMMIT     commit hash recorded in the JSON (default unknown)
 #include <cmath>
@@ -100,6 +103,10 @@ struct Row {
   double best_bound = 0.0;
   double gap = 0.0;
   double seconds = 0.0;
+  double audit_seconds = 0.0;
+  bool audit_verified = false;
+  long long lp_recoveries = 0;
+  long long lp_recovery_cold = 0;
   double objective = 0.0;
   std::string status;
 };
@@ -138,6 +145,7 @@ int main() {
   const int refactor_every = env_int("ADVBIST_BENCH_REFACTOR", 0);
   const char* dense_env = std::getenv("ADVBIST_BENCH_DENSE_LU");
   const bool dense_lu = dense_env != nullptr && *dense_env == '1';
+  const bool audit = !env_disabled("ADVBIST_BENCH_AUDIT");
   const char* over_env = std::getenv("ADVBIST_BENCH_OVERSUBSCRIBE");
   const bool keep_oversubscribed = over_env != nullptr && *over_env == '1';
   const char* out_env = std::getenv("ADVBIST_BENCH_OUT");
@@ -234,6 +242,7 @@ int main() {
         opt.node_limit = node_budget;
         opt.time_limit_seconds = 120.0;
         if (refactor_every > 0) opt.lp_refactor_every = refactor_every;
+        opt.exit_audit = audit;
         opt.lp_sparse_factorization = !dense_lu;
         opt.lp_dual_simplex = with_dual;
         lp::parse_dual_pricing(pricing, opt.lp_dual_pricing);
@@ -306,16 +315,25 @@ int main() {
             std::isfinite(s.stats.best_bound) ? s.stats.best_bound : 0.0;
         row.gap = std::isfinite(s.gap()) ? s.gap() : -1.0;
         row.seconds = s.stats.seconds;
+        row.audit_seconds = s.stats.audit_seconds;
+        row.audit_verified = s.stats.audit_ran && s.stats.audit_incumbent_ok &&
+                             s.stats.audit_bound_ok;
+        row.lp_recoveries =
+            s.stats.lp_recovery_refactorize + s.stats.lp_recovery_tighten +
+            s.stats.lp_recovery_dense + s.stats.lp_recovery_cold;
+        row.lp_recovery_cold = s.stats.lp_recovery_cold;
         row.objective = s.has_solution() ? s.objective : 0.0;
         row.status = ilp::to_string(s.status);
         rows.push_back(row);
         std::printf(
             "%-8s threads=%d cuts=%d dual=%d pricing=%s nodes=%lld t=%.2fs "
-            "nodes/s=%.0f cuts=%lld rows_del=%lld gap=%.4f (%s)%s\n",
+            "nodes/s=%.0f cuts=%lld rows_del=%lld gap=%.4f audit=%.3fs "
+            "rec=%lld (%s)%s\n",
             name.c_str(), row.threads, with_cuts ? 1 : 0, with_dual ? 1 : 0,
             pricing.c_str(), row.nodes, row.seconds,
             row.seconds > 0 ? row.nodes / row.seconds : 0.0, row.cuts_applied,
-            row.rows_deleted, row.gap, row.status.c_str(),
+            row.rows_deleted, row.gap, row.audit_seconds, row.lp_recoveries,
+            row.status.c_str(),
             row.oversubscribed ? " [oversubscribed]" : "");
         }
         if (skipped_oversubscribed) break;  // same for every pricing config
@@ -334,7 +352,7 @@ int main() {
   json << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[1792];
+    char buf[2048];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"model\": \"%s\", \"vars\": %d, \"rows\": %d, \"threads\": %d, "
@@ -349,6 +367,8 @@ int main() {
         "\"cuts_applied\": %lld, \"cuts_clique\": %lld, \"cuts_cover\": %lld, "
         "\"probing_fixed\": %d, \"rc_fixed\": %d, \"root_gap_closed\": %.4f, "
         "\"best_bound\": %.6f, \"gap\": %.6f, \"seconds\": %.4f, "
+        "\"audit_seconds\": %.4f, \"audit_verified\": %s, "
+        "\"lp_recoveries\": %lld, \"lp_recovery_cold\": %lld, "
         "\"nodes_per_sec\": %.1f, \"objective\": %.6f, \"status\": \"%s\"%s}%s\n",
         r.model.c_str(), r.vars, r.rows, r.threads, r.cuts ? "true" : "false",
         r.dual ? "true" : "false", r.pricing.c_str(), r.nodes,
@@ -359,7 +379,9 @@ int main() {
         r.refactorizations,
         r.sparse_refactorizations, r.fill_ratio, r.cuts_applied, r.cuts_clique,
         r.cuts_cover, r.probing_fixed, r.rc_fixed, r.root_gap_closed,
-        r.best_bound, r.gap, r.seconds,
+        r.best_bound, r.gap, r.seconds, r.audit_seconds,
+        r.audit_verified ? "true" : "false", r.lp_recoveries,
+        r.lp_recovery_cold,
         r.seconds > 0 ? r.nodes / r.seconds : 0.0, r.objective,
         r.status.c_str(), r.oversubscribed ? ", \"oversubscribed\": true" : "",
         i + 1 < rows.size() ? "," : "");

@@ -69,7 +69,7 @@ SynthesisResult Synthesizer::run(const Formulation& formulation,
   result.nodes = solution.stats.nodes;
   result.solver_stats = solution.stats;
   result.hit_limit =
-      solution.stats.hit_time_limit || solution.stats.hit_node_limit;
+      solution.stats.termination != util::StopReason::kNone;
 
   if (solution.has_solution()) {
     result.objective = solution.objective + formulation.objective_offset();

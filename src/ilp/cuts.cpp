@@ -354,4 +354,15 @@ std::vector<Cut> CutPool::take_violated(const std::vector<double>& x,
 
 int CutPool::num_pooled() const { return static_cast<int>(entries_.size()); }
 
+std::size_t CutPool::approx_bytes() const {
+  std::size_t bytes = entries_.capacity() * sizeof(Entry) +
+                      hashes_.capacity() * sizeof(std::uint64_t) +
+                      applied_.capacity() * sizeof(Cut);
+  for (const Entry& e : entries_)
+    bytes += e.cut.terms.capacity() * sizeof(lp::Term);
+  for (const Cut& c : applied_)
+    bytes += c.terms.capacity() * sizeof(lp::Term);
+  return bytes;
+}
+
 }  // namespace advbist::ilp

@@ -86,6 +86,10 @@ class CutPool {
   [[nodiscard]] int num_pooled() const;
   [[nodiscard]] long long aged_out() const { return aged_out_; }
 
+  /// Approximate heap footprint of the pooled + applied cuts, reported to
+  /// the solve controller's cooperative memory accounting.
+  [[nodiscard]] std::size_t approx_bytes() const;
+
  private:
   struct Entry {
     Cut cut;

@@ -19,7 +19,9 @@
 #include "ilp/tolerances.hpp"
 #include "lp/simplex.hpp"
 #include "util/check.hpp"
+#include "util/fault_injector.hpp"
 #include "util/logging.hpp"
+#include "util/solve_controller.hpp"
 #include "util/stopwatch.hpp"
 
 namespace advbist::ilp {
@@ -53,6 +55,9 @@ std::string to_string(SolveStatus status) {
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kNoSolutionFound: return "no solution (limit)";
     case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kTimeLimit: return "time limit";
+    case SolveStatus::kCancelled: return "cancelled";
+    case SolveStatus::kMemoryLimit: return "memory limit";
   }
   return "?";
 }
@@ -207,6 +212,18 @@ void accumulate(lp::SimplexSolver::Stats& into,
   into.devex_resets += s.devex_resets;
   into.rows_deleted += s.rows_deleted;
   into.peak_rows = std::max(into.peak_rows, s.peak_rows);
+  into.recovery_refactorize += s.recovery_refactorize;
+  into.recovery_tighten += s.recovery_tighten;
+  into.recovery_dense += s.recovery_dense;
+  into.recovery_cold += s.recovery_cold;
+  into.recovery_exhausted += s.recovery_exhausted;
+  into.aborted_solves += s.aborted_solves;
+}
+
+/// Approximate heap footprint of one pooled node, for the controller's
+/// cooperative memory accounting.
+std::size_t node_bytes(const Node& node) {
+  return sizeof(Node) + node.changes.capacity() * sizeof(BoundChange);
 }
 
 int resolve_num_threads(int requested) {
@@ -277,8 +294,25 @@ struct SearchContext {
   std::atomic<long long> dropped_nodes{0};
   std::atomic<bool> exhausted{true};
   std::atomic<bool> root_unbounded{false};
-  std::atomic<bool> hit_time_limit{false};
-  std::atomic<bool> hit_node_limit{false};
+
+  // --- solve lifecycle (deadline / cancel / budgets; see SolveController) ---
+  util::SolveController* controller = nullptr;
+  // Soft memory pressure sheds optional work before the hard stop: cut
+  // separation and diving switch off, the pool re-sort (best-bound bias)
+  // pauses so the search drains depth-first. Sticky once set.
+  std::atomic<bool> shed_cuts{false};
+  std::atomic<bool> shed_diving{false};
+  std::size_t cut_pool_bytes = 0;  ///< gauge mirror of the pool (guarded)
+
+  /// Re-reports the cut pool's footprint to the controller. Caller holds
+  /// the mutex (or is the only thread).
+  void update_cut_pool_bytes(std::size_t now) {
+    if (now > cut_pool_bytes)
+      controller->reserve(now - cut_pool_bytes);
+    else
+      controller->release(cut_pool_bytes - now);
+    cut_pool_bytes = now;
+  }
 
   // First worker exception (guarded by mutex); rethrown on the main thread.
   std::exception_ptr failure;
@@ -351,7 +385,9 @@ class Worker {
         simplex_(reduced, simplex_options(*ctx.options)),
         root_lb_(ctx.root_lb),
         root_ub_(ctx.root_ub),
-        pool_consumed_(ctx.root_applied_cuts) {}
+        pool_consumed_(ctx.root_applied_cuts) {
+    simplex_.set_controller(ctx.controller);
+  }
 
   ~Worker() {
     // Fold this worker's factorization counters into the shared totals.
@@ -385,6 +421,7 @@ class Worker {
       if (ctx_.stop || ctx_.done) {
         // Abandoned search: the local node still carries a valid open bound.
         if (local_) {
+          ctx_.controller->reserve(node_bytes(*local_));
           ctx_.pool.push_back(std::move(*local_));
           local_.reset();
         }
@@ -399,7 +436,10 @@ class Worker {
         // Hybrid node selection: depth-first plunging finds incumbents
         // fast; a periodic re-sort brings the best-bound open node to the
         // top, which closes the proven gap the way best-first search does.
-        if (++ctx_.pops_since_resort >= 256 && ctx_.pool.size() > 1) {
+        // Under memory pressure the re-sort pauses: pure DFS drains the
+        // pool (and its accounted bytes) fastest.
+        if (++ctx_.pops_since_resort >= 256 && ctx_.pool.size() > 1 &&
+            !ctx_.controller->memory_pressure()) {
           ctx_.pops_since_resort = 0;
           std::sort(ctx_.pool.begin(), ctx_.pool.end(),
                     [](const Node& a, const Node& b) {
@@ -408,6 +448,7 @@ class Worker {
         }
         Node n = std::move(ctx_.pool.back());
         ctx_.pool.pop_back();
+        ctx_.controller->release(node_bytes(n));
         return n;
       }
       ++ctx_.idle_workers;
@@ -430,6 +471,7 @@ class Worker {
     std::lock_guard<std::mutex> lock(ctx_.mutex);
     ctx_.stop = true;
     ctx_.exhausted = false;
+    ctx_.controller->reserve(node_bytes(node));
     ctx_.pool.push_back(std::move(node));
     ctx_.cv.notify_all();
   }
@@ -503,13 +545,20 @@ class Worker {
     int applied = 0;
     {
       std::lock_guard<std::mutex> lock(ctx_.mutex);
-      for (Cut& c : found) ctx_.cut_pool->add(std::move(c));
+      auto* fi = util::FaultInjector::active();
+      for (Cut& c : found) {
+        // Fault-injection hook: a refused pool allocation only loses the
+        // cut (cuts are optional strengthening, never correctness).
+        if (fi != nullptr && fi->fire(util::FaultSite::kCutAlloc)) continue;
+        ctx_.cut_pool->add(std::move(c));
+      }
       applied = static_cast<int>(
           ctx_.cut_pool
               ->take_violated(x, kCutViolationEps, opt.max_cuts_per_round)
               .size());
       ctx_.pool_applied.store(ctx_.cut_pool->applied().size(),
                               std::memory_order_release);
+      ctx_.update_cut_pool_bytes(ctx_.cut_pool->approx_bytes());
     }
     sync_pool_cuts();
     return applied;
@@ -635,6 +684,7 @@ class Worker {
     if (!dive_lp_) {
       dive_lp_ = std::make_unique<SimplexSolver>(reduced_,
                                                  simplex_options(opt));
+      dive_lp_->set_controller(ctx_.controller);
     }
     // Mirror the node's bounds (they already fold in root rc fixings).
     for (int v = 0; v < n; ++v)
@@ -646,10 +696,9 @@ class Worker {
     for (int step = 0; step < 4 * n; ++step) {
       // A dive is pure heuristic work: never let it outlive the search
       // limits (each step below is a full LP re-solve).
-      if (opt.time_limit_seconds > 0 &&
-          ctx_.watch.seconds() > opt.time_limit_seconds)
+      if (ctx_.controller->check_nodes(ctx_.nodes.load()) !=
+          util::StopReason::kNone)
         return;
-      if (opt.node_limit >= 0 && ctx_.nodes.load() >= opt.node_limit) return;
       int pick = -1;
       double pick_dist = 1.0;
       for (int v = 0; v < n; ++v) {
@@ -745,16 +794,21 @@ class Worker {
 
   void process(Node node) {
     const Options& opt = *ctx_.options;
-    if (opt.time_limit_seconds > 0 &&
-        ctx_.watch.seconds() > opt.time_limit_seconds) {
-      ctx_.hit_time_limit = true;
+    // Fault-injection hook: spontaneous cancellation at an arbitrary node
+    // exercises the cancel path without a real signal.
+    if (auto* fi = util::FaultInjector::active();
+        fi != nullptr && fi->fire(util::FaultSite::kCancel))
+      ctx_.controller->request_cancel();
+    if (ctx_.controller->check_nodes(ctx_.nodes.load()) !=
+        util::StopReason::kNone) {
       signal_stop(std::move(node));
       return;
     }
-    if (opt.node_limit >= 0 && ctx_.nodes.load() >= opt.node_limit) {
-      ctx_.hit_node_limit = true;
-      signal_stop(std::move(node));
-      return;
+    // Soft memory pressure: shed the optional work (cuts, dives) before
+    // the hard budget trips the whole solve.
+    if (ctx_.controller->memory_pressure()) {
+      ctx_.shed_cuts.store(true, std::memory_order_relaxed);
+      ctx_.shed_diving.store(true, std::memory_order_relaxed);
     }
     if (ctx_.prunable(node.parent_bound)) return;
 
@@ -766,6 +820,12 @@ class Worker {
     LpResult lp = resolve_lp();
     ctx_.lp_iterations.fetch_add(lp.iterations);
     if (lp.status == LpStatus::kInfeasible) return;
+    if (lp.status == LpStatus::kAborted) {
+      // The controller tripped mid-LP: the node is unexplored — return it
+      // to the pool so the final best-bound reduction still sees it.
+      signal_stop(std::move(node));
+      return;
+    }
     if (lp.status == LpStatus::kUnbounded) {
       // Integer feasibility cannot rescue an unbounded relaxation at the
       // root; deeper nodes inherit the verdict only if the root saw it.
@@ -774,11 +834,16 @@ class Worker {
         std::lock_guard<std::mutex> lock(ctx_.mutex);
         ctx_.stop = true;
         ctx_.cv.notify_all();
+        return;
       }
+      // A deeper unbounded verdict on these bounded models is numerical
+      // noise: abandon the subtree honestly instead of discarding its
+      // bound (the proof is forfeited, not silently faked).
+      drop_node(node, "unbounded relaxation");
       return;
     }
-    if (lp.status == LpStatus::kIterLimit) {
-      drop_node(node);
+    if (lp.status != LpStatus::kOptimal) {
+      drop_node(node, "LP iteration limit");
       return;
     }
 
@@ -808,7 +873,8 @@ class Worker {
     // Branching target; in-tree separation may tighten the LP and retry.
     int branch_var = pick_branch(lp.x, opt.integrality_tol);
     const bool cuts_on = opt.cut_node_interval > 0 && ctx_.cut_pool != nullptr &&
-                         (opt.use_clique_cuts || opt.use_cover_cuts);
+                         (opt.use_clique_cuts || opt.use_cover_cuts) &&
+                         !ctx_.shed_cuts.load(std::memory_order_relaxed);
     if (cuts_on && branch_var >= 0 &&
         ++nodes_since_separation_ >= opt.cut_node_interval) {
       nodes_since_separation_ = 0;
@@ -817,11 +883,16 @@ class Worker {
         lp = resolve_lp();
         ctx_.lp_iterations.fetch_add(lp.iterations);
         if (lp.status == LpStatus::kInfeasible) return;  // cuts are valid
-        if (lp.status == LpStatus::kIterLimit) {
-          drop_node(node);
+        if (lp.status == LpStatus::kAborted) {
+          signal_stop(std::move(node));
           return;
         }
-        if (lp.status != LpStatus::kOptimal) return;
+        if (lp.status != LpStatus::kOptimal) {
+          // Post-separation re-solve failed (iteration limit / numerical
+          // wall): the subtree is abandoned, its bound joins the reduction.
+          drop_node(node, "post-separation re-solve failure");
+          return;
+        }
         bound = ctx_.node_bound(lp.objective);
         if (ctx_.prunable(bound)) return;
         branch_var = pick_branch(lp.x, opt.integrality_tol);
@@ -833,6 +904,7 @@ class Worker {
     // one-shot rounding above almost never survives the one-hot rows; the
     // dive re-solves its way to feasibility instead.)
     if (branch_var >= 0 && opt.use_rounding_heuristic &&
+        !ctx_.shed_diving.load(std::memory_order_relaxed) &&
         (node.depth == 0 || ++nodes_since_dive_ >= 128)) {
       nodes_since_dive_ = 0;
       dive(lp);
@@ -876,18 +948,26 @@ class Worker {
     Node& near = down_first ? down : up;
     Node& far = down_first ? up : down;
     local_ = std::move(near);
-    {
+    // Fault-injection hook: a refused node-pool allocation drops the far
+    // child HONESTLY — its bound joins the reduction, the proof is
+    // forfeited, and the search never pretends the subtree was explored.
+    if (auto* fi = util::FaultInjector::active();
+        fi != nullptr && fi->fire(util::FaultSite::kNodeAlloc)) {
+      drop_node(far, "node-pool allocation refused");
+    } else {
       std::lock_guard<std::mutex> lock(ctx_.mutex);
+      ctx_.controller->reserve(node_bytes(far));
       ctx_.pool.push_back(std::move(far));
     }
     ctx_.cv.notify_one();
   }
 
-  /// LP iteration limit: the subtree is abandoned unexplored. The search
-  /// can no longer prove optimality or infeasibility, and the node's
-  /// inherited bound must stay part of the final best-bound reduction.
-  void drop_node(const Node& node) {
-    util::log_warn() << "LP iteration limit at node " << ctx_.nodes.load()
+  /// Abandons a subtree unexplored (LP failure, refused allocation, ...).
+  /// The search can no longer prove optimality or infeasibility, and the
+  /// node's inherited bound must stay part of the final best-bound
+  /// reduction.
+  void drop_node(const Node& node, const char* why) {
+    util::log_warn() << why << " at node " << ctx_.nodes.load()
                      << "; dropping the node (optimality proof forfeited)";
     ctx_.dropped_nodes.fetch_add(1);
     ctx_.exhausted = false;
@@ -938,6 +1018,17 @@ Solver::Solver(Options options) : options_(std::move(options)) {}
 Solution Solver::solve(const Model& original) const {
   Solution sol;
   SearchContext ctx;
+
+  // One controller governs every phase of this solve: the deadline, the
+  // node budget, the memory budget, and the caller's cancel flag are all
+  // checked from the same latch, so the first reason to stop wins and is
+  // reported unchanged as the termination status.
+  util::SolveController controller;
+  controller.set_deadline(options_.time_limit_seconds);
+  controller.set_node_budget(options_.node_limit);
+  controller.set_memory_budget(options_.memory_limit_bytes);
+  controller.set_cancel_flag(options_.cancel_flag);
+  ctx.controller = &controller;
 
   Model model = original;  // working copy: presolve mutates bounds
   if (!options_.branch_priority.empty())
@@ -1021,6 +1112,8 @@ Solution Solver::solve(const Model& original) const {
     // initial_cutoff (callers pass a heuristic solution's value).
     ctx.cutoff = options_.initial_cutoff + (ctx.integral_obj ? 1.0 : kIntEps);
   }
+  sol.stats.presolve_seconds = ctx.watch.seconds();
+  double phase_mark = sol.stats.presolve_seconds;
 
   // ---------------------------------------------------------------------
   // Root cut-and-fix loop: rounds of clique/cover separation against the
@@ -1045,6 +1138,7 @@ Solution Solver::solve(const Model& original) const {
 
   if (run_root_loop) {
     root_lp.emplace(reduced, Worker::simplex_options(options_));
+    root_lp->set_controller(&controller);
     rlp = root_lp->solve();
     ctx.lp_iterations.fetch_add(rlp.iterations);
     if (rlp.status == LpStatus::kInfeasible) {
@@ -1080,9 +1174,10 @@ Solution Solver::solve(const Model& original) const {
         double prev_bound = rlp.objective;
         int stalled = 0;
         for (int round = 0; round < options_.cut_rounds; ++round) {
-          if (options_.time_limit_seconds > 0 &&
-              ctx.watch.seconds() > options_.time_limit_seconds)
-            break;
+          // The per-round check catches deadline/cancel between LP solves;
+          // the in-LP controller polling (via set_controller above) catches
+          // them INSIDE a long re-solve, so no single round can overshoot.
+          if (controller.check() != util::StopReason::kNone) break;
           const std::vector<double>& x = rlp.x;
           if (pick_branching_variable(model, x, options_.branch_priority,
                                       options_.integrality_tol) < 0)
@@ -1188,14 +1283,17 @@ Solution Solver::solve(const Model& original) const {
   // variable the other way — globally valid, like a reduced-cost fixing —
   // and two infeasible directions prove the whole model infeasible.
   // ---------------------------------------------------------------------
+  sol.stats.root_cut_seconds = ctx.watch.seconds() - phase_mark;
+  phase_mark = ctx.watch.seconds();
+
   PseudocostStore pcstore(n);
   ctx.pseudocosts = &pcstore;
   long long probe_dual_solves = 0, probe_dual_fallbacks = 0;
   if (options_.strong_branch_vars > 0 &&
-      !(options_.time_limit_seconds > 0 &&
-        ctx.watch.seconds() > options_.time_limit_seconds)) {
+      controller.check() == util::StopReason::kNone) {
     if (!root_lp) {  // cuts + rc fixing disabled: no root solve happened yet
       root_lp.emplace(reduced, Worker::simplex_options(options_));
+      root_lp->set_controller(&controller);
       rlp = root_lp->solve();
       ctx.lp_iterations.fetch_add(rlp.iterations);
     }
@@ -1246,9 +1344,7 @@ Solution Solver::solve(const Model& original) const {
       // nothing, so strong branching cannot blow the root time up.
       sb.set_max_iterations(std::max(1, options_.strong_branch_lp_iters));
       for (const Cand& c : cands) {
-        if (options_.time_limit_seconds > 0 &&
-            ctx.watch.seconds() > options_.time_limit_seconds)
-          break;
+        if (controller.check() != util::StopReason::kNone) break;
         // Re-derive fractionality from the CURRENT base (a fixing may have
         // re-solved it since the candidates were ranked).
         const double xv = base.x[c.v];
@@ -1334,17 +1430,25 @@ Solution Solver::solve(const Model& original) const {
     ctx.lp_stats.dual_fallbacks -= probe_dual_fallbacks;
   }
 
+  sol.stats.strong_branch_seconds = ctx.watch.seconds() - phase_mark;
+  phase_mark = ctx.watch.seconds();
+
   ctx.cut_model = &reduced;
   ctx.graph = options_.use_clique_cuts ? &graph : nullptr;
   ctx.cut_pool = cuts_enabled ? &pool : nullptr;
   ctx.root_applied_cuts = pool.applied().size();
   ctx.pool_applied.store(pool.applied().size());
+  if (cuts_enabled) ctx.update_cut_pool_bytes(pool.approx_bytes());
   if (!ctx.root_rc_valid) {
     ctx.rc_lb = ctx.root_lb;
     ctx.rc_ub = ctx.root_ub;
   }
 
-  ctx.pool.push_back(Node{{}, root_bound, 0});
+  {
+    Node root{{}, root_bound, 0};
+    controller.reserve(node_bytes(root));
+    ctx.pool.push_back(std::move(root));
+  }
   ctx.num_workers = resolve_num_threads(options_.num_threads);
   sol.stats.threads = ctx.num_workers;
 
@@ -1361,11 +1465,16 @@ Solution Solver::solve(const Model& original) const {
 
   // Deterministic single-threaded result reduction: every branch below
   // reads the joined workers' state under no concurrency.
+  sol.stats.search_seconds = ctx.watch.seconds() - phase_mark;
   sol.stats.nodes = ctx.nodes.load();
   sol.stats.lp_iterations = ctx.lp_iterations.load();
   sol.stats.dropped_nodes = ctx.dropped_nodes.load();
-  sol.stats.hit_time_limit = ctx.hit_time_limit.load();
-  sol.stats.hit_node_limit = ctx.hit_node_limit.load();
+  sol.stats.termination = controller.reason();
+  sol.stats.hit_node_limit =
+      sol.stats.termination == util::StopReason::kNodeLimit;
+  sol.stats.shed_cuts = ctx.shed_cuts.load();
+  sol.stats.shed_diving = ctx.shed_diving.load();
+  sol.stats.peak_memory_bytes = controller.peak_memory();
   sol.stats.seconds = ctx.watch.seconds();
   sol.stats.lp_refactorizations = ctx.lp_stats.refactorizations;
   sol.stats.lp_sparse_refactorizations = ctx.lp_stats.sparse_refactorizations;
@@ -1384,6 +1493,12 @@ Solution Solver::solve(const Model& original) const {
   sol.stats.lp_rows_deleted = ctx.lp_stats.rows_deleted;
   sol.stats.lp_peak_rows = ctx.lp_stats.peak_rows;
   sol.stats.lp_devex_resets = ctx.lp_stats.devex_resets;
+  sol.stats.lp_recovery_refactorize = ctx.lp_stats.recovery_refactorize;
+  sol.stats.lp_recovery_tighten = ctx.lp_stats.recovery_tighten;
+  sol.stats.lp_recovery_dense = ctx.lp_stats.recovery_dense;
+  sol.stats.lp_recovery_cold = ctx.lp_stats.recovery_cold;
+  sol.stats.lp_recovery_exhausted = ctx.lp_stats.recovery_exhausted;
+  sol.stats.lp_aborted_solves = ctx.lp_stats.aborted_solves;
   sol.stats.cuts_clique_separated = ctx.clique_separated.load();
   sol.stats.cuts_cover_separated = ctx.cover_separated.load();
   for (const Cut& c : pool.applied()) {
@@ -1413,6 +1528,18 @@ Solution Solver::solve(const Model& original) const {
   if (ctx.pool.empty() && exhausted) best_bound = cutoff;
   sol.stats.best_bound = best_bound;
 
+  // Honest termination statuses: a deadline, cancellation or memory-budget
+  // stop is reported as itself (with or without an incumbent; see
+  // Solution::has_solution). A node-limit stop keeps the legacy
+  // kFeasible / kNoSolutionFound mapping plus stats.hit_node_limit.
+  const auto limit_status = [&](SolveStatus fallback) {
+    switch (sol.stats.termination) {
+      case util::StopReason::kTimeLimit: return SolveStatus::kTimeLimit;
+      case util::StopReason::kCancelled: return SolveStatus::kCancelled;
+      case util::StopReason::kMemoryLimit: return SolveStatus::kMemoryLimit;
+      default: return fallback;
+    }
+  };
   if (!ctx.incumbent.empty()) {
     sol.values = std::move(ctx.incumbent);
     sol.objective = cutoff;
@@ -1420,14 +1547,110 @@ Solution Solver::solve(const Model& original) const {
                         (std::isfinite(best_bound) &&
                          (ctx.integral_obj ? best_bound >= cutoff - 0.5
                                            : best_bound >= cutoff - kBoundEps));
-    sol.status = proven ? SolveStatus::kOptimal : SolveStatus::kFeasible;
+    sol.status =
+        proven ? SolveStatus::kOptimal : limit_status(SolveStatus::kFeasible);
     if (sol.status == SolveStatus::kOptimal) sol.stats.best_bound = cutoff;
   } else if (exhausted && !std::isfinite(options_.initial_cutoff)) {
     sol.status = SolveStatus::kInfeasible;
   } else {
     // Either a limit was hit, or a seeded cutoff pruned everything (the
     // problem may still be feasible at or above the seed).
-    sol.status = SolveStatus::kNoSolutionFound;
+    sol.status = limit_status(SolveStatus::kNoSolutionFound);
+  }
+
+  // ---------------------------------------------------------------------
+  // Exit audit (ON by default): no proof leaves the solver unbacked.
+  //  (a) The incumbent is re-verified against the ORIGINAL pre-presolve
+  //      model (presolve/probing/fixing all preserve variable indices, so
+  //      the mapping is the identity). A failing incumbent is DROPPED —
+  //      an infeasible "solution" is never handed out.
+  //  (b) The root dual bound is recomputed on a FRESH factorization of
+  //      the final root LP (cuts + globally valid fixings as the search
+  //      left them), so eta-file drift cannot survive into the reported
+  //      certificate. A recomputed bound that comes in BELOW the recorded
+  //      root bound means the root certificate was corrupted: a kOptimal
+  //      claim resting on it is downgraded to kFeasible.
+  // ---------------------------------------------------------------------
+  if (options_.exit_audit) {
+    const double audit_start = ctx.watch.seconds();
+    sol.stats.audit_ran = true;
+    bool incumbent_dropped = false;
+    if (!sol.values.empty()) {
+      const double viol = original.max_violation(sol.values, true);
+      const double audit_obj = original.objective_value(sol.values);
+      sol.stats.audit_max_violation = viol;
+      if (viol <= 10 * kActivityEps &&
+          std::abs(audit_obj - sol.objective) <=
+              1e-6 * std::max(1.0, std::abs(audit_obj))) {
+        sol.stats.audit_incumbent_ok = true;
+        sol.objective = audit_obj;  // report the re-verified objective
+      } else {
+        util::log_warn() << "exit audit: incumbent failed re-verification "
+                            "(violation "
+                         << viol << ", objective " << audit_obj << " vs "
+                         << sol.objective << "); solution dropped";
+        sol.values.clear();
+        sol.objective = lp::kInfinity;
+        incumbent_dropped = true;
+        sol.stats.audit_downgraded = true;
+        sol.status = limit_status(SolveStatus::kNoSolutionFound);
+        sol.stats.best_bound = -lp::kInfinity;  // claims rested on the drop
+      }
+    }
+    // (b) Certified root bound. Skipped when the incumbent was dropped:
+    // the reduced model's incumbent-driven rc fixings were conditioned on
+    // it, so its root LP certifies nothing about the original model.
+    if (!incumbent_dropped) {
+      if (!root_lp) root_lp.emplace(reduced, Worker::simplex_options(options_));
+      SimplexSolver& audit_lp = *root_lp;
+      audit_lp.set_controller(nullptr);  // the audit itself always finishes
+      audit_lp.set_max_iterations(lp::SimplexOptions{}.max_iterations);
+      audit_lp.refresh_factorization();
+      const LpResult alp = audit_lp.solve();
+      sol.stats.audit_lp_iterations = alp.iterations;
+      const double recorded = sol.stats.root_cut_bound;
+      // Integral bounds are ceil'ed integers: any disagreement is a whole
+      // unit. Continuous bounds get a relative drift tolerance.
+      const double drift_tol =
+          ctx.integral_obj ? 0.5
+                           : std::max(1e-6, 1e-9 * std::abs(recorded));
+      if (alp.status == LpStatus::kOptimal) {
+        const double cert = ctx.node_bound(alp.objective);
+        sol.stats.audit_root_bound = cert;
+        if (std::isfinite(recorded) && cert < recorded - drift_tol) {
+          // Fresh factors disagree with the bound the search pruned with.
+          util::log_warn() << "exit audit: recomputed root bound " << cert
+                           << " below recorded " << recorded
+                           << "; optimality proof not certified";
+          if (sol.status == SolveStatus::kOptimal) {
+            sol.status = SolveStatus::kFeasible;
+            sol.stats.audit_downgraded = true;
+          }
+          sol.stats.best_bound = std::min(sol.stats.best_bound, cert);
+        } else {
+          sol.stats.audit_bound_ok = true;
+          // The certified bound can only strengthen a non-proven claim.
+          if (sol.status != SolveStatus::kOptimal) {
+            const double glob =
+                sol.values.empty() ? cert : std::min(sol.objective, cert);
+            sol.stats.best_bound =
+                std::isfinite(sol.stats.best_bound)
+                    ? std::max(sol.stats.best_bound, glob)
+                    : glob;
+          }
+        }
+      } else if (sol.status == SolveStatus::kOptimal) {
+        // The audit could not recompute the bound at all (numerical wall):
+        // the proof is unbacked — downgrade rather than overclaim.
+        util::log_warn() << "exit audit: root LP re-solve failed (status "
+                         << static_cast<int>(alp.status)
+                         << "); optimality claim downgraded";
+        sol.status = SolveStatus::kFeasible;
+        sol.stats.audit_downgraded = true;
+      }
+    }
+    sol.stats.audit_seconds = ctx.watch.seconds() - audit_start;
+    sol.stats.seconds = ctx.watch.seconds();
   }
   return sol;
 }

@@ -35,20 +35,29 @@
 // "*" entries.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
+#include "util/solve_controller.hpp"
 
 namespace advbist::ilp {
 
 enum class SolveStatus {
-  kOptimal,          ///< proven optimal incumbent
-  kFeasible,         ///< limit hit with an incumbent (gap may remain)
+  kOptimal,          ///< proven optimal incumbent (audit-verified)
+  kFeasible,         ///< incumbent without a completed proof (gap may remain)
   kInfeasible,       ///< proven infeasible
   kNoSolutionFound,  ///< limit hit before any incumbent
   kUnbounded,        ///< LP relaxation unbounded
+  // Honest early-termination statuses (Stats::termination carries the same
+  // reason): the solve was cut short by the named limit. values holds the
+  // best-so-far incumbent when one exists (check has_solution()).
+  kTimeLimit,    ///< wall-clock deadline enforced down to the LP pivot loop
+  kCancelled,    ///< external cancellation (SIGINT / Options::cancel_flag)
+  kMemoryLimit,  ///< node/cut pool memory budget exhausted
 };
 
 struct Options {
@@ -130,6 +139,22 @@ struct Options {
   /// worker's branching. Strong-branch seeds count as `pseudocost_reliability`
   /// observations, so probed variables are reliable from node one.
   int pseudocost_reliability = 2;
+  // --- solve lifecycle (util::SolveController) ---
+  /// Memory budget in bytes for the search bookkeeping (node pool + cut
+  /// pool, cooperatively accounted; 0 = unlimited). Past 3/4 of the budget
+  /// the search sheds optional work — stops separating cuts, disables
+  /// diving, falls back to pure DFS; past the budget it stops with
+  /// kMemoryLimit.
+  std::size_t memory_limit_bytes = 0;
+  /// Caller-owned cancel flag polled by the controller down to the LP
+  /// pivot loops (may be null). A SIGINT handler storing true into it is
+  /// the intended use: the solve returns best-so-far with kCancelled.
+  const std::atomic<bool>* cancel_flag = nullptr;
+  /// Exit audit (ON by default): before returning, re-verify the incumbent
+  /// against the original pre-presolve model and recompute the root dual
+  /// bound on a fresh factorization. May downgrade kOptimal to kFeasible;
+  /// never lets an unbacked proof out.
+  bool exit_audit = true;
   bool verbose = false;
 };
 
@@ -177,8 +202,22 @@ struct Stats {
   double root_cut_bound = -lp::kInfinity;
   double root_gap_closed = 0.0;
   int threads = 1;  ///< worker threads actually used
-  bool hit_time_limit = false;
-  bool hit_node_limit = false;
+  /// Why the solve stopped early (kNone: ran to its natural conclusion).
+  /// Replaces the old hit_time_limit boolean — the reason is latched by
+  /// the controller the first time any layer (down to the LP pivot loops)
+  /// trips a limit, so the reported status is honest about the cause.
+  util::StopReason termination = util::StopReason::kNone;
+  bool hit_node_limit = false;  ///< termination == kNodeLimit (convenience)
+  // --- per-phase wall clock (seconds; sums to ~seconds) ---
+  double presolve_seconds = 0.0;       ///< presolve + probing + reduction
+  double root_cut_seconds = 0.0;       ///< root LP + cut-and-fix loop
+  double strong_branch_seconds = 0.0;  ///< root strong branching
+  double search_seconds = 0.0;         ///< tree search (workers running)
+  double audit_seconds = 0.0;          ///< exit audit
+  // --- memory accounting + graceful shedding ---
+  std::size_t peak_memory_bytes = 0;  ///< node + cut pool high water
+  bool shed_cuts = false;    ///< memory pressure stopped cut separation
+  bool shed_diving = false;  ///< memory pressure disabled the dive heuristic
   // --- LP factorization counters, summed over all workers' simplex solvers
   // (see lp::SimplexSolver::Stats) ---
   long long lp_refactorizations = 0;
@@ -203,6 +242,25 @@ struct Stats {
   // --- root strong branching (seeds the shared pseudocost store) ---
   int strong_branch_probed = 0;  ///< bounded probe re-solves performed
   int strong_branch_fixed = 0;   ///< variables fixed by an infeasible probe
+  // --- numerical-recovery escalation ladder, summed over workers (see
+  // lp::SimplexSolver::Stats) ---
+  long long lp_recovery_refactorize = 0;  ///< rung 0 recoveries
+  long long lp_recovery_tighten = 0;      ///< rung 1: markowitz_tol tightened
+  long long lp_recovery_dense = 0;        ///< rung 2: dense LU forced
+  long long lp_recovery_cold = 0;         ///< rung 3: cold primal restarts
+  long long lp_recovery_exhausted = 0;    ///< ladder spent; solve abandoned
+  long long lp_aborted_solves = 0;  ///< LP solves aborted by the controller
+  // --- exit audit ---
+  bool audit_ran = false;         ///< the exit audit executed
+  bool audit_incumbent_ok = false;  ///< incumbent re-verified on the original
+  bool audit_bound_ok = false;    ///< fresh-factorization bound backs the claim
+  bool audit_downgraded = false;  ///< a kOptimal claim failed and was demoted
+  /// Certified root dual bound recomputed on fresh factors (-inf when the
+  /// audit could not certify one). Always a valid global lower bound.
+  double audit_root_bound = -lp::kInfinity;
+  /// Incumbent's max constraint violation on the ORIGINAL model.
+  double audit_max_violation = 0.0;
+  long long audit_lp_iterations = 0;  ///< pivots of the audit re-solve
 };
 
 struct Solution {
@@ -213,7 +271,14 @@ struct Solution {
 
   [[nodiscard]] bool is_optimal() const { return status == SolveStatus::kOptimal; }
   [[nodiscard]] bool has_solution() const {
-    return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
+    if (status == SolveStatus::kOptimal || status == SolveStatus::kFeasible)
+      return true;
+    // Early-termination statuses carry the best-so-far incumbent when the
+    // search found one before the limit tripped.
+    return (status == SolveStatus::kTimeLimit ||
+            status == SolveStatus::kCancelled ||
+            status == SolveStatus::kMemoryLimit) &&
+           !values.empty();
   }
   /// Relative optimality gap; 0 when proven optimal, +inf with no incumbent.
   [[nodiscard]] double gap() const;

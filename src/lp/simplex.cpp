@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/fault_injector.hpp"
 #include "util/logging.hpp"
 
 namespace advbist::lp {
@@ -26,7 +27,7 @@ bool parse_dual_pricing(const std::string& name, DualPricing& out) {
 }
 
 SimplexSolver::SimplexSolver(const Model& model, Options options)
-    : opt_(options) {
+    : opt_(options), cfg_markowitz_tol_(options.markowitz_tol) {
   n_ = model.num_variables();
   m_ = model.num_constraints();
   initial_m_ = m_;
@@ -351,6 +352,13 @@ void SimplexSolver::compute_basic_values() {
 }
 
 bool SimplexSolver::refactorize() {
+  // Fault-injection hook: a forced "singular" verdict fails the WHOLE
+  // refactorization (sparse and dense path alike), so the callers'
+  // recovery ladder is exercised exactly like a real rank drop would —
+  // not silently absorbed by the dense second opinion.
+  if (auto* fi = util::FaultInjector::active();
+      fi != nullptr && fi->fire(util::FaultSite::kFactorSingular))
+    return false;
   if (opt_.sparse_factorization && opt_.markowitz_tol > 0.0) {
     if (refactorize_markowitz()) return true;
     // Markowitz flagged the basis singular (or numerically empty columns):
@@ -358,6 +366,56 @@ bool SimplexSolver::refactorize() {
     ++stats_.sparse_fallbacks;
   }
   return refactorize_dense();
+}
+
+bool SimplexSolver::escalate_recovery() {
+  // A pivot landed since the last trouble: that incident was resolved, so
+  // this one restarts at the bottom of the ladder. With NO progress since
+  // the last trouble the same incident persists and the next rung fires —
+  // which is also what bounds the ladder: a stuck solve climbs through all
+  // four rungs and then gives up instead of refactorizing forever.
+  if (iterations_ > iters_at_last_trouble_) recovery_rung_ = 0;
+  iters_at_last_trouble_ = iterations_;
+  while (recovery_rung_ < 4) {
+    switch (recovery_rung_++) {
+      case 0:
+        ++stats_.recovery_refactorize;
+        if (refactorize()) {
+          compute_basic_values();
+          return true;
+        }
+        break;  // singular: climb
+      case 1:
+        ++stats_.recovery_tighten;
+        // More stability, more fill: admit only pivots within 5x of the
+        // column max. Restored to the configured value on the next solve.
+        opt_.markowitz_tol = std::min(0.99, opt_.markowitz_tol * 5.0);
+        if (refactorize()) {
+          compute_basic_values();
+          return true;
+        }
+        break;
+      case 2: {
+        ++stats_.recovery_dense;
+        const bool sparse = opt_.sparse_factorization;
+        opt_.sparse_factorization = false;
+        const bool ok = refactorize();
+        opt_.sparse_factorization = sparse;
+        if (ok) {
+          compute_basic_values();
+          return true;
+        }
+        break;
+      }
+      case 3:
+        ++stats_.recovery_cold;
+        cold_start();
+        compute_basic_values();
+        return true;
+    }
+  }
+  ++stats_.recovery_exhausted;
+  return false;
 }
 
 bool SimplexSolver::refactorize_markowitz() {
@@ -1102,6 +1160,12 @@ void SimplexSolver::pivot(int entering, int leaving_row, double t,
     eta_val_.push_back(w[i]);
   }
   eta_start_.push_back(static_cast<int>(eta_idx_.size()));
+  // Fault-injection hook: a perturbed eta diagonal is exactly the residual
+  // drift a long eta chain accumulates, compressed into one pivot — the
+  // recovery ladder's refactorization rung must absorb it.
+  if (auto* fi = util::FaultInjector::active();
+      fi != nullptr && fi->fire(util::FaultSite::kEtaPerturb))
+    eta_diag_.back() *= 1.0 + fi->perturbation();
   ++pivots_since_refactor_;
   ++stats_.basis_pivots;
   ++iterations_;
@@ -1132,6 +1196,9 @@ LpResult SimplexSolver::solve() {
   iter_phase1_ = 0;
   iter_phase2_ = 0;
   iter_dual_ = 0;
+  recovery_rung_ = 0;
+  iters_at_last_trouble_ = -1;
+  opt_.markowitz_tol = cfg_markowitz_tol_;  // undo any rung-1 tighten
   return run_primal();
 }
 
@@ -1145,7 +1212,6 @@ LpResult SimplexSolver::run_primal() {
 
   degenerate_run_ = 0;
   constexpr int kBlandTrigger = 60;
-  int cold_restarts = 0;
 
   // Every exit of the primal loop (and of the dual path, which tails into
   // it) goes through finalize_result exactly once: the iteration split is
@@ -1155,50 +1221,82 @@ LpResult SimplexSolver::run_primal() {
     return result;
   };
 
+  // An infeasibility verdict is as load-bearing as an optimality proof
+  // (the branch & bound prunes a whole subtree on it — or declares the
+  // model infeasible at the root), so it is only ever issued on a FRESH
+  // factorization: eta-file drift that manufactured the residual is wiped
+  // and the phase-1 conclusion re-derived. One certification per
+  // conclusion attempt; new pivots re-arm it.
+  int infeasibility_certified_at = -1;
+  auto certify_infeasible = [&] {
+    if (infeasibility_certified_at == iterations_) return true;  // re-derived
+    infeasibility_certified_at = iterations_;
+    if (!refactorize()) {
+      // Cannot refresh — pivots chosen on drifted numbers can assemble a
+      // genuinely singular basis, and a verdict that cannot be re-derived
+      // on clean factors is never issued. Restart from the all-slack basis
+      // (always factorizable) and let the conclusion re-derive from there.
+      cold_start();
+      ++stats_.recovery_cold;
+    }
+    compute_basic_values();
+    return false;  // clean numbers: re-run the conclusion
+  };
+
   // ---- phase 1: drive basic-variable bound violations to zero ----
   while (infeasibility() > opt_.feas_tol) {
     if (iterations_ >= opt_.max_iterations) return finalize(LpStatus::kIterLimit);
+    if (poll_abort()) {
+      ++stats_.aborted_solves;
+      return finalize(LpStatus::kAborted);
+    }
     if (needs_compaction()) {
-      if (!refactorize()) {
-        cold_start();
-      }
-      compute_basic_values();
+      // A compaction refactorization that comes back singular climbs the
+      // same ladder as pivot trouble (tighten, dense, cold) instead of
+      // jumping straight to a cold start.
+      if (refactorize())
+        compute_basic_values();
+      else if (!escalate_recovery())
+        return finalize(LpStatus::kIterLimit);
     }
     const bool bland = degenerate_run_ > kBlandTrigger;
     const int rc = iterate(/*phase1=*/true, bland);
     if (rc == 1) {
-      if (infeasibility() > opt_.feas_tol * (1.0 + std::abs(infeasibility())))
+      if (infeasibility() > opt_.feas_tol * (1.0 + std::abs(infeasibility()))) {
+        if (!certify_infeasible()) continue;
         return finalize(LpStatus::kInfeasible);
+      }
       break;
     }
     if (rc == 3) {
-      // Numerical trouble: refactorize; if it persists, cold restart once.
-      if (!refactorize() || ++cold_restarts > 1) {
-        cold_start();
-        compute_basic_values();
-      } else {
-        compute_basic_values();
-      }
+      // Numerical trouble: climb the recovery ladder; with it exhausted
+      // the solve is abandoned like an iteration limit (the caller's node
+      // is dropped honestly, its bound folded into the reduction).
+      if (!escalate_recovery()) return finalize(LpStatus::kIterLimit);
     }
   }
 
   // ---- phase 2: optimize the true objective ----
   for (;;) {
     if (iterations_ >= opt_.max_iterations) return finalize(LpStatus::kIterLimit);
+    if (poll_abort()) {
+      ++stats_.aborted_solves;
+      return finalize(LpStatus::kAborted);
+    }
     if (needs_compaction()) {
-      if (!refactorize()) {
-        cold_start();
+      if (refactorize())
         compute_basic_values();
-        continue;
-      }
-      compute_basic_values();
+      else if (!escalate_recovery())
+        return finalize(LpStatus::kIterLimit);
     }
     // Phase 2 must stay feasible; a drift back to infeasibility (numerics)
     // sends us through a phase-1 repair.
     if (infeasibility() > opt_.feas_tol * 10.0) {
       const int rc1 = iterate(/*phase1=*/true, degenerate_run_ > kBlandTrigger);
-      if (rc1 == 1 && infeasibility() > opt_.feas_tol * 10.0)
+      if (rc1 == 1 && infeasibility() > opt_.feas_tol * 10.0) {
+        if (!certify_infeasible()) continue;
         return finalize(LpStatus::kInfeasible);
+      }
       continue;
     }
     const bool bland = degenerate_run_ > kBlandTrigger;
@@ -1206,8 +1304,7 @@ LpResult SimplexSolver::run_primal() {
     if (rc == 0) continue;
     if (rc == 2) return finalize(LpStatus::kUnbounded);
     if (rc == 3) {
-      if (!refactorize()) cold_start();
-      compute_basic_values();
+      if (!escalate_recovery()) return finalize(LpStatus::kIterLimit);
       continue;
     }
     break;  // rc == 1: optimal
@@ -1485,6 +1582,9 @@ LpResult SimplexSolver::solve_dual() {
   iter_phase2_ = 0;
   iter_dual_ = 0;
   degenerate_run_ = 0;
+  recovery_rung_ = 0;
+  iters_at_last_trouble_ = -1;
+  opt_.markowitz_tol = cfg_markowitz_tol_;  // undo any rung-1 tighten
 
   auto fallback = [&] {
     ++stats_.dual_fallbacks;
@@ -1502,17 +1602,27 @@ LpResult SimplexSolver::solve_dual() {
   compute_basic_values();
 
   constexpr int kDualDegenerateCap = 2000;
-  int trouble = 0;
   bool infeasibility_reverified = false;
 
   for (;;) {
     if (iterations_ >= opt_.max_iterations) return fallback();
+    if (poll_abort()) {
+      ++stats_.aborted_solves;
+      LpResult result;
+      finalize_result(result, LpStatus::kAborted);
+      return result;
+    }
     if (needs_compaction()) {
       if (!refactorize()) {
-        cold_start();
-        return fallback();
+        // Ladder-recover like pivot trouble; a recovery that lost dual
+        // feasibility beyond bound-flip repair ends on the primal path.
+        if (!escalate_recovery()) return fallback();
+        compute_dual_reduced_costs();
+        if (!restore_dual_feasibility()) return fallback();
+        compute_basic_values();
+      } else {
+        compute_basic_values();
       }
-      compute_basic_values();
       compute_dual_reduced_costs();
     }
     const int rc = iterate_dual();
@@ -1539,14 +1649,14 @@ LpResult SimplexSolver::solve_dual() {
       finalize_result(result, LpStatus::kInfeasible);
       return result;
     }
-    // rc == 3: numerical trouble — refactorize and retry, then bail.
-    if (++trouble > 2) return fallback();
-    if (!refactorize()) {
-      cold_start();
-      return fallback();
-    }
-    compute_basic_values();
+    // rc == 3: numerical trouble — climb the recovery ladder, then rebuild
+    // the dual state on the recovered basis. A rung that had to cold-start
+    // (or any recovery that lost dual feasibility beyond what bound flips
+    // repair) ends on the primal path via restore_dual_feasibility.
+    if (!escalate_recovery()) return fallback();
     compute_dual_reduced_costs();
+    if (!restore_dual_feasibility()) return fallback();
+    compute_basic_values();
   }
 
   // Primal-feasible and dual-feasible: the primal loop verifies optimality
@@ -1660,7 +1770,7 @@ void SimplexSolver::delete_rows(const std::vector<int>& rows) {
   }
 }
 
-bool SimplexSolver::refactorize_for_testing() {
+bool SimplexSolver::refresh_factorization() {
   if (!has_basis_) cold_start();
   if (refactorize()) return true;
   cold_start();

@@ -110,10 +110,20 @@
 #include <vector>
 
 #include "lp/model.hpp"
+#include "util/solve_controller.hpp"
 
 namespace advbist::lp {
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+  /// The attached util::SolveController tripped a limit mid-solve (deadline,
+  /// cancellation, memory). No objective/point is reported; the warm basis
+  /// stays valid for a later re-solve.
+  kAborted,
+};
 
 struct LpResult {
   LpStatus status = LpStatus::kIterLimit;
@@ -198,6 +208,16 @@ class SimplexSolver {
   /// to restore the default.
   void set_max_iterations(int max_iterations) {
     opt_.max_iterations = max_iterations;
+  }
+
+  /// Attaches a solve controller polled every few pivots inside the primal
+  /// AND dual iteration loops (null detaches). When a limit trips
+  /// mid-solve, the solve returns kAborted instead of running to
+  /// completion — this is what makes deadlines enforceable: a single
+  /// pathological re-solve can no longer blow past them. The controller
+  /// must outlive every subsequent solve()/solve_dual() call.
+  void set_controller(util::SolveController* controller) {
+    ctrl_ = controller;
   }
 
   /// Appends constraint rows (cutting planes) to the LP.
@@ -302,6 +322,22 @@ class SimplexSolver {
     long long rows_deleted = 0;  ///< cut rows aged out of the LP
     int peak_rows = 0;           ///< high-water row count (add_rows growth)
 
+    // --- numerical-recovery escalation ladder ---
+    // Repeated pivot rejections / residual drift inside one solve escalate
+    // through four rungs instead of the old single-shot fallbacks; each
+    // counter tallies the times that rung was climbed to. The rung resets
+    // once the solve makes pivot progress again (a fresh incident restarts
+    // at rung 0) and at every public solve entry.
+    long long recovery_refactorize = 0;  ///< rung 0: eta file compacted away
+    long long recovery_tighten = 0;  ///< rung 1: markowitz_tol tightened 5x
+    long long recovery_dense = 0;    ///< rung 2: dense LU forced
+    long long recovery_cold = 0;     ///< rung 3: cold primal restart
+    /// Solves abandoned with the ladder exhausted (reported kIterLimit on
+    /// the primal path / primal fallback on the dual path).
+    long long recovery_exhausted = 0;
+    /// LP solves aborted mid-iteration by the solve controller.
+    long long aborted_solves = 0;
+
     /// Mean nnz(L+U) / nnz(B) over all refactorizations (1.0 = no fill).
     [[nodiscard]] double fill_ratio() const {
       return factor_basis_nnz > 0
@@ -312,11 +348,16 @@ class SimplexSolver {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Forces an immediate refactorization of the current basis
+  /// (cold-starting one first if none exists), discarding the eta file and
+  /// any accumulated drift. Returns false if the basis was singular under
+  /// both factorization paths (the solver then cold-starts). The exit
+  /// audit uses this to recompute the claimed dual bound on fresh factors.
+  bool refresh_factorization();
+
   // --- testing/diagnostic hooks (tests/lp/factorization_diff_test.cpp) ---
-  /// Forces an immediate refactorization of the current basis (cold-starting
-  /// one first if none exists). Returns false if the basis was singular
-  /// under both factorization paths (the solver then cold-starts).
-  bool refactorize_for_testing();
+  /// Test-suite alias for refresh_factorization().
+  bool refactorize_for_testing() { return refresh_factorization(); }
   /// Solves B w = rhs with the current factorization + eta file. `rhs` is
   /// indexed by original row; the result by basis position.
   [[nodiscard]] std::vector<double> ftran_for_testing(
@@ -343,6 +384,23 @@ class SimplexSolver {
   bool refactorize();
   bool refactorize_markowitz();  // sparse elimination; false if singular
   bool refactorize_dense();      // dense partial-pivot sweep; false if singular
+
+  /// Numerical-recovery escalation ladder, called on a troubled iteration
+  /// (rc == 3: rejected pivots, residual drift). Fresh incidents — at
+  /// least one pivot since the last trouble — restart at rung 0; repeated
+  /// trouble with no progress climbs: refactorize -> tighten markowitz_tol
+  /// -> force the dense LU -> cold primal restart. Returns false when even
+  /// the top rung was already spent (the caller abandons the solve:
+  /// kIterLimit on the primal path, primal fallback on the dual path).
+  /// Leaves basic values recomputed on success.
+  bool escalate_recovery();
+
+  /// Controller poll for the iteration loops: true when the solve must
+  /// abort. Checks every 16 iterations to keep the hot path cheap.
+  [[nodiscard]] bool poll_abort() {
+    return ctrl_ != nullptr && (iterations_ & 15) == 0 &&
+           ctrl_->check() != util::StopReason::kNone;
+  }
 
   /// In-place B^{-1} v for a dense vector indexed by original row; the
   /// result is indexed by basis position.
@@ -522,6 +580,13 @@ class SimplexSolver {
 
   Stats stats_;
   Options opt_;
+  // Escalation-ladder state (see escalate_recovery): the configured
+  // markowitz_tol is restored at every public solve entry after a rung-1
+  // tighten, and the rung restarts at 0.
+  double cfg_markowitz_tol_ = 0.1;
+  int recovery_rung_ = 0;
+  int iters_at_last_trouble_ = -1;
+  util::SolveController* ctrl_ = nullptr;
 };
 
 }  // namespace advbist::lp

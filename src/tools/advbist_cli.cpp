@@ -35,10 +35,24 @@
 //   --strong-branch N  fractional root variables probed by strong branching
 //                      to seed the shared pseudocosts (default 12, 0 = off)
 //
+// Solve-lifecycle knobs (all commands that solve):
+//   --mem-limit MB   cooperative memory budget for the node + cut pools;
+//                    soft pressure sheds cuts/diving, the hard limit stops
+//                    the solve with an honest "memory limit" status (0 = off)
+//   --no-audit       skip the exit audit (incumbent re-verification against
+//                    the original model + fresh-factorization bound
+//                    recertification; ON by default)
+//
+// SIGINT (Ctrl-C) cancels the solve cooperatively: the search stops at the
+// next controller poll and reports the best incumbent + bound found so far
+// with status "cancelled" instead of dying mid-proof.
+//
 // The full knob/stat reference lives in docs/solver.md.
 //
 // <circuit> is a built-in benchmark name (fig1, tseng, paulin, fir6, iir3,
 // dct4, wavelet6); anything containing '.' is read as a .dfg text file.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +69,12 @@
 using namespace advbist;
 
 namespace {
+
+// SIGINT flips this flag; the solve controller polls it from every layer
+// (an atomic store is all the handler does — async-signal-safe).
+std::atomic<bool> g_cancel{false};
+
+void handle_sigint(int) { g_cancel.store(true, std::memory_order_relaxed); }
 
 hls::ParsedDesign load_design(const std::string& spec) {
   if (spec.find('.') == std::string::npos) {
@@ -76,7 +96,8 @@ int usage() {
                "[--dual-pricing dantzig|devex|se] [--row-age N] "
                "[--strong-branch N] [--cuts 0|1] "
                "[--cut-rounds N] [--cut-interval N] [--max-cuts N] "
-               "[--probing 0|1] [--rcfix 0|1] [--verilog out.v]\n");
+               "[--probing 0|1] [--rcfix 0|1] [--mem-limit MB] [--no-audit] "
+               "[--verilog out.v]\n");
   return 2;
 }
 
@@ -102,10 +123,16 @@ int main(int argc, char** argv) {
   int max_cuts = -1;
   int probing = -1;
   int rcfix = -1;
+  long long mem_limit_mb = 0;  // 0: unlimited
+  bool exit_audit = true;
   std::string verilog_path;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dense-lu") == 0) {
       dense_lu = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-audit") == 0) {
+      exit_audit = false;
       continue;
     }
     if (i + 1 >= argc) return usage();
@@ -196,6 +223,14 @@ int main(int argc, char** argv) {
       else if (std::strcmp(argv[i], "--cut-interval") == 0) cut_interval = v;
       else max_cuts = v;
     }
+    else if (std::strcmp(argv[i], "--mem-limit") == 0) {
+      char* end = nullptr;
+      mem_limit_mb = std::strtoll(argv[i + 1], &end, 10);
+      if (end == nullptr || *end != '\0' || mem_limit_mb < 0) {
+        std::fprintf(stderr, "advbist: --mem-limit wants megabytes >= 0\n");
+        return usage();
+      }
+    }
     else if (std::strcmp(argv[i], "--verilog") == 0) verilog_path = argv[i + 1];
     else return usage();
     ++i;
@@ -230,6 +265,11 @@ int main(int argc, char** argv) {
     if (max_cuts > 0) options.solver.max_cuts_per_round = max_cuts;
     if (probing >= 0) options.solver.use_probing = probing == 1;
     if (rcfix >= 0) options.solver.use_rc_fixing = rcfix == 1;
+    options.solver.memory_limit_bytes =
+        static_cast<std::size_t>(mem_limit_mb) * 1024 * 1024;
+    options.solver.exit_audit = exit_audit;
+    options.solver.cancel_flag = &g_cancel;
+    std::signal(SIGINT, handle_sigint);
     const core::Synthesizer synth(design.dfg, design.modules, options);
     const core::SynthesisResult ref = synth.synthesize_reference();
     std::printf("%s: %d registers, %d modules, reference area %d%s\n",
@@ -281,6 +321,35 @@ int main(int argc, char** argv) {
             st.cuts_aged_out, st.probing_fixed, st.probing_probed,
             st.rc_fixed_root, st.rc_fixed_incumbent,
             100.0 * st.root_gap_closed);
+      if (st.termination != util::StopReason::kNone)
+        std::printf("     stopped: %s (presolve %.2fs, root cuts %.2fs, "
+                    "strong branch %.2fs, search %.2fs)%s%s\n",
+                    util::to_string(st.termination), st.presolve_seconds,
+                    st.root_cut_seconds, st.strong_branch_seconds,
+                    st.search_seconds, st.shed_cuts ? ", cuts shed" : "",
+                    st.shed_diving ? ", diving shed" : "");
+      if (st.peak_memory_bytes > 0 && st.termination != util::StopReason::kNone)
+        std::printf("     memory: peak %.1f MB accounted\n",
+                    static_cast<double>(st.peak_memory_bytes) / (1024 * 1024));
+      const long long recoveries =
+          st.lp_recovery_refactorize + st.lp_recovery_tighten +
+          st.lp_recovery_dense + st.lp_recovery_cold;
+      if (recoveries > 0 || st.lp_recovery_exhausted > 0)
+        std::printf(
+            "     lp recovery: %lld refactorize / %lld tighten / %lld dense "
+            "/ %lld cold restarts (%lld exhausted, %lld aborted solves)\n",
+            st.lp_recovery_refactorize, st.lp_recovery_tighten,
+            st.lp_recovery_dense, st.lp_recovery_cold,
+            st.lp_recovery_exhausted, st.lp_aborted_solves);
+      if (st.audit_ran)
+        std::printf(
+            "     audit: incumbent %s, bound %s (root bound %.6g, max "
+            "violation %.2g, %lld LP iterations, %.3fs)%s\n",
+            st.audit_incumbent_ok ? "verified" : "not verified",
+            st.audit_bound_ok ? "certified" : "uncertified",
+            st.audit_root_bound, st.audit_max_violation,
+            st.audit_lp_iterations,
+            st.audit_seconds, st.audit_downgraded ? " [claim downgraded]" : "");
     };
 
     if (cmd == "synth") {

@@ -1,0 +1,173 @@
+// Shared stop/budget controller for one solve lifecycle.
+//
+// One SolveController is threaded through every layer of a solve — the
+// branch & bound driver polls it per node, and the simplex kernel polls it
+// every few pivots inside the primal AND dual iteration loops — so a single
+// pathological LP re-solve can no longer blow past the deadline. The first
+// limit that trips is LATCHED: every later check() returns the same
+// StopReason, so the layers agree on why the solve ended and the reported
+// status is honest (kTimeLimit / kCancelled / kMemoryLimit / kNodeLimit
+// instead of a lossy boolean).
+//
+// The cancel path is async-signal-safe by construction: request_cancel()
+// (and a caller-owned cancel flag installed via set_cancel_flag, e.g.
+// flipped from a SIGINT handler) is a single relaxed atomic store; the
+// next check() from any thread latches kCancelled.
+//
+// Memory accounting is cooperative: the owners of the node pool and the
+// cut pool reserve()/release() their approximate footprints. Past 3/4 of
+// the budget memory_pressure() turns true — callers shed optional work
+// (cut separation, diving, best-bound resorts) — and past the budget the
+// next check() latches kMemoryLimit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace advbist::util {
+
+/// Why a solve stopped early. kNone means no limit tripped (ran to its
+/// natural conclusion, or is still running).
+enum class StopReason : std::uint8_t {
+  kNone = 0,
+  kTimeLimit,     ///< wall-clock deadline passed
+  kCancelled,     ///< external cancellation (SIGINT / cancel flag)
+  kMemoryLimit,   ///< cooperative memory accounting crossed the budget
+  kNodeLimit,     ///< branch & bound node budget exhausted
+};
+
+inline const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kTimeLimit: return "time limit";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kMemoryLimit: return "memory limit";
+    case StopReason::kNodeLimit: return "node limit";
+  }
+  return "?";
+}
+
+class SolveController {
+ public:
+  SolveController() = default;
+  SolveController(const SolveController&) = delete;
+  SolveController& operator=(const SolveController&) = delete;
+
+  // --- configuration (call before the solve starts; not thread-safe) ---
+
+  /// Arms the wall-clock deadline `seconds` from now (<= 0 disarms).
+  void set_deadline(double seconds) {
+    if (seconds > 0.0) {
+      deadline_ = Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds));
+      has_deadline_ = true;
+    } else {
+      has_deadline_ = false;
+    }
+  }
+
+  /// Node budget for check_nodes() (< 0: unlimited).
+  void set_node_budget(long long nodes) { node_budget_ = nodes; }
+
+  /// Memory budget in bytes for the cooperative accounting (0: unlimited).
+  void set_memory_budget(std::size_t bytes) { memory_budget_ = bytes; }
+
+  /// Installs a caller-owned cancel flag polled by check() (may be null).
+  /// A SIGINT handler storing true into it is the intended use.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+
+  // --- cancellation (async-signal-safe, any thread) ---
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // --- polling ---
+
+  /// Cheap polled check: latches and returns the first stop reason (kNone
+  /// while no limit has tripped). Called every few pivots from the simplex
+  /// inner loops and at every branch & bound node.
+  StopReason check() {
+    const StopReason latched = reason_.load(std::memory_order_relaxed);
+    if (latched != StopReason::kNone) return latched;
+    if (cancelled_.load(std::memory_order_relaxed) ||
+        (cancel_flag_ != nullptr &&
+         cancel_flag_->load(std::memory_order_relaxed)))
+      return latch(StopReason::kCancelled);
+    if (memory_budget_ > 0 &&
+        memory_used_.load(std::memory_order_relaxed) > memory_budget_)
+      return latch(StopReason::kMemoryLimit);
+    if (has_deadline_ && Clock::now() >= deadline_)
+      return latch(StopReason::kTimeLimit);
+    return StopReason::kNone;
+  }
+
+  /// check() plus the node budget: `nodes` is the caller's explored-node
+  /// count (the controller keeps none of its own).
+  StopReason check_nodes(long long nodes) {
+    if (node_budget_ >= 0 && nodes >= node_budget_)
+      return latch(StopReason::kNodeLimit);
+    return check();
+  }
+
+  /// The latched stop reason without re-evaluating any limit.
+  [[nodiscard]] StopReason reason() const {
+    return reason_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool stopped() const {
+    return reason() != StopReason::kNone;
+  }
+
+  // --- cooperative memory accounting ---
+
+  void reserve(std::size_t bytes) {
+    const std::size_t used =
+        memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::size_t peak = peak_memory_.load(std::memory_order_relaxed);
+    while (used > peak &&
+           !peak_memory_.compare_exchange_weak(peak, used,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  void release(std::size_t bytes) {
+    memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t memory_used() const {
+    return memory_used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t peak_memory() const {
+    return peak_memory_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t memory_budget() const { return memory_budget_; }
+
+  /// Soft pressure: past 3/4 of the budget. Callers shed optional work
+  /// (stop separating cuts, disable diving, fall back to pure DFS) before
+  /// the hard kMemoryLimit stop.
+  [[nodiscard]] bool memory_pressure() const {
+    return memory_budget_ > 0 &&
+           memory_used_.load(std::memory_order_relaxed) >
+               memory_budget_ - memory_budget_ / 4;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  StopReason latch(StopReason r) {
+    StopReason expected = StopReason::kNone;
+    reason_.compare_exchange_strong(expected, r, std::memory_order_acq_rel);
+    return reason_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  long long node_budget_ = -1;
+  std::size_t memory_budget_ = 0;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<StopReason> reason_{StopReason::kNone};
+  std::atomic<std::size_t> memory_used_{0};
+  std::atomic<std::size_t> peak_memory_{0};
+};
+
+}  // namespace advbist::util

@@ -150,7 +150,7 @@ void expect_full_solve_deterministic(const std::string& name,
         << name << " with " << threads << " threads did not finish within "
         << time_limit_seconds << "s";
     ASSERT_FALSE(s.stats.hit_node_limit);
-    ASSERT_FALSE(s.stats.hit_time_limit);
+    ASSERT_EQ(s.stats.termination, util::StopReason::kNone);
     EXPECT_LE(f.model().max_violation(s.values, true), 1e-6)
         << name << " " << threads << " threads";
     if (threads == 1)
