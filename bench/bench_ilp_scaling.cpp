@@ -29,6 +29,13 @@
 //                          the pricing win stays visible per circuit; the
 //                          other configurations use the solver default
 //                          (devex).
+//   ADVBIST_BENCH_HYPERSPARSE  0|1: pin the hyper-sparse dual ratio test
+//                          off or on for every run. Unset: the
+//                          cuts-on/dual-on/devex configuration records an
+//                          on/off A/B pair ("hypersparse": bool) so the
+//                          indexed-walk cost/win stays visible per circuit;
+//                          the other configurations use the solver default
+//                          (on).
 //   ADVBIST_BENCH_STRONG_BRANCH  root strong-branching candidate count
 //                          (0 disables the probing + pseudocost seeding)
 //   ADVBIST_BENCH_PC_REL   pseudocost reliability threshold (observations
@@ -84,6 +91,14 @@ struct Row {
   long long lp_dual = 0;
   long long dual_solves = 0;
   long long dual_fallbacks = 0;
+  bool hypersparse = true;
+  long long hs_pivots = 0;
+  long long hs_dense_pivots = 0;
+  long long rho_nnz = 0;
+  long long btran_sparse = 0;
+  long long btran_dense = 0;
+  long long ftran_sparse = 0;
+  long long ftran_dense = 0;
   long long bound_flips = 0;
   long long devex_resets = 0;
   int sb_probes = 0;
@@ -186,6 +201,20 @@ int main() {
                    env);
     }
   }
+  // Hyper-sparse A/B: unset records on AND off for the cuts-on / dual-on /
+  // devex configuration (the indexed ratio-test walk only runs on the dual
+  // re-solves); "0"/"1" pins one side for every run.
+  int hs_pin = -1;
+  if (const char* env = std::getenv("ADVBIST_BENCH_HYPERSPARSE")) {
+    if ((env[0] == '0' || env[0] == '1') && env[1] == '\0') {
+      hs_pin = env[0] - '0';
+    } else {
+      std::fprintf(stderr,
+                   "ADVBIST_BENCH_HYPERSPARSE=%s not understood (want 0 or "
+                   "1); recording the A/B pair\n",
+                   env);
+    }
+  }
   const int row_age = env_int_or_zero("ADVBIST_BENCH_ROW_AGE", -1);
   const int strong_branch =
       env_int_or_zero("ADVBIST_BENCH_STRONG_BRANCH", -1);
@@ -234,6 +263,15 @@ int main() {
           pricing_configs = {"devex"};  // solver default; pricing is
                                         // irrelevant when dual is off
         for (const std::string& pricing : pricing_configs) {
+        std::vector<bool> hs_configs;
+        if (hs_pin >= 0)
+          hs_configs = {hs_pin == 1};
+        else if (with_cuts && with_dual && pricing == "devex")
+          hs_configs = {true, false};  // the A/B pair per circuit
+        else
+          hs_configs = {true};  // solver default; the walk only runs on the
+                                // dual re-solves
+        for (const bool with_hs : hs_configs) {
         ilp::Options opt;
         // Mirror bench::num_threads(): only a literal "0" selects auto;
         // typos fall back to serial so the recorded baseline stays serial.
@@ -245,6 +283,7 @@ int main() {
         opt.exit_audit = audit;
         opt.lp_sparse_factorization = !dense_lu;
         opt.lp_dual_simplex = with_dual;
+        opt.lp_hypersparse = with_hs;
         lp::parse_dual_pricing(pricing, opt.lp_dual_pricing);
         if (strong_branch >= 0) opt.strong_branch_vars = strong_branch;
         if (pc_rel > 0) opt.pseudocost_reliability = pc_rel;
@@ -294,6 +333,14 @@ int main() {
         row.lp_dual = s.stats.lp_dual_iterations;
         row.dual_solves = s.stats.lp_dual_solves;
         row.dual_fallbacks = s.stats.lp_dual_fallbacks;
+        row.hypersparse = with_hs;
+        row.hs_pivots = s.stats.lp_dual_hypersparse_pivots;
+        row.hs_dense_pivots = s.stats.lp_dual_dense_pivots;
+        row.rho_nnz = s.stats.lp_dual_rho_nnz;
+        row.btran_sparse = s.stats.lp_dual_btran_sparse;
+        row.btran_dense = s.stats.lp_dual_btran_dense;
+        row.ftran_sparse = s.stats.lp_dual_ftran_sparse;
+        row.ftran_dense = s.stats.lp_dual_ftran_dense;
         row.bound_flips = s.stats.lp_bound_flips;
         row.devex_resets = s.stats.lp_devex_resets;
         row.sb_probes = s.stats.strong_branch_probed;
@@ -326,15 +373,18 @@ int main() {
         row.status = ilp::to_string(s.status);
         rows.push_back(row);
         std::printf(
-            "%-8s threads=%d cuts=%d dual=%d pricing=%s nodes=%lld t=%.2fs "
-            "nodes/s=%.0f cuts=%lld rows_del=%lld gap=%.4f audit=%.3fs "
-            "rec=%lld (%s)%s\n",
+            "%-8s threads=%d cuts=%d dual=%d pricing=%s hs=%d nodes=%lld "
+            "t=%.2fs nodes/s=%.0f cuts=%lld rows_del=%lld gap=%.4f "
+            "audit=%.3fs rec=%lld hs_piv=%lld/%lld (%s)%s\n",
             name.c_str(), row.threads, with_cuts ? 1 : 0, with_dual ? 1 : 0,
-            pricing.c_str(), row.nodes, row.seconds,
+            pricing.c_str(), with_hs ? 1 : 0, row.nodes, row.seconds,
             row.seconds > 0 ? row.nodes / row.seconds : 0.0, row.cuts_applied,
             row.rows_deleted, row.gap, row.audit_seconds, row.lp_recoveries,
+            row.hs_pivots, row.hs_pivots + row.hs_dense_pivots,
             row.status.c_str(),
             row.oversubscribed ? " [oversubscribed]" : "");
+        }
+        if (skipped_oversubscribed) break;  // same for every hs config
         }
         if (skipped_oversubscribed) break;  // same for every pricing config
         }
@@ -352,7 +402,8 @@ int main() {
   json << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[2048];
+    const long long hs_total = r.hs_pivots + r.hs_dense_pivots;
+    char buf[3072];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"model\": \"%s\", \"vars\": %d, \"rows\": %d, \"threads\": %d, "
@@ -360,6 +411,10 @@ int main() {
         "\"lp_iterations\": %lld, \"lp_primal_phase1\": %lld, "
         "\"lp_primal_phase2\": %lld, \"lp_dual\": %lld, "
         "\"dual_solves\": %lld, \"dual_fallbacks\": %lld, "
+        "\"hypersparse\": %s, \"hs_pivots\": %lld, "
+        "\"hs_dense_pivots\": %lld, \"rho_nnz_mean\": %.1f, "
+        "\"btran_sparse\": %lld, \"btran_dense\": %lld, "
+        "\"ftran_sparse\": %lld, \"ftran_dense\": %lld, "
         "\"bound_flips\": %lld, \"devex_resets\": %lld, \"sb_probes\": %d, "
         "\"sb_fixed\": %d, \"rows_deleted\": %lld, \"peak_rows\": %d, "
         "\"dropped_nodes\": %lld, \"refactorizations\": %lld, "
@@ -374,6 +429,9 @@ int main() {
         r.dual ? "true" : "false", r.pricing.c_str(), r.nodes,
         r.lp_iterations, r.lp_primal1,
         r.lp_primal2, r.lp_dual, r.dual_solves, r.dual_fallbacks,
+        r.hypersparse ? "true" : "false", r.hs_pivots, r.hs_dense_pivots,
+        hs_total > 0 ? static_cast<double>(r.rho_nnz) / hs_total : 0.0,
+        r.btran_sparse, r.btran_dense, r.ftran_sparse, r.ftran_dense,
         r.bound_flips, r.devex_resets, r.sb_probes, r.sb_fixed,
         r.rows_deleted, r.peak_rows, r.dropped_nodes,
         r.refactorizations,

@@ -16,11 +16,14 @@
 #   best_bound, gap          proven bound and relative optimality gap
 #
 # By default every model x thread combination runs with cuts on and cuts
-# off, dual-simplex re-solves on and off (cuts-on config), and devex vs
-# dantzig dual pricing (cuts-on/dual-on config) — the A/B pairs land in one
-# BENCH_solver.json so the cut/dual/pricing wins stay visible in the perf
-# trajectory. ADVBIST_BENCH_CUTS, ADVBIST_BENCH_DUAL and
-# ADVBIST_BENCH_DUAL_PRICING pin a single configuration.
+# off, dual-simplex re-solves on and off (cuts-on config), devex vs
+# dantzig dual pricing (cuts-on/dual-on config), and the hyper-sparse dual
+# ratio test on and off (cuts-on/dual-on/devex config; columns hypersparse,
+# hs_pivots, hs_dense_pivots, rho_nnz_mean, btran/ftran sparse-vs-dense) —
+# the A/B pairs land in one BENCH_solver.json so the cut/dual/pricing/
+# hypersparse wins stay visible in the perf trajectory. ADVBIST_BENCH_CUTS,
+# ADVBIST_BENCH_DUAL, ADVBIST_BENCH_DUAL_PRICING and
+# ADVBIST_BENCH_HYPERSPARSE pin a single configuration.
 #
 # Factorization knobs: ADVBIST_BENCH_REFACTOR (pivots between
 # refactorizations), ADVBIST_BENCH_DENSE_LU=1 (dense sweep only).
@@ -79,10 +82,12 @@ with open(sys.argv[1]) as f:
     current = json.load(f)
 
 # A run's configuration key. Committed baselines that predate the "dual" /
-# "pricing" columns match the new default configuration (dual on, devex).
+# "pricing" / "hypersparse" columns match the new default configuration
+# (dual on, devex, hypersparse on).
 def key(run):
     return (run["model"], run["threads"], run["cuts"],
-            run.get("dual", True), run.get("pricing", "devex"))
+            run.get("dual", True), run.get("pricing", "devex"),
+            run.get("hypersparse", True))
 
 current_by_key = {key(r): r for r in current["runs"]}
 PROVEN = ("optimal", "infeasible")

@@ -210,6 +210,13 @@ void accumulate(lp::SimplexSolver::Stats& into,
   into.primal_phase2_iterations += s.primal_phase2_iterations;
   into.dual_bound_flips += s.dual_bound_flips;
   into.devex_resets += s.devex_resets;
+  into.dual_hypersparse_pivots += s.dual_hypersparse_pivots;
+  into.dual_dense_pivots += s.dual_dense_pivots;
+  into.dual_rho_nnz += s.dual_rho_nnz;
+  into.dual_ftran_sparse += s.dual_ftran_sparse;
+  into.dual_ftran_dense += s.dual_ftran_dense;
+  into.dual_btran_sparse += s.dual_btran_sparse;
+  into.dual_btran_dense += s.dual_btran_dense;
   into.rows_deleted += s.rows_deleted;
   into.peak_rows = std::max(into.peak_rows, s.peak_rows);
   into.recovery_refactorize += s.recovery_refactorize;
@@ -403,6 +410,8 @@ class Worker {
     so.sparse_factorization = opt.lp_sparse_factorization;
     so.markowitz_tol = opt.lp_markowitz_tol;
     so.dual_pricing = opt.lp_dual_pricing;
+    so.hypersparse = opt.lp_hypersparse;
+    so.hypersparse_threshold = opt.lp_hypersparse_threshold;
     return so;
   }
 
@@ -1493,6 +1502,13 @@ Solution Solver::solve(const Model& original) const {
   sol.stats.lp_rows_deleted = ctx.lp_stats.rows_deleted;
   sol.stats.lp_peak_rows = ctx.lp_stats.peak_rows;
   sol.stats.lp_devex_resets = ctx.lp_stats.devex_resets;
+  sol.stats.lp_dual_hypersparse_pivots = ctx.lp_stats.dual_hypersparse_pivots;
+  sol.stats.lp_dual_dense_pivots = ctx.lp_stats.dual_dense_pivots;
+  sol.stats.lp_dual_rho_nnz = ctx.lp_stats.dual_rho_nnz;
+  sol.stats.lp_dual_ftran_sparse = ctx.lp_stats.dual_ftran_sparse;
+  sol.stats.lp_dual_ftran_dense = ctx.lp_stats.dual_ftran_dense;
+  sol.stats.lp_dual_btran_sparse = ctx.lp_stats.dual_btran_sparse;
+  sol.stats.lp_dual_btran_dense = ctx.lp_stats.dual_btran_dense;
   sol.stats.lp_recovery_refactorize = ctx.lp_stats.recovery_refactorize;
   sol.stats.lp_recovery_tighten = ctx.lp_stats.recovery_tighten;
   sol.stats.lp_recovery_dense = ctx.lp_stats.recovery_dense;

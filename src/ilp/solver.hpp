@@ -120,6 +120,18 @@ struct Options {
   /// the exact (one extra FTRAN per pivot) reference mode; kDantzig is the
   /// PR-4 largest-violation rule. See lp::DualPricing.
   lp::DualPricing lp_dual_pricing = lp::DualPricing::kDevex;
+  /// Hyper-sparse dual ratio test (`--hypersparse 0|1`): track the nonzero
+  /// pattern of the BTRANed pivot row through the factor solves and price
+  /// only the columns it actually touches via a row-wise CSR mirror,
+  /// instead of the dense rho'A pass over every nonbasic column. Bit-exact
+  /// with the dense pass by construction; rows denser than
+  /// `lp_hypersparse_threshold` fall back to the dense pass (counted in
+  /// `lp_dual_dense_pivots`, never silent). See lp::SimplexOptions.
+  bool lp_hypersparse = true;
+  /// Density cutoff for the sparse BTRAN pattern walk as a fraction of the
+  /// row count: once the tracked pattern exceeds `threshold * m`, the
+  /// sparse solve bails to the dense path for that pivot.
+  double lp_hypersparse_threshold = 0.3;
   // --- branching (shared pseudocosts + root strong branching) ---
   /// Fractional root variables probed by strong branching before the tree
   /// search starts (`--strong-branch N`, 0 disables). Each candidate gets
@@ -239,6 +251,23 @@ struct Stats {
   /// dual solve is normal; one per dual pivot means the weights never
   /// accumulate and Devex has silently degraded to Dantzig.
   long long lp_devex_resets = 0;
+  // --- hyper-sparse dual ratio test (summed over workers) ---
+  /// Dual pivots priced through the sparse indexed walk (pattern kept
+  /// under the density cutoff all the way through BTRAN).
+  long long lp_dual_hypersparse_pivots = 0;
+  /// Dual pivots that fell back to the dense rho'A pass (pattern blew the
+  /// density cutoff, or hypersparsity disabled).
+  long long lp_dual_dense_pivots = 0;
+  /// Sum of nnz(rho) over all dual pivots (sparse and dense alike); divide
+  /// by the pivot count for the mean BTRANed-row density.
+  long long lp_dual_rho_nnz = 0;
+  /// Entering/bound-flip FTRANs solved with pattern tracking vs densely
+  /// (the adaptive density gate picks per solve).
+  long long lp_dual_ftran_sparse = 0;
+  long long lp_dual_ftran_dense = 0;
+  /// Pivot-row BTRANs solved with pattern tracking vs densely.
+  long long lp_dual_btran_sparse = 0;
+  long long lp_dual_btran_dense = 0;
   // --- root strong branching (seeds the shared pseudocost store) ---
   int strong_branch_probed = 0;  ///< bounded probe re-solves performed
   int strong_branch_fixed = 0;   ///< variables fixed by an infeasible probe

@@ -87,6 +87,7 @@ SimplexSolver::SimplexSolver(const Model& model, Options options)
   u_diag_.assign(m_, 0.0);
   work_.assign(m_, 0.0);
   work2_.assign(m_, 0.0);
+  rebuild_row_mirror();
 }
 
 void SimplexSolver::set_variable_bounds(int var, double lower, double upper) {
@@ -278,6 +279,11 @@ void SimplexSolver::add_rows(const std::vector<ConstraintDef>& rows) {
   // weights (the row dimension changed).
   candidates_.clear();
   dual_w_valid_ = false;
+  // The bordered extension changed L and the permutations, and the CSC
+  // arrays grew: rebuild the hypersparse side through its choke points.
+  factor_patterns_valid_ = false;
+  dual_rho_clean_ = false;  // dual_rho_ is sized for the old row count
+  rebuild_row_mirror();
 }
 
 std::vector<double> SimplexSolver::reduced_costs() const {
@@ -332,6 +338,9 @@ void SimplexSolver::clear_etas() {
   eta_start_.assign(1, 0);
   eta_idx_.clear();
   eta_val_.clear();
+  // Every caller just replaced the L/U factors (refactorization or cold
+  // start), so the transposed factor patterns are stale.
+  factor_patterns_valid_ = false;
 }
 
 void SimplexSolver::compute_basic_values() {
@@ -920,6 +929,300 @@ void SimplexSolver::btran(const std::vector<double>& cb,
   for (int i = 0; i < m_; ++i) y[perm_[i]] = q[i];
 }
 
+void SimplexSolver::rebuild_row_mirror() {
+  const int nnz = col_start_[n_];
+  row_start_.assign(m_ + 1, 0);
+  row_col_.resize(nnz);
+  row_val_.resize(nnz);
+  for (int p = 0; p < nnz; ++p) ++row_start_[col_row_[p] + 1];
+  for (int i = 0; i < m_; ++i) row_start_[i + 1] += row_start_[i];
+  // Filling in column order leaves each row's entries sorted by column —
+  // which makes the indexed alpha walk accumulate each column's terms in
+  // the same (ascending-row) order as the dense CSC pass, so the two
+  // paths produce bit-identical alphas.
+  std::vector<int> fill(row_start_.begin(), row_start_.end() - 1);
+  for (int v = 0; v < n_; ++v)
+    for (int p = col_start_[v]; p < col_start_[v + 1]; ++p) {
+      const int pos = fill[col_row_[p]]++;
+      row_col_[pos] = v;
+      row_val_[pos] = col_val_[p];
+    }
+}
+
+void SimplexSolver::ensure_factor_patterns() {
+  if (factor_patterns_valid_) return;
+  perm_inv_.resize(m_);
+  cperm_inv_.resize(m_);
+  for (int k = 0; k < m_; ++k) {
+    perm_inv_[perm_[k]] = k;
+    cperm_inv_[cperm_[k]] = k;
+  }
+  // Row patterns of U and L (a CSR transpose of the column patterns):
+  // ur_ lists, for each factor row k, the columns j > k whose U column
+  // contains k; lr_ the columns j < k whose L column contains k. They
+  // drive the mark propagation of the transposed solves in
+  // btran_unit_sparse: a finalized nonzero at k can only spread to those
+  // columns.
+  const int unnz = u_start_.empty() ? 0 : u_start_[m_];
+  ur_start_.assign(m_ + 1, 0);
+  ur_col_.resize(unnz);
+  for (int p = 0; p < unnz; ++p) ++ur_start_[u_idx_[p] + 1];
+  for (int k = 0; k < m_; ++k) ur_start_[k + 1] += ur_start_[k];
+  {
+    std::vector<int> fill(ur_start_.begin(), ur_start_.end() - 1);
+    for (int j = 0; j < m_; ++j)
+      for (int p = u_start_[j]; p < u_start_[j + 1]; ++p)
+        ur_col_[fill[u_idx_[p]]++] = j;
+  }
+  const int lnnz = l_start_.empty() ? 0 : l_start_[m_];
+  lr_start_.assign(m_ + 1, 0);
+  lr_col_.resize(lnnz);
+  for (int p = 0; p < lnnz; ++p) ++lr_start_[l_idx_[p] + 1];
+  for (int k = 0; k < m_; ++k) lr_start_[k + 1] += lr_start_[k];
+  {
+    std::vector<int> fill(lr_start_.begin(), lr_start_.end() - 1);
+    for (int j = 0; j < m_; ++j)
+      for (int p = l_start_[j]; p < l_start_[j + 1]; ++p)
+        lr_col_[fill[l_idx_[p]]++] = j;
+  }
+  factor_patterns_valid_ = true;
+}
+
+bool SimplexSolver::btran_unit_sparse(int r) {
+  ensure_factor_patterns();
+  const int cutoff = std::max(
+      8, static_cast<int>(opt_.hypersparse_threshold * static_cast<double>(m_)));
+  if (static_cast<int>(hs_zb_.size()) < m_) {
+    hs_zb_.resize(m_, 0.0);
+    hs_markb_.resize(m_, 0);
+    hs_zf_.resize(m_, 0.0);
+    hs_markf_.resize(m_, 0);
+  }
+  std::vector<int>& patb = hs_patb_;
+  std::vector<int>& patf = hs_patf_;
+  patb.clear();
+  patf.clear();
+  auto cleanup = [&] {
+    for (const int i : patb) {
+      hs_zb_[i] = 0.0;
+      hs_markb_[i] = 0;
+    }
+    for (const int k : patf) {
+      hs_zf_[k] = 0.0;
+      hs_markf_[k] = 0;
+    }
+  };
+
+  // e_r through the reversed eta file (basis-position space). Each eta
+  // only rewrites component eta_row_[e]; the step is skipped — its result
+  // is exactly zero, matching the dense solve — unless that component or
+  // one of the eta's off-diagonal sources is already in the pattern.
+  hs_zb_[r] = 1.0;
+  hs_markb_[r] = 1;
+  patb.push_back(r);
+  for (int e = static_cast<int>(eta_row_.size()) - 1; e >= 0; --e) {
+    const int re = eta_row_[e];
+    // Off-pattern scratch entries are exactly zero, so the dot is computed
+    // directly (a separate relevance pre-scan would double the eta cost);
+    // a zero result on an unmarked row is simply not written back.
+    double zr = hs_zb_[re];
+    for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
+      zr -= eta_val_[p] * hs_zb_[eta_idx_[p]];
+    zr /= eta_diag_[e];
+    if (hs_markb_[re] != 0) {
+      hs_zb_[re] = zr;
+    } else if (zr != 0.0) {
+      hs_zb_[re] = zr;
+      hs_markb_[re] = 1;
+      patb.push_back(re);
+      if (static_cast<int>(patb.size()) > cutoff) {
+        cleanup();
+        return false;
+      }
+    }
+  }
+
+  // Gather into factor-column order (q[k] = z[cperm_[k]]).
+  for (const int i : patb) {
+    const int k = cperm_inv_[i];
+    hs_zf_[k] = hs_zb_[i];
+    hs_markf_[k] = 1;
+    patf.push_back(k);
+  }
+
+  // v' U = q': ascending scan over the marked columns; a finalized
+  // nonzero at k spreads the mark to the columns ur_ lists for row k
+  // (all > k, so the scan meets them later). Unmarked columns stay
+  // exactly zero, as they would in the dense solve.
+  for (int j = 0; j < m_; ++j) {
+    if (!hs_markf_[j]) continue;
+    double acc = hs_zf_[j];
+    for (int p = u_start_[j]; p < u_start_[j + 1]; ++p)
+      acc -= hs_zf_[u_idx_[p]] * u_val_[p];
+    acc /= u_diag_[j];
+    hs_zf_[j] = acc;
+    if (acc != 0.0) {
+      for (int p = ur_start_[j]; p < ur_start_[j + 1]; ++p) {
+        const int jj = ur_col_[p];
+        if (hs_markf_[jj] == 0) {
+          hs_markf_[jj] = 1;
+          patf.push_back(jj);
+        }
+      }
+      if (static_cast<int>(patf.size()) > cutoff) {
+        cleanup();
+        return false;
+      }
+    }
+  }
+
+  // u' L = v': descending scan; a finalized nonzero at k spreads to the
+  // columns lr_ lists for row k (all < k).
+  for (int j = m_ - 1; j >= 0; --j) {
+    if (!hs_markf_[j]) continue;
+    double acc = hs_zf_[j];
+    for (int p = l_start_[j]; p < l_start_[j + 1]; ++p)
+      acc -= hs_zf_[l_idx_[p]] * l_val_[p];
+    hs_zf_[j] = acc;
+    if (acc != 0.0) {
+      for (int p = lr_start_[j]; p < lr_start_[j + 1]; ++p) {
+        const int jj = lr_col_[p];
+        if (hs_markf_[jj] == 0) {
+          hs_markf_[jj] = 1;
+          patf.push_back(jj);
+        }
+      }
+      if (static_cast<int>(patf.size()) > cutoff) {
+        cleanup();
+        return false;
+      }
+    }
+  }
+
+  // Scatter into dual_rho_ (original-row space), keeping it exactly zero
+  // off-pattern: clear only the previous pattern when it is known clean.
+  if (!dual_rho_clean_ || static_cast<int>(dual_rho_.size()) != m_) {
+    dual_rho_.assign(m_, 0.0);
+  } else {
+    for (const int i : dual_rho_pattern_) dual_rho_[i] = 0.0;
+  }
+  dual_rho_pattern_.clear();
+  for (const int k : patf) {
+    const double v = hs_zf_[k];
+    if (v == 0.0) continue;  // cancelled along the way: keep the row exact
+    const int row = perm_[k];
+    dual_rho_[row] = v;
+    dual_rho_pattern_.push_back(row);
+  }
+  // The pattern stays unsorted: every consumer of rho is a value scan over
+  // the dense vector (exact zeros off-pattern), so the list is needed only
+  // for the scoped clear above and the nnz stat.
+  dual_rho_clean_ = true;
+  cleanup();
+  return true;
+}
+
+void SimplexSolver::ftran_vec_sparse(std::vector<double>& v,
+                                     std::vector<int>& pattern) {
+  if (static_cast<int>(hs_zf_.size()) < m_) {
+    hs_zb_.resize(m_, 0.0);
+    hs_markb_.resize(m_, 0);
+    hs_zf_.resize(m_, 0.0);
+    hs_markf_.resize(m_, 0);
+  }
+  std::vector<int>& patf = hs_patf_;
+  patf.clear();
+  // Gather the seed into factor order (w[i] = v[perm_[i]], i.e. original
+  // row i lands at factor position perm_inv_[i]).
+  for (const int i : pattern) {
+    const int k = perm_inv_[i];
+    hs_zf_[k] = v[i];
+    hs_markf_[k] = 1;
+    patf.push_back(k);
+  }
+  // L solve (unit lower): a nonzero at k spreads directly along its own
+  // column entries (all > k), so the ascending mark scan is the exact
+  // sparse analogue of the dense value-skipping loop.
+  for (int k = 0; k < m_; ++k) {
+    if (!hs_markf_[k]) continue;
+    const double wk = hs_zf_[k];
+    if (wk == 0.0) continue;
+    for (int p = l_start_[k]; p < l_start_[k + 1]; ++p) {
+      const int idx = l_idx_[p];
+      hs_zf_[idx] -= l_val_[p] * wk;
+      if (hs_markf_[idx] == 0) {
+        hs_markf_[idx] = 1;
+        patf.push_back(idx);
+      }
+    }
+  }
+  // U solve: descending; spreads along the column entries (all < k).
+  for (int k = m_ - 1; k >= 0; --k) {
+    if (!hs_markf_[k]) continue;
+    const double wk = hs_zf_[k] / u_diag_[k];
+    hs_zf_[k] = wk;
+    if (wk == 0.0) continue;
+    for (int p = u_start_[k]; p < u_start_[k + 1]; ++p) {
+      const int idx = u_idx_[p];
+      hs_zf_[idx] -= u_val_[p] * wk;
+      if (hs_markf_[idx] == 0) {
+        hs_markf_[idx] = 1;
+        patf.push_back(idx);
+      }
+    }
+  }
+  // Scatter to basis-position space (v[cperm_[k]] = w[k]); the eta file
+  // then runs oldest-first in that space, marking the rows it fills in.
+  for (const int i : pattern) v[i] = 0.0;
+  pattern.clear();
+  for (const int k : patf) {
+    const int pos = cperm_[k];
+    v[pos] = hs_zf_[k];
+    hs_markb_[pos] = 1;
+    pattern.push_back(pos);
+    hs_zf_[k] = 0.0;
+    hs_markf_[k] = 0;
+  }
+  const int num_etas = static_cast<int>(eta_row_.size());
+  for (int e = 0; e < num_etas; ++e) {
+    const int re = eta_row_[e];
+    if (!hs_markb_[re]) continue;  // v[re] is exactly zero: the eta no-ops
+    const double vr = v[re] / eta_diag_[e];
+    if (vr != 0.0) {
+      for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p) {
+        const int idx = eta_idx_[p];
+        v[idx] -= eta_val_[p] * vr;
+        if (hs_markb_[idx] == 0) {
+          hs_markb_[idx] = 1;
+          pattern.push_back(idx);
+        }
+      }
+    }
+    v[re] = vr;
+  }
+  for (const int i : pattern) hs_markb_[i] = 0;
+  // The pattern is left unsorted: off-pattern entries of v are exact zeros,
+  // so downstream consumers are plain value scans over the dense vector and
+  // walk the true support in ascending order regardless.
+}
+
+void SimplexSolver::ftran_col_sparse(int col, std::vector<double>& w,
+                                     std::vector<int>& pattern) {
+  ensure_factor_patterns();
+  w.assign(m_, 0.0);
+  pattern.clear();
+  if (col < n_) {
+    for (int p = col_start_[col]; p < col_start_[col + 1]; ++p) {
+      w[col_row_[p]] = col_val_[p];
+      pattern.push_back(col_row_[p]);
+    }
+  } else {
+    w[col - n_] = 1.0;
+    pattern.push_back(col - n_);
+  }
+  ftran_vec_sparse(w, pattern);
+}
+
 double SimplexSolver::reduced_cost(int col, const std::vector<double>& y,
                                    const std::vector<double>& cost) const {
   double d = cost[col];
@@ -1122,7 +1425,9 @@ int SimplexSolver::iterate(bool phase1, bool bland) {
 void SimplexSolver::pivot(int entering, int leaving_row, double t,
                           int entering_dir, const std::vector<double>& w,
                           Status leaving_status) {
-  // Move the entering variable and update basic values.
+  // Move the entering variable and update basic values. The value scans
+  // below skip w's exact zeros, so they already walk only the FTRAN
+  // result's true support — a pattern-tracked caller gains nothing here.
   x_[entering] += entering_dir * t;
   if (t > 0.0) {
     for (int i = 0; i < m_; ++i) {
@@ -1368,7 +1673,9 @@ void SimplexSolver::update_dual_weights(int r, const std::vector<double>& w,
     // Devex: w_i approximates ||e_i' B^-1||^2 relative to the reference
     // framework; the update needs only the FTRANed entering column already
     // in hand. Monotone (max), so a degraded framework is detected by
-    // weight growth and restarted rather than silently trusted.
+    // weight growth and restarted rather than silently trusted. The loop
+    // skips w's exact zeros by value, so it already walks only the FTRAN
+    // result's true support.
     const double ref = dual_w_[r];
     double worst = 0.0;
     for (int i = 0; i < m_; ++i) {
@@ -1430,26 +1737,59 @@ int SimplexSolver::iterate_dual() {
 
   // --- pivot row: rho' = e_r' B^{-1}; alpha_j = sgn * rho' a_j for every
   // nonbasic column (the sign normalization makes "d_j decreasing with the
-  // dual step" read the same for both violation directions) ---
-  dual_unit_.assign(m_, 0.0);
-  dual_unit_[r] = 1.0;
-  btran(dual_unit_, dual_rho_);
+  // dual step" read the same for both violation directions). The sparse
+  // and dense BTRANs produce bit-identical vectors with exact zeros off
+  // the true support; the density EWMA picks whichever is cheaper, and a
+  // pivot counts as hypersparse when the indexed ratio walk engages — the
+  // pivot row fits under the density cutoff — regardless of which solve
+  // produced it. Denser rows fall back to the dense CSC alpha pass,
+  // counted (never silently) in dual_dense_pivots. ---
+  const int rho_cutoff = std::max(
+      8,
+      static_cast<int>(opt_.hypersparse_threshold * static_cast<double>(m_)));
+  int rho_nnz;
+  if (opt_.hypersparse && hs_rho_density_ < kPatternDensityGate &&
+      btran_unit_sparse(r)) {
+    ++stats_.dual_btran_sparse;
+    rho_nnz = static_cast<int>(dual_rho_pattern_.size());
+  } else {
+    dual_unit_.assign(m_, 0.0);
+    dual_unit_[r] = 1.0;
+    btran(dual_unit_, dual_rho_);
+    dual_rho_clean_ = false;
+    ++stats_.dual_btran_dense;
+    rho_nnz = 0;
+    for (int i = 0; i < m_; ++i) rho_nnz += dual_rho_[i] != 0.0 ? 1 : 0;
+  }
+  if (opt_.hypersparse)
+    hs_rho_density_ =
+        (1.0 - kPatternDensityAlpha) * hs_rho_density_ +
+        kPatternDensityAlpha * (static_cast<double>(rho_nnz) / m_);
+  stats_.dual_rho_nnz += rho_nnz;
+  dual_rho_sparse_ = opt_.hypersparse && rho_nnz <= rho_cutoff;
+  if (dual_rho_sparse_)
+    ++stats_.dual_hypersparse_pivots;
+  else
+    ++stats_.dual_dense_pivots;
 
-  dual_alpha_.assign(total_, 0.0);
+  dual_row_.clear();
   dual_cands_.clear();
-  for (int j = 0; j < total_; ++j) {
-    if (vstat_[j] == kBasic || lb_[j] == ub_[j]) continue;
-    double a;
-    if (j < n_) {
-      a = 0.0;
-      for (int p = col_start_[j]; p < col_start_[j + 1]; ++p)
-        a += dual_rho_[col_row_[p]] * col_val_[p];
-    } else {
-      a = dual_rho_[j - n_];
-    }
+  // Two-level zero test for the pivot row. Below drop_tol an alpha is
+  // cancellation noise from the rho'a_j accumulation — treating it as an
+  // exact zero everywhere keeps the pivot sequence independent of noise.
+  // Between drop_tol and pivot_tol the alpha is genuinely small but REAL:
+  // it is too small to pivot on, yet its reduced cost still moves by
+  // theta*alpha in the dual step. The pre-PR-7 code filtered the theta
+  // update at pivot_tol, so such columns drifted from their true reduced
+  // costs by theta*alpha per pivot (flushed only at the next
+  // refactorization); tests/lp/hypersparse_test.cpp pins the fix.
+  const double drop_tol = 1e-4 * opt_.pivot_tol;
+  auto consider = [&](int j, double a) {
+    if (vstat_[j] == kBasic || lb_[j] == ub_[j]) return;
     const double at = sgn * a;
-    if (std::abs(at) <= opt_.pivot_tol) continue;
-    dual_alpha_[j] = at;
+    if (std::abs(at) <= drop_tol) return;
+    dual_row_.push_back(DualRowEntry{j, at});
+    if (std::abs(at) <= opt_.pivot_tol) return;
     // Eligible entering columns: their reduced cost is driven towards zero
     // as the dual step grows; the breakpoint is the dual ratio.
     double ratio;
@@ -1458,67 +1798,152 @@ int SimplexSolver::iterate_dual() {
     else if (vstat_[j] == kAtUpper && at < 0.0)
       ratio = std::min(dual_d_[j], 0.0) / at;
     else
-      continue;
+      return;
     dual_cands_.push_back(DualCandidate{j, ratio, at});
+  };
+  if (dual_rho_sparse_) {
+    // Indexed walk: scatter rho_i * (row i) into the accumulator over the
+    // structural columns; slack alphas are the rho entries themselves.
+    // The ascending value scan over rho (off-pattern entries are exact
+    // zeros) makes each column's terms accumulate in ascending row order —
+    // the dense CSC pass's order — so the alphas match it bit for bit.
+    // The scatter is branch-free: untouched columns stay exactly zero and
+    // the O(n_) sweep drops them at the drop_tol test, which is cheaper
+    // than per-entry mark bookkeeping at the densities seen here.
+    if (static_cast<int>(hs_acc_.size()) < n_) hs_acc_.assign(n_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double ri = dual_rho_[i];
+      if (ri == 0.0) continue;
+      for (int p = row_start_[i]; p < row_start_[i + 1]; ++p)
+        hs_acc_[row_col_[p]] += ri * row_val_[p];
+      consider(n_ + i, ri);
+    }
+    for (int j = 0; j < n_; ++j) {
+      consider(j, hs_acc_[j]);
+      hs_acc_[j] = 0.0;
+    }
+  } else {
+    for (int j = 0; j < total_; ++j) {
+      if (vstat_[j] == kBasic || lb_[j] == ub_[j]) continue;
+      double a;
+      if (j < n_) {
+        a = 0.0;
+        for (int p = col_start_[j]; p < col_start_[j + 1]; ++p)
+          a += dual_rho_[col_row_[p]] * col_val_[p];
+      } else {
+        a = dual_rho_[j - n_];
+      }
+      consider(j, a);
+    }
   }
   if (dual_cands_.empty()) return 2;  // dual ray: primal infeasible
+
+  // Capture the candidate set before the walk consumes the heap. The
+  // column list is sorted here — sparse and dense ratio passes push the
+  // same set in different orders — so traces compare canonically.
+  DualPivotTrace* rec = nullptr;
+  if (dual_trace_ != nullptr) {
+    dual_trace_->emplace_back();
+    rec = &dual_trace_->back();
+    rec->leaving_row = r;
+    rec->candidates.reserve(dual_cands_.size());
+    for (const DualCandidate& cand : dual_cands_)
+      rec->candidates.push_back(cand.col);
+    std::sort(rec->candidates.begin(), rec->candidates.end());
+  }
 
   // --- bound-flipping ratio test: walk the breakpoints in dual-step order;
   // a boxed candidate whose full flip still leaves the leaving variable
   // violated is flipped (no basis change, reduced cost crosses zero
   // consistently with the new bound) and the walk continues with the
-  // residual violation; the first candidate that cannot be passed enters ---
-  std::sort(dual_cands_.begin(), dual_cands_.end(),
-            [](const DualCandidate& a, const DualCandidate& b) {
-              return a.ratio != b.ratio ? a.ratio < b.ratio : a.col < b.col;
-            });
+  // residual violation; the first candidate that cannot be passed enters.
+  // The walk consumes a lazy min-heap instead of sorting: pops follow the
+  // exact (ratio, col) total order a full sort would give — identical
+  // flip/entering sequence — but typical pivots consume only a few
+  // breakpoints out of hundreds of candidates, so the O(c log c) sort
+  // shrinks to O(c) heapification plus a handful of O(log c) pops. ---
+  const auto cand_after = [](const DualCandidate& a, const DualCandidate& b) {
+    return a.ratio != b.ratio ? a.ratio > b.ratio : a.col > b.col;
+  };
+  std::make_heap(dual_cands_.begin(), dual_cands_.end(), cand_after);
+  const auto pop_next = [&]() {
+    std::pop_heap(dual_cands_.begin(), dual_cands_.end(), cand_after);
+    const DualCandidate c = dual_cands_.back();
+    dual_cands_.pop_back();
+    return c;
+  };
   double delta = viol;
   dual_flips_.clear();
   int chosen = -1;
   double theta = 0.0;
-  for (std::size_t c = 0; c < dual_cands_.size(); ++c) {
-    const DualCandidate& cand = dual_cands_[c];
+  double chosen_alpha = 0.0;
+  while (!dual_cands_.empty()) {
+    const DualCandidate cand = pop_next();
     const double range = ub_[cand.col] - lb_[cand.col];
     const double gain = std::abs(cand.alpha) * range;
-    if (c + 1 < dual_cands_.size() && std::isfinite(range) &&
+    if (!dual_cands_.empty() && std::isfinite(range) &&
         delta - gain > opt_.feas_tol) {
       dual_flips_.push_back(cand.col);
       delta -= gain;
       continue;
     }
-    // Entering candidate found at breakpoint c. These LPs are heavily dual
-    // degenerate (stacks of ratio-0 ties); among the near-ties pick the
-    // largest |alpha|: the primal step delta/|alpha| shrinks with it, so
-    // fewer new violations cascade out of the pivot (and the pivot is
-    // numerically safer).
+    // Entering candidate found at this breakpoint. These LPs are heavily
+    // dual degenerate (stacks of ratio-0 ties); among the near-ties pick
+    // the largest |alpha|: the primal step delta/|alpha| shrinks with it,
+    // so fewer new violations cascade out of the pivot (and the pivot is
+    // numerically safer). The tie window scales with the feasibility
+    // tolerance AND the breakpoint magnitude (ratios are reduced costs
+    // over pivots, so an absolute window would vanish on badly scaled
+    // objectives); at the defaults it is the historical 1e-9 for the
+    // dominant ratio-0 degenerate stacks.
+    const double tie =
+        1e-2 * opt_.feas_tol * (1.0 + std::abs(cand.ratio));
     chosen = cand.col;
     theta = std::max(cand.ratio, 0.0);
+    chosen_alpha = cand.alpha;
     double best_alpha = std::abs(cand.alpha);
-    for (std::size_t t = c + 1; t < dual_cands_.size(); ++t) {
-      if (dual_cands_[t].ratio > cand.ratio + 1e-9) break;
-      if (std::abs(dual_cands_[t].alpha) > best_alpha) {
-        best_alpha = std::abs(dual_cands_[t].alpha);
-        chosen = dual_cands_[t].col;
-        theta = std::max(dual_cands_[t].ratio, 0.0);
+    while (!dual_cands_.empty() &&
+           dual_cands_.front().ratio <= cand.ratio + tie) {
+      const DualCandidate t = pop_next();
+      if (std::abs(t.alpha) > best_alpha) {
+        best_alpha = std::abs(t.alpha);
+        chosen = t.col;
+        theta = std::max(t.ratio, 0.0);
+        chosen_alpha = t.alpha;
       }
     }
     break;
   }
+  const double d_chosen = dual_d_[chosen];
+  if (rec != nullptr) rec->entering_col = chosen;
 
   // --- dual step: every nonbasic reduced cost moves along the pivot row.
   // Flipped candidates cross zero (consistent with their new bound); the
-  // entering column lands exactly at zero. ---
+  // entering column lands exactly at zero. dual_row_ carries every column
+  // with a real (above-drop_tol) alpha, including the sub-pivot_tol ones
+  // the old code skipped — that skip is the reduced-cost drift bug. ---
   if (theta > 0.0) {
-    for (int j = 0; j < total_; ++j) {
-      if (dual_alpha_[j] != 0.0) dual_d_[j] -= theta * dual_alpha_[j];
-    }
+    for (const DualRowEntry& e : dual_row_) dual_d_[e.col] -= theta * e.alpha;
   }
   dual_d_[chosen] = 0.0;
 
   // --- apply the flips: nonbasic values jump to the opposite bound; one
-  // accumulated FTRAN updates every basic value ---
+  // accumulated FTRAN updates every basic value. With hypersparsity on,
+  // the flipped columns' rows seed a pattern-tracked FTRAN and the basic
+  // update walks the result pattern. ---
   if (!dual_flips_.empty()) {
+    // Pattern-tracked FTRAN only pays off when the result is genuinely
+    // sparse; a running density estimate (EWMA over recent results) gates
+    // it. Both paths produce bit-identical vectors, so the gate never
+    // changes the pivot trajectory — only the cost of computing it.
+    const bool track = opt_.hypersparse && hs_fcol_density_ < kPatternDensityGate;
     dual_fcol_.assign(m_, 0.0);
+    if (track) {
+      ensure_factor_patterns();
+      if (static_cast<int>(hs_seedmark_.size()) < m_)
+        hs_seedmark_.resize(m_, 0);
+      fcol_pattern_.clear();
+    }
     for (const int j : dual_flips_) {
       const double old = x_[j];
       double nv;
@@ -1532,25 +1957,71 @@ int SimplexSolver::iterate_dual() {
       x_[j] = nv;
       const double dx = nv - old;
       if (j < n_) {
-        for (int p = col_start_[j]; p < col_start_[j + 1]; ++p)
-          dual_fcol_[col_row_[p]] += col_val_[p] * dx;
+        for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+          const int row = col_row_[p];
+          dual_fcol_[row] += col_val_[p] * dx;
+          if (track && hs_seedmark_[row] == 0) {
+            hs_seedmark_[row] = 1;
+            fcol_pattern_.push_back(row);
+          }
+        }
       } else {
-        dual_fcol_[j - n_] += dx;
+        const int row = j - n_;
+        dual_fcol_[row] += dx;
+        if (track && hs_seedmark_[row] == 0) {
+          hs_seedmark_[row] = 1;
+          fcol_pattern_.push_back(row);
+        }
       }
     }
-    ftran_vec(dual_fcol_);
-    for (int i = 0; i < m_; ++i)
-      if (dual_fcol_[i] != 0.0) x_[basis_[i]] -= dual_fcol_[i];
+    if (track) {
+      for (const int i : fcol_pattern_) hs_seedmark_[i] = 0;
+      ftran_vec_sparse(dual_fcol_, fcol_pattern_);
+      ++stats_.dual_ftran_sparse;
+      hs_fcol_density_ = (1.0 - kPatternDensityAlpha) * hs_fcol_density_ +
+                         kPatternDensityAlpha *
+                             (static_cast<double>(fcol_pattern_.size()) / m_);
+      for (const int i : fcol_pattern_)
+        if (dual_fcol_[i] != 0.0) x_[basis_[i]] -= dual_fcol_[i];
+    } else {
+      ftran_vec(dual_fcol_);
+      ++stats_.dual_ftran_dense;
+      int nnz = 0;
+      for (int i = 0; i < m_; ++i) {
+        if (dual_fcol_[i] == 0.0) continue;
+        ++nnz;
+        x_[basis_[i]] -= dual_fcol_[i];
+      }
+      if (opt_.hypersparse)
+        hs_fcol_density_ = (1.0 - kPatternDensityAlpha) * hs_fcol_density_ +
+                           kPatternDensityAlpha * (static_cast<double>(nnz) / m_);
+    }
     stats_.dual_bound_flips += static_cast<long long>(dual_flips_.size());
   }
 
   // --- entering column FTRAN + primal step onto the violated bound ---
   std::vector<double>& w = wcol_;
-  ftran(chosen, w);
+  if (opt_.hypersparse && hs_wcol_density_ < kPatternDensityGate) {
+    ftran_col_sparse(chosen, w, wcol_pattern_);
+    ++stats_.dual_ftran_sparse;
+    hs_wcol_density_ = (1.0 - kPatternDensityAlpha) * hs_wcol_density_ +
+                       kPatternDensityAlpha *
+                           (static_cast<double>(wcol_pattern_.size()) / m_);
+  } else {
+    ftran(chosen, w);
+    ++stats_.dual_ftran_dense;
+    if (opt_.hypersparse) {
+      int nnz = 0;
+      for (int i = 0; i < m_; ++i)
+        if (w[i] != 0.0) ++nnz;
+      hs_wcol_density_ = (1.0 - kPatternDensityAlpha) * hs_wcol_density_ +
+                         kPatternDensityAlpha * (static_cast<double>(nnz) / m_);
+    }
+  }
   const double wr = w[r];
   // w[r] and the BTRANed pivot-row entry are the same number computed two
   // ways; a disagreement (or a tiny pivot) flags factorization drift.
-  const double a_chosen = sgn * dual_alpha_[chosen];
+  const double a_chosen = sgn * chosen_alpha;
   if (std::abs(wr) <= opt_.pivot_tol ||
       std::abs(wr - a_chosen) > 1e-5 * std::max(1.0, std::abs(wr)))
     return 3;
@@ -1561,7 +2032,14 @@ int SimplexSolver::iterate_dual() {
   double t = (x_[leaving] - target) / (dir * wr);
   if (!(t > 0.0)) t = 0.0;  // flips covered the violation: degenerate pivot
 
-  if (theta <= 1e-12)
+  // Degenerate when the dual objective barely moved: theta*|alpha| is the
+  // reduced-cost distance the entering column travelled, measured against
+  // its own magnitude so the test is invariant to cost scaling (the old
+  // absolute `theta <= 1e-12` silently misclassified large- or
+  // small-cost problems). At the defaults and |alpha| ~ 1 this is the
+  // historical threshold.
+  if (theta * std::abs(chosen_alpha) <=
+      1e-5 * opt_.opt_tol * (1.0 + std::abs(d_chosen)))
     ++degenerate_run_;
   else
     degenerate_run_ = 0;
@@ -1623,6 +2101,11 @@ LpResult SimplexSolver::solve_dual() {
       } else {
         compute_basic_values();
       }
+      // Every refactorization inside the dual loop refreshes dual_d_ from
+      // a fresh BTRAN of the basic costs. Together with the theta update in
+      // iterate_dual covering every real alpha (dual_row_ is drop_tol-, not
+      // pivot_tol-filtered) this is what keeps the incrementally maintained
+      // reduced costs honest — tests/lp/hypersparse_test.cpp pins the drift.
       compute_dual_reduced_costs();
     }
     const int rc = iterate_dual();
@@ -1760,6 +2243,12 @@ void SimplexSolver::delete_rows(const std::vector<int>& rows) {
   price_cursor_ = 0;
   dual_w_valid_ = false;  // basis positions shifted: weights are stale
   stats_.rows_deleted += del;
+  // Rows were renumbered: rebuild the CSR mirror from the compacted CSC
+  // arrays (single choke point) and drop the stale hypersparse state. The
+  // factor patterns follow from the refactorization below (clear_etas).
+  factor_patterns_valid_ = false;
+  dual_rho_clean_ = false;
+  rebuild_row_mirror();
 
   if (has_basis_) {
     // Rebuild the factors at the shrunken size. This is where the fill
@@ -1768,6 +2257,21 @@ void SimplexSolver::delete_rows(const std::vector<int>& rows) {
     // aged-out rows neither inflate the basis term nor deflate the ratio.
     if (!refactorize()) has_basis_ = false;  // next solve() cold-starts
   }
+}
+
+double SimplexSolver::dual_reduced_cost_drift_for_testing() const {
+  if (!has_basis_ || static_cast<int>(dual_d_.size()) != total_) return 0.0;
+  std::vector<double> cb(m_);
+  for (int i = 0; i < m_; ++i) cb[i] = cost_[basis_[i]];
+  std::vector<double> y;
+  btran(cb, y);
+  double worst = 0.0;
+  for (int j = 0; j < total_; ++j) {
+    if (vstat_[j] == kBasic || lb_[j] == ub_[j]) continue;
+    const double fresh = reduced_cost(j, y, cost_);
+    worst = std::max(worst, std::abs(dual_d_[j] - fresh));
+  }
+  return worst;
 }
 
 bool SimplexSolver::refresh_factorization() {

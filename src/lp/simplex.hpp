@@ -99,6 +99,30 @@
 //    why resets are counted in Stats::devex_resets and pinned by
 //    tests/lp/dual_simplex_test.cpp.
 //
+//  * Hypersparsity (dual ratio test). The dual ratio test prices
+//    alpha_j = rho' a_j for the BTRANed pivot row rho over every nonbasic
+//    column; solve_dual replaces the column-major dense pass with an
+//    indexed walk over a row-wise CSR mirror of the structural columns,
+//    visiting only the rows where rho is nonzero. The walk is engaged
+//    whenever nnz(rho) stays under hypersparse_threshold (counted in
+//    Stats::dual_hypersparse_pivots; a denser rho keeps the column-major
+//    pass and counts in Stats::dual_dense_pivots — never silent). It is
+//    safe to key the walk off the DENSE BTRAN output too: dense solves
+//    value-skip, so off-support entries are exact zeros and the sparse and
+//    dense solves produce bit-identical vectors. Which solve runs is a
+//    separate, perf-only decision: three density EWMAs (pivot-row BTRAN,
+//    entering FTRAN, flip FTRAN) start optimistic-sparse and switch each
+//    solve to the dense kernel once its output density crosses
+//    kPatternDensityGate, because pattern-tracked solves lose once the
+//    pattern stops paying (Stats::dual_btran_/dual_ftran_ sparse vs dense
+//    count the split). Measured reality on the built-in circuits: mean
+//    nnz(rho) is ~145 of ~750 rows (~19% dense — NOT the handful of
+//    nonzeros classic hypersparsity assumes), so the BTRANs adapt to the
+//    dense kernel after warmup while the indexed walk still engages on
+//    >99% of pivots. Everything is exact: identical candidate sets,
+//    entering/leaving sequences and bound flips to the dense pass, pinned
+//    by the differential traces in tests/lp/hypersparse_test.cpp.
+//
 // Problem sizes in this project are a few thousand rows/columns; the sparse
 // factorization keeps the refactorization cost proportional to fill while
 // the eta file keeps the per-pivot cost proportional to actual fill.
@@ -178,6 +202,20 @@ struct SimplexOptions {
   /// FTRAN per pivot; all-ones restart on each reset); kDantzig is the
   /// plain largest-violation rule.
   DualPricing dual_pricing = DualPricing::kDevex;
+  /// Hyper-sparse dual ratio test: price alpha_j = rho' a_j by an indexed
+  /// walk over a row-wise CSR mirror of the structural columns (visiting
+  /// only the rows where the BTRANed pivot row rho is nonzero) instead of
+  /// a dense pass over every nonbasic column, and let density EWMAs pick
+  /// pattern-tracked vs dense kernels for the pivot-row BTRAN and the
+  /// entering/flip FTRANs per solve. Exact: a pivot row denser than
+  /// hypersparse_threshold keeps the dense pass (counted in
+  /// Stats::dual_dense_pivots, never silent), and both kernel choices
+  /// produce bit-identical vectors (see the header comment).
+  bool hypersparse = true;
+  /// Pivot-row density cutoff in (0, 1]: the indexed walk engages only
+  /// while nnz(rho) <= max(8, threshold * m) (a dense rho makes the walk
+  /// cost at least as much as the dense pass it replaces).
+  double hypersparse_threshold = 0.3;
 };
 
 class SimplexSolver {
@@ -318,6 +356,27 @@ class SimplexSolver {
     /// accumulate and the rule has degraded to Dantzig.
     long long devex_resets = 0;
 
+    // --- hypersparse dual ratio test ---
+    /// Dual pivots priced by the indexed pattern walk (pivot-row pattern
+    /// tracked through BTRAN, alpha via the CSR row mirror).
+    long long dual_hypersparse_pivots = 0;
+    /// Dual pivots priced by the dense row pass: hypersparse disabled, or
+    /// the pivot-row pattern outgrew hypersparse_threshold (the fallback
+    /// is counted, never silent).
+    long long dual_dense_pivots = 0;
+    /// Cumulative nnz of the BTRANed pivot rows over all dual pivots;
+    /// mean = / (dual_hypersparse_pivots + dual_dense_pivots).
+    long long dual_rho_nnz = 0;
+    /// Entering/flip-column FTRANs solved with pattern tracking vs the
+    /// dense path inside the dual iteration (the adaptive density gate
+    /// picks per solve; both produce bit-identical vectors).
+    long long dual_ftran_sparse = 0;
+    long long dual_ftran_dense = 0;
+    /// Pivot-row BTRANs solved with pattern tracking vs the dense path
+    /// (density gate + cutoff abort; bit-identical either way).
+    long long dual_btran_sparse = 0;
+    long long dual_btran_dense = 0;
+
     // --- row deletion (delete_rows) ---
     long long rows_deleted = 0;  ///< cut rows aged out of the LP
     int peak_rows = 0;           ///< high-water row count (add_rows growth)
@@ -371,6 +430,30 @@ class SimplexSolver {
   [[nodiscard]] std::vector<double> dense_basis_for_testing() const;
   [[nodiscard]] int num_rows() const { return m_; }
   [[nodiscard]] const std::vector<int>& basis() const { return basis_; }
+
+  /// One dual pivot as seen by the ratio test: the leaving row, the column
+  /// chosen to enter, and the full eligible candidate set in breakpoint
+  /// order. The hypersparse differential suite records paired solvers
+  /// (indexed walk vs dense pass) and requires the sequences identical.
+  struct DualPivotTrace {
+    int leaving_row;
+    int entering_col;
+    std::vector<int> candidates;
+  };
+  /// Testing hook: when non-null, every dual pivot appends one trace
+  /// record. The pointer must outlive subsequent solve_dual() calls
+  /// (nullptr detaches).
+  void set_dual_trace_for_testing(std::vector<DualPivotTrace>* trace) {
+    dual_trace_ = trace;
+  }
+  /// Testing hook: max |incrementally maintained dual_d_ - freshly
+  /// recomputed reduced cost| over the nonbasic non-fixed columns.
+  /// Meaningful right after a solve_dual() that finished on the dual path
+  /// with a zero-pivot primal certificate (primal pivots do not maintain
+  /// dual_d_); the drift suite checks that precondition. Fixed columns are
+  /// excluded by design: they can neither enter nor flip, and their
+  /// reduced costs are refreshed at every solve entry.
+  [[nodiscard]] double dual_reduced_cost_drift_for_testing() const;
 
  private:
   enum Status : std::int8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
@@ -458,9 +541,42 @@ class SimplexSolver {
   void ensure_dual_weights();
   /// Devex / exact steepest-edge weight update after a dual pivot with
   /// leaving row r, FTRANed entering column w (pivot element w[r]) and
-  /// BTRANed pivot row rho (= e_r' B^-1, indexed by original row).
+  /// BTRANed pivot row rho (= e_r' B^-1, indexed by original row). Both
+  /// vectors are exactly zero off their support, so the weight loops
+  /// value-skip and cost O(nnz), never O(m) of multiplies.
   void update_dual_weights(int r, const std::vector<double>& w,
                            const std::vector<double>& rho);
+
+  // --- hypersparsity (pattern-tracked solves + indexed ratio test) ---
+  /// Rebuilds the row-wise CSR mirror of the structural columns from the
+  /// CSC arrays. The SINGLE choke point for mirror maintenance — called
+  /// from the constructor, add_rows() and delete_rows() right after the
+  /// CSC arrays change, so a stale mirror is impossible by construction.
+  void rebuild_row_mirror();
+  /// Lazily rebuilds the transposed factor patterns (row lists of U and
+  /// L) and the perm/cperm inverses consumed by the pattern-tracked
+  /// solves. Invalidated (factor_patterns_valid_ = false) whenever the
+  /// factors change: every refactorization / cold start (via
+  /// clear_etas) and the add_rows bordered extension.
+  void ensure_factor_patterns();
+  /// Pattern-tracked BTRAN of the unit vector e_r (rho' = e_r' B^{-1}).
+  /// On success dual_rho_ holds the pivot row (exactly zero off-pattern),
+  /// dual_rho_pattern_ its unsorted nonzero rows (used only for the scoped
+  /// clear and the nnz stat), and dual_rho_clean_ is set. Returns false —
+  /// caller redoes the solve densely and counts the fallback — when the
+  /// pattern outgrows hypersparse_threshold * m.
+  bool btran_unit_sparse(int r);
+  /// Pattern-tracked ftran_vec: v (indexed by original row, exactly zero
+  /// outside `pattern`) is solved in place to B^{-1} v (indexed by basis
+  /// position); `pattern` is replaced by the unsorted result pattern. Does
+  /// the same numeric work in the same order as the value-skipping dense
+  /// solve — bit-identical results — but skips the O(m) position scans
+  /// when the support is genuinely sparse.
+  void ftran_vec_sparse(std::vector<double>& v, std::vector<int>& pattern);
+  /// w = B^{-1} a_col with pattern tracking (ftran_vec_sparse seeded from
+  /// the column); `pattern` returns the unsorted nonzero basis positions.
+  void ftran_col_sparse(int col, std::vector<double>& w,
+                        std::vector<int>& pattern);
 
   // --- problem data (immutable except bounds and appended cut rows) ---
   int n_ = 0;          // structural variables
@@ -529,8 +645,7 @@ class SimplexSolver {
   // --- dual simplex scratch (sized lazily in solve_dual) ---
   std::vector<double> dual_d_;      // reduced costs, size total_
   std::vector<double> dual_rho_;    // BTRANed leaving row, size m_
-  std::vector<double> dual_unit_;   // e_r scratch for the rho BTRAN
-  std::vector<double> dual_alpha_;  // pivot row sgn * (rho' A), size total_
+  std::vector<double> dual_unit_;   // e_r scratch for the dense rho BTRAN
   /// Candidate entering columns of one dual ratio test.
   struct DualCandidate {
     int col;
@@ -538,6 +653,21 @@ class SimplexSolver {
     double alpha;  // signed pivot-row entry sgn * (rho' a_col)
   };
   std::vector<DualCandidate> dual_cands_;
+  /// The live pivot-row entries of one dual ratio test: every nonbasic
+  /// non-fixed column whose alpha is above the cancellation-noise drop
+  /// tolerance (1e-4 * pivot_tol) — NOT filtered at pivot_tol. The theta
+  /// update must move every real reduced cost the pivot row touches;
+  /// filtering small-but-real alphas out of the update (the pre-PR-7
+  /// dense array did) makes dual_d_ drift by theta*alpha per pivot,
+  /// which the drift suite pins. pivot_tol still gates candidate
+  /// eligibility (pivot safety), just not the bookkeeping; below the
+  /// drop tolerance an alpha is accumulation noise and is treated as an
+  /// exact zero everywhere, keeping pivot sequences noise-independent.
+  struct DualRowEntry {
+    int col;
+    double alpha;
+  };
+  std::vector<DualRowEntry> dual_row_;
   std::vector<int> dual_flips_;     // columns flipped by the BFRT walk
   std::vector<double> dual_fcol_;   // accumulated flip column, size m_
   // Dual pricing weights (Devex reference framework / exact steepest-edge
@@ -547,6 +677,50 @@ class SimplexSolver {
   std::vector<double> dual_w_;      // size m_ while valid
   bool dual_w_valid_ = false;
   std::vector<double> dual_tau_;    // B^-1 rho scratch (steepest edge only)
+
+  // --- hypersparse dual pricing state ---
+  // Row-wise CSR mirror of the structural columns: row_start_[i] ..
+  // row_start_[i+1] lists the (column, coefficient) entries of row i,
+  // sorted by column. Rebuilt WHOLE by rebuild_row_mirror() — the single
+  // choke point called from the constructor, add_rows() and
+  // delete_rows() — so it cannot go stale against the CSC arrays.
+  std::vector<int> row_start_, row_col_;
+  std::vector<double> row_val_;
+  // Transposed factor patterns for the pattern-tracked BTRAN: for factor
+  // index k, the U columns j > k with an entry in row k (ur_) and the L
+  // columns j < k with an entry in row k (lr_) — i.e. the row patterns
+  // of U and L — plus the perm/cperm inverses.
+  bool factor_patterns_valid_ = false;
+  std::vector<int> ur_start_, ur_col_, lr_start_, lr_col_;
+  std::vector<int> perm_inv_, cperm_inv_;
+  // Pattern-solve scratch. Invariant: all-zero between uses (every solve
+  // cleans exactly the entries its pattern touched).
+  std::vector<double> hs_zb_;             // basis-position values
+  std::vector<unsigned char> hs_markb_;   // basis-position marks
+  std::vector<double> hs_zf_;             // factor-order values
+  std::vector<unsigned char> hs_markf_;   // factor-order marks
+  std::vector<unsigned char> hs_seedmark_;  // original-row seed dedup
+  std::vector<int> hs_patb_, hs_patf_;    // pattern list scratch
+  std::vector<int> dual_rho_pattern_;  // unsorted nonzero rows of dual_rho_
+  bool dual_rho_sparse_ = false;  // pattern valid for the current pivot row
+  bool dual_rho_clean_ = false;   // dual_rho_ exactly zero off-pattern
+  // Alpha accumulator over the structural columns (indexed ratio walk);
+  // exactly zero between uses.
+  std::vector<double> hs_acc_;              // size n_
+  std::vector<int> wcol_pattern_;  // entering-column FTRAN pattern
+  std::vector<int> fcol_pattern_;  // flip-column FTRAN pattern
+  // Adaptive FTRAN gate: EWMA of recent result densities for the entering
+  // column and flip-accumulator solves. Pattern tracking only runs while
+  // the estimate stays under the gate; both paths produce bit-identical
+  // vectors, so switching never perturbs the pivot trajectory. Starts
+  // optimistic (density 0) so sparse workloads take the tracked path
+  // immediately and dense ones pay at most a handful of tracked solves.
+  static constexpr double kPatternDensityGate = 0.05;
+  static constexpr double kPatternDensityAlpha = 0.05;
+  double hs_wcol_density_ = 0.0;
+  double hs_fcol_density_ = 0.0;
+  double hs_rho_density_ = 0.0;  // BTRANed pivot-row density EWMA
+  std::vector<DualPivotTrace>* dual_trace_ = nullptr;  // testing hook
 
   // Markowitz elimination workspace, reused across refactorizations so the
   // per-row vectors keep their capacity (no allocation churn in the hot

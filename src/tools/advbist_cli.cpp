@@ -20,6 +20,11 @@
 //                  leaving-row rule for the dual re-solves: devex reference
 //                  weights (default), exact steepest edge (se, one extra
 //                  FTRAN per pivot) or plain largest violation (dantzig)
+//   --hypersparse 0|1
+//                  hyper-sparse dual ratio test (default 1): walk only the
+//                  columns the BTRANed pivot row actually touches instead
+//                  of the dense rho'A pass; bit-exact, dense rows fall back
+//                  (counted, never silent)
 //   --row-age N    delete a cut row after its slack stayed basic for N
 //                  consecutive re-solves (default 40, 0 = never delete)
 //
@@ -93,7 +98,8 @@ int usage() {
                "usage: advbist <synth|sweep|compare|print> "
                "<circuit|file.dfg> [--k N] [--time S] [--threads N] "
                "[--refactor N] [--mtol X] [--dense-lu] [--dual 0|1] "
-               "[--dual-pricing dantzig|devex|se] [--row-age N] "
+               "[--dual-pricing dantzig|devex|se] [--hypersparse 0|1] "
+               "[--row-age N] "
                "[--strong-branch N] [--cuts 0|1] "
                "[--cut-rounds N] [--cut-interval N] [--max-cuts N] "
                "[--probing 0|1] [--rcfix 0|1] [--mem-limit MB] [--no-audit] "
@@ -114,6 +120,7 @@ int main(int argc, char** argv) {
   double markowitz_tol = 0.0;  // 0: keep the solver default
   bool dense_lu = false;
   int dual = -1;     // -1: keep the solver default
+  int hypersparse = -1;  // -1: keep the solver default
   int row_age = -1;  // -1: keep the solver default
   std::string dual_pricing;  // empty: keep the solver default
   int strong_branch = -1;    // -1: keep the solver default
@@ -164,7 +171,8 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--cuts") == 0 ||
              std::strcmp(argv[i], "--probing") == 0 ||
              std::strcmp(argv[i], "--rcfix") == 0 ||
-             std::strcmp(argv[i], "--dual") == 0) {
+             std::strcmp(argv[i], "--dual") == 0 ||
+             std::strcmp(argv[i], "--hypersparse") == 0) {
       const char* val = argv[i + 1];
       if (std::strcmp(val, "0") != 0 && std::strcmp(val, "1") != 0) {
         std::fprintf(stderr, "advbist: %s wants 0 or 1\n", argv[i]);
@@ -174,6 +182,7 @@ int main(int argc, char** argv) {
       if (argv[i][2] == 'c') cuts = on;
       else if (argv[i][2] == 'p') probing = on;
       else if (argv[i][2] == 'd') dual = on;
+      else if (argv[i][2] == 'h') hypersparse = on;
       else rcfix = on;
     }
     else if (std::strcmp(argv[i], "--dual-pricing") == 0) {
@@ -250,6 +259,7 @@ int main(int argc, char** argv) {
     if (markowitz_tol > 0) options.solver.lp_markowitz_tol = markowitz_tol;
     if (dense_lu) options.solver.lp_sparse_factorization = false;
     if (dual >= 0) options.solver.lp_dual_simplex = dual == 1;
+    if (hypersparse >= 0) options.solver.lp_hypersparse = hypersparse == 1;
     if (!dual_pricing.empty())
       lp::parse_dual_pricing(dual_pricing, options.solver.lp_dual_pricing);
     if (row_age >= 0) options.solver.lp_row_age_limit = row_age;
@@ -305,6 +315,21 @@ int main(int argc, char** argv) {
             "LPs (peak %d rows)\n",
             st.lp_dual_solves, st.lp_dual_fallbacks, st.lp_bound_flips,
             st.lp_devex_resets, st.lp_rows_deleted, st.lp_peak_rows);
+      if (st.lp_dual_hypersparse_pivots + st.lp_dual_dense_pivots > 0) {
+        const long long piv =
+            st.lp_dual_hypersparse_pivots + st.lp_dual_dense_pivots;
+        std::printf(
+            "     hypersparse: %lld of %lld dual pivots sparse (%.1f%%), "
+            "mean rho nnz %.1f, btrans %lld sparse / %lld dense, "
+            "ftrans %lld sparse / %lld dense\n",
+            st.lp_dual_hypersparse_pivots, piv,
+            100.0 * static_cast<double>(st.lp_dual_hypersparse_pivots) /
+                static_cast<double>(piv),
+            static_cast<double>(st.lp_dual_rho_nnz) /
+                static_cast<double>(piv),
+            st.lp_dual_btran_sparse, st.lp_dual_btran_dense,
+            st.lp_dual_ftran_sparse, st.lp_dual_ftran_dense);
+      }
       if (st.strong_branch_probed > 0)
         std::printf(
             "     branching: %d strong-branch probes seeded the shared "
