@@ -54,11 +54,23 @@
 //   ADVBIST_BENCH_AUDIT=0  disable the exit audit (A/B for its overhead;
 //                          default on, and the recorded audit_seconds
 //                          column keeps the cost visible per run)
+//   ADVBIST_BENCH_CKPT_INTERVAL  periodic-checkpoint interval in seconds
+//                          for every run (default 0 = checkpointing off).
+//                          The recorded checkpoint_seconds / checkpoints
+//                          columns keep the snapshot overhead visible; the
+//                          default-off baseline records them as zero.
+//   ADVBIST_BENCH_SERVE=1  append a warm-vs-cold serve throughput pair: a
+//                          k-sweep batch is solved cold through the serve
+//                          spool, then re-submitted under new job ids so
+//                          every job is answered from the result cache.
+//                          Lands as a "serve" object in the JSON
+//                          (cold/warm seconds, cache hits, sheds).
 //   ADVBIST_BENCH_OUT      output directory for BENCH_solver.json (default .)
 //   ADVBIST_GIT_COMMIT     commit hash recorded in the JSON (default unknown)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -67,8 +79,10 @@
 
 #include "bench_common.hpp"
 #include "core/formulation.hpp"
+#include "core/serve.hpp"
 #include "hls/benchmarks.hpp"
 #include "ilp/solver.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -120,6 +134,10 @@ struct Row {
   double seconds = 0.0;
   double audit_seconds = 0.0;
   bool audit_verified = false;
+  double checkpoint_seconds = 0.0;
+  int checkpoints = 0;
+  int resume_count = 0;
+  long long restored_nodes = 0;
   long long lp_recoveries = 0;
   long long lp_recovery_cold = 0;
   double objective = 0.0;
@@ -215,6 +233,11 @@ int main() {
                    env);
     }
   }
+  double ckpt_interval = 0.0;
+  if (const char* env = std::getenv("ADVBIST_BENCH_CKPT_INTERVAL"))
+    if (std::atof(env) > 0) ckpt_interval = std::atof(env);
+  const char* serve_env = std::getenv("ADVBIST_BENCH_SERVE");
+  const bool bench_serve = serve_env != nullptr && *serve_env == '1';
   const int row_age = env_int_or_zero("ADVBIST_BENCH_ROW_AGE", -1);
   const int strong_branch =
       env_int_or_zero("ADVBIST_BENCH_STRONG_BRANCH", -1);
@@ -316,7 +339,15 @@ int main() {
           skipped_oversubscribed = true;
           break;  // same for every cut/dual config
         }
+        if (ckpt_interval > 0) {
+          // One snapshot path per run, removed afterwards: the overhead
+          // lands in checkpoint_seconds, never in a later run's resume.
+          opt.checkpoint_path = out_dir + "/bench_ckpt.tmp";
+          opt.checkpoint_interval_seconds = ckpt_interval;
+        }
         const ilp::Solution s = ilp::Solver(opt).solve(f.model());
+        if (!opt.checkpoint_path.empty())
+          std::remove(opt.checkpoint_path.c_str());
         Row row;
         row.model = name;
         row.vars = f.model().num_variables();
@@ -365,6 +396,10 @@ int main() {
         row.audit_seconds = s.stats.audit_seconds;
         row.audit_verified = s.stats.audit_ran && s.stats.audit_incumbent_ok &&
                              s.stats.audit_bound_ok;
+        row.checkpoint_seconds = s.stats.checkpoint_seconds;
+        row.checkpoints = s.stats.checkpoints_written;
+        row.resume_count = s.stats.resumed ? 1 : 0;
+        row.restored_nodes = s.stats.restored_nodes;
         row.lp_recoveries =
             s.stats.lp_recovery_refactorize + s.stats.lp_recovery_tighten +
             s.stats.lp_recovery_dense + s.stats.lp_recovery_cold;
@@ -391,6 +426,52 @@ int main() {
         if (skipped_oversubscribed) break;  // same for every cut config
       }
     }
+  }
+
+  // Warm-vs-cold serve throughput pair: the same k-sweep batch is solved
+  // cold through the spool, then re-submitted under fresh job ids so every
+  // job is answered from the result cache. The pair makes the cache win —
+  // and any serve-layer regression (failed jobs, lost cache hits, queue
+  // sheds on a healthy run) — visible in the committed trajectory.
+  bool have_serve = false;
+  int serve_jobs = 0;
+  double serve_cold_seconds = 0.0, serve_warm_seconds = 0.0;
+  core::ServeStats serve_cold, serve_warm;
+  if (bench_serve) {
+    const std::string spool = out_dir + "/bench_spool";
+    std::filesystem::remove_all(spool);
+    core::ServeOptions so;
+    so.dir = spool;
+    so.default_time_limit = 120.0;
+    const auto submit_batch = [&](const std::string& suffix) {
+      int n = 0;
+      for (const std::string& name : circuits)
+        for (int k = 1; k <= 2; ++k) {
+          core::JobSpec spec;
+          spec.id = name + "-k" + std::to_string(k) + suffix;
+          spec.circuit = name;
+          spec.k = k;
+          if (core::submit_job(spool, spec)) ++n;
+        }
+      return n;
+    };
+    serve_jobs = submit_batch("");
+    util::Stopwatch cold_watch;
+    serve_cold = core::serve(so);
+    serve_cold_seconds = cold_watch.seconds();
+    submit_batch("-warm");
+    util::Stopwatch warm_watch;
+    serve_warm = core::serve(so);
+    serve_warm_seconds = warm_watch.seconds();
+    std::filesystem::remove_all(spool);
+    have_serve = true;
+    std::printf(
+        "serve    jobs=%d cold=%.2fs warm=%.2fs cache_hits=%d/%d "
+        "failed=%d shed=%lld\n",
+        serve_jobs, serve_cold_seconds, serve_warm_seconds,
+        serve_warm.cache_hits, serve_warm.jobs_completed,
+        serve_cold.jobs_failed + serve_warm.jobs_failed,
+        serve_cold.jobs_shed + serve_warm.jobs_shed);
   }
 
   std::ostringstream json;
@@ -423,6 +504,8 @@ int main() {
         "\"probing_fixed\": %d, \"rc_fixed\": %d, \"root_gap_closed\": %.4f, "
         "\"best_bound\": %.6f, \"gap\": %.6f, \"seconds\": %.4f, "
         "\"audit_seconds\": %.4f, \"audit_verified\": %s, "
+        "\"checkpoint_seconds\": %.4f, \"checkpoints\": %d, "
+        "\"resume_count\": %d, \"restored_nodes\": %lld, "
         "\"lp_recoveries\": %lld, \"lp_recovery_cold\": %lld, "
         "\"nodes_per_sec\": %.1f, \"objective\": %.6f, \"status\": \"%s\"%s}%s\n",
         r.model.c_str(), r.vars, r.rows, r.threads, r.cuts ? "true" : "false",
@@ -438,14 +521,34 @@ int main() {
         r.sparse_refactorizations, r.fill_ratio, r.cuts_applied, r.cuts_clique,
         r.cuts_cover, r.probing_fixed, r.rc_fixed, r.root_gap_closed,
         r.best_bound, r.gap, r.seconds, r.audit_seconds,
-        r.audit_verified ? "true" : "false", r.lp_recoveries,
+        r.audit_verified ? "true" : "false", r.checkpoint_seconds,
+        r.checkpoints, r.resume_count, r.restored_nodes, r.lp_recoveries,
         r.lp_recovery_cold,
         r.seconds > 0 ? r.nodes / r.seconds : 0.0, r.objective,
         r.status.c_str(), r.oversubscribed ? ", \"oversubscribed\": true" : "",
         i + 1 < rows.size() ? "," : "");
     json << buf;
   }
-  json << "  ]\n}\n";
+  json << "  ]";
+  if (have_serve) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\n  \"serve\": {\"jobs\": %d, \"cold_seconds\": %.4f, "
+        "\"warm_seconds\": %.4f, \"cold_jobs_per_sec\": %.2f, "
+        "\"warm_completed\": %d, \"warm_cache_hits\": %d, "
+        "\"jobs_failed\": %d, \"jobs_shed\": %lld, "
+        "\"checkpoints_written\": %d, \"resume_rejected\": %d}",
+        serve_jobs, serve_cold_seconds, serve_warm_seconds,
+        serve_cold_seconds > 0 ? serve_jobs / serve_cold_seconds : 0.0,
+        serve_warm.jobs_completed, serve_warm.cache_hits,
+        serve_cold.jobs_failed + serve_warm.jobs_failed,
+        serve_cold.jobs_shed + serve_warm.jobs_shed,
+        serve_cold.checkpoints_written + serve_warm.checkpoints_written,
+        serve_cold.resume_rejected + serve_warm.resume_rejected);
+    json << buf;
+  }
+  json << "\n}\n";
 
   const std::string path = out_dir + "/BENCH_solver.json";
   std::ofstream out(path);

@@ -25,6 +25,13 @@
 # ADVBIST_BENCH_DUAL, ADVBIST_BENCH_DUAL_PRICING and
 # ADVBIST_BENCH_HYPERSPARSE pin a single configuration.
 #
+# Crash-safety columns: every run records checkpoint_seconds / checkpoints
+# (snapshot-writer overhead; zero in the default checkpointing-off baseline,
+# measurable via ADVBIST_BENCH_CKPT_INTERVAL) and resume_count /
+# restored_nodes. A warm-vs-cold serve throughput pair (the same k-sweep
+# batch solved cold through the spool, then re-answered from the result
+# cache) lands as the "serve" object; ADVBIST_BENCH_SERVE=0 skips it.
+#
 # Factorization knobs: ADVBIST_BENCH_REFACTOR (pivots between
 # refactorizations), ADVBIST_BENCH_DENSE_LU=1 (dense sweep only).
 # Cut knobs: ADVBIST_BENCH_CUT_ROUNDS, ADVBIST_BENCH_CUT_INTERVAL,
@@ -57,6 +64,8 @@ fi
 
 export ADVBIST_GIT_COMMIT=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
 export ADVBIST_BENCH_OUT="$repo_root"
+# The warm/cold serve pair is part of the committed trajectory by default.
+export ADVBIST_BENCH_SERVE="${ADVBIST_BENCH_SERVE:-1}"
 
 # Snapshot the committed baseline BEFORE the sweep overwrites the file.
 baseline=$(git -C "$repo_root" show HEAD:BENCH_solver.json 2>/dev/null || true)
@@ -105,6 +114,32 @@ for old in baseline["runs"]:
             abs(new["objective"] - old["objective"]) > 1e-6:
         regressions.append((old, new))
 
+# Crash-safety gates on the new columns. (a) Snapshot overhead: a run that
+# wrote checkpoints must not have spent more than half its wall clock in
+# the writer — that would mean the "never blocks workers" contract broke.
+# (b) Serve pair: a healthy warm pass must answer every job from the cache
+# with nothing failed or shed; a committed serve baseline must not
+# silently disappear from the sweep.
+hard_failures = 0
+for run in current["runs"]:
+    if run.get("checkpoints", 0) > 0 and \
+            run["checkpoint_seconds"] > 0.5 * max(run["seconds"], 1e-9):
+        print(f"run_bench: CHECKPOINT OVERHEAD at {key(run)}: "
+              f"{run['checkpoint_seconds']:.3f}s of {run['seconds']:.3f}s "
+              "spent writing snapshots", file=sys.stderr)
+        hard_failures += 1
+serve = current.get("serve")
+if serve is not None:
+    if serve["jobs_failed"] > 0 or serve["jobs_shed"] > 0 or \
+            serve["warm_cache_hits"] < serve["jobs"]:
+        print(f"run_bench: SERVE REGRESSION: {serve['jobs_failed']} failed, "
+              f"{serve['jobs_shed']} shed, cache hits "
+              f"{serve['warm_cache_hits']}/{serve['jobs']}", file=sys.stderr)
+        hard_failures += 1
+elif baseline.get("serve") is not None:
+    print("run_bench: note: committed baseline has a serve pair but this "
+          "sweep skipped it (ADVBIST_BENCH_SERVE=0?)", file=sys.stderr)
+
 for old in missing:
     print(f"run_bench: note: no new run for {key(old)} "
           f"(restricted sweep?); baseline status '{old['status']}' "
@@ -113,13 +148,14 @@ for old, new in regressions:
     print(f"run_bench: STATUS REGRESSION at {key(old)}: "
           f"'{old['status']}' (obj {old['objective']}) -> "
           f"'{new['status']}' (obj {new['objective']})", file=sys.stderr)
-if regressions:
+if regressions or hard_failures:
     if os.environ.get("ADVBIST_BENCH_ALLOW_REGRESSION") == "1":
         print("run_bench: regression ALLOWED by "
               "ADVBIST_BENCH_ALLOW_REGRESSION=1", file=sys.stderr)
         sys.exit(0)
-    print("run_bench: FAILING: a committed proven status regressed. If the "
-          "loss is intentional (lossy experiment, knob sweep), re-run with "
+    print("run_bench: FAILING: a committed proven status regressed or a "
+          "crash-safety gate fired. If the loss is intentional (lossy "
+          "experiment, knob sweep), re-run with "
           "ADVBIST_BENCH_ALLOW_REGRESSION=1 to downgrade this failure to a "
           "warning — see docs/solver.md.", file=sys.stderr)
     sys.exit(1)

@@ -1,0 +1,396 @@
+#include "core/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/synthesizer.hpp"
+#include "hls/benchmarks.hpp"
+#include "hls/dfg_parser.hpp"
+#include "util/logging.hpp"
+#include "util/snapshot.hpp"
+
+namespace advbist::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool valid_job_id(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Atomic text drop: write <path>.tmp, flush, rename over <path>.
+bool write_text_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+hls::ParsedDesign load_design(const std::string& spec) {
+  if (spec.find('.') == std::string::npos) {
+    const hls::Benchmark b = hls::benchmark_by_name(spec);
+    return hls::ParsedDesign{b.dfg, b.modules};
+  }
+  std::ifstream in(spec);
+  if (!in) throw std::invalid_argument("cannot open " + spec);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return hls::parse_dfg_text(text.str());
+}
+
+/// Cache key: hash of the canonical .dfg text plus the session count — the
+/// same (circuit, k) pair always produces the same formulation, so this IS
+/// a model hash, computed without building the ILP.
+std::string cache_key(const hls::ParsedDesign& design, int k) {
+  std::string canon = hls::to_dfg_text(design.dfg, design.modules);
+  canon += "\nk=" + std::to_string(k);
+  const std::uint64_t h = util::fnv1a64(
+      reinterpret_cast<const unsigned char*>(canon.data()), canon.size());
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string format_result(const JobOutcome& o) {
+  std::ostringstream out;
+  out << "id=" << o.id << "\n"
+      << "status=" << o.status << "\n"
+      << "objective=" << o.objective << "\n"
+      << "bound=" << o.best_bound << "\n"
+      << "area=" << o.area << "\n"
+      << "nodes=" << o.nodes << "\n"
+      << "attempts=" << o.attempts << "\n"
+      << "resumed=" << (o.resumed ? 1 : 0) << "\n"
+      << "verified=" << (o.verified ? 1 : 0) << "\n"
+      << "cached=" << (o.from_cache ? 1 : 0) << "\n";
+  return out.str();
+}
+
+bool drain_requested(const ServeOptions& opt) {
+  return opt.drain != nullptr && opt.drain->load(std::memory_order_relaxed);
+}
+
+/// Sleeps `seconds`, waking early (returning true) if drain is raised.
+bool interruptible_sleep(const ServeOptions& opt, double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (drain_requested(opt)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return drain_requested(opt);
+}
+
+/// Pending job ids, oldest-name-first (sorted for determinism).
+std::vector<std::string> scan_pending(const std::string& jobs_dir) {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(jobs_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".job") continue;
+    ids.push_back(p.stem().string());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+bool submit_job(const std::string& dir, const JobSpec& spec) {
+  if (!valid_job_id(spec.id) || spec.circuit.empty() || spec.k < 1)
+    return false;
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / "jobs", ec);
+  if (ec) return false;
+  std::ostringstream out;
+  out << "circuit=" << spec.circuit << "\n"
+      << "k=" << spec.k << "\n";
+  if (spec.time_limit > 0) out << "time=" << spec.time_limit << "\n";
+  if (spec.threads > 0) out << "threads=" << spec.threads << "\n";
+  if (spec.node_limit > 0) out << "nodes=" << spec.node_limit << "\n";
+  return write_text_atomic((fs::path(dir) / "jobs" / (spec.id + ".job")).string(),
+                           out.str());
+}
+
+std::optional<JobSpec> parse_job_file(const std::string& path,
+                                      const std::string& id) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  JobSpec spec;
+  spec.id = id;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "circuit") {
+      spec.circuit = val;
+    } else if (key == "k") {
+      spec.k = static_cast<int>(std::strtol(val.c_str(), &end, 10));
+      if (end == nullptr || *end != '\0' || spec.k < 1) return std::nullopt;
+    } else if (key == "time") {
+      spec.time_limit = std::strtod(val.c_str(), &end);
+      if (end == nullptr || *end != '\0' || spec.time_limit <= 0)
+        return std::nullopt;
+    } else if (key == "threads") {
+      spec.threads = static_cast<int>(std::strtol(val.c_str(), &end, 10));
+      if (end == nullptr || *end != '\0' || spec.threads < 0)
+        return std::nullopt;
+    } else if (key == "nodes") {
+      spec.node_limit = std::strtoll(val.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || spec.node_limit < 0)
+        return std::nullopt;
+    } else {
+      return std::nullopt;  // unknown keys are malformed, not ignored
+    }
+  }
+  if (spec.circuit.empty()) return std::nullopt;
+  return spec;
+}
+
+std::optional<JobOutcome> read_result_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  JobOutcome o;
+  std::string line;
+  bool saw_status = false;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    if (key == "id") o.id = val;
+    else if (key == "status") { o.status = val; saw_status = true; }
+    else if (key == "objective") o.objective = std::atof(val.c_str());
+    else if (key == "bound") o.best_bound = std::atof(val.c_str());
+    else if (key == "area") o.area = std::atoi(val.c_str());
+    else if (key == "nodes") o.nodes = std::atoll(val.c_str());
+    else if (key == "attempts") o.attempts = std::atoi(val.c_str());
+    else if (key == "resumed") o.resumed = val == "1";
+    else if (key == "verified") o.verified = val == "1";
+    else if (key == "cached") o.from_cache = val == "1";
+  }
+  if (!saw_status) return std::nullopt;
+  return o;
+}
+
+ServeStats serve(const ServeOptions& options) {
+  ServeStats stats;
+  const fs::path root(options.dir);
+  const fs::path jobs_dir = root / "jobs";
+  const fs::path ckpt_dir = root / "ckpt";
+  const fs::path done_dir = root / "done";
+  const fs::path failed_dir = root / "failed";
+  const fs::path cache_dir = root / "cache";
+  std::error_code ec;
+  for (const fs::path& d :
+       {jobs_dir, ckpt_dir, done_dir, failed_dir, cache_dir})
+    fs::create_directories(d, ec);
+
+  util::BoundedJobQueue queue(
+      static_cast<std::size_t>(std::max(1, options.queue_capacity)));
+  long long fault_sheds_seen = 0;
+
+  const auto finish = [&](const JobSpec& spec, JobOutcome outcome,
+                          bool failed) {
+    outcome.id = spec.id;
+    const fs::path dest =
+        (failed ? failed_dir : done_dir) / (spec.id + ".result");
+    write_text_atomic(dest.string(), format_result(outcome));
+    fs::remove(jobs_dir / (spec.id + ".job"), ec);
+    fs::remove(ckpt_dir / (spec.id + ".ck"), ec);  // no stale state behind
+    (failed ? stats.jobs_failed : stats.jobs_completed) += 1;
+    stats.outcomes.push_back(std::move(outcome));
+  };
+
+  while (true) {
+    if (drain_requested(options)) {
+      stats.drained = true;
+      break;
+    }
+
+    // Admission scan: pending specs enter the bounded queue; refusals
+    // (full queue) simply stay on disk, fault refusals are counted shed.
+    for (const std::string& id : scan_pending(jobs_dir.string())) {
+      if (queue.full()) break;
+      queue.try_push(id);
+    }
+    if (queue.shed_by_fault() > fault_sheds_seen) {
+      stats.jobs_shed += queue.shed_by_fault() - fault_sheds_seen;
+      fault_sheds_seen = queue.shed_by_fault();
+    }
+
+    const std::optional<std::string> next = queue.pop();
+    if (!next) {
+      if (!options.watch) break;
+      if (interruptible_sleep(options, options.poll_seconds)) {
+        stats.drained = true;
+        break;
+      }
+      continue;
+    }
+
+    const std::string job_path = (jobs_dir / (*next + ".job")).string();
+    if (!fs::exists(job_path)) continue;  // raced away (e.g. manual removal)
+    const std::optional<JobSpec> parsed = parse_job_file(job_path, *next);
+    if (!parsed) {
+      JobOutcome bad;
+      bad.status = "malformed";
+      JobSpec stub;
+      stub.id = *next;
+      finish(stub, std::move(bad), /*failed=*/true);
+      ++stats.jobs_malformed;
+      --stats.jobs_failed;  // malformed is its own counter, not a retry loss
+      continue;
+    }
+    const JobSpec& spec = *parsed;
+
+    hls::ParsedDesign design;
+    try {
+      design = load_design(spec.circuit);
+    } catch (const std::exception& e) {
+      util::log_warn() << "serve: job " << spec.id << ": " << e.what();
+      JobOutcome bad;
+      bad.status = "bad-circuit";
+      finish(spec, std::move(bad), /*failed=*/true);
+      continue;
+    }
+
+    const std::string key = cache_key(design, spec.k);
+    const fs::path cache_path = cache_dir / (key + ".result");
+    if (std::optional<JobOutcome> hit = read_result_file(cache_path.string())) {
+      hit->from_cache = true;
+      hit->attempts = 0;
+      ++stats.cache_hits;
+      finish(spec, std::move(*hit), /*failed=*/false);
+      continue;
+    }
+
+    // Attempt loop: each attempt resumes from the job's checkpoint (the
+    // solver treats a missing file as a cold start), so retries make
+    // monotone progress. The job key for backoff jitter is the cache key.
+    const std::uint64_t job_key = util::fnv1a64(
+        reinterpret_cast<const unsigned char*>(key.data()), key.size());
+    bool job_resumed = false;
+    bool left_pending = false;
+    JobOutcome outcome;
+    int attempt = 0;
+    while (true) {
+      if (drain_requested(options)) {
+        left_pending = true;
+        break;
+      }
+      ++attempt;
+      SynthesizerOptions sopt;
+      sopt.solver = options.solver;
+      sopt.solver.time_limit_seconds =
+          spec.time_limit > 0 ? spec.time_limit : options.default_time_limit;
+      sopt.solver.num_threads =
+          spec.threads > 0 ? spec.threads : options.default_threads;
+      if (spec.node_limit > 0) sopt.solver.node_limit = spec.node_limit;
+      const std::string ck = (ckpt_dir / (spec.id + ".ck")).string();
+      sopt.solver.checkpoint_path = ck;
+      sopt.solver.resume_path = ck;
+      sopt.solver.checkpoint_interval_seconds =
+          options.checkpoint_interval_seconds;
+      sopt.solver.cancel_flag = options.drain;
+
+      const Synthesizer synth(design.dfg, design.modules, sopt);
+      const SynthesisResult r = synth.synthesize_bist(spec.k);
+      const ilp::Stats& st = r.solver_stats;
+      stats.checkpoints_written += st.checkpoints_written;
+      stats.resume_rejected += st.resume_rejected;
+      if (st.resumed) job_resumed = true;
+
+      outcome = JobOutcome{};
+      outcome.status = ilp::to_string(r.status);
+      outcome.objective = r.objective;
+      outcome.best_bound = r.best_bound;
+      outcome.area = r.design.area.total();
+      outcome.nodes = r.nodes;
+      outcome.attempts = attempt;
+      outcome.resumed = job_resumed;
+      outcome.verified = st.audit_incumbent_ok;
+
+      if (drain_requested(options) ||
+          st.termination == util::StopReason::kCancelled) {
+        // The solve checkpointed its frontier on the way out; the job
+        // stays pending on disk for the restarted serve to resume.
+        left_pending = true;
+        break;
+      }
+      if (st.termination == util::StopReason::kNone) {
+        finish(spec, outcome, /*failed=*/false);
+        if (r.is_optimal() && st.audit_incumbent_ok) {
+          JobOutcome cached = outcome;
+          cached.from_cache = false;
+          write_text_atomic(cache_path.string(), format_result(cached));
+        }
+        if (st.termination == util::StopReason::kNone &&
+            st.memory_unreleased_bytes > 0)
+          util::log_warn() << "serve: job " << spec.id << " left "
+                           << st.memory_unreleased_bytes
+                           << " bytes accounted at teardown";
+        break;
+      }
+      if (st.termination == util::StopReason::kMemoryLimit) {
+        // Shed queued (never running) jobs first: they only lose their
+        // in-memory slot and stay durable on disk.
+        const std::size_t shed = queue.shed_all();
+        if (shed > 0) {
+          stats.jobs_shed += static_cast<long long>(shed);
+          stats.memory_pressure_shed = true;
+        }
+      }
+      if (attempt > options.max_retries) {
+        finish(spec, outcome, /*failed=*/true);
+        break;
+      }
+      ++stats.retries;
+      if (interruptible_sleep(
+              options, options.backoff.delay_seconds(job_key, attempt))) {
+        left_pending = true;
+        break;
+      }
+    }
+    if (left_pending) {
+      stats.drained = true;
+      if (job_resumed) ++stats.resumed_jobs;
+      break;
+    }
+    if (job_resumed) ++stats.resumed_jobs;
+  }
+  return stats;
+}
+
+}  // namespace advbist::core

@@ -1,0 +1,113 @@
+// advbist serve: a crash-safe batch/daemon front end over the synthesizer.
+//
+// Jobs live as plain-text spec files in a spool directory — submitting is
+// an atomic file drop, so producers never need the daemon alive:
+//
+//   <dir>/jobs/<id>.job      pending specs (circuit=, k=, time=, ...)
+//   <dir>/ckpt/<id>.ck       the job's latest solve checkpoint
+//   <dir>/done/<id>.result   completed jobs (text key=value report)
+//   <dir>/failed/<id>.result jobs that exhausted their retries
+//   <dir>/cache/<hex>.result audit-verified optimal results by model hash
+//
+// The engine admits pending jobs into a bounded in-memory queue (honest
+// backpressure: a full queue or a fired kQueueAlloc fault refuses the slot
+// and the job simply stays on disk for a later scan) and runs them one at
+// a time. A job that stops on a limit is retried with exponential backoff
+// plus deterministic jitter, resuming from its checkpoint, so every retry
+// makes monotone progress instead of starting over. Results of
+// audit-verified optimal solves are cached by model hash; a later job for
+// the same model is answered from the cache without solving.
+//
+// Drain (SIGTERM in the CLI): the drain flag cancels the running solve
+// cooperatively — the solver checkpoints its frontier on the way out — and
+// the engine exits leaving every unfinished job pending on disk. A
+// restarted serve picks them up and resumes from their checkpoints.
+//
+// A job that ends with a memory-limit stop sheds the queued (not running)
+// jobs from the in-memory queue back to their on-disk pending state before
+// anything else, and the shed is flagged in the stats.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ilp/solver.hpp"
+#include "util/job_queue.hpp"
+
+namespace advbist::core {
+
+struct JobSpec {
+  std::string id;        ///< spool file stem; [A-Za-z0-9._-] only
+  std::string circuit;   ///< built-in benchmark name or .dfg file path
+  int k = 1;             ///< BIST test sessions
+  double time_limit = 0.0;   ///< per-attempt deadline; 0 = serve default
+  int threads = 0;           ///< solver threads; 0 = serve default
+  long long node_limit = 0;  ///< 0 = unlimited
+};
+
+/// One line of the serve outcome ledger (also what the result files hold).
+struct JobOutcome {
+  std::string id;
+  std::string status;     ///< ilp::to_string of the final solve status
+  double objective = 0.0;
+  double best_bound = 0.0;
+  int area = 0;
+  long long nodes = 0;
+  int attempts = 0;       ///< solve attempts actually run (0 on cache hit)
+  bool resumed = false;   ///< some attempt restored a checkpoint
+  bool verified = false;  ///< exit audit verified the incumbent
+  bool from_cache = false;
+};
+
+struct ServeStats {
+  int jobs_completed = 0;
+  int jobs_failed = 0;     ///< exhausted retries (moved to failed/)
+  int jobs_malformed = 0;  ///< unparseable spec files (moved to failed/)
+  long long jobs_shed = 0; ///< queue-slot refusals: kQueueAlloc fault fires
+                           ///< + memory-pressure sheds (jobs stay on disk)
+  bool memory_pressure_shed = false;  ///< some shed came from memory pressure
+  int retries = 0;
+  int cache_hits = 0;
+  int resumed_jobs = 0;
+  int resume_rejected = 0;      ///< snapshots rejected across all attempts
+  int checkpoints_written = 0;  ///< snapshot files written across all attempts
+  bool drained = false;         ///< exited via the drain flag
+  std::vector<JobOutcome> outcomes;
+};
+
+struct ServeOptions {
+  std::string dir;           ///< spool root (created if missing)
+  int queue_capacity = 8;
+  int max_retries = 3;       ///< retries after the first attempt
+  util::BackoffPolicy backoff;
+  double default_time_limit = 10.0;
+  int default_threads = 1;
+  double checkpoint_interval_seconds = 0.0;  ///< in-solve periodic snapshots
+  bool watch = false;        ///< keep polling after the spool drains
+  double poll_seconds = 0.2; ///< watch-mode scan interval
+  std::atomic<bool>* drain = nullptr;  ///< cooperative drain (SIGTERM)
+  /// Base solver knobs for every job (cuts, pricing, memory budget, ...);
+  /// per-job spec fields override time/threads/nodes.
+  ilp::Options solver;
+};
+
+/// Writes `spec` to <dir>/jobs/<id>.job atomically (temp + rename).
+/// Returns false on an invalid id or an I/O failure.
+bool submit_job(const std::string& dir, const JobSpec& spec);
+
+/// Parses a spool spec file. Returns nullopt when the file is missing a
+/// circuit, has an out-of-range field, or is otherwise malformed.
+[[nodiscard]] std::optional<JobSpec> parse_job_file(const std::string& path,
+                                                   const std::string& id);
+
+/// Reads a done/failed/cache result file back into an outcome.
+[[nodiscard]] std::optional<JobOutcome> read_result_file(
+    const std::string& path);
+
+/// Runs the serve loop until the spool drains (watch=false), or until the
+/// drain flag is raised. Returns the ledger of everything it did.
+ServeStats serve(const ServeOptions& options);
+
+}  // namespace advbist::core

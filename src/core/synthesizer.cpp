@@ -32,6 +32,15 @@ SynthesisResult Synthesizer::run(const Formulation& formulation,
                                  int k_for_seed) const {
   ilp::Options solver_options = opt_.solver;
   solver_options.branch_priority = formulation.branch_priorities();
+  // Checkpoint/resume is for the caller's TARGET solve (the BIST session
+  // ILP). The reference synthesis is a different model sharing the same
+  // options — letting it write to or resume from the same snapshot path
+  // would at best waste a rejected-fingerprint cold start per run.
+  if (k_for_seed == 0) {
+    solver_options.checkpoint_path.clear();
+    solver_options.resume_path.clear();
+    solver_options.checkpoint_interval_seconds = 0.0;
+  }
 
   // Seed the search with the cheapest baseline design that fits the same
   // register budget (heuristic designs are feasible ILP points up to a

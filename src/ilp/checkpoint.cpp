@@ -1,0 +1,159 @@
+#include "ilp/checkpoint.hpp"
+
+#include "util/snapshot.hpp"
+
+namespace advbist::ilp {
+
+namespace {
+
+/// Bump on ANY layout change: an old-format file must fail the frame
+/// check, not decode into garbage.
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+std::uint64_t model_fingerprint(const lp::Model& model) {
+  util::SnapshotWriter w;
+  w.put_u32(static_cast<std::uint32_t>(model.num_variables()));
+  w.put_u32(static_cast<std::uint32_t>(model.num_constraints()));
+  for (int v = 0; v < model.num_variables(); ++v) {
+    const lp::VariableDef& var = model.variable(v);
+    w.put_f64(var.lower);
+    w.put_f64(var.upper);
+    w.put_f64(var.objective);
+    w.put_u8(static_cast<std::uint8_t>(var.type));
+  }
+  for (int c = 0; c < model.num_constraints(); ++c) {
+    const lp::ConstraintDef& row = model.constraint(c);
+    w.put_u32(static_cast<std::uint32_t>(row.terms.size()));
+    for (const lp::Term& t : row.terms) {
+      w.put_u32(static_cast<std::uint32_t>(t.var));
+      w.put_f64(t.coeff);
+    }
+    w.put_u8(static_cast<std::uint8_t>(row.sense));
+    w.put_f64(row.rhs);
+  }
+  return util::fnv1a64(w.bytes().data(), w.bytes().size());
+}
+
+std::vector<unsigned char> serialize(const SolveCheckpoint& ck) {
+  util::SnapshotWriter w;
+  w.put_u64(ck.model_fingerprint);
+  w.put_u32(static_cast<std::uint32_t>(ck.num_variables));
+  w.put_u8(ck.has_incumbent ? 1 : 0);
+  w.put_f64(ck.incumbent_objective);
+  w.put_doubles(ck.incumbent);
+  w.put_f64(ck.cutoff);
+  w.put_f64(ck.dropped_bound);
+  w.put_i64(ck.nodes_explored);
+  w.put_doubles(ck.global_lb);
+  w.put_doubles(ck.global_ub);
+  w.put_u64(ck.frontier.size());
+  for (const CheckpointNode& n : ck.frontier) {
+    w.put_u64(n.changes.size());
+    for (const CheckpointNode::Change& c : n.changes) {
+      w.put_u32(static_cast<std::uint32_t>(c.var));
+      w.put_f64(c.lower);
+      w.put_f64(c.upper);
+    }
+    w.put_f64(n.parent_bound);
+    w.put_u32(static_cast<std::uint32_t>(n.depth));
+    w.put_u32(static_cast<std::uint32_t>(n.branch_var));
+    w.put_u8(n.branch_up ? 1 : 0);
+    w.put_f64(n.branch_dist);
+    w.put_f64(n.parent_obj);
+  }
+  w.put_u64(ck.cuts.size());
+  for (const CheckpointCut& c : ck.cuts) {
+    w.put_u64(c.terms.size());
+    for (const lp::Term& t : c.terms) {
+      w.put_u32(static_cast<std::uint32_t>(t.var));
+      w.put_f64(t.coeff);
+    }
+    w.put_f64(c.rhs);
+    w.put_u8(c.cut_class);
+  }
+  w.put_u64(ck.pseudocosts.size());
+  for (const CheckpointPseudocost& p : ck.pseudocosts) {
+    w.put_u32(static_cast<std::uint32_t>(p.var));
+    w.put_f64(p.up_sum);
+    w.put_f64(p.down_sum);
+    w.put_u32(static_cast<std::uint32_t>(p.up_cnt));
+    w.put_u32(static_cast<std::uint32_t>(p.down_cnt));
+  }
+  return w.bytes();
+}
+
+std::optional<SolveCheckpoint> deserialize(
+    const std::vector<unsigned char>& bytes) {
+  util::SnapshotReader r(bytes);
+  SolveCheckpoint ck;
+  ck.model_fingerprint = r.u64();
+  ck.num_variables = static_cast<int>(r.u32());
+  ck.has_incumbent = r.u8() != 0;
+  ck.incumbent_objective = r.f64();
+  r.doubles(ck.incumbent);
+  ck.cutoff = r.f64();
+  ck.dropped_bound = r.f64();
+  ck.nodes_explored = r.i64();
+  r.doubles(ck.global_lb);
+  r.doubles(ck.global_ub);
+  // Per-node minimum is ~41 bytes; 1 is a safe divisor for the fuzz cap.
+  const std::size_t num_nodes = r.count(41);
+  if (!r.ok()) return std::nullopt;
+  ck.frontier.resize(num_nodes);
+  for (CheckpointNode& n : ck.frontier) {
+    const std::size_t nc = r.count(20);
+    if (!r.ok()) return std::nullopt;
+    n.changes.resize(nc);
+    for (CheckpointNode::Change& c : n.changes) {
+      c.var = static_cast<int>(r.u32());
+      c.lower = r.f64();
+      c.upper = r.f64();
+    }
+    n.parent_bound = r.f64();
+    n.depth = static_cast<int>(r.u32());
+    n.branch_var = static_cast<int>(r.u32());
+    n.branch_up = r.u8() != 0;
+    n.branch_dist = r.f64();
+    n.parent_obj = r.f64();
+  }
+  const std::size_t num_cuts = r.count(17);
+  if (!r.ok()) return std::nullopt;
+  ck.cuts.resize(num_cuts);
+  for (CheckpointCut& c : ck.cuts) {
+    const std::size_t nt = r.count(12);
+    if (!r.ok()) return std::nullopt;
+    c.terms.resize(nt);
+    for (lp::Term& t : c.terms) {
+      t.var = static_cast<int>(r.u32());
+      t.coeff = r.f64();
+    }
+    c.rhs = r.f64();
+    c.cut_class = r.u8();
+  }
+  const std::size_t num_pc = r.count(28);
+  if (!r.ok()) return std::nullopt;
+  ck.pseudocosts.resize(num_pc);
+  for (CheckpointPseudocost& p : ck.pseudocosts) {
+    p.var = static_cast<int>(r.u32());
+    p.up_sum = r.f64();
+    p.down_sum = r.f64();
+    p.up_cnt = static_cast<int>(r.u32());
+    p.down_cnt = static_cast<int>(r.u32());
+  }
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return ck;
+}
+
+bool save_checkpoint(const std::string& path, const SolveCheckpoint& ck) {
+  return util::save_snapshot_file(path, kCheckpointVersion, serialize(ck));
+}
+
+std::optional<SolveCheckpoint> load_checkpoint(const std::string& path) {
+  const auto payload = util::load_snapshot_file(path, kCheckpointVersion);
+  if (!payload) return std::nullopt;
+  return deserialize(*payload);
+}
+
+}  // namespace advbist::ilp

@@ -275,6 +275,32 @@ bool CutPool::add(Cut cut) {
   return true;
 }
 
+bool CutPool::restore_applied(Cut cut) {
+  const std::uint64_t h = hash_cut(cut);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (hashes_[i] != h) continue;
+    Entry& e = entries_[i];
+    if (e.cut.terms.size() == cut.terms.size() &&
+        std::abs(e.cut.rhs - cut.rhs) < kBoundEps &&
+        std::equal(e.cut.terms.begin(), e.cut.terms.end(), cut.terms.begin(),
+                   [](const Term& a, const Term& b) {
+                     return a.var == b.var &&
+                            std::abs(a.coeff - b.coeff) < kBoundEps;
+                   })) {
+      if (e.applied) return false;
+      e.applied = true;
+      applied_.push_back(e.cut);
+      return true;
+    }
+  }
+  // Applied entries are never evicted (they live as LP rows), so restoring
+  // past max_size_ is deliberate — the rows existed in the interrupted run.
+  entries_.push_back(Entry{cut, 3, true});
+  hashes_.push_back(h);
+  applied_.push_back(std::move(cut));
+  return true;
+}
+
 std::vector<Cut> CutPool::take_violated(const std::vector<double>& x,
                                         double min_violation, int max_cuts) {
   struct Candidate {

@@ -83,6 +83,13 @@ class CutPool {
   /// into their own LPs; it only ever grows).
   [[nodiscard]] const std::vector<Cut>& applied() const { return applied_; }
 
+  /// Checkpoint restore: inserts `cut` directly as an APPLIED row (workers
+  /// replay the applied list, so the restored cut reaches every LP). A
+  /// structurally identical pooled cut is promoted instead of duplicated;
+  /// an already-applied duplicate is a no-op. Returns true when the
+  /// applied list grew.
+  bool restore_applied(Cut cut);
+
   [[nodiscard]] int num_pooled() const;
   [[nodiscard]] long long aged_out() const { return aged_out_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -13,6 +14,7 @@
 #include <optional>
 #include <thread>
 
+#include "ilp/checkpoint.hpp"
 #include "ilp/conflict_graph.hpp"
 #include "ilp/cuts.hpp"
 #include "ilp/presolve.hpp"
@@ -158,6 +160,32 @@ class PseudocostStore {
     return (sum + (reliability - cnt) * global_avg) / reliability;
   }
 
+  /// Checkpoint capture: appends every variable with any history (relaxed
+  /// reads; the callers capture either post-join or under the search
+  /// mutex, where marginal staleness only perturbs later branching order).
+  void capture(std::vector<CheckpointPseudocost>& out) const {
+    for (int v = 0; v < n_; ++v) {
+      const Entry& e = entries_[v];
+      CheckpointPseudocost p;
+      p.var = v;
+      p.up_sum = e.up_sum.load(std::memory_order_relaxed);
+      p.down_sum = e.down_sum.load(std::memory_order_relaxed);
+      p.up_cnt = e.up_cnt.load(std::memory_order_relaxed);
+      p.down_cnt = e.down_cnt.load(std::memory_order_relaxed);
+      if (p.up_cnt > 0 || p.down_cnt > 0) out.push_back(p);
+    }
+  }
+
+  /// Checkpoint restore (pre-search, single-threaded): overwrites one
+  /// variable's history with the interrupted run's.
+  void restore(const CheckpointPseudocost& p) {
+    Entry& e = entries_[p.var];
+    e.up_sum.store(p.up_sum, std::memory_order_relaxed);
+    e.down_sum.store(p.down_sum, std::memory_order_relaxed);
+    e.up_cnt.store(p.up_cnt, std::memory_order_relaxed);
+    e.down_cnt.store(p.down_cnt, std::memory_order_relaxed);
+  }
+
  private:
   struct Entry {
     std::atomic<double> up_sum{0.0}, down_sum{0.0};
@@ -266,6 +294,16 @@ struct SearchContext {
   int idle_workers = 0;
   bool done = false;  ///< pool drained with every worker idle
   bool stop = false;  ///< limit hit / unbounded root: abandon the search
+
+  // --- live checkpoint capture (periodic writer; guarded by mutex) ---
+  // With track_current set, each worker mirrors the node it took into its
+  // current_nodes slot INSIDE take()'s critical section, so at any instant
+  // pool + slots cover every unexplored region (a slot may additionally
+  // cover already-published children — redundant, never missing). Off by
+  // default: zero cost unless periodic checkpointing is configured.
+  bool track_current = false;
+  std::vector<std::optional<Node>> current_nodes;  ///< one slot per worker
+  std::atomic<int> next_worker_id{0};
 
   // --- shared pseudocosts (lock-free atomics; see PseudocostStore) ---
   PseudocostStore* pseudocosts = nullptr;
@@ -390,6 +428,7 @@ class Worker {
       : ctx_(ctx),
         reduced_(reduced),
         simplex_(reduced, simplex_options(*ctx.options)),
+        id_(ctx.next_worker_id.fetch_add(1, std::memory_order_relaxed)),
         root_lb_(ctx.root_lb),
         root_ub_(ctx.root_ub),
         pool_consumed_(ctx.root_applied_cuts) {
@@ -397,6 +436,11 @@ class Worker {
   }
 
   ~Worker() {
+    // Release the accounted footprint of this worker's appended cut rows
+    // (the LP itself is going away with the worker).
+    std::size_t row_bytes = 0;
+    for (const std::size_t b : lp_row_bytes_) row_bytes += b;
+    if (row_bytes > 0) ctx_.controller->release(row_bytes);
     // Fold this worker's factorization counters into the shared totals.
     // Runs on normal retirement and on unwinding alike.
     std::lock_guard<std::mutex> lock(ctx_.mutex);
@@ -434,11 +478,16 @@ class Worker {
           ctx_.pool.push_back(std::move(*local_));
           local_.reset();
         }
+        if (ctx_.track_current) ctx_.current_nodes[id_].reset();
         return std::nullopt;
       }
       if (local_) {
         Node n = std::move(*local_);
         local_.reset();
+        // Mirror the taken node while still holding the lock: a periodic
+        // checkpoint capture must see every region that is in neither the
+        // pool nor a slot — there is no such window this side of the lock.
+        if (ctx_.track_current) ctx_.current_nodes[id_] = n;
         return n;
       }
       if (!ctx_.pool.empty()) {
@@ -458,6 +507,7 @@ class Worker {
         Node n = std::move(ctx_.pool.back());
         ctx_.pool.pop_back();
         ctx_.controller->release(node_bytes(n));
+        if (ctx_.track_current) ctx_.current_nodes[id_] = n;
         return n;
       }
       ++ctx_.idle_workers;
@@ -514,7 +564,11 @@ class Worker {
   }
 
   /// Replays cuts the shared pool has applied since the last sync into this
-  /// worker's LP (slack-basic row append; no cold start).
+  /// worker's LP (slack-basic row append; no cold start). Each appended
+  /// row's approximate footprint is reserved with the controller and
+  /// released again when age_cut_rows() deletes it (or the worker retires)
+  /// — a long solve must not creep toward the shed threshold on memory
+  /// the LP already freed.
   void sync_pool_cuts() {
     if (ctx_.cut_pool == nullptr) return;
     if (pool_consumed_ >= ctx_.pool_applied.load(std::memory_order_acquire))
@@ -528,6 +582,14 @@ class Worker {
                                           applied[i].rhs, ""});
       pool_consumed_ = applied.size();
     }
+    std::size_t added_bytes = 0;
+    for (const ConstraintDef& row : new_rows_) {
+      const std::size_t b =
+          sizeof(ConstraintDef) + row.terms.size() * sizeof(lp::Term);
+      lp_row_bytes_.push_back(b);
+      added_bytes += b;
+    }
+    if (added_bytes > 0) ctx_.controller->reserve(added_bytes);
     simplex_.add_rows(new_rows_);
   }
 
@@ -607,15 +669,22 @@ class Worker {
     simplex_.delete_rows(doomed_rows_);
     std::size_t keep = 0;
     std::size_t next_doomed = 0;
+    std::size_t freed_bytes = 0;
     for (int i = 0; i < added; ++i) {
       if (next_doomed < doomed_rows_.size() &&
           doomed_rows_[next_doomed] - base == i) {
         ++next_doomed;
+        freed_bytes += lp_row_bytes_[i];
         continue;
       }
+      lp_row_bytes_[keep] = lp_row_bytes_[i];
       row_age_[keep++] = row_age_[i];
     }
     row_age_.resize(keep);
+    lp_row_bytes_.resize(keep);
+    // The deleted rows' accounted footprint is returned immediately — the
+    // LP stopped paying for them, so the memory budget stops charging.
+    if (freed_bytes > 0) ctx_.controller->release(freed_bytes);
   }
 
   /// Pseudocost branching: among fractional integers of top priority, pick
@@ -987,6 +1056,7 @@ class Worker {
   SearchContext& ctx_;
   const Model& reduced_;  ///< LP model workers are built from (dive solver)
   SimplexSolver simplex_;
+  const int id_;  ///< slot index into ctx_.current_nodes (checkpoint capture)
   std::unique_ptr<SimplexSolver> dive_lp_;  ///< lazily built dive solver
   std::vector<double> root_lb_, root_ub_;  ///< local rc-tightened root bounds
   std::vector<BoundChange> applied_;  ///< changes currently applied
@@ -1000,6 +1070,7 @@ class Worker {
   double pc_avg_up_ = 0.0, pc_avg_down_ = 0.0;
   int pc_avg_cooldown_ = 0;
   std::vector<int> row_age_;  ///< consecutive slack-basic re-solves per cut row
+  std::vector<std::size_t> lp_row_bytes_;  ///< accounted bytes per cut row
   std::vector<Fixing> fresh_fixings_;       // scratch
   std::vector<ConstraintDef> new_rows_;     // scratch
   std::vector<int> doomed_rows_;            // scratch (age_cut_rows)
@@ -1020,11 +1091,144 @@ void run_worker(SearchContext& ctx, const Model& reduced) {
   }
 }
 
+/// Snapshots the search state into a checkpoint. The caller either holds
+/// ctx.mutex (periodic writer) or is the only live thread (post-join): the
+/// incumbent, cutoff, tightened bounds and pool are mutated together under
+/// that mutex, so the copy is a consistent cut of the search. Cheap copies
+/// only — serialization and file I/O happen outside any lock.
+SolveCheckpoint capture_checkpoint(const SearchContext& ctx,
+                                   const PseudocostStore& pcstore,
+                                   std::uint64_t fingerprint, int n) {
+  SolveCheckpoint ck;
+  ck.model_fingerprint = fingerprint;
+  ck.num_variables = n;
+  ck.cutoff = ctx.cutoff.load(std::memory_order_relaxed);
+  ck.has_incumbent = !ctx.incumbent.empty();
+  if (ck.has_incumbent) {
+    ck.incumbent = ctx.incumbent;
+    ck.incumbent_objective = ck.cutoff;  // offers keep the two in lockstep
+  }
+  ck.dropped_bound = ctx.dropped_bound;
+  ck.nodes_explored = ctx.nodes.load(std::memory_order_relaxed);
+  ck.global_lb = ctx.rc_lb;
+  ck.global_ub = ctx.rc_ub;
+  const auto push_node = [&ck](const Node& node) {
+    CheckpointNode cn;
+    cn.changes.reserve(node.changes.size());
+    for (const BoundChange& bc : node.changes)
+      cn.changes.push_back(CheckpointNode::Change{bc.var, bc.lower, bc.upper});
+    cn.parent_bound = node.parent_bound;
+    cn.depth = node.depth;
+    cn.branch_var = node.branch_var;
+    cn.branch_up = node.branch_up;
+    cn.branch_dist = node.branch_dist;
+    cn.parent_obj = node.parent_obj;
+    ck.frontier.push_back(std::move(cn));
+  };
+  for (const Node& node : ctx.pool) push_node(node);
+  // Mid-search captures additionally cover each worker's in-flight node
+  // (mirrored by take() under the same mutex). A slot may overlap children
+  // already published to the pool — redundant coverage is sound; a missing
+  // region would not be.
+  for (const std::optional<Node>& slot : ctx.current_nodes)
+    if (slot) push_node(*slot);
+  if (ctx.cut_pool != nullptr) {
+    for (const Cut& c : ctx.cut_pool->applied()) {
+      CheckpointCut cc;
+      cc.terms = c.terms;
+      cc.rhs = c.rhs;
+      cc.cut_class = static_cast<std::uint8_t>(c.cut_class);
+      ck.cuts.push_back(std::move(cc));
+    }
+  }
+  pcstore.capture(ck.pseudocosts);
+  return ck;
+}
+
+/// Resume gate: a snapshot is only trusted after every structural and
+/// semantic check passes against the caller's PRE-PRESOLVE model. The
+/// checksum already rejected random corruption at load; these checks
+/// reject stale or mismatched snapshots (different model, different
+/// formulation build) and anything the decoder cannot prove harmless.
+bool validate_checkpoint(const SolveCheckpoint& ck, const Model& original,
+                         std::uint64_t fingerprint, std::string& why) {
+  const int n = original.num_variables();
+  const auto fail = [&why](const char* w) {
+    why = w;
+    return false;
+  };
+  if (ck.model_fingerprint != fingerprint)
+    return fail("model fingerprint mismatch");
+  if (ck.num_variables != n) return fail("variable count mismatch");
+  if (static_cast<int>(ck.global_lb.size()) != n ||
+      static_cast<int>(ck.global_ub.size()) != n)
+    return fail("global bound vectors malformed");
+  for (int v = 0; v < n; ++v) {
+    const double lo = ck.global_lb[v], hi = ck.global_ub[v];
+    const lp::VariableDef& var = original.variable(v);
+    // Written to also reject NaN (every comparison with NaN is false).
+    if (!(lo <= hi) || !(lo >= var.lower - kBoundEps) ||
+        !(hi <= var.upper + kBoundEps))
+      return fail("restored bounds outside the model's");
+  }
+  if (std::isnan(ck.cutoff) || std::isnan(ck.dropped_bound))
+    return fail("cutoff/dropped bound is NaN");
+  if (ck.has_incumbent) {
+    if (static_cast<int>(ck.incumbent.size()) != n)
+      return fail("incumbent length mismatch");
+    for (const double x : ck.incumbent)
+      if (!std::isfinite(x)) return fail("incumbent value not finite");
+    if (!std::isfinite(ck.incumbent_objective) || !std::isfinite(ck.cutoff) ||
+        std::abs(ck.cutoff - ck.incumbent_objective) >
+            1e-6 * std::max(1.0, std::abs(ck.incumbent_objective)))
+      return fail("cutoff out of lockstep with the incumbent");
+    // The exit-audit feasibility standard, applied at entry: a snapshot
+    // whose incumbent fails the original model proves nothing.
+    if (original.max_violation(ck.incumbent, true) > 10 * kActivityEps)
+      return fail("restored incumbent infeasible on the original model");
+    const double obj = original.objective_value(ck.incumbent);
+    if (std::abs(obj - ck.incumbent_objective) >
+        1e-6 * std::max(1.0, std::abs(obj)))
+      return fail("restored incumbent objective mismatch");
+  } else if (!ck.incumbent.empty()) {
+    return fail("incumbent flag/vector mismatch");
+  }
+  for (const CheckpointNode& node : ck.frontier) {
+    if (node.depth < 0 || std::isnan(node.parent_bound))
+      return fail("frontier node malformed");
+    for (const CheckpointNode::Change& c : node.changes) {
+      if (c.var < 0 || c.var >= n)
+        return fail("frontier variable out of range");
+      if (std::isnan(c.lower) || std::isnan(c.upper))
+        return fail("frontier bound is NaN");
+    }
+  }
+  for (const CheckpointCut& cut : ck.cuts) {
+    if (cut.terms.empty() || !std::isfinite(cut.rhs))
+      return fail("cut row malformed");
+    if (cut.cut_class > static_cast<std::uint8_t>(CutClass::kCover))
+      return fail("unknown cut class");
+    int prev = -1;
+    for (const lp::Term& t : cut.terms) {
+      if (t.var <= prev || t.var >= n || !std::isfinite(t.coeff))
+        return fail("cut terms malformed");
+      prev = t.var;
+    }
+  }
+  for (const CheckpointPseudocost& p : ck.pseudocosts) {
+    if (p.var < 0 || p.var >= n || p.up_cnt < 0 || p.down_cnt < 0 ||
+        !std::isfinite(p.up_sum) || !std::isfinite(p.down_sum))
+      return fail("pseudocost entry malformed");
+  }
+  return true;
+}
+
 }  // namespace
 
 Solver::Solver(Options options) : options_(std::move(options)) {}
 
-Solution Solver::solve(const Model& original) const {
+Solution Solver::solve_impl(const Model& original,
+                            const SolveCheckpoint* snapshot) const {
   Solution sol;
   SearchContext ctx;
 
@@ -1038,6 +1242,27 @@ Solution Solver::solve(const Model& original) const {
   controller.set_memory_budget(options_.memory_limit_bytes);
   controller.set_cancel_flag(options_.cancel_flag);
   ctx.controller = &controller;
+
+  // Resume gate. A snapshot that fails any check degrades to a cold start
+  // with the rejection counted — never to a wrong proof.
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  const std::uint64_t fingerprint = (checkpointing || snapshot != nullptr)
+                                        ? model_fingerprint(original)
+                                        : 0;
+  const SolveCheckpoint* restored = nullptr;
+  if (snapshot != nullptr) {
+    std::string why;
+    if (validate_checkpoint(*snapshot, original, fingerprint, why)) {
+      restored = snapshot;
+      sol.stats.resumed = true;
+      sol.stats.restored_nodes =
+          static_cast<long long>(snapshot->frontier.size());
+    } else {
+      util::log_warn() << "resume: snapshot rejected (" << why
+                       << "); cold start";
+      sol.stats.resume_rejected = 1;
+    }
+  }
 
   Model model = original;  // working copy: presolve mutates bounds
   if (!options_.branch_priority.empty())
@@ -1120,6 +1345,15 @@ Solution Solver::solve(const Model& original) const {
     // Seeded bound: keep nodes that can still reach objective ==
     // initial_cutoff (callers pass a heuristic solution's value).
     ctx.cutoff = options_.initial_cutoff + (ctx.integral_obj ? 1.0 : kIntEps);
+  }
+  if (restored != nullptr && std::isfinite(restored->cutoff) &&
+      restored->cutoff <= ctx.cutoff.load()) {
+    // The interrupted run's cutoff (and incumbent, re-verified against the
+    // original model above) picks up where it left off. A caller-seeded
+    // cutoff tighter than the snapshot's wins instead, and the snapshot's
+    // incumbent — no better than that seed — is dropped with it.
+    ctx.cutoff.store(restored->cutoff);
+    if (restored->has_incumbent) ctx.incumbent = restored->incumbent;
   }
   sol.stats.presolve_seconds = ctx.watch.seconds();
   double phase_mark = sol.stats.presolve_seconds;
@@ -1298,7 +1532,10 @@ Solution Solver::solve(const Model& original) const {
   PseudocostStore pcstore(n);
   ctx.pseudocosts = &pcstore;
   long long probe_dual_solves = 0, probe_dual_fallbacks = 0;
-  if (options_.strong_branch_vars > 0 &&
+  // A resumed run inherits the interrupted run's pseudocosts (restored
+  // below) instead of re-paying the strong-branching probes: the restored
+  // store already reflects real branching history.
+  if (options_.strong_branch_vars > 0 && restored == nullptr &&
       controller.check() == util::StopReason::kNone) {
     if (!root_lp) {  // cuts + rc fixing disabled: no root solve happened yet
       root_lp.emplace(reduced, Worker::simplex_options(options_));
@@ -1442,10 +1679,44 @@ Solution Solver::solve(const Model& original) const {
   sol.stats.strong_branch_seconds = ctx.watch.seconds() - phase_mark;
   phase_mark = ctx.watch.seconds();
 
+  if (restored != nullptr) {
+    // Bake the interrupted run's globally tightened bounds (probing +
+    // strong branching + rc fixing, all valid given the restored and
+    // re-verified incumbent) the same way root rc fixings are baked. A
+    // restored bound conflicting with a freshly derived one would make
+    // the box empty — skip that variable; restored bounds are an
+    // optimization, never required for soundness.
+    for (int v = 0; v < n; ++v) {
+      const double lo = std::max(ctx.root_lb[v], restored->global_lb[v]);
+      const double hi = std::min(ctx.root_ub[v], restored->global_ub[v]);
+      if (lo > hi || (lo <= ctx.root_lb[v] && hi >= ctx.root_ub[v])) continue;
+      ctx.root_lb[v] = lo;
+      ctx.root_ub[v] = hi;
+      reduced.set_bounds(v, lo, hi);
+      if (ctx.root_rc_valid) {
+        ctx.rc_lb[v] = std::max(ctx.rc_lb[v], lo);
+        ctx.rc_ub[v] = std::min(ctx.rc_ub[v], hi);
+      }
+    }
+  }
+
   ctx.cut_model = &reduced;
   ctx.graph = options_.use_clique_cuts ? &graph : nullptr;
   ctx.cut_pool = cuts_enabled ? &pool : nullptr;
   ctx.root_applied_cuts = pool.applied().size();
+  if (restored != nullptr && cuts_enabled) {
+    // Replay the interrupted run's applied cuts through the pool: workers
+    // pick them up via their normal applied-list sync, and cuts the root
+    // loop re-derived this run dedup away structurally.
+    for (const CheckpointCut& c : restored->cuts) {
+      Cut cut;
+      cut.terms = c.terms;
+      cut.rhs = c.rhs;
+      cut.cut_class =
+          c.cut_class == 0 ? CutClass::kClique : CutClass::kCover;
+      pool.restore_applied(std::move(cut));
+    }
+  }
   ctx.pool_applied.store(pool.applied().size());
   if (cuts_enabled) ctx.update_cut_pool_bytes(pool.approx_bytes());
   if (!ctx.root_rc_valid) {
@@ -1453,13 +1724,76 @@ Solution Solver::solve(const Model& original) const {
     ctx.rc_ub = ctx.root_ub;
   }
 
-  {
+  if (restored == nullptr) {
     Node root{{}, root_bound, 0};
     controller.reserve(node_bytes(root));
     ctx.pool.push_back(std::move(root));
+  } else {
+    // The restored frontier replaces the root node: together with the
+    // restored cutoff it covers every region the interrupted run had not
+    // finished (see ilp/checkpoint.hpp for the monotonicity argument). An
+    // empty frontier means that run had explored the whole tree before its
+    // limit latched — nothing left to search.
+    for (const CheckpointNode& cn : restored->frontier) {
+      Node node;
+      node.changes.reserve(cn.changes.size());
+      for (const CheckpointNode::Change& c : cn.changes)
+        node.changes.push_back(BoundChange{c.var, c.lower, c.upper});
+      node.parent_bound = cn.parent_bound;
+      node.depth = cn.depth;
+      node.branch_var = cn.branch_var;
+      node.branch_up = cn.branch_up;
+      node.branch_dist = cn.branch_dist;
+      node.parent_obj = cn.parent_obj;
+      controller.reserve(node_bytes(node));
+      ctx.pool.push_back(std::move(node));
+    }
+    if (std::isfinite(restored->dropped_bound)) {
+      // A forfeited proof stays forfeited: the dropped subtrees' bound
+      // folds back into this run's final reduction.
+      ctx.dropped_bound = restored->dropped_bound;
+      ctx.exhausted = false;
+    }
+    for (const CheckpointPseudocost& p : restored->pseudocosts)
+      pcstore.restore(p);
   }
   ctx.num_workers = resolve_num_threads(options_.num_threads);
   sol.stats.threads = ctx.num_workers;
+
+  // Periodic checkpoint writer: a dedicated thread snapshots the live
+  // search every checkpoint_interval_seconds. State is copied under the
+  // search mutex (cheap vector copies — workers block only for the copy);
+  // serialization and the atomic file write happen outside it.
+  std::atomic<int> checkpoints_written{0};
+  std::atomic<double> checkpoint_seconds{0.0};
+  const bool periodic_ck =
+      checkpointing && options_.checkpoint_interval_seconds > 0.0;
+  std::thread ck_writer;
+  std::mutex ck_mutex;
+  std::condition_variable ck_cv;
+  bool ck_stop = false;
+  if (periodic_ck) {
+    ctx.track_current = true;
+    ctx.current_nodes.assign(static_cast<std::size_t>(ctx.num_workers),
+                             std::nullopt);
+    ck_writer = std::thread([&] {
+      std::unique_lock<std::mutex> lock(ck_mutex);
+      const auto interval =
+          std::chrono::duration<double>(options_.checkpoint_interval_seconds);
+      while (!ck_cv.wait_for(lock, interval, [&] { return ck_stop; })) {
+        const double mark = ctx.watch.seconds();
+        SolveCheckpoint ck;
+        {
+          std::lock_guard<std::mutex> search_lock(ctx.mutex);
+          ck = capture_checkpoint(ctx, pcstore, fingerprint, n);
+        }
+        if (save_checkpoint(options_.checkpoint_path, ck))
+          checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+        checkpoint_seconds.fetch_add(ctx.watch.seconds() - mark,
+                                     std::memory_order_relaxed);
+      }
+    });
+  }
 
   if (ctx.num_workers == 1) {
     run_worker(ctx, reduced);
@@ -1469,6 +1803,14 @@ Solution Solver::solve(const Model& original) const {
     for (int t = 0; t < ctx.num_workers; ++t)
       threads.emplace_back([&ctx, &reduced] { run_worker(ctx, reduced); });
     for (std::thread& t : threads) t.join();
+  }
+  if (periodic_ck) {
+    {
+      std::lock_guard<std::mutex> lock(ck_mutex);
+      ck_stop = true;
+    }
+    ck_cv.notify_all();
+    ck_writer.join();
   }
   if (ctx.failure) std::rethrow_exception(ctx.failure);
 
@@ -1527,6 +1869,37 @@ Solution Solver::solve(const Model& original) const {
   sol.stats.rc_fixed_root = rc_fixed_root;
   sol.stats.rc_fixed_incumbent = ctx.rc_fixed_incumbent;
 
+  // Final checkpoint: any early stop persists the complete frontier —
+  // take() returned every worker's local node to the pool before exit, so
+  // the post-join pool IS the set of unexplored regions. A natural
+  // completion instead removes a leftover snapshot: resuming from it would
+  // redo work the finished proof already covers.
+  if (checkpointing && !ctx.root_unbounded.load()) {
+    if (sol.stats.termination != util::StopReason::kNone) {
+      const double mark = ctx.watch.seconds();
+      const SolveCheckpoint ck = capture_checkpoint(ctx, pcstore, fingerprint, n);
+      if (save_checkpoint(options_.checkpoint_path, ck))
+        checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+      else
+        util::log_warn() << "checkpoint: write to " << options_.checkpoint_path
+                         << " failed";
+      checkpoint_seconds.fetch_add(ctx.watch.seconds() - mark,
+                                   std::memory_order_relaxed);
+    } else {
+      std::remove(options_.checkpoint_path.c_str());
+    }
+  }
+  sol.stats.checkpoints_written = checkpoints_written.load();
+  sol.stats.checkpoint_seconds = checkpoint_seconds.load();
+
+  // End-of-solve accounting teardown: release the open nodes and zero the
+  // cut-pool gauge (workers already released their LP cut rows when they
+  // retired). Whatever remains accounted is a reserve/release imbalance —
+  // reported in the stats instead of silently leaked.
+  for (const Node& open : ctx.pool) controller.release(node_bytes(open));
+  if (cuts_enabled) ctx.update_cut_pool_bytes(0);
+  sol.stats.memory_unreleased_bytes = controller.memory_used();
+
   if (ctx.root_unbounded.load()) {
     sol.status = SolveStatus::kUnbounded;
     return sol;
@@ -1566,7 +1939,11 @@ Solution Solver::solve(const Model& original) const {
     sol.status =
         proven ? SolveStatus::kOptimal : limit_status(SolveStatus::kFeasible);
     if (sol.status == SolveStatus::kOptimal) sol.stats.best_bound = cutoff;
-  } else if (exhausted && !std::isfinite(options_.initial_cutoff)) {
+  } else if (exhausted && !std::isfinite(options_.initial_cutoff) &&
+             !(restored != nullptr && std::isfinite(restored->cutoff))) {
+    // A restored finite cutoff without an incumbent means the interrupted
+    // run was itself seeded — regions at or above that seed were pruned,
+    // so "no solution below the seed" is the strongest honest claim.
     sol.status = SolveStatus::kInfeasible;
   } else {
     // Either a limit was hit, or a seeded cutoff pruned everything (the
@@ -1669,6 +2046,30 @@ Solution Solver::solve(const Model& original) const {
     sol.stats.seconds = ctx.watch.seconds();
   }
   return sol;
+}
+
+Solution Solver::solve(const Model& original) const {
+  if (options_.resume_path.empty()) return solve_impl(original, nullptr);
+  std::optional<SolveCheckpoint> ck = load_checkpoint(options_.resume_path);
+  if (ck) return solve_impl(original, &*ck);
+  // Distinguish "no snapshot yet" (a fresh job: plain cold start) from a
+  // present-but-unreadable file (torn write, truncation, corruption):
+  // only the latter counts as a rejected resume.
+  bool existed = false;
+  if (std::FILE* f = std::fopen(options_.resume_path.c_str(), "rb")) {
+    std::fclose(f);
+    existed = true;
+    util::log_warn() << "resume: snapshot " << options_.resume_path
+                     << " unreadable (bad frame or checksum); cold start";
+  }
+  Solution sol = solve_impl(original, nullptr);
+  if (existed) ++sol.stats.resume_rejected;
+  return sol;
+}
+
+Solution Solver::resume(const Model& original,
+                        const SolveCheckpoint& snapshot) const {
+  return solve_impl(original, &snapshot);
 }
 
 }  // namespace advbist::ilp

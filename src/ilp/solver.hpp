@@ -167,6 +167,26 @@ struct Options {
   /// bound on a fresh factorization. May downgrade kOptimal to kFeasible;
   /// never lets an unbacked proof out.
   bool exit_audit = true;
+  // --- checkpoint / resume (see ilp/checkpoint.hpp) ---
+  /// When non-empty, a versioned + checksummed snapshot of the solve state
+  /// (incumbent, frontier, global bounds, applied cuts, pseudocosts) is
+  /// written here ATOMICALLY (temp file + rename) whenever the solve stops
+  /// early — kTimeLimit, kCancelled, kMemoryLimit or kNodeLimit. A solve
+  /// that runs to its natural conclusion removes the file instead (a
+  /// leftover snapshot would be stale).
+  std::string checkpoint_path;
+  /// With checkpoint_path set and > 0: a dedicated writer thread also
+  /// snapshots the LIVE search every this-many seconds. The writer copies
+  /// state under the search mutex briefly and serializes + writes the file
+  /// outside it, so workers never block on the disk.
+  double checkpoint_interval_seconds = 0.0;
+  /// When non-empty and the file exists, the solve resumes from it: the
+  /// frontier, incumbent, cutoff, applied cuts, pseudocosts and globally
+  /// tightened bounds are restored once the snapshot passes validation
+  /// (checksum + model fingerprint + the incumbent re-verified against the
+  /// pre-presolve model). A snapshot failing ANY check degrades to a cold
+  /// start with Stats::resume_rejected counted — never a wrong proof.
+  std::string resume_path;
   bool verbose = false;
 };
 
@@ -290,6 +310,21 @@ struct Stats {
   /// Incumbent's max constraint violation on the ORIGINAL model.
   double audit_max_violation = 0.0;
   long long audit_lp_iterations = 0;  ///< pivots of the audit re-solve
+  // --- checkpoint / resume ---
+  bool resumed = false;     ///< a validated snapshot was restored
+  /// Snapshots rejected (missing file, bad checksum, fingerprint mismatch,
+  /// infeasible restored incumbent, malformed frontier): the solve ran as
+  /// a cold start instead. Never silent — a stale or corrupt snapshot
+  /// costs work, not correctness.
+  int resume_rejected = 0;
+  int checkpoints_written = 0;       ///< snapshot files written this solve
+  double checkpoint_seconds = 0.0;   ///< wall clock capturing + writing them
+  long long restored_nodes = 0;      ///< frontier nodes restored on resume
+  /// Residual cooperatively-accounted bytes after the end-of-solve
+  /// teardown released the node pool, the cut-pool gauge and every
+  /// worker's LP cut rows. Nonzero means a reserve/release imbalance
+  /// (pinned to 0 by the memory-balance test).
+  std::size_t memory_unreleased_bytes = 0;
 };
 
 struct Solution {
@@ -315,15 +350,29 @@ struct Solution {
   [[nodiscard]] long long value_as_int(int var) const;
 };
 
+struct SolveCheckpoint;
+
 class Solver {
  public:
   explicit Solver(Options options = {});
 
   /// Solves `model` (minimization). The model itself is left untouched;
-  /// presolve and branching operate on an internal copy.
+  /// presolve and branching operate on an internal copy. With
+  /// Options::resume_path set, a valid snapshot file there resumes the
+  /// interrupted solve instead of starting cold.
   [[nodiscard]] Solution solve(const lp::Model& model) const;
 
+  /// solve() continuing from an in-memory snapshot (the file-driven form
+  /// is Options::resume_path). The snapshot is validated against `model`
+  /// first; any failure degrades to a cold start with
+  /// Stats::resume_rejected counted.
+  [[nodiscard]] Solution resume(const lp::Model& model,
+                                const SolveCheckpoint& snapshot) const;
+
  private:
+  Solution solve_impl(const lp::Model& model,
+                      const SolveCheckpoint* snapshot) const;
+
   Options options_;
 };
 

@@ -5,6 +5,11 @@
 //   advbist sweep   <circuit|file.dfg> [--time S] [--threads N]  # all k
 //   advbist compare <circuit|file.dfg> [--time S] [--threads N]  # heuristics
 //   advbist print   <circuit>                            # dump .dfg text
+//   advbist submit  <dir> <circuit|file.dfg> [--job ID] [--k N] [--time S]
+//                                      [--threads N] [--nodes N]
+//   advbist serve   <dir> [--queue N] [--retries N] [--time S] [--threads N]
+//                         [--ckpt-interval S] [--watch] [--poll S]
+//                         [--mem-limit MB] [--seed X]
 //
 // --threads N runs the branch & bound on N worker threads (0 = one per
 // hardware thread); parallel solves prove the same optimum as serial ones.
@@ -48,9 +53,22 @@
 //                    the original model + fresh-factorization bound
 //                    recertification; ON by default)
 //
-// SIGINT (Ctrl-C) cancels the solve cooperatively: the search stops at the
-// next controller poll and reports the best incumbent + bound found so far
-// with status "cancelled" instead of dying mid-proof.
+// Checkpoint/resume knobs (synth only):
+//   --checkpoint F     write a crash-safe solve snapshot to F on any early
+//                      stop (deadline, ^C/SIGTERM, memory/node limit); a
+//                      natural completion removes F instead
+//   --resume F         resume a solve from snapshot F; an invalid or stale
+//                      snapshot degrades to a cold start (counted), never
+//                      a wrong proof
+//   --ckpt-interval S  with --checkpoint: also snapshot every S seconds
+//                      from a dedicated writer thread
+//
+// SIGINT (Ctrl-C) and SIGTERM cancel the solve cooperatively: the search
+// stops at the next controller poll and reports the best incumbent + bound
+// found so far with status "cancelled" instead of dying mid-proof (with
+// --checkpoint the frontier is snapshotted on the way out). In serve mode
+// SIGTERM/SIGINT drains: the in-flight job checkpoints, queued jobs stay
+// pending on disk, and a restarted serve resumes all of them.
 //
 // The full knob/stat reference lives in docs/solver.md.
 //
@@ -67,6 +85,7 @@
 
 #include "baselines/baselines.hpp"
 #include "bist/verilog.hpp"
+#include "core/serve.hpp"
 #include "core/synthesizer.hpp"
 #include "hls/benchmarks.hpp"
 #include "hls/dfg_parser.hpp"
@@ -75,11 +94,14 @@ using namespace advbist;
 
 namespace {
 
-// SIGINT flips this flag; the solve controller polls it from every layer
-// (an atomic store is all the handler does — async-signal-safe).
+// SIGINT/SIGTERM flip this flag; the solve controller polls it from every
+// layer (an atomic store is all the handler does — async-signal-safe). In
+// serve mode the same flag is the drain request.
 std::atomic<bool> g_cancel{false};
 
-void handle_sigint(int) { g_cancel.store(true, std::memory_order_relaxed); }
+void handle_cancel_signal(int) {
+  g_cancel.store(true, std::memory_order_relaxed);
+}
 
 hls::ParsedDesign load_design(const std::string& spec) {
   if (spec.find('.') == std::string::npos) {
@@ -103,8 +125,124 @@ int usage() {
                "[--strong-branch N] [--cuts 0|1] "
                "[--cut-rounds N] [--cut-interval N] [--max-cuts N] "
                "[--probing 0|1] [--rcfix 0|1] [--mem-limit MB] [--no-audit] "
-               "[--verilog out.v]\n");
+               "[--checkpoint F] [--resume F] [--ckpt-interval S] "
+               "[--verilog out.v]\n"
+               "       advbist submit <dir> <circuit|file.dfg> [--job ID] "
+               "[--k N] [--time S] [--threads N] [--nodes N]\n"
+               "       advbist serve <dir> [--queue N] [--retries N] "
+               "[--time S] [--threads N] [--ckpt-interval S] [--watch] "
+               "[--poll S] [--mem-limit MB] [--seed X]\n");
   return 2;
+}
+
+int cmd_submit(int argc, char** argv) {
+  const std::string dir = argv[2];
+  if (argc < 4) return usage();
+  core::JobSpec spec;
+  spec.circuit = argv[3];
+  for (int i = 4; i < argc; ++i) {
+    if (i + 1 >= argc) return usage();
+    char* end = nullptr;
+    if (std::strcmp(argv[i], "--job") == 0) spec.id = argv[i + 1];
+    else if (std::strcmp(argv[i], "--k") == 0) {
+      spec.k = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || spec.k < 1) return usage();
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      spec.time_limit = std::strtod(argv[i + 1], &end);
+      if (end == nullptr || *end != '\0' || spec.time_limit <= 0)
+        return usage();
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      spec.threads = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || spec.threads < 0) return usage();
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      spec.node_limit = std::strtoll(argv[i + 1], &end, 10);
+      if (end == nullptr || *end != '\0' || spec.node_limit < 0)
+        return usage();
+    } else {
+      return usage();
+    }
+    ++i;
+  }
+  if (spec.id.empty()) {
+    // Default id: circuit + session count, with path characters flattened.
+    spec.id = spec.circuit + "-k" + std::to_string(spec.k);
+    for (char& c : spec.id)
+      if (c == '/' || c == '\\') c = '_';
+  }
+  if (!core::submit_job(dir, spec)) {
+    std::fprintf(stderr, "advbist: submit failed (bad job id or spool dir)\n");
+    return 1;
+  }
+  std::printf("submitted %s (circuit %s, k=%d) to %s\n", spec.id.c_str(),
+              spec.circuit.c_str(), spec.k, dir.c_str());
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  core::ServeOptions so;
+  so.dir = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--watch") == 0) {
+      so.watch = true;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    char* end = nullptr;
+    if (std::strcmp(argv[i], "--queue") == 0) {
+      so.queue_capacity = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || so.queue_capacity < 1)
+        return usage();
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      so.max_retries = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || so.max_retries < 0) return usage();
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      so.default_time_limit = std::strtod(argv[i + 1], &end);
+      if (end == nullptr || *end != '\0' || so.default_time_limit <= 0)
+        return usage();
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      so.default_threads = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || so.default_threads < 0)
+        return usage();
+    } else if (std::strcmp(argv[i], "--ckpt-interval") == 0) {
+      so.checkpoint_interval_seconds = std::strtod(argv[i + 1], &end);
+      if (end == nullptr || *end != '\0' ||
+          so.checkpoint_interval_seconds < 0)
+        return usage();
+    } else if (std::strcmp(argv[i], "--poll") == 0) {
+      so.poll_seconds = std::strtod(argv[i + 1], &end);
+      if (end == nullptr || *end != '\0' || so.poll_seconds <= 0)
+        return usage();
+    } else if (std::strcmp(argv[i], "--mem-limit") == 0) {
+      const long long mb = std::strtoll(argv[i + 1], &end, 10);
+      if (end == nullptr || *end != '\0' || mb < 0) return usage();
+      so.solver.memory_limit_bytes =
+          static_cast<std::size_t>(mb) * 1024 * 1024;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      so.backoff.seed = std::strtoull(argv[i + 1], &end, 10);
+      if (end == nullptr || *end != '\0') return usage();
+    } else {
+      return usage();
+    }
+    ++i;
+  }
+  so.drain = &g_cancel;
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
+  const core::ServeStats st = core::serve(so);
+  for (const core::JobOutcome& o : st.outcomes)
+    std::printf("job %s: %s area=%d attempts=%d%s%s%s\n", o.id.c_str(),
+                o.status.c_str(), o.area, o.attempts,
+                o.resumed ? " resumed" : "", o.verified ? " verified" : "",
+                o.from_cache ? " cached" : "");
+  std::printf(
+      "serve: %d completed, %d failed, %d malformed, %lld shed%s, "
+      "%d retries, %d cache hits, %d resumed, %d checkpoints, "
+      "%d snapshots rejected%s\n",
+      st.jobs_completed, st.jobs_failed, st.jobs_malformed, st.jobs_shed,
+      st.memory_pressure_shed ? " (memory pressure)" : "", st.retries,
+      st.cache_hits, st.resumed_jobs, st.checkpoints_written,
+      st.resume_rejected, st.drained ? ", drained" : "");
+  return (st.jobs_failed > 0 || st.jobs_malformed > 0) ? 1 : 0;
 }
 
 }  // namespace
@@ -112,6 +250,14 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "submit" || cmd == "serve") {
+    try {
+      return cmd == "submit" ? cmd_submit(argc, argv) : cmd_serve(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "advbist: %s\n", e.what());
+      return 1;
+    }
+  }
   const std::string spec = argv[2];
   int k = 1;
   double time_limit = 20.0;
@@ -132,6 +278,9 @@ int main(int argc, char** argv) {
   int rcfix = -1;
   long long mem_limit_mb = 0;  // 0: unlimited
   bool exit_audit = true;
+  std::string checkpoint_path;
+  std::string resume_path;
+  double ckpt_interval = 0.0;
   std::string verilog_path;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dense-lu") == 0) {
@@ -240,6 +389,17 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
+    else if (std::strcmp(argv[i], "--checkpoint") == 0)
+      checkpoint_path = argv[i + 1];
+    else if (std::strcmp(argv[i], "--resume") == 0) resume_path = argv[i + 1];
+    else if (std::strcmp(argv[i], "--ckpt-interval") == 0) {
+      char* end = nullptr;
+      ckpt_interval = std::strtod(argv[i + 1], &end);
+      if (end == nullptr || *end != '\0' || ckpt_interval < 0) {
+        std::fprintf(stderr, "advbist: --ckpt-interval wants seconds >= 0\n");
+        return usage();
+      }
+    }
     else if (std::strcmp(argv[i], "--verilog") == 0) verilog_path = argv[i + 1];
     else return usage();
     ++i;
@@ -278,8 +438,12 @@ int main(int argc, char** argv) {
     options.solver.memory_limit_bytes =
         static_cast<std::size_t>(mem_limit_mb) * 1024 * 1024;
     options.solver.exit_audit = exit_audit;
+    options.solver.checkpoint_path = checkpoint_path;
+    options.solver.resume_path = resume_path;
+    options.solver.checkpoint_interval_seconds = ckpt_interval;
     options.solver.cancel_flag = &g_cancel;
-    std::signal(SIGINT, handle_sigint);
+    std::signal(SIGINT, handle_cancel_signal);
+    std::signal(SIGTERM, handle_cancel_signal);
     const core::Synthesizer synth(design.dfg, design.modules, options);
     const core::SynthesisResult ref = synth.synthesize_reference();
     std::printf("%s: %d registers, %d modules, reference area %d%s\n",
@@ -366,6 +530,13 @@ int main(int argc, char** argv) {
             st.lp_recovery_refactorize, st.lp_recovery_tighten,
             st.lp_recovery_dense, st.lp_recovery_cold,
             st.lp_recovery_exhausted, st.lp_aborted_solves);
+      if (st.resumed || st.resume_rejected > 0 || st.checkpoints_written > 0)
+        std::printf(
+            "     checkpoint: %s%d frontier nodes restored, %d snapshots "
+            "written (%.3fs), %d rejected\n",
+            st.resumed ? "resumed, " : "", static_cast<int>(st.restored_nodes),
+            st.checkpoints_written, st.checkpoint_seconds,
+            st.resume_rejected);
       if (st.audit_ran)
         std::printf(
             "     audit: incumbent %s, bound %s (root bound %.6g, max "

@@ -37,6 +37,10 @@ FaultInjector* env_injector() {
     fi->set_period(FaultSite::kCutAlloc,
                    env_period("ADVBIST_FAULT_CUT_ALLOC"));
     fi->set_period(FaultSite::kCancel, env_period("ADVBIST_FAULT_CANCEL"));
+    fi->set_period(FaultSite::kSnapshotTorn,
+                   env_period("ADVBIST_FAULT_SNAPSHOT"));
+    fi->set_period(FaultSite::kQueueAlloc,
+                   env_period("ADVBIST_FAULT_QUEUE_ALLOC"));
     return fi;
   }();
   return injector;
@@ -53,6 +57,8 @@ const char* to_string(FaultSite site) {
     case FaultSite::kNodeAlloc: return "node-alloc";
     case FaultSite::kCutAlloc: return "cut-alloc";
     case FaultSite::kCancel: return "cancel";
+    case FaultSite::kSnapshotTorn: return "snapshot-torn";
+    case FaultSite::kQueueAlloc: return "queue-alloc";
     case FaultSite::kNumSites: break;
   }
   return "?";

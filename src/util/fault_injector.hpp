@@ -12,8 +12,9 @@
 //  1. install(&injector) — the test-suite hook (tests own the object).
 //  2. ADVBIST_FAULT_SEED in the environment — builds a process-wide
 //     injector whose per-site periods come from ADVBIST_FAULT_SINGULAR,
-//     ADVBIST_FAULT_ETA, ADVBIST_FAULT_NODE_ALLOC, ADVBIST_FAULT_CUT_ALLOC
-//     and ADVBIST_FAULT_CANCEL (mean visits between fires; 0/unset
+//     ADVBIST_FAULT_ETA, ADVBIST_FAULT_NODE_ALLOC, ADVBIST_FAULT_CUT_ALLOC,
+//     ADVBIST_FAULT_CANCEL, ADVBIST_FAULT_SNAPSHOT and
+//     ADVBIST_FAULT_QUEUE_ALLOC (mean visits between fires; 0/unset
 //     disables that site). Used by the CI fault-injection sweep.
 //  3. Otherwise active() is null and every hook is inert.
 #pragma once
@@ -30,6 +31,9 @@ enum class FaultSite : int {
   kNodeAlloc,           ///< node-pool publish refused (node dropped)
   kCutAlloc,            ///< cut-pool add refused (cut discarded)
   kCancel,              ///< spontaneous cancellation request
+  // --- service-layer sites (checkpoint/serve hardening) ---
+  kSnapshotTorn,        ///< snapshot write torn (payload truncated mid-write)
+  kQueueAlloc,          ///< serve job-queue slot refused (queued job shed)
   kNumSites,
 };
 

@@ -1,0 +1,60 @@
+#include "util/job_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/fault_injector.hpp"
+
+namespace advbist::util {
+
+namespace {
+
+// splitmix64 finalizer: a cheap, well-mixed 64-bit hash for the jitter key.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double BackoffPolicy::delay_seconds(std::uint64_t job_key, int attempt) const {
+  if (attempt < 1) attempt = 1;
+  double step = base_seconds;
+  for (int i = 1; i < attempt && step < max_seconds; ++i) step *= multiplier;
+  step = std::min(step, max_seconds);
+  const std::uint64_t h =
+      mix64(seed ^ mix64(job_key ^ (static_cast<std::uint64_t>(attempt) << 32)));
+  const double jitter =
+      0.5 + 0.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+  return step * jitter;
+}
+
+bool BoundedJobQueue::try_push(const std::string& id) {
+  if (full()) return false;
+  if (std::find(queue_.begin(), queue_.end(), id) != queue_.end())
+    return false;
+  if (FaultInjector* fi = FaultInjector::active();
+      fi != nullptr && fi->fire(FaultSite::kQueueAlloc)) {
+    ++shed_by_fault_;
+    return false;
+  }
+  queue_.push_back(id);
+  return true;
+}
+
+std::optional<std::string> BoundedJobQueue::pop() {
+  if (queue_.empty()) return std::nullopt;
+  std::string id = std::move(queue_.front());
+  queue_.pop_front();
+  return id;
+}
+
+std::size_t BoundedJobQueue::shed_all() {
+  const std::size_t n = queue_.size();
+  queue_.clear();
+  return n;
+}
+
+}  // namespace advbist::util

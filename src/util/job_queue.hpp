@@ -1,0 +1,62 @@
+// Bounded job admission queue + retry backoff policy for `advbist serve`.
+//
+// The queue is deliberately small and honest: try_push() either accepts the
+// job or refuses it immediately (queue full, or the kQueueAlloc fault site
+// fired), and the caller decides what refusal means — for the serve spool it
+// means the job stays on disk and is re-offered on a later scan, counted as
+// shed, never silently dropped. Not thread-safe: the serve engine owns it
+// from a single orchestration thread.
+//
+// BackoffPolicy computes retry delays deterministically: an exponential
+// step capped at max_seconds, scaled by a jitter factor in [0.5, 1.0)
+// keyed on (seed, job key, attempt). Same seed + same job + same attempt
+// number → the same delay, so retry timing replays in tests and CI.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace advbist::util {
+
+struct BackoffPolicy {
+  double base_seconds = 0.1;
+  double max_seconds = 5.0;
+  double multiplier = 2.0;
+  std::uint64_t seed = 0;
+
+  /// Delay before retry `attempt` (1-based: the first retry is attempt 1)
+  /// of the job identified by `job_key`.
+  [[nodiscard]] double delay_seconds(std::uint64_t job_key, int attempt) const;
+};
+
+class BoundedJobQueue {
+ public:
+  explicit BoundedJobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admits `id` unless the queue is at capacity, `id` is already queued,
+  /// or the kQueueAlloc fault site fires. Returns false on refusal; a
+  /// refused-by-fault admission is additionally counted in shed_by_fault().
+  bool try_push(const std::string& id);
+
+  /// Oldest admitted job, or nullopt when the queue is empty.
+  std::optional<std::string> pop();
+
+  /// Drops every queued job (memory-pressure shedding: the serve spool
+  /// keeps them on disk, so dropping the in-memory slot is safe). Returns
+  /// how many were dropped.
+  std::size_t shed_all();
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const { return queue_.size() >= capacity_; }
+  [[nodiscard]] long long shed_by_fault() const { return shed_by_fault_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::string> queue_;
+  long long shed_by_fault_ = 0;
+};
+
+}  // namespace advbist::util

@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/check.hpp"
+#include "util/fault_injector.hpp"
+#include "util/job_queue.hpp"
 #include "util/rng.hpp"
+#include "util/snapshot.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -109,6 +115,103 @@ TEST(FormatFixed, Digits) {
   EXPECT_EQ(format_fixed(25.714, 1), "25.7");
   EXPECT_EQ(format_fixed(11.25, 1), "11.2");  // round-to-even via printf
   EXPECT_EQ(format_fixed(3.0, 0), "3");
+}
+
+TEST(Snapshot, WriterReaderRoundTrip) {
+  SnapshotWriter w;
+  w.put_u8(7);
+  w.put_u32(123456);
+  w.put_u64(0xdeadbeefcafef00dULL);
+  w.put_i64(-42);
+  w.put_f64(3.25);
+  w.put_doubles({1.0, -2.5, 1e300});
+  SnapshotReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 123456u);
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.25);
+  std::vector<double> d;
+  r.doubles(d);
+  EXPECT_EQ(d, (std::vector<double>{1.0, -2.5, 1e300}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Snapshot, ReaderFailsStickyOnShortBuffer) {
+  SnapshotWriter w;
+  w.put_u32(5);
+  SnapshotReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 5u);
+  EXPECT_EQ(r.u64(), 0u);  // past the end: zero, not garbage
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // failure is sticky
+}
+
+TEST(Snapshot, CountRefusesFuzzLengths) {
+  SnapshotWriter w;
+  w.put_u64(1u << 30);  // claims a billion 20-byte elements
+  SnapshotReader r(w.bytes());
+  EXPECT_EQ(r.count(20), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Snapshot, FileRoundTripAndFrameChecks) {
+  const std::string path = testing::TempDir() + "snap_util.bin";
+  const std::vector<unsigned char> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(save_snapshot_file(path, 9, payload));
+  const auto back = load_snapshot_file(path, 9);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+  EXPECT_FALSE(load_snapshot_file(path, 8).has_value());  // wrong version
+  EXPECT_FALSE(load_snapshot_file(path + ".missing", 9).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Backoff, DelaysAreDeterministicBoundedAndGrow) {
+  BackoffPolicy p;
+  p.base_seconds = 0.1;
+  p.max_seconds = 2.0;
+  p.seed = 17;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double d = p.delay_seconds(99, attempt);
+    EXPECT_EQ(d, p.delay_seconds(99, attempt));  // replayable
+    EXPECT_GE(d, 0.05);                          // >= half the base step
+    EXPECT_LE(d, 2.0);                           // capped at max
+  }
+  // The exponential step dominates the jitter: attempt 5's floor (0.5 of
+  // a 1.6s step) clears attempt 1's ceiling (1.0 of a 0.1s step).
+  EXPECT_GT(p.delay_seconds(99, 5), p.delay_seconds(99, 1));
+  // Different jobs get different jitter (decorrelated retry storms).
+  EXPECT_NE(p.delay_seconds(1, 3), p.delay_seconds(2, 3));
+}
+
+TEST(JobQueue, BoundedAdmissionRefusesHonestly) {
+  BoundedJobQueue q(2);
+  EXPECT_TRUE(q.try_push("a"));
+  EXPECT_FALSE(q.try_push("a"));  // duplicates refused
+  EXPECT_TRUE(q.try_push("b"));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push("c"));  // full: refused, not dropped elsewhere
+  EXPECT_EQ(q.pop().value(), "a");
+  EXPECT_TRUE(q.try_push("c"));
+  EXPECT_EQ(q.pop().value(), "b");
+  EXPECT_EQ(q.pop().value(), "c");
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.shed_by_fault(), 0);
+}
+
+TEST(JobQueue, QueueAllocFaultShedsTheSlot) {
+  FaultInjector fi(5);
+  fi.set_period(FaultSite::kQueueAlloc, 1);  // refuse every admission
+  FaultInjector::install(&fi);
+  BoundedJobQueue q(4);
+  EXPECT_FALSE(q.try_push("a"));
+  EXPECT_FALSE(q.try_push("b"));
+  EXPECT_EQ(q.shed_by_fault(), 2);
+  EXPECT_EQ(q.size(), 0u);
+  FaultInjector::install(nullptr);
+  EXPECT_TRUE(q.try_push("a"));
 }
 
 }  // namespace
