@@ -82,6 +82,8 @@
 #include "core/serve.hpp"
 #include "hls/benchmarks.hpp"
 #include "ilp/solver.hpp"
+#include "lp/instance_gen.hpp"
+#include "lp/mps_reader.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -142,6 +144,8 @@ struct Row {
   long long lp_recovery_cold = 0;
   double objective = 0.0;
   std::string status;
+  bool scaling = false;            // some LP ran with non-trivial factors
+  std::string sanitizer = "clean"; // pre-solve gate verdict
 };
 
 int env_int(const char* name, int fallback) {
@@ -406,6 +410,8 @@ int main() {
         row.lp_recovery_cold = s.stats.lp_recovery_cold;
         row.objective = s.has_solution() ? s.objective : 0.0;
         row.status = ilp::to_string(s.status);
+        row.scaling = s.stats.lp_scaling_active;
+        row.sanitizer = s.stats.sanitizer_class;
         rows.push_back(row);
         std::printf(
             "%-8s threads=%d cuts=%d dual=%d pricing=%s hs=%d nodes=%lld "
@@ -426,6 +432,106 @@ int main() {
         if (skipped_oversubscribed) break;  // same for every cut config
       }
     }
+  }
+
+  // Generated-corpus rows: seeded random 0/1 instances pushed through the
+  // FULL untrusted-instance frontend (generator -> write_mps -> defensive
+  // reader -> sanitizer gate -> solve), so the committed trajectory records
+  // the file path end to end, not just the in-memory formulation path. The
+  // instances are feasible by construction (planted assignment); an
+  // "infeasible" status here is a frontend or solver bug, and the
+  // regression gate would catch the status change. ADVBIST_BENCH_GEN sets
+  // the count (default 6; the last instance is the badly-scaled variant
+  // exercising the scaling knob; 0 disables the section).
+  int gen_count = 6;
+  if (const char* env = std::getenv("ADVBIST_BENCH_GEN"))
+    gen_count = std::atoi(env);
+  for (int g = 0; g < gen_count; ++g) {
+    lp::GenOptions gopt;
+    gopt.seed = 100 + static_cast<std::uint64_t>(g);
+    gopt.num_vars = 40;
+    gopt.num_rows = 60;
+    gopt.badly_scaled = g == gen_count - 1 && gen_count > 1;
+    const std::string gname = lp::instance_name(gopt);
+    const std::string mps_path = out_dir + "/" + gname + ".mps";
+    {
+      std::ofstream mps(mps_path, std::ios::trunc);
+      mps << lp::write_mps(lp::generate_instance(gopt), gname);
+    }
+    const lp::ReadResult rr = lp::read_model_file(mps_path);
+    std::remove(mps_path.c_str());
+    if (!rr.ok) {
+      std::fprintf(stderr, "%s: frontend parse failed: %s\n", gname.c_str(),
+                   rr.error.to_string().c_str());
+      return 1;  // a broken round-trip must fail the bench, not skip a row
+    }
+    ilp::Options opt;
+    opt.num_threads = 1;
+    opt.node_limit = node_budget;
+    opt.time_limit_seconds = 60.0;
+    opt.exit_audit = audit;
+    const ilp::Solution s = ilp::Solver(opt).solve(rr.model);
+    Row row;
+    row.model = gname;
+    row.vars = rr.model.num_variables();
+    row.rows = rr.model.num_constraints();
+    row.threads = s.stats.threads;
+    row.cuts = true;
+    row.dual = true;
+    row.pricing = "devex";
+    row.hypersparse = true;
+    row.nodes = s.stats.nodes;
+    row.lp_iterations = s.stats.lp_iterations;
+    row.lp_primal1 = s.stats.lp_primal_phase1_iterations;
+    row.lp_primal2 = s.stats.lp_primal_phase2_iterations;
+    row.lp_dual = s.stats.lp_dual_iterations;
+    row.dual_solves = s.stats.lp_dual_solves;
+    row.dual_fallbacks = s.stats.lp_dual_fallbacks;
+    row.hs_pivots = s.stats.lp_dual_hypersparse_pivots;
+    row.hs_dense_pivots = s.stats.lp_dual_dense_pivots;
+    row.rho_nnz = s.stats.lp_dual_rho_nnz;
+    row.btran_sparse = s.stats.lp_dual_btran_sparse;
+    row.btran_dense = s.stats.lp_dual_btran_dense;
+    row.ftran_sparse = s.stats.lp_dual_ftran_sparse;
+    row.ftran_dense = s.stats.lp_dual_ftran_dense;
+    row.bound_flips = s.stats.lp_bound_flips;
+    row.devex_resets = s.stats.lp_devex_resets;
+    row.sb_probes = s.stats.strong_branch_probed;
+    row.sb_fixed = s.stats.strong_branch_fixed;
+    row.rows_deleted = s.stats.lp_rows_deleted;
+    row.peak_rows = s.stats.lp_peak_rows;
+    row.dropped_nodes = s.stats.dropped_nodes;
+    row.refactorizations = s.stats.lp_refactorizations;
+    row.sparse_refactorizations = s.stats.lp_sparse_refactorizations;
+    row.fill_ratio = s.stats.lp_fill_ratio;
+    row.cuts_clique = s.stats.cuts_clique_applied;
+    row.cuts_cover = s.stats.cuts_cover_applied;
+    row.cuts_applied =
+        s.stats.cuts_clique_applied + s.stats.cuts_cover_applied;
+    row.probing_fixed = s.stats.probing_fixed;
+    row.rc_fixed = s.stats.rc_fixed_root + s.stats.rc_fixed_incumbent;
+    row.root_gap_closed = s.stats.root_gap_closed;
+    row.best_bound =
+        std::isfinite(s.stats.best_bound) ? s.stats.best_bound : 0.0;
+    row.gap = std::isfinite(s.gap()) ? s.gap() : -1.0;
+    row.seconds = s.stats.seconds;
+    row.audit_seconds = s.stats.audit_seconds;
+    row.audit_verified = s.stats.audit_ran && s.stats.audit_incumbent_ok &&
+                         s.stats.audit_bound_ok;
+    row.lp_recoveries =
+        s.stats.lp_recovery_refactorize + s.stats.lp_recovery_tighten +
+        s.stats.lp_recovery_dense + s.stats.lp_recovery_cold;
+    row.lp_recovery_cold = s.stats.lp_recovery_cold;
+    row.objective = s.has_solution() ? s.objective : 0.0;
+    row.status = ilp::to_string(s.status);
+    row.scaling = s.stats.lp_scaling_active;
+    row.sanitizer = s.stats.sanitizer_class;
+    rows.push_back(row);
+    std::printf(
+        "%-18s nodes=%lld t=%.2fs scaling=%d sanitizer=%s gap=%.4f (%s)\n",
+        gname.c_str(), row.nodes, row.seconds,
+        s.stats.lp_scaling_active ? 1 : 0, s.stats.sanitizer_class.c_str(),
+        row.gap, row.status.c_str());
   }
 
   // Warm-vs-cold serve throughput pair: the same k-sweep batch is solved
@@ -507,7 +613,8 @@ int main() {
         "\"checkpoint_seconds\": %.4f, \"checkpoints\": %d, "
         "\"resume_count\": %d, \"restored_nodes\": %lld, "
         "\"lp_recoveries\": %lld, \"lp_recovery_cold\": %lld, "
-        "\"nodes_per_sec\": %.1f, \"objective\": %.6f, \"status\": \"%s\"%s}%s\n",
+        "\"nodes_per_sec\": %.1f, \"objective\": %.6f, \"status\": \"%s\", "
+        "\"scaling\": %s, \"sanitizer\": \"%s\"%s}%s\n",
         r.model.c_str(), r.vars, r.rows, r.threads, r.cuts ? "true" : "false",
         r.dual ? "true" : "false", r.pricing.c_str(), r.nodes,
         r.lp_iterations, r.lp_primal1,
@@ -525,7 +632,8 @@ int main() {
         r.checkpoints, r.resume_count, r.restored_nodes, r.lp_recoveries,
         r.lp_recovery_cold,
         r.seconds > 0 ? r.nodes / r.seconds : 0.0, r.objective,
-        r.status.c_str(), r.oversubscribed ? ", \"oversubscribed\": true" : "",
+        r.status.c_str(), r.scaling ? "true" : "false", r.sanitizer.c_str(),
+        r.oversubscribed ? ", \"oversubscribed\": true" : "",
         i + 1 < rows.size() ? "," : "");
     json << buf;
   }

@@ -12,6 +12,8 @@
 #include "core/synthesizer.hpp"
 #include "hls/benchmarks.hpp"
 #include "hls/dfg_parser.hpp"
+#include "lp/mps_reader.hpp"
+#include "lp/sanitizer.hpp"
 #include "util/logging.hpp"
 #include "util/snapshot.hpp"
 
@@ -49,6 +51,75 @@ bool write_text_atomic(const std::string& path, const std::string& text) {
     return false;
   }
   return true;
+}
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Untrusted-model jobs: circuit points at an instance file instead of a
+/// design; the job runs the ILP solver directly behind the reader +
+/// sanitizer gate.
+bool is_model_job(const std::string& circuit) {
+  return has_suffix(circuit, ".mps") || has_suffix(circuit, ".lp");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// reason.json for a quarantined job: what was rejected and exactly where.
+std::string reason_json(const std::string& id, const std::string& kind,
+                        const std::string& detail,
+                        const lp::ParseError* parse,
+                        const lp::ModelDiagnostics* diag) {
+  std::ostringstream out;
+  out << "{\n  \"id\": \"" << json_escape(id) << "\",\n"
+      << "  \"kind\": \"" << json_escape(kind) << "\",\n"
+      << "  \"detail\": \"" << json_escape(detail) << "\"";
+  if (parse != nullptr) {
+    out << ",\n  \"parse\": {\"line\": " << parse->line
+        << ", \"column\": " << parse->column << ", \"message\": \""
+        << json_escape(parse->message) << "\"}";
+  }
+  if (diag != nullptr) {
+    out << ",\n  \"sanitizer\": {"
+        << "\"class\": \"" << lp::to_string(diag->cls) << "\""
+        << ", \"proven_infeasible\": "
+        << (diag->proven_infeasible ? "true" : "false")
+        << ", \"nonfinite_values\": " << diag->nonfinite_values
+        << ", \"duplicate_terms_merged\": " << diag->duplicate_terms_merged
+        << ", \"zero_coeffs_dropped\": " << diag->zero_coeffs_dropped
+        << ", \"vacuous_rows_dropped\": " << diag->vacuous_rows_dropped
+        << ", \"contradictory_rows\": " << diag->contradictory_rows
+        << ", \"crossed_bounds\": " << diag->crossed_bounds
+        << ", \"invalid_indices\": " << diag->invalid_indices
+        << ", \"fingerprint\": " << diag->fingerprint()
+        << ", \"first_issue\": \"" << json_escape(diag->first_issue) << "\"}";
+  }
+  out << "\n}\n";
+  return out.str();
 }
 
 hls::ParsedDesign load_design(const std::string& spec) {
@@ -119,6 +190,150 @@ std::vector<std::string> scan_pending(const std::string& jobs_dir) {
   }
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+/// Runs one untrusted .mps/.lp model job end to end: defensive parse →
+/// sanitizer gate → cache lookup → solve-with-retries. Mirrors the
+/// synthesizer attempt loop (checkpoint/resume, backoff, memory shed).
+/// Returns false when a drain interrupted an attempt — the job then stays
+/// pending on disk and the caller stops the serve loop.
+template <typename Finish, typename Quarantine>
+bool run_model_job(const ServeOptions& options, const JobSpec& spec,
+                   ServeStats& stats, util::BoundedJobQueue& queue,
+                   const fs::path& ckpt_dir, const fs::path& cache_dir,
+                   const Finish& finish, const Quarantine& quarantine) {
+  const lp::ReadResult rr = lp::read_model_file(spec.circuit);
+  if (!rr.ok) {
+    util::log_warn() << "serve: job " << spec.id << ": " << spec.circuit
+                     << ": " << rr.error.to_string();
+    JobOutcome bad;
+    bad.status = "parse-error";
+    quarantine(spec, std::move(bad),
+               reason_json(spec.id, "parse-error", spec.circuit, &rr.error,
+                           nullptr));
+    return true;
+  }
+  const lp::SanitizeResult san = lp::sanitize_model(rr.model);
+  if (san.diag.cls == lp::ModelClass::kRejected) {
+    util::log_warn() << "serve: job " << spec.id << ": sanitizer rejected ("
+                     << san.diag.first_issue << ")";
+    JobOutcome bad;
+    bad.status = ilp::to_string(ilp::SolveStatus::kInvalidModel);
+    quarantine(spec, std::move(bad),
+               reason_json(spec.id, "invalid-model", san.diag.summary(),
+                           nullptr, &san.diag));
+    return true;
+  }
+  if (san.diag.proven_infeasible) {
+    // Decidable before any solve: an honest completed verdict, not a
+    // failure (the file parsed fine; its model just has no feasible point).
+    JobOutcome o;
+    o.status = ilp::to_string(ilp::SolveStatus::kInfeasible);
+    finish(spec, std::move(o), /*failed=*/false);
+    return true;
+  }
+
+  // Cache key: hash of the canonical MPS serialization of the SANITIZED
+  // model (formatting/comment-invariant) mixed with the repair
+  // fingerprint, so a repaired model never aliases the clean model with
+  // identical post-repair bytes.
+  std::string canon = lp::write_mps(san.model, "CACHE");
+  canon += "\nsan=" + std::to_string(san.diag.fingerprint());
+  const std::uint64_t h = util::fnv1a64(
+      reinterpret_cast<const unsigned char*>(canon.data()), canon.size());
+  char keybuf[20];
+  std::snprintf(keybuf, sizeof keybuf, "%016llx",
+                static_cast<unsigned long long>(h));
+  const std::string key = keybuf;
+  const fs::path cache_path = cache_dir / (key + ".result");
+  if (std::optional<JobOutcome> hit = read_result_file(cache_path.string())) {
+    hit->from_cache = true;
+    hit->attempts = 0;
+    ++stats.cache_hits;
+    finish(spec, std::move(*hit), /*failed=*/false);
+    return true;
+  }
+
+  // The objective the user asked about: the reader folded OBJSENSE MAX by
+  // negating the objective, and the offset lives outside the model.
+  const auto user_value = [&](double z) {
+    return (rr.maximize ? -z : z) + rr.objective_offset;
+  };
+
+  const std::uint64_t job_key = util::fnv1a64(
+      reinterpret_cast<const unsigned char*>(key.data()), key.size());
+  bool job_resumed = false;
+  bool left_pending = false;
+  JobOutcome outcome;
+  int attempt = 0;
+  while (true) {
+    if (drain_requested(options)) {
+      left_pending = true;
+      break;
+    }
+    ++attempt;
+    ilp::Options sopt = options.solver;
+    sopt.time_limit_seconds =
+        spec.time_limit > 0 ? spec.time_limit : options.default_time_limit;
+    sopt.num_threads =
+        spec.threads > 0 ? spec.threads : options.default_threads;
+    if (spec.node_limit > 0) sopt.node_limit = spec.node_limit;
+    const std::string ck = (ckpt_dir / (spec.id + ".ck")).string();
+    sopt.checkpoint_path = ck;
+    sopt.resume_path = ck;
+    sopt.checkpoint_interval_seconds = options.checkpoint_interval_seconds;
+    sopt.cancel_flag = options.drain;
+
+    const ilp::Solver solver(sopt);
+    const ilp::Solution r = solver.solve(san.model);
+    const ilp::Stats& st = r.stats;
+    stats.checkpoints_written += st.checkpoints_written;
+    stats.resume_rejected += st.resume_rejected;
+    if (st.resumed) job_resumed = true;
+
+    outcome = JobOutcome{};
+    outcome.status = ilp::to_string(r.status);
+    if (r.has_solution()) outcome.objective = user_value(r.objective);
+    outcome.best_bound = user_value(st.best_bound);
+    outcome.nodes = st.nodes;
+    outcome.attempts = attempt;
+    outcome.resumed = job_resumed;
+    outcome.verified = st.audit_incumbent_ok;
+
+    if (drain_requested(options) ||
+        st.termination == util::StopReason::kCancelled) {
+      left_pending = true;
+      break;
+    }
+    if (st.termination == util::StopReason::kNone) {
+      finish(spec, outcome, /*failed=*/false);
+      if (r.is_optimal() && st.audit_incumbent_ok) {
+        JobOutcome cached = outcome;
+        cached.from_cache = false;
+        write_text_atomic(cache_path.string(), format_result(cached));
+      }
+      break;
+    }
+    if (st.termination == util::StopReason::kMemoryLimit) {
+      const std::size_t shed = queue.shed_all();
+      if (shed > 0) {
+        stats.jobs_shed += static_cast<long long>(shed);
+        stats.memory_pressure_shed = true;
+      }
+    }
+    if (attempt > options.max_retries) {
+      finish(spec, outcome, /*failed=*/true);
+      break;
+    }
+    ++stats.retries;
+    if (interruptible_sleep(options,
+                            options.backoff.delay_seconds(job_key, attempt))) {
+      left_pending = true;
+      break;
+    }
+  }
+  if (job_resumed) ++stats.resumed_jobs;
+  return !left_pending;
 }
 
 }  // namespace
@@ -233,6 +448,21 @@ ServeStats serve(const ServeOptions& options) {
     stats.outcomes.push_back(std::move(outcome));
   };
 
+  // Quarantine: the job is rejected before any solve attempt. The reason
+  // lands machine-readable in failed/<id>.reason.json and the offending
+  // spec is preserved next to it (finish() removes the pending copy).
+  const auto quarantine = [&](const JobSpec& spec, JobOutcome outcome,
+                              const std::string& reason) {
+    write_text_atomic((failed_dir / (spec.id + ".reason.json")).string(),
+                      reason);
+    std::error_code copy_ec;
+    fs::copy_file(jobs_dir / (spec.id + ".job"),
+                  failed_dir / (spec.id + ".job"),
+                  fs::copy_options::overwrite_existing, copy_ec);
+    ++stats.jobs_quarantined;
+    finish(spec, std::move(outcome), /*failed=*/true);
+  };
+
   while (true) {
     if (drain_requested(options)) {
       stats.drained = true;
@@ -268,12 +498,22 @@ ServeStats serve(const ServeOptions& options) {
       bad.status = "malformed";
       JobSpec stub;
       stub.id = *next;
-      finish(stub, std::move(bad), /*failed=*/true);
+      quarantine(stub, std::move(bad),
+                 reason_json(*next, "malformed-spec",
+                             "unparseable job spec file", nullptr, nullptr));
       ++stats.jobs_malformed;
       --stats.jobs_failed;  // malformed is its own counter, not a retry loss
       continue;
     }
     const JobSpec& spec = *parsed;
+
+    if (is_model_job(spec.circuit)) {
+      if (run_model_job(options, spec, stats, queue, ckpt_dir, cache_dir,
+                        finish, quarantine))
+        continue;
+      stats.drained = true;  // drain raised mid-attempt; job stays pending
+      break;
+    }
 
     hls::ParsedDesign design;
     try {
@@ -282,7 +522,9 @@ ServeStats serve(const ServeOptions& options) {
       util::log_warn() << "serve: job " << spec.id << ": " << e.what();
       JobOutcome bad;
       bad.status = "bad-circuit";
-      finish(spec, std::move(bad), /*failed=*/true);
+      quarantine(spec, std::move(bad),
+                 reason_json(spec.id, "bad-circuit", e.what(), nullptr,
+                             nullptr));
       continue;
     }
 

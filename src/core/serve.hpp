@@ -40,7 +40,13 @@ namespace advbist::core {
 
 struct JobSpec {
   std::string id;        ///< spool file stem; [A-Za-z0-9._-] only
-  std::string circuit;   ///< built-in benchmark name or .dfg file path
+  /// Built-in benchmark name, .dfg file path, or an untrusted .mps/.lp
+  /// model file. Model jobs bypass the synthesizer and run the branch&cut
+  /// solver directly behind the defensive reader + sanitizer gate; a file
+  /// that fails either is QUARANTINED: the job fails immediately with a
+  /// machine-readable <id>.reason.json (parse position or sanitizer
+  /// diagnostics) written next to the preserved spec in failed/.
+  std::string circuit;
   int k = 1;             ///< BIST test sessions
   double time_limit = 0.0;   ///< per-attempt deadline; 0 = serve default
   int threads = 0;           ///< solver threads; 0 = serve default
@@ -65,6 +71,10 @@ struct ServeStats {
   int jobs_completed = 0;
   int jobs_failed = 0;     ///< exhausted retries (moved to failed/)
   int jobs_malformed = 0;  ///< unparseable spec files (moved to failed/)
+  /// Jobs rejected before any solve attempt — malformed spec, unreadable
+  /// circuit, model-file parse error, sanitizer-rejected model. Each left
+  /// a <id>.reason.json and its spec in failed/; none consumed a retry.
+  int jobs_quarantined = 0;
   long long jobs_shed = 0; ///< queue-slot refusals: kQueueAlloc fault fires
                            ///< + memory-pressure sheds (jobs stay on disk)
   bool memory_pressure_shed = false;  ///< some shed came from memory pressure

@@ -19,6 +19,7 @@
 #include "ilp/cuts.hpp"
 #include "ilp/presolve.hpp"
 #include "ilp/tolerances.hpp"
+#include "lp/sanitizer.hpp"
 #include "lp/simplex.hpp"
 #include "util/check.hpp"
 #include "util/fault_injector.hpp"
@@ -60,6 +61,7 @@ std::string to_string(SolveStatus status) {
     case SolveStatus::kTimeLimit: return "time limit";
     case SolveStatus::kCancelled: return "cancelled";
     case SolveStatus::kMemoryLimit: return "memory limit";
+    case SolveStatus::kInvalidModel: return "invalid model";
   }
   return "?";
 }
@@ -332,6 +334,7 @@ struct SearchContext {
 
   // --- LP factorization counters, summed as workers retire (guarded) ---
   lp::SimplexSolver::Stats lp_stats;
+  bool lp_scaling_active = false;  // any worker LP engaged scaling (guarded)
 
   // --- accounting ---
   std::atomic<long long> nodes{0};
@@ -446,6 +449,7 @@ class Worker {
     std::lock_guard<std::mutex> lock(ctx_.mutex);
     accumulate(ctx_.lp_stats, simplex_.stats());
     if (dive_lp_) accumulate(ctx_.lp_stats, dive_lp_->stats());
+    ctx_.lp_scaling_active |= simplex_.scaling_active();
   }
 
   static lp::SimplexOptions simplex_options(const Options& opt) {
@@ -456,6 +460,7 @@ class Worker {
     so.dual_pricing = opt.lp_dual_pricing;
     so.hypersparse = opt.lp_hypersparse;
     so.hypersparse_threshold = opt.lp_hypersparse_threshold;
+    so.scaling = opt.lp_scaling;
     return so;
   }
 
@@ -1227,10 +1232,40 @@ bool validate_checkpoint(const SolveCheckpoint& ck, const Model& original,
 
 Solver::Solver(Options options) : options_(std::move(options)) {}
 
-Solution Solver::solve_impl(const Model& original,
+Solution Solver::solve_impl(const Model& input,
                             const SolveCheckpoint* snapshot) const {
   Solution sol;
   SearchContext ctx;
+
+  // Sanitizer gate: every model — built-in, file-sourced or serve job —
+  // passes through lp::sanitize_model before presolve sees it. Rejection
+  // (non-finite data, corrupt indices) is an honest kInvalidModel refusal;
+  // a structurally contradictory model is an honest kInfeasible without a
+  // search; a repaired model replaces the input for the whole solve
+  // (including the exit audit — the repairs are solve-equivalent).
+  lp::SanitizeResult sanitized = lp::sanitize_model(input);
+  sol.stats.sanitizer_class = lp::to_string(sanitized.diag.cls);
+  sol.stats.sanitizer_duplicates_merged = sanitized.diag.duplicate_terms_merged;
+  sol.stats.sanitizer_zero_coeffs_dropped = sanitized.diag.zero_coeffs_dropped;
+  sol.stats.sanitizer_vacuous_rows_dropped =
+      sanitized.diag.vacuous_rows_dropped;
+  sol.stats.sanitizer_contradictory_rows = sanitized.diag.contradictory_rows;
+  sol.stats.sanitizer_crossed_bounds = sanitized.diag.crossed_bounds;
+  sol.stats.sanitizer_fingerprint = sanitized.diag.fingerprint();
+  if (sanitized.diag.cls == lp::ModelClass::kRejected) {
+    util::log_warn() << "sanitizer: model rejected ("
+                     << sanitized.diag.first_issue << ")";
+    sol.status = SolveStatus::kInvalidModel;
+    sol.stats.seconds = ctx.watch.seconds();
+    return sol;
+  }
+  if (sanitized.diag.proven_infeasible) {
+    sol.stats.sanitizer_proven_infeasible = true;
+    sol.status = SolveStatus::kInfeasible;
+    sol.stats.seconds = ctx.watch.seconds();
+    return sol;
+  }
+  const Model& original = sanitized.model;
 
   // One controller governs every phase of this solve: the deadline, the
   // node budget, the memory budget, and the caller's cancel flag are all
@@ -1666,6 +1701,7 @@ Solution Solver::solve_impl(const Model& original,
   }
   if (root_lp) {
     accumulate(ctx.lp_stats, root_lp->stats());
+    ctx.lp_scaling_active |= root_lp->scaling_active();
     // The probes' dual-solve accounting belongs to strong branching
     // (sol.stats.strong_branch_probed), not to the dual_solves /
     // dual_fallbacks warm-start health diagnostic: iteration-capped probes
@@ -1827,6 +1863,7 @@ Solution Solver::solve_impl(const Model& original,
   sol.stats.shed_diving = ctx.shed_diving.load();
   sol.stats.peak_memory_bytes = controller.peak_memory();
   sol.stats.seconds = ctx.watch.seconds();
+  sol.stats.lp_scaling_active = ctx.lp_scaling_active;
   sol.stats.lp_refactorizations = ctx.lp_stats.refactorizations;
   sol.stats.lp_sparse_refactorizations = ctx.lp_stats.sparse_refactorizations;
   sol.stats.lp_sparse_fallbacks = ctx.lp_stats.sparse_fallbacks;

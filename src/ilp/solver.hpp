@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,12 @@ enum class SolveStatus {
   kTimeLimit,    ///< wall-clock deadline enforced down to the LP pivot loop
   kCancelled,    ///< external cancellation (SIGINT / Options::cancel_flag)
   kMemoryLimit,  ///< node/cut pool memory budget exhausted
+  /// The model sanitizer gate (lp/sanitizer.hpp) rejected the model:
+  /// non-finite objective/coefficient/bound/rhs or a corrupt term index.
+  /// No repair exists, so no solve ran — an honest refusal, never a crash
+  /// or a proof about a made-up model. Stats::sanitizer_* carry the
+  /// diagnostics.
+  kInvalidModel,
 };
 
 struct Options {
@@ -132,6 +139,14 @@ struct Options {
   /// row count: once the tracked pattern exceeds `threshold * m`, the
   /// sparse solve bails to the dense path for that pivot.
   double lp_hypersparse_threshold = 0.3;
+  /// Geometric-mean + equilibration scaling of each worker's LP
+  /// (`--scale 0|1`, see lp/scaling.hpp). Factors are snapped to powers of
+  /// two, so scale/unscale round-trips are bit-exact and every public
+  /// boundary (bounds, duals, solutions, the exit audit) still speaks the
+  /// ORIGINAL model's units. Well-scaled models (all nonzeros within
+  /// [2^-6, 2^6]) skip the transform entirely, keeping trajectories on the
+  /// built-in benchmarks bit-identical with the knob on or off.
+  bool lp_scaling = true;
   // --- branching (shared pseudocosts + root strong branching) ---
   /// Fractional root variables probed by strong branching before the tree
   /// search starts (`--strong-branch N`, 0 disables). Each candidate gets
@@ -320,6 +335,27 @@ struct Stats {
   int checkpoints_written = 0;       ///< snapshot files written this solve
   double checkpoint_seconds = 0.0;   ///< wall clock capturing + writing them
   long long restored_nodes = 0;      ///< frontier nodes restored on resume
+  // --- untrusted-input frontend: sanitizer gate + scaling (see
+  // lp/sanitizer.hpp, lp/scaling.hpp) ---
+  /// Sanitizer verdict on the input model: "clean", "repaired" or
+  /// "rejected" (the latter surfaces as SolveStatus::kInvalidModel).
+  std::string sanitizer_class = "clean";
+  /// Individual repair counters (see lp::ModelDiagnostics).
+  long long sanitizer_duplicates_merged = 0;
+  long long sanitizer_zero_coeffs_dropped = 0;
+  long long sanitizer_vacuous_rows_dropped = 0;
+  long long sanitizer_contradictory_rows = 0;
+  long long sanitizer_crossed_bounds = 0;
+  /// The sanitizer proved infeasibility structurally (contradictory or
+  /// crossed-bound row); the solve returned kInfeasible without searching.
+  bool sanitizer_proven_infeasible = false;
+  /// FNV-1a fingerprint of the repair counters; 0 iff the model passed
+  /// through fully untouched. Serve mixes it into cache keys so a repaired
+  /// model never aliases the clean model it was repaired from.
+  std::uint64_t sanitizer_fingerprint = 0;
+  /// At least one worker LP engaged non-trivial scaling factors (false on
+  /// well-scaled models even with Options::lp_scaling on).
+  bool lp_scaling_active = false;
   /// Residual cooperatively-accounted bytes after the end-of-solve
   /// teardown released the node pool, the cut-pool gauge and every
   /// worker's LP cut rows. Nonzero means a reserve/release imbalance

@@ -1,0 +1,109 @@
+#include "lp/instance_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace advbist::lp {
+
+namespace {
+
+// splitmix64: tiny, deterministic, platform-independent.
+std::uint64_t next_u64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int next_int(std::uint64_t& state, int lo, int hi) {  // inclusive
+  return lo + static_cast<int>(next_u64(state) %
+                               static_cast<std::uint64_t>(hi - lo + 1));
+}
+
+double next_unit(std::uint64_t& state) {
+  return static_cast<double>(next_u64(state) >> 11) * 0x1p-53;
+}
+
+}  // namespace
+
+Model generate_instance(const GenOptions& opt) {
+  ADVBIST_REQUIRE(opt.num_vars >= 2 && opt.num_rows >= 1 &&
+                      opt.max_terms_per_row >= 2 && opt.coeff_range >= 1,
+                  "instance_gen: degenerate shape");
+  std::uint64_t rng = opt.seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+  const int n = opt.num_vars;
+  const int m = opt.num_rows;
+
+  // Planted assignment the instance is built to keep feasible.
+  std::vector<int> planted(n);
+  for (int v = 0; v < n; ++v) planted[v] = next_int(rng, 0, 1);
+
+  // Multidimensional-knapsack shape: every variable's objective pulls it
+  // toward 1 while mostly-positive cover rows cap how many fit, so
+  // presolve cannot fix variables by duality/propagation and the LP
+  // relaxation lands on fractional vertices — the instances genuinely
+  // exercise simplex + branching (the scaling differential suite and the
+  // generated bench rows depend on that; a corpus presolve solves outright
+  // would pin nothing).
+  Model model;
+  for (int v = 0; v < n; ++v)
+    model.add_binary(-static_cast<double>(next_int(rng, 1, 10)),
+                     "x" + std::to_string(v));
+
+  std::vector<int> pickbuf(n);
+  for (int r = 0; r < m; ++r) {
+    const int k = next_int(rng, 2, std::min(opt.max_terms_per_row, n));
+    // k distinct variables via partial Fisher-Yates.
+    for (int v = 0; v < n; ++v) pickbuf[v] = v;
+    for (int i = 0; i < k; ++i)
+      std::swap(pickbuf[i], pickbuf[next_int(rng, i, n - 1)]);
+
+    LinExpr e;
+    double activity = 0.0;
+    int amax = 1;
+    double scale = 1.0;
+    if (opt.badly_scaled)
+      scale = std::pow(10.0, next_int(rng, -6, 6));
+    for (int i = 0; i < k; ++i) {
+      int a = next_int(rng, 1, opt.coeff_range);
+      amax = std::max(amax, a);
+      // Occasional negative coefficients keep variety; the positive bulk
+      // is what makes the <= rows bind against the objective.
+      if (next_int(rng, 0, 3) == 0) a = -a;
+      e.add(pickbuf[i], a * scale);
+      activity += static_cast<double>(a) * planted[pickbuf[i]] * scale;
+    }
+    // Slack strictly wider than the largest coefficient magnitude, and
+    // fractional: no single row can fix a variable by bound propagation
+    // (the implied bound (amax - slack)/a is negative), and the
+    // non-integer rhs never rounds to a tight integer bound. The
+    // objective still pushes every variable to 1, so the <= rows bind at
+    // the LP optimum and branching has real work to do.
+    const double jitter = (1.25 + next_unit(rng)) * amax * scale;
+    const double u = next_unit(rng);
+    if (u < opt.eq_fraction) {
+      model.add_constraint(std::move(e), Sense::kEqual, activity,
+                           "r" + std::to_string(r));
+    } else if (u < opt.eq_fraction + 0.7 * (1.0 - opt.eq_fraction)) {
+      model.add_constraint(std::move(e), Sense::kLessEqual, activity + jitter,
+                           "r" + std::to_string(r));
+    } else {
+      model.add_constraint(std::move(e), Sense::kGreaterEqual,
+                           activity - jitter, "r" + std::to_string(r));
+    }
+  }
+  return model;
+}
+
+std::string instance_name(const GenOptions& opt) {
+  std::ostringstream os;
+  os << "gen-s" << opt.seed << "-" << opt.num_vars << "x" << opt.num_rows;
+  if (opt.badly_scaled) os << "-illcond";
+  return os.str();
+}
+
+}  // namespace advbist::lp

@@ -26,6 +26,12 @@ void LinExpr::normalize() {
 
 int Model::add_variable(double lower, double upper, double objective,
                         VarType type, std::string name) {
+  ADVBIST_REQUIRE(!std::isnan(lower) && !std::isnan(upper),
+                  "variable bound is NaN: " + name);
+  ADVBIST_REQUIRE(lower < kInfinity && upper > -kInfinity,
+                  "variable bound is the wrong infinity: " + name);
+  ADVBIST_REQUIRE(std::isfinite(objective),
+                  "objective coefficient is not finite: " + name);
   ADVBIST_REQUIRE(lower <= upper, "variable bounds crossed: " + name);
   variables_.push_back(VariableDef{lower, upper, objective, type, std::move(name)});
   return static_cast<int>(variables_.size()) - 1;
@@ -44,11 +50,24 @@ int Model::add_integer(double lower, double upper, double objective,
 int Model::add_constraint(LinExpr expr, Sense sense, double rhs,
                           std::string name) {
   expr.normalize();
-  for (const Term& t : expr.terms())
+  for (const Term& t : expr.terms()) {
     ADVBIST_REQUIRE(t.var >= 0 && t.var < num_variables(),
                     "constraint references unknown variable: " + name);
+    ADVBIST_REQUIRE(std::isfinite(t.coeff),
+                    "constraint coefficient is not finite: " + name);
+  }
+  ADVBIST_REQUIRE(!std::isnan(rhs) && std::isfinite(expr.constant()),
+                  "constraint right-hand side is NaN: " + name);
   constraints_.push_back(ConstraintDef{expr.terms(), sense,
                                        rhs - expr.constant(), std::move(name)});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+int Model::add_constraint_raw(ConstraintDef def) {
+  for (const Term& t : def.terms)
+    ADVBIST_REQUIRE(t.var >= 0 && t.var < num_variables(),
+                    "raw constraint references unknown variable: " + def.name);
+  constraints_.push_back(std::move(def));
   return static_cast<int>(constraints_.size()) - 1;
 }
 
@@ -61,6 +80,10 @@ int Model::num_integer_variables() const {
 
 void Model::set_bounds(int v, double lower, double upper) {
   ADVBIST_REQUIRE(v >= 0 && v < num_variables(), "variable index");
+  ADVBIST_REQUIRE(!std::isnan(lower) && !std::isnan(upper),
+                  "variable bound is NaN");
+  ADVBIST_REQUIRE(lower < kInfinity && upper > -kInfinity,
+                  "variable bound is the wrong infinity");
   ADVBIST_REQUIRE(lower <= upper, "variable bounds crossed");
   variables_[v].lower = lower;
   variables_[v].upper = upper;

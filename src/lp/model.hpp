@@ -94,6 +94,13 @@ class Model {
   int add_constraint(LinExpr expr, Sense sense, double rhs,
                      std::string name = "");
 
+  /// Unvalidated ingestion point for the untrusted-input pipeline
+  /// (mps_reader / sanitizer tests): only variable indices are checked
+  /// (anything else would be UB downstream); coefficients may be
+  /// non-finite, duplicated, or zero. A model built through this door
+  /// MUST pass through lp::sanitize_model before presolve or simplex.
+  int add_constraint_raw(ConstraintDef def);
+
   [[nodiscard]] int num_variables() const {
     return static_cast<int>(variables_.size());
   }

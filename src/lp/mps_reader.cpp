@@ -1,0 +1,1051 @@
+#include "lp/mps_reader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace advbist::lp {
+
+std::string ParseError::to_string() const {
+  std::ostringstream os;
+  os << "parse error at line " << line << ", column " << column << ": "
+     << message;
+  return os.str();
+}
+
+namespace {
+
+constexpr double kInf = kInfinity;
+
+/// Internal throw type: the public API never leaks exceptions for parse
+/// failures — the outer catch converts to ReadResult::error.
+struct ParseFail {
+  ParseError err;
+};
+
+[[noreturn]] void fail(int line, int col, std::string msg) {
+  throw ParseFail{ParseError{line, col, std::move(msg)}};
+}
+
+struct Tok {
+  std::string text;
+  int line = 0;
+  int col = 0;  // 1-based
+};
+
+bool is_space_byte(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Splits `text` into lines (handling \n and \r\n; a lone final line
+/// without a newline is kept). Enforces the line-length cap.
+std::vector<std::pair<std::size_t, std::size_t>> split_lines(
+    const std::string& text, const ReaderLimits& lim) {
+  std::vector<std::pair<std::size_t, std::size_t>> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      std::size_t end = i;
+      if (end > start && text[end - 1] == '\r') --end;
+      if (end - start > lim.max_line_len)
+        fail(static_cast<int>(lines.size()) + 1, 1,
+             "line exceeds the length cap");
+      if (i < text.size() || end > start) lines.emplace_back(start, end);
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+/// Whitespace tokenization of one line with 1-based columns. Control
+/// bytes outside the whitespace set are rejected (no binary soup reaches
+/// the name tables).
+void tokenize_ws(const std::string& text, std::size_t b, std::size_t e,
+                 int lineno, const ReaderLimits& lim, std::vector<Tok>& out) {
+  out.clear();
+  std::size_t i = b;
+  while (i < e) {
+    while (i < e && is_space_byte(text[i])) ++i;
+    if (i >= e) break;
+    const std::size_t tok_start = i;
+    while (i < e && !is_space_byte(text[i])) {
+      const unsigned char c = static_cast<unsigned char>(text[i]);
+      if (c < 0x20)
+        fail(lineno, static_cast<int>(i - b) + 1,
+             "control character in input");
+      ++i;
+    }
+    if (i - tok_start > lim.max_name_len)
+      fail(lineno, static_cast<int>(tok_start - b) + 1,
+           "token exceeds the name-length cap");
+    out.push_back(Tok{text.substr(tok_start, i - tok_start), lineno,
+                      static_cast<int>(tok_start - b) + 1});
+  }
+}
+
+/// Strict finite-number parse: the whole token must be consumed and the
+/// value finite (NaN/Inf literals and trailing garbage are parse errors).
+double parse_num(const Tok& t) {
+  const char* s = t.text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end != s + t.text.size() || t.text.empty())
+    fail(t.line, t.col, "malformed number '" + t.text + "'");
+  if (!std::isfinite(v))
+    fail(t.line, t.col, "number is not finite: '" + t.text + "'");
+  return v;
+}
+
+bool looks_like_number(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  if (s[i] == '+' || s[i] == '-') ++i;
+  return i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.');
+}
+
+// ---------------------------------------------------------------------------
+// Shared intermediate representation assembled into the Model at the end.
+// ---------------------------------------------------------------------------
+
+struct RowIR {
+  char type = 'L';  // 'L', 'G', 'E' ('N' rows are filtered out)
+  std::string name;
+  double rhs = 0.0;
+  double range = 0.0;
+  bool has_range = false;
+  std::vector<Term> terms;  // var index, coefficient
+};
+
+struct ColIR {
+  std::string name;
+  bool integer = false;
+  double lo = 0.0;
+  double up = kInf;
+  bool has_lo = false;  // an explicit lower-type bound entry was seen
+  bool has_up = false;
+  double obj = 0.0;
+};
+
+struct Builder {
+  const ReaderLimits& lim;
+  std::vector<RowIR> rows;
+  std::vector<ColIR> cols;
+  std::unordered_map<std::string, int> row_ix;
+  std::unordered_map<std::string, int> col_ix;
+  long long nnz = 0;
+
+  explicit Builder(const ReaderLimits& l) : lim(l) {}
+
+  int add_row(const Tok& name_tok, char type) {
+    if (static_cast<int>(rows.size()) >= lim.max_rows)
+      fail(name_tok.line, name_tok.col, "row cap exceeded");
+    if (!row_ix.emplace(name_tok.text, static_cast<int>(rows.size())).second)
+      fail(name_tok.line, name_tok.col,
+           "duplicate row name '" + name_tok.text + "'");
+    rows.push_back(RowIR{type, name_tok.text, 0.0, 0.0, false, {}});
+    return static_cast<int>(rows.size()) - 1;
+  }
+
+  int add_col(const Tok& name_tok, bool integer) {
+    if (static_cast<int>(cols.size()) >= lim.max_cols)
+      fail(name_tok.line, name_tok.col, "column cap exceeded");
+    auto [it, fresh] =
+        col_ix.emplace(name_tok.text, static_cast<int>(cols.size()));
+    if (fresh) {
+      ColIR c;
+      c.name = name_tok.text;
+      c.integer = integer;
+      if (integer) c.up = 1.0;  // CPLEX marker convention; BOUNDS overrides
+      cols.push_back(std::move(c));
+    }
+    return it->second;
+  }
+
+  void add_term(int row, int col, double coeff, const Tok& at) {
+    if (++nnz > lim.max_nnz) fail(at.line, at.col, "nonzero cap exceeded");
+    rows[row].terms.push_back(Term{col, coeff});
+  }
+
+  /// Assembles the IR into the hardened Model. Crossed bounds (a hostile
+  /// BOUNDS section) are representable only indirectly: the variable gets
+  /// the enclosing [min,max] interval plus one contradictory empty row,
+  /// which the sanitizer proves infeasible — the file's (empty) feasible
+  /// set is preserved exactly.
+  void assemble(ReadResult& out) {
+    Model& model = out.model;
+    for (ColIR& c : cols) {
+      double lo = c.lo, up = c.up;
+      bool crossed = false;
+      if (lo > up) {
+        crossed = true;
+        std::swap(lo, up);
+        ++out.crossed_bounds;
+      }
+      const double obj = out.maximize ? -c.obj : c.obj;
+      model.add_variable(lo, up,
+                         obj, c.integer ? VarType::kInteger
+                                        : VarType::kContinuous,
+                         c.name);
+      if (crossed)
+        model.add_constraint_raw(ConstraintDef{
+            {}, Sense::kLessEqual, -1.0, "crossed_bounds(" + c.name + ")"});
+    }
+    for (RowIR& r : rows) {
+      LinExpr e;
+      for (const Term& t : r.terms) e.add(t.var, t.coeff);
+      if (!r.has_range) {
+        const Sense s = r.type == 'L'   ? Sense::kLessEqual
+                        : r.type == 'G' ? Sense::kGreaterEqual
+                                        : Sense::kEqual;
+        model.add_constraint(std::move(e), s, r.rhs, r.name);
+        continue;
+      }
+      // RANGES: the row becomes lo <= ax <= hi.
+      ++out.num_ranges;
+      double lo = 0.0, hi = 0.0;
+      const double b = r.rhs, rg = r.range;
+      switch (r.type) {
+        case 'L': lo = b - std::abs(rg); hi = b; break;
+        case 'G': lo = b; hi = b + std::abs(rg); break;
+        default:  // 'E'
+          lo = rg >= 0.0 ? b : b + rg;
+          hi = rg >= 0.0 ? b + rg : b;
+          break;
+      }
+      if (lo == hi) {
+        model.add_constraint(std::move(e), Sense::kEqual, lo, r.name);
+      } else {
+        LinExpr e2 = e;
+        model.add_constraint(std::move(e), Sense::kGreaterEqual, lo, r.name);
+        model.add_constraint(std::move(e2), Sense::kLessEqual, hi,
+                             r.name + "_rng");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MPS
+// ---------------------------------------------------------------------------
+
+enum class MpsSection {
+  kNone, kName, kObjsense, kRows, kColumns, kRhs, kRanges, kBounds, kDone
+};
+
+void parse_mps(const std::string& text, const ReaderLimits& lim,
+               ReadResult& out) {
+  out.format = "mps";
+  Builder b(lim);
+  const auto lines = split_lines(text, lim);
+
+  MpsSection section = MpsSection::kNone;
+  bool want_objsense_value = false;
+  int obj_row = -1;               // index into free-row bookkeeping below
+  std::string obj_name;
+  std::unordered_set<std::string> free_rows;  // extra N rows: ignored terms
+  bool integer_mode = false;
+  std::vector<Tok> toks;
+
+  auto apply_objsense = [&](const Tok& t) {
+    const std::string v = lower(t.text);
+    if (v == "max" || v == "maximize" || v == "maximise")
+      out.maximize = true;
+    else if (v == "min" || v == "minimize" || v == "minimise")
+      out.maximize = false;
+    else
+      fail(t.line, t.col, "OBJSENSE expects MIN or MAX, got '" + t.text + "'");
+  };
+
+  for (int li = 0; li < static_cast<int>(lines.size()); ++li) {
+    const auto [lb, le] = lines[li];
+    if (lb < le && text[lb] == '*') continue;  // comment line
+    tokenize_ws(text, lb, le, li + 1, lim, toks);
+    if (toks.empty()) continue;
+
+    // Section headers start in column 1.
+    if (toks[0].col == 1) {
+      const std::string kw = lower(toks[0].text);
+      if (kw == "name") {
+        section = MpsSection::kName;
+        if (toks.size() > 1) out.name = toks[1].text;
+        continue;
+      }
+      if (kw == "objsense") {
+        section = MpsSection::kObjsense;
+        want_objsense_value = true;
+        if (toks.size() > 1) {
+          apply_objsense(toks[1]);
+          want_objsense_value = false;
+        }
+        continue;
+      }
+      if (kw == "rows") { section = MpsSection::kRows; continue; }
+      if (kw == "columns") { section = MpsSection::kColumns; continue; }
+      if (kw == "rhs") { section = MpsSection::kRhs; continue; }
+      if (kw == "ranges") { section = MpsSection::kRanges; continue; }
+      if (kw == "bounds") { section = MpsSection::kBounds; continue; }
+      if (kw == "endata") { section = MpsSection::kDone; break; }
+      fail(toks[0].line, toks[0].col,
+           "unknown MPS section '" + toks[0].text + "'");
+    }
+
+    switch (section) {
+      case MpsSection::kNone:
+        fail(toks[0].line, toks[0].col, "data before any MPS section header");
+      case MpsSection::kName:
+        fail(toks[0].line, toks[0].col, "unexpected data in NAME section");
+      case MpsSection::kObjsense: {
+        if (!want_objsense_value)
+          fail(toks[0].line, toks[0].col, "unexpected data after OBJSENSE");
+        apply_objsense(toks[0]);
+        want_objsense_value = false;
+        break;
+      }
+      case MpsSection::kRows: {
+        if (toks.size() != 2)
+          fail(toks[0].line, toks[0].col,
+               "ROWS line must be '<type> <name>'");
+        const std::string ty = lower(toks[0].text);
+        if (ty.size() != 1 || std::string("nlge").find(ty[0]) == std::string::npos)
+          fail(toks[0].line, toks[0].col,
+               "unknown row type '" + toks[0].text + "'");
+        if (ty[0] == 'n') {
+          if (obj_row < 0) {
+            obj_row = 0;
+            obj_name = toks[1].text;
+            if (out.name.empty()) out.name = obj_name;
+          } else if (!free_rows.insert(toks[1].text).second) {
+            fail(toks[1].line, toks[1].col,
+                 "duplicate row name '" + toks[1].text + "'");
+          }
+          if (b.row_ix.count(toks[1].text) != 0 ||
+              (obj_row >= 0 && toks[1].text == obj_name &&
+               free_rows.count(toks[1].text) != 0))
+            fail(toks[1].line, toks[1].col,
+                 "duplicate row name '" + toks[1].text + "'");
+          break;
+        }
+        if (toks[1].text == obj_name || free_rows.count(toks[1].text) != 0)
+          fail(toks[1].line, toks[1].col,
+               "duplicate row name '" + toks[1].text + "'");
+        b.add_row(toks[1],
+                  static_cast<char>(std::toupper(
+                      static_cast<unsigned char>(ty[0]))));
+        break;
+      }
+      case MpsSection::kColumns: {
+        // Integer marker lines: <name> 'MARKER' 'INTORG'|'INTEND'.
+        bool is_marker = false;
+        for (const Tok& t : toks)
+          if (t.text == "'MARKER'") { is_marker = true; break; }
+        if (is_marker) {
+          bool set = false;
+          for (const Tok& t : toks) {
+            if (t.text == "'INTORG'") { integer_mode = true; set = true; }
+            if (t.text == "'INTEND'") { integer_mode = false; set = true; }
+          }
+          if (!set)
+            fail(toks[0].line, toks[0].col,
+                 "marker line without 'INTORG'/'INTEND'");
+          break;
+        }
+        if (toks.size() < 3 || toks.size() % 2 == 0)
+          fail(toks[0].line, toks[0].col,
+               "COLUMNS line must be '<col> (<row> <value>)+'");
+        const int col = b.add_col(toks[0], integer_mode);
+        for (std::size_t i = 1; i + 1 < toks.size(); i += 2) {
+          const double v = parse_num(toks[i + 1]);
+          if (toks[i].text == obj_name) {
+            b.cols[col].obj += v;
+            continue;
+          }
+          if (free_rows.count(toks[i].text) != 0) continue;
+          auto it = b.row_ix.find(toks[i].text);
+          if (it == b.row_ix.end())
+            fail(toks[i].line, toks[i].col,
+                 "unknown row '" + toks[i].text + "'");
+          b.add_term(it->second, col, v, toks[i]);
+        }
+        break;
+      }
+      case MpsSection::kRhs:
+      case MpsSection::kRanges: {
+        if (toks.size() < 3 || toks.size() % 2 == 0)
+          fail(toks[0].line, toks[0].col,
+               "RHS/RANGES line must be '<set> (<row> <value>)+'");
+        for (std::size_t i = 1; i + 1 < toks.size(); i += 2) {
+          const double v = parse_num(toks[i + 1]);
+          if (section == MpsSection::kRhs && toks[i].text == obj_name) {
+            out.objective_offset = -v;  // MPS convention
+            continue;
+          }
+          if (free_rows.count(toks[i].text) != 0) continue;
+          auto it = b.row_ix.find(toks[i].text);
+          if (it == b.row_ix.end())
+            fail(toks[i].line, toks[i].col,
+                 "unknown row '" + toks[i].text + "'");
+          if (section == MpsSection::kRhs) {
+            b.rows[it->second].rhs = v;
+          } else {
+            b.rows[it->second].range = v;
+            b.rows[it->second].has_range = true;
+          }
+        }
+        break;
+      }
+      case MpsSection::kBounds: {
+        const std::string ty = lower(toks[0].text);
+        const bool needs_value =
+            ty == "up" || ty == "lo" || ty == "fx" || ty == "ui" || ty == "li";
+        const bool no_value = ty == "fr" || ty == "mi" || ty == "pl" ||
+                              ty == "bv";
+        if (!needs_value && !no_value)
+          fail(toks[0].line, toks[0].col,
+               "unknown bound type '" + toks[0].text + "'");
+        if (toks.size() != (needs_value ? 4u : 3u))
+          fail(toks[0].line, toks[0].col,
+               "BOUNDS line must be '<type> <set> <col> [value]'");
+        auto it = b.col_ix.find(toks[2].text);
+        if (it == b.col_ix.end())
+          fail(toks[2].line, toks[2].col,
+               "bound for undeclared column '" + toks[2].text + "'");
+        ColIR& c = b.cols[it->second];
+        const double v = needs_value ? parse_num(toks[3]) : 0.0;
+        if (ty == "up") {
+          c.up = v;
+          c.has_up = true;
+          // Classic MPS convention: a negative upper bound with no
+          // explicit lower bound frees the lower side.
+          if (v < 0.0 && !c.has_lo) c.lo = -kInf;
+        } else if (ty == "lo") {
+          c.lo = v;
+          c.has_lo = true;
+        } else if (ty == "fx") {
+          c.lo = c.up = v;
+          c.has_lo = c.has_up = true;
+        } else if (ty == "fr") {
+          c.lo = -kInf;
+          c.up = kInf;
+          c.has_lo = c.has_up = true;
+        } else if (ty == "mi") {
+          c.lo = -kInf;
+          c.has_lo = true;
+          if (!c.integer || c.has_up) {
+            // continuous default upper stays
+          } else {
+            c.up = kInf;  // MI on a marker integer lifts the [0,1] default
+          }
+        } else if (ty == "pl") {
+          c.up = kInf;
+          c.has_up = true;
+        } else if (ty == "bv") {
+          c.integer = true;
+          c.lo = 0.0;
+          c.up = 1.0;
+          c.has_lo = c.has_up = true;
+        } else if (ty == "ui") {
+          c.integer = true;
+          c.up = v;
+          c.has_up = true;
+        } else {  // li
+          c.integer = true;
+          c.lo = v;
+          c.has_lo = true;
+        }
+        break;
+      }
+      case MpsSection::kDone:
+        break;
+    }
+  }
+  if (want_objsense_value)
+    fail(static_cast<int>(lines.size()), 1, "OBJSENSE without a value");
+  b.assemble(out);
+  out.ok = true;
+}
+
+// ---------------------------------------------------------------------------
+// CPLEX LP
+// ---------------------------------------------------------------------------
+
+bool is_lp_operator(char c) {
+  return c == '+' || c == '-' || c == '<' || c == '>' || c == '=' ||
+         c == ':' || c == '*';
+}
+
+/// Tokenizes the LP text: names/numbers, and operator tokens
+/// (+ - <= >= = < > : *; =< and => normalized). '\' comments stripped.
+std::vector<Tok> tokenize_lp(const std::string& text,
+                             const ReaderLimits& lim) {
+  std::vector<Tok> toks;
+  const auto lines = split_lines(text, lim);
+  for (int li = 0; li < static_cast<int>(lines.size()); ++li) {
+    auto [i, e] = lines[li];
+    const std::size_t lb = i;
+    while (i < e) {
+      const char c = text[i];
+      if (c == '\\') break;  // comment to end of line
+      if (is_space_byte(c)) { ++i; continue; }
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail(li + 1, static_cast<int>(i - lb) + 1,
+             "control character in input");
+      const int col = static_cast<int>(i - lb) + 1;
+      if (is_lp_operator(c)) {
+        std::string op(1, c);
+        if ((c == '<' || c == '>' || c == '=') && i + 1 < e) {
+          const char d = text[i + 1];
+          if (d == '=' || ((c == '=') && (d == '<' || d == '>'))) {
+            op = (c == '=' ? std::string(1, d) : std::string(1, c)) + "=";
+            ++i;
+          }
+        }
+        if (op == "<" ) op = "<=";
+        if (op == ">") op = ">=";
+        toks.push_back(Tok{op, li + 1, col});
+        ++i;
+        continue;
+      }
+      const std::size_t ts = i;
+      while (i < e && !is_space_byte(text[i]) && text[i] != '\\' &&
+             !is_lp_operator(text[i])) {
+        if (static_cast<unsigned char>(text[i]) < 0x20)
+          fail(li + 1, static_cast<int>(i - lb) + 1,
+               "control character in input");
+        // 'e+3' / 'e-3': keep an exponent's sign inside a number token.
+        if ((text[i] == 'e' || text[i] == 'E') && i + 1 < e &&
+            (text[i + 1] == '+' || text[i + 1] == '-') &&
+            looks_like_number(text.substr(ts, i - ts))) {
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      if (i - ts > lim.max_name_len)
+        fail(li + 1, col, "token exceeds the name-length cap");
+      toks.push_back(Tok{text.substr(ts, i - ts), li + 1, col});
+    }
+  }
+  return toks;
+}
+
+struct LpKeyword {
+  enum Kind { kNone, kMin, kMax, kSubjectTo, kBounds, kBinary, kGeneral,
+              kEnd } kind = kNone;
+  std::size_t advance = 0;  // tokens consumed
+};
+
+LpKeyword lp_keyword_at(const std::vector<Tok>& toks, std::size_t i) {
+  if (i >= toks.size()) return {};
+  const std::string w = lower(toks[i].text);
+  auto two = [&](const char* second) {
+    return i + 1 < toks.size() && lower(toks[i + 1].text) == second;
+  };
+  if (w == "minimize" || w == "minimise" || w == "min")
+    return {LpKeyword::kMin, 1};
+  if (w == "maximize" || w == "maximise" || w == "max")
+    return {LpKeyword::kMax, 1};
+  if (w == "subject" && two("to")) return {LpKeyword::kSubjectTo, 2};
+  if (w == "such" && two("that")) return {LpKeyword::kSubjectTo, 2};
+  if (w == "st" || w == "s.t." || w == "st.") return {LpKeyword::kSubjectTo, 1};
+  if (w == "bounds" || w == "bound") return {LpKeyword::kBounds, 1};
+  if (w == "binary" || w == "binaries" || w == "bin")
+    return {LpKeyword::kBinary, 1};
+  if (w == "general" || w == "generals" || w == "gen" || w == "integer" ||
+      w == "integers")
+    return {LpKeyword::kGeneral, 1};
+  if (w == "end") return {LpKeyword::kEnd, 1};
+  return {};
+}
+
+/// A keyword only opens a section when it starts a line — so a variable
+/// named "end" mid-expression does not truncate the file.
+bool lp_section_boundary(const std::vector<Tok>& toks, std::size_t i,
+                         LpKeyword& kw) {
+  if (i >= toks.size()) return false;
+  if (i > 0 && toks[i - 1].line == toks[i].line) return false;
+  kw = lp_keyword_at(toks, i);
+  return kw.kind != LpKeyword::kNone;
+}
+
+void parse_lp(const std::string& text, const ReaderLimits& lim,
+              ReadResult& out) {
+  out.format = "lp";
+  Builder b(lim);
+  const std::vector<Tok> toks = tokenize_lp(text, lim);
+  std::size_t i = 0;
+  if (toks.empty()) fail(1, 1, "empty LP file");
+
+  LpKeyword kw = lp_keyword_at(toks, i);
+  if (kw.kind != LpKeyword::kMin && kw.kind != LpKeyword::kMax)
+    fail(toks[0].line, toks[0].col,
+         "LP file must start with Minimize/Maximize");
+  out.maximize = kw.kind == LpKeyword::kMax;
+  i += kw.advance;
+
+  auto var_of = [&](const Tok& t) {
+    return b.add_col(t, /*integer=*/false);
+  };
+
+  // Parses `[name:] linexpr` until a sense token / section keyword.
+  // Returns accumulated terms + constant.
+  struct Expr {
+    std::vector<Term> terms;
+    double constant = 0.0;
+    std::string name;
+  };
+  auto parse_expr = [&](bool stop_at_sense) {
+    Expr ex;
+    if (i + 1 < toks.size() && toks[i + 1].text == ":" &&
+        !looks_like_number(toks[i].text)) {
+      ex.name = toks[i].text;
+      i += 2;
+    }
+    double sign = 1.0;
+    bool pending_sign = false;
+    bool any = false;
+    while (i < toks.size()) {
+      LpKeyword nkw;
+      if (lp_section_boundary(toks, i, nkw) && !pending_sign) break;
+      const Tok& t = toks[i];
+      if (t.text == "+" || t.text == "-") {
+        sign *= (t.text == "-" ? -1.0 : 1.0);
+        pending_sign = true;
+        ++i;
+        continue;
+      }
+      if (stop_at_sense && (t.text == "<=" || t.text == ">=" || t.text == "="))
+        break;
+      if (t.text == ":" || t.text == "*")
+        fail(t.line, t.col, "unexpected '" + t.text + "'");
+      double coeff = 1.0;
+      bool have_coeff = false;
+      std::string name = t.text;
+      Tok name_tok = t;
+      if (looks_like_number(t.text)) {
+        // Split an optional juxtaposed name: "2x" -> 2 * x.
+        const char* s = t.text.c_str();
+        char* end = nullptr;
+        errno = 0;
+        coeff = std::strtod(s, &end);
+        if (end == s) fail(t.line, t.col, "malformed number '" + t.text + "'");
+        if (!std::isfinite(coeff))
+          fail(t.line, t.col, "number is not finite: '" + t.text + "'");
+        have_coeff = true;
+        name = t.text.substr(static_cast<std::size_t>(end - s));
+        name_tok.text = name;
+        name_tok.col += static_cast<int>(end - s);
+        ++i;
+        if (name.empty()) {
+          // Optional explicit '*' then variable; otherwise a constant.
+          bool star = i < toks.size() && toks[i].text == "*";
+          if (star) ++i;
+          LpKeyword k2;
+          if (i < toks.size() && !lp_section_boundary(toks, i, k2) &&
+              !looks_like_number(toks[i].text) && toks[i].text != "+" &&
+              toks[i].text != "-" && toks[i].text != "<=" &&
+              toks[i].text != ">=" && toks[i].text != "=" &&
+              toks[i].text != ":") {
+            name = toks[i].text;
+            name_tok = toks[i];
+            ++i;
+          } else if (star) {
+            fail(t.line, t.col, "'*' without a variable");
+          } else {
+            ex.constant += sign * coeff;
+            sign = 1.0;
+            pending_sign = false;
+            any = true;
+            continue;
+          }
+        }
+      } else {
+        ++i;
+      }
+      (void)have_coeff;
+      const int v = var_of(name_tok);
+      if (++b.nnz > lim.max_nnz)
+        fail(name_tok.line, name_tok.col, "nonzero cap exceeded");
+      ex.terms.push_back(Term{v, sign * coeff});
+      sign = 1.0;
+      pending_sign = false;
+      any = true;
+    }
+    if (pending_sign)
+      fail(toks[std::min(i, toks.size() - 1)].line,
+           toks[std::min(i, toks.size() - 1)].col,
+           "dangling sign in expression");
+    if (!any && stop_at_sense)
+      fail(toks[std::min(i, toks.size() - 1)].line,
+           toks[std::min(i, toks.size() - 1)].col, "empty expression");
+    return ex;
+  };
+
+  // Objective.
+  {
+    Expr obj = parse_expr(/*stop_at_sense=*/false);
+    out.name = obj.name;
+    out.objective_offset = obj.constant;
+    for (const Term& t : obj.terms) b.cols[t.var].obj += t.coeff;
+    b.nnz -= static_cast<long long>(obj.terms.size());  // objective nnz free
+  }
+
+  LpKeyword sec;
+  if (!lp_section_boundary(toks, i, sec) || sec.kind != LpKeyword::kSubjectTo)
+    fail(toks[std::min(i, toks.size() - 1)].line,
+         toks[std::min(i, toks.size() - 1)].col, "expected 'Subject To'");
+  i += sec.advance;
+
+  // Constraints.
+  while (i < toks.size()) {
+    if (lp_section_boundary(toks, i, sec)) break;
+    Expr ex = parse_expr(/*stop_at_sense=*/true);
+    if (i >= toks.size())
+      fail(toks.back().line, toks.back().col,
+           "constraint without a sense (<=, >=, =)");
+    const Tok& sense_tok = toks[i];
+    Sense sense;
+    if (sense_tok.text == "<=") sense = Sense::kLessEqual;
+    else if (sense_tok.text == ">=") sense = Sense::kGreaterEqual;
+    else if (sense_tok.text == "=") sense = Sense::kEqual;
+    else
+      fail(sense_tok.line, sense_tok.col,
+           "expected a sense, got '" + sense_tok.text + "'");
+    ++i;
+    double rsign = 1.0;
+    while (i < toks.size() && (toks[i].text == "+" || toks[i].text == "-")) {
+      rsign *= (toks[i].text == "-" ? -1.0 : 1.0);
+      ++i;
+    }
+    if (i >= toks.size() || !looks_like_number(toks[i].text))
+      fail(sense_tok.line, sense_tok.col,
+           "constraint right-hand side must be a number");
+    const double rhs = rsign * parse_num(toks[i]);
+    ++i;
+    if (static_cast<int>(b.rows.size()) >= lim.max_rows)
+      fail(sense_tok.line, sense_tok.col, "row cap exceeded");
+    RowIR r;
+    r.type = sense == Sense::kLessEqual ? 'L'
+             : sense == Sense::kGreaterEqual ? 'G' : 'E';
+    r.name = ex.name.empty()
+                 ? "c" + std::to_string(b.rows.size() + 1)
+                 : ex.name;
+    r.rhs = rhs - ex.constant;
+    r.terms = std::move(ex.terms);
+    b.rows.push_back(std::move(r));
+  }
+
+  // Trailing sections: bounds / binary / general / end, any order.
+  while (i < toks.size()) {
+    if (!lp_section_boundary(toks, i, sec))
+      fail(toks[i].line, toks[i].col,
+           "expected a section keyword, got '" + toks[i].text + "'");
+    if (sec.kind == LpKeyword::kEnd) { i = toks.size(); break; }
+    i += sec.advance;
+    if (sec.kind == LpKeyword::kBounds) {
+      // Line-oriented: gather each line's tokens and pattern-match.
+      while (i < toks.size()) {
+        LpKeyword k2;
+        if (lp_section_boundary(toks, i, k2)) break;
+        const int line = toks[i].line;
+        std::vector<Tok> lt;
+        while (i < toks.size() && toks[i].line == line) lt.push_back(toks[i++]);
+        // Patterns: v free | v <= n | v >= n | v = n | n <= v |
+        //           n <= v <= n | n >= v (upper via reversal).
+        auto is_num = [](const Tok& t) { return looks_like_number(t.text); };
+        auto set_lo = [&](const Tok& vt, double v) {
+          ColIR& c = b.cols[var_of(vt)];
+          c.lo = v;
+          c.has_lo = true;
+        };
+        auto set_up = [&](const Tok& vt, double v) {
+          ColIR& c = b.cols[var_of(vt)];
+          c.up = v;
+          c.has_up = true;
+        };
+        bool okp = false;
+        if (lt.size() == 2 && !is_num(lt[0]) && lower(lt[1].text) == "free") {
+          ColIR& c = b.cols[var_of(lt[0])];
+          c.lo = -kInf;
+          c.up = kInf;
+          c.has_lo = c.has_up = true;
+          okp = true;
+        } else if (lt.size() == 3 && !is_num(lt[0]) && is_num(lt[2])) {
+          const double v = parse_num(lt[2]);
+          if (lt[1].text == "<=") { set_up(lt[0], v); okp = true; }
+          else if (lt[1].text == ">=") { set_lo(lt[0], v); okp = true; }
+          else if (lt[1].text == "=") {
+            set_lo(lt[0], v); set_up(lt[0], v); okp = true;
+          }
+        } else if (lt.size() == 3 && is_num(lt[0]) && !is_num(lt[2])) {
+          const double v = parse_num(lt[0]);
+          if (lt[1].text == "<=") { set_lo(lt[2], v); okp = true; }
+          else if (lt[1].text == ">=") { set_up(lt[2], v); okp = true; }
+        } else if (lt.size() == 5 && is_num(lt[0]) && lt[1].text == "<=" &&
+                   !is_num(lt[2]) && lt[3].text == "<=" && is_num(lt[4])) {
+          set_lo(lt[2], parse_num(lt[0]));
+          set_up(lt[2], parse_num(lt[4]));
+          okp = true;
+        } else if (lt.size() == 4 && lt[0].text == "-" && is_num(lt[1])) {
+          // "-5 <= v" with the sign split off by the tokenizer.
+          if (lt[2].text == "<=" && !is_num(lt[3])) {
+            set_lo(lt[3], -parse_num(lt[1]));
+            okp = true;
+          }
+        } else if (lt.size() == 6 && lt[0].text == "-" && is_num(lt[1]) &&
+                   lt[2].text == "<=" && !is_num(lt[3]) &&
+                   lt[4].text == "<=" && is_num(lt[5])) {
+          set_lo(lt[3], -parse_num(lt[1]));
+          set_up(lt[3], parse_num(lt[5]));
+          okp = true;
+        } else if (lt.size() == 4 && !is_num(lt[0]) && lt[1].text == "<=" &&
+                   lt[2].text == "-" && is_num(lt[3])) {
+          set_up(lt[0], -parse_num(lt[3]));
+          okp = true;
+        } else if (lt.size() == 4 && !is_num(lt[0]) && lt[1].text == ">=" &&
+                   lt[2].text == "-" && is_num(lt[3])) {
+          set_lo(lt[0], -parse_num(lt[3]));
+          okp = true;
+        }
+        if (!okp)
+          fail(lt[0].line, lt[0].col, "unrecognized bounds line");
+      }
+    } else if (sec.kind == LpKeyword::kBinary || sec.kind == LpKeyword::kGeneral) {
+      const bool binary = sec.kind == LpKeyword::kBinary;
+      while (i < toks.size()) {
+        LpKeyword k2;
+        if (lp_section_boundary(toks, i, k2)) break;
+        const Tok& t = toks[i];
+        if (looks_like_number(t.text) || is_lp_operator(t.text[0]))
+          fail(t.line, t.col, "expected a variable name");
+        ColIR& c = b.cols[var_of(t)];
+        c.integer = true;
+        if (binary) {
+          c.lo = std::max(c.lo, 0.0);
+          c.up = std::min(c.up, 1.0);
+          c.has_lo = c.has_up = true;
+        }
+        ++i;
+      }
+    }
+  }
+  b.assemble(out);
+  out.ok = true;
+}
+
+}  // namespace
+
+ReadResult read_model(const std::string& text, const ReaderLimits& limits) {
+  ReadResult out;
+  try {
+    if (text.size() > limits.max_bytes)
+      fail(0, 0, "input exceeds the byte cap");
+    // Sniff: the first non-comment, non-blank token decides. MPS section
+    // keywords win; anything else is tried as LP.
+    bool is_mps = false;
+    {
+      const auto lines = split_lines(text, limits);
+      std::vector<Tok> toks;
+      for (std::size_t li = 0; li < lines.size(); ++li) {
+        const auto [lb, le] = lines[li];
+        if (lb >= le) continue;
+        if (text[lb] == '*' || text[lb] == '\\') continue;
+        tokenize_ws(text, lb, le, static_cast<int>(li) + 1, limits, toks);
+        if (toks.empty()) continue;
+        const std::string kw = lower(toks[0].text);
+        is_mps = kw == "name" || kw == "rows" || kw == "objsense" ||
+                 kw == "columns" || kw == "endata";
+        break;
+      }
+    }
+    if (is_mps)
+      parse_mps(text, limits, out);
+    else
+      parse_lp(text, limits, out);
+  } catch (const ParseFail& pf) {
+    out.ok = false;
+    out.error = pf.err;
+    out.model = Model();
+  } catch (const std::exception& e) {
+    // Hardened-Model rejections and any other internal throw degrade to a
+    // typed parse error, never an escaped exception.
+    out.ok = false;
+    out.error = ParseError{0, 0, std::string("internal: ") + e.what()};
+    out.model = Model();
+  }
+  return out;
+}
+
+ReadResult read_model_file(const std::string& path,
+                           const ReaderLimits& limits) {
+  ReadResult out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.error = ParseError{0, 0, "cannot open file: " + path};
+    return out;
+  }
+  std::string text;
+  {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  if (in.bad()) {
+    out.error = ParseError{0, 0, "read error: " + path};
+    return out;
+  }
+  if (text.size() > limits.max_bytes) {
+    out.error = ParseError{0, 0, "input exceeds the byte cap"};
+    return out;
+  }
+  // Extension overrides the sniff when it names a format.
+  const auto dot = path.find_last_of('.');
+  const std::string ext = dot == std::string::npos ? "" : lower(path.substr(dot));
+  if (ext == ".lp") {
+    try {
+      parse_lp(text, limits, out);
+    } catch (const ParseFail& pf) {
+      out.ok = false;
+      out.error = pf.err;
+      out.model = Model();
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error = ParseError{0, 0, std::string("internal: ") + e.what()};
+      out.model = Model();
+    }
+    return out;
+  }
+  if (ext == ".mps") {
+    try {
+      parse_mps(text, limits, out);
+    } catch (const ParseFail& pf) {
+      out.ok = false;
+      out.error = pf.err;
+      out.model = Model();
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error = ParseError{0, 0, std::string("internal: ") + e.what()};
+      out.model = Model();
+    }
+    return out;
+  }
+  return read_model(text, limits);
+}
+
+std::string write_mps(const Model& model, const std::string& name) {
+  const int n = model.num_variables();
+  const int m = model.num_constraints();
+
+  // Usable names: nonempty, unique, whitespace/control-free; otherwise
+  // synthesize canonical ones.
+  auto usable = [](const std::string& s) {
+    if (s.empty() || s.size() > 255) return false;
+    for (const char c : s) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (u <= 0x20 || u == 0x7f || c == '\'' || c == '*' || c == '\\')
+        return false;
+    }
+    return true;
+  };
+  std::unordered_set<std::string> taken;
+  taken.insert("OBJ");
+  auto pick = [&](const std::string& given, const char* prefix, int i) {
+    std::string cand = usable(given) ? given : prefix + std::to_string(i);
+    while (taken.count(cand) != 0) cand = prefix + std::to_string(i) + "_" + cand;
+    taken.insert(cand);
+    return cand;
+  };
+  std::vector<std::string> vnames(n), rnames(m);
+  for (int v = 0; v < n; ++v) vnames[v] = pick(model.variable(v).name, "C", v);
+  for (int r = 0; r < m; ++r) rnames[r] = pick(model.constraint(r).name, "R", r);
+
+  // Column-major term lists.
+  std::vector<std::vector<std::pair<int, double>>> cols(n);
+  for (int r = 0; r < m; ++r)
+    for (const Term& t : model.constraint(r).terms)
+      cols[t.var].emplace_back(r, t.coeff);
+
+  char buf[64];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+
+  std::ostringstream os;
+  os << "NAME " << (name.empty() ? "ADVBIST" : name) << "\n";
+  os << "ROWS\n N OBJ\n";
+  for (int r = 0; r < m; ++r) {
+    const char ty = model.constraint(r).sense == Sense::kLessEqual ? 'L'
+                    : model.constraint(r).sense == Sense::kGreaterEqual ? 'G'
+                                                                        : 'E';
+    os << " " << ty << " " << rnames[r] << "\n";
+  }
+  os << "COLUMNS\n";
+  bool in_int = false;
+  int marker = 0;
+  for (int v = 0; v < n; ++v) {
+    const VariableDef& def = model.variable(v);
+    const bool want_int = def.type == VarType::kInteger;
+    if (want_int != in_int) {
+      os << " M" << marker++ << " 'MARKER' '"
+         << (want_int ? "INTORG" : "INTEND") << "'\n";
+      in_int = want_int;
+    }
+    // Always anchor the column with its objective entry so empty columns
+    // survive the round trip.
+    os << " " << vnames[v] << " OBJ " << num(def.objective) << "\n";
+    for (const auto& [r, coeff] : cols[v])
+      os << " " << vnames[v] << " " << rnames[r] << " " << num(coeff) << "\n";
+  }
+  if (in_int) os << " M" << marker++ << " 'MARKER' 'INTEND'\n";
+  os << "RHS\n";
+  for (int r = 0; r < m; ++r)
+    if (model.constraint(r).rhs != 0.0)
+      os << " RHS " << rnames[r] << " " << num(model.constraint(r).rhs)
+         << "\n";
+  os << "BOUNDS\n";
+  for (int v = 0; v < n; ++v) {
+    const VariableDef& def = model.variable(v);
+    const bool is_int = def.type == VarType::kInteger;
+    if (is_int && def.lower == 0.0 && def.upper == 1.0) {
+      os << " BV BND " << vnames[v] << "\n";
+      continue;
+    }
+    if (!is_int && def.lower == 0.0 && def.upper == kInf) continue;
+    if (def.lower == -kInf && def.upper == kInf) {
+      os << " FR BND " << vnames[v] << "\n";
+      continue;
+    }
+    if (def.lower == def.upper) {
+      os << " FX BND " << vnames[v] << " " << num(def.lower) << "\n";
+      continue;
+    }
+    if (def.lower == -kInf)
+      os << " MI BND " << vnames[v] << "\n";
+    else
+      os << " LO BND " << vnames[v] << " " << num(def.lower) << "\n";
+    if (def.upper == kInf)
+      os << " PL BND " << vnames[v] << "\n";
+    else
+      os << " UP BND " << vnames[v] << " " << num(def.upper) << "\n";
+  }
+  os << "ENDATA\n";
+  return os.str();
+}
+
+}  // namespace advbist::lp

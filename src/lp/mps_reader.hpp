@@ -1,0 +1,91 @@
+// Defensive MPS / CPLEX-LP frontend: parses untrusted instance files into
+// lp::Model without undefined behavior on ANY byte stream.
+//
+// Supported MPS subset (free-format tokenization, which also reads the
+// fixed-format files whose names contain no embedded spaces): NAME,
+// OBJSENSE (MIN/MAX), ROWS (N/L/G/E), COLUMNS with INTORG/INTEND integer
+// markers, RHS (including an objective-row entry = negated objective
+// offset), RANGES, BOUNDS (UP LO FX FR MI PL BV UI LI), ENDATA, '*'
+// comments. Supported LP subset: minimize/maximize objective, subject-to
+// rows with <=, >=, =, a bounds section (including `free`), binary /
+// general sections, `\` comments, end.
+//
+// Defensive contract (fuzz-pinned by tests/lp/mps_fuzz_test.cpp):
+//   * every failure is a typed ParseError carrying a 1-based line/column
+//     and a message — never a crash, never UB, never a partial model;
+//   * hard caps (ReaderLimits) bound rows, columns, nonzeros, name and
+//     line lengths, and total input bytes, so no input can make the
+//     reader allocate unboundedly;
+//   * numeric fields are validated: NaN / Inf / trailing garbage in a
+//     number is a parse error, so the hardened Model API never throws on
+//     reader output (crossed bounds from a hostile BOUNDS section are
+//     encoded as contradictory-but-representable rows for the sanitizer
+//     to prove infeasible — see read_model_file).
+//
+// The reader is the door; lp::sanitize_model is the gate behind it. Both
+// run on every `advbist solve <file>` / serve `.mps` job.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace advbist::lp {
+
+/// Hard caps enforced while parsing; exceeding any is a typed ParseError
+/// at the offending position, never an allocation blow-up.
+struct ReaderLimits {
+  int max_rows = 1000000;
+  int max_cols = 1000000;
+  long long max_nnz = 20000000;
+  std::size_t max_bytes = 64u << 20;  ///< total input size cap (64 MiB)
+  std::size_t max_name_len = 255;
+  std::size_t max_line_len = 65536;
+};
+
+/// A parse failure with its 1-based source position.
+struct ParseError {
+  int line = 0;
+  int column = 0;
+  std::string message;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ReadResult {
+  bool ok = false;
+  Model model;           ///< valid only when ok
+  ParseError error;      ///< valid only when !ok
+  std::string format;    ///< "mps" or "lp"
+  std::string name;      ///< NAME field / objective name
+  bool maximize = false; ///< OBJSENSE MAX: objective was negated into the
+                         ///< model (all solvers minimize); report
+                         ///< -objective + offset to the user
+  double objective_offset = 0.0;  ///< constant term (MPS objective RHS
+                                  ///< entry / LP objective constant)
+  int num_ranges = 0;    ///< RANGES entries expanded into second rows
+  int crossed_bounds = 0;  ///< BOUNDS produced lower > upper: encoded as
+                           ///< contradictory rows (sanitizer proves
+                           ///< infeasible), counted here
+};
+
+/// Parses `text` as MPS or CPLEX-LP (sniffed from the leading tokens).
+[[nodiscard]] ReadResult read_model(const std::string& text,
+                                    const ReaderLimits& limits = {});
+
+/// Reads and parses a file; the extension (.lp vs .mps) picks the format,
+/// anything else is content-sniffed. A missing/unreadable/oversized file
+/// is a ParseError at line 0.
+[[nodiscard]] ReadResult read_model_file(const std::string& path,
+                                         const ReaderLimits& limits = {});
+
+/// Serializes a model as free-format MPS (integer variables wrapped in
+/// INTORG/INTEND markers with explicit BOUNDS; [0,1] integers as BV).
+/// Variable/constraint names are used when nonempty, unique and free of
+/// whitespace; otherwise canonical C<i>/R<i> names are synthesized.
+/// read_model(write_mps(m)) reproduces m up to term order — the golden
+/// round-trip pinned by tests/lp/mps_reader_test.cpp.
+[[nodiscard]] std::string write_mps(const Model& model,
+                                    const std::string& name = "ADVBIST");
+
+}  // namespace advbist::lp

@@ -1,0 +1,252 @@
+#include "lp/sanitizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace advbist::lp {
+
+namespace {
+
+constexpr double kInf = kInfinity;
+
+std::uint64_t fnv1a64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void note(ModelDiagnostics& d, const std::string& issue) {
+  if (d.first_issue.empty()) d.first_issue = issue;
+}
+
+}  // namespace
+
+const char* to_string(ModelClass c) {
+  switch (c) {
+    case ModelClass::kClean: return "clean";
+    case ModelClass::kRepaired: return "repaired";
+    case ModelClass::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+std::uint64_t ModelDiagnostics::fingerprint() const {
+  if (cls == ModelClass::kClean && !proven_infeasible &&
+      nonfinite_values == 0 && duplicate_terms_merged == 0 &&
+      zero_coeffs_dropped == 0 && vacuous_rows_dropped == 0 &&
+      contradictory_rows == 0 && crossed_bounds == 0 && invalid_indices == 0)
+    return 0;
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a64(h, static_cast<std::uint64_t>(cls));
+  h = fnv1a64(h, proven_infeasible ? 1 : 0);
+  h = fnv1a64(h, static_cast<std::uint64_t>(nonfinite_values));
+  h = fnv1a64(h, static_cast<std::uint64_t>(duplicate_terms_merged));
+  h = fnv1a64(h, static_cast<std::uint64_t>(zero_coeffs_dropped));
+  h = fnv1a64(h, static_cast<std::uint64_t>(vacuous_rows_dropped));
+  h = fnv1a64(h, static_cast<std::uint64_t>(contradictory_rows));
+  h = fnv1a64(h, static_cast<std::uint64_t>(crossed_bounds));
+  h = fnv1a64(h, static_cast<std::uint64_t>(invalid_indices));
+  return h != 0 ? h : 1;  // 0 is reserved for "untouched"
+}
+
+std::string ModelDiagnostics::summary() const {
+  std::ostringstream os;
+  os << "class=" << to_string(cls)
+     << (proven_infeasible ? " proven_infeasible" : "")
+     << " nonfinite=" << nonfinite_values
+     << " dup_merged=" << duplicate_terms_merged
+     << " zero_dropped=" << zero_coeffs_dropped
+     << " vacuous_rows=" << vacuous_rows_dropped
+     << " contradictory_rows=" << contradictory_rows
+     << " crossed_bounds=" << crossed_bounds
+     << " invalid_indices=" << invalid_indices;
+  return os.str();
+}
+
+SanitizeResult sanitize_model(const Model& in) {
+  SanitizeResult out;
+  ModelDiagnostics& d = out.diag;
+  const int n = in.num_variables();
+  const int m = in.num_constraints();
+
+  // ---- pass 1: diagnose variables ----
+  for (int v = 0; v < n; ++v) {
+    const VariableDef& def = in.variable(v);
+    if (std::isnan(def.lower) || std::isnan(def.upper) ||
+        def.lower == kInf || def.upper == -kInf ||
+        !std::isfinite(def.objective)) {
+      ++d.nonfinite_values;
+      note(d, "variable " + std::to_string(v) +
+                  " has a non-finite bound or objective");
+      continue;
+    }
+    if (def.lower > def.upper) {
+      ++d.crossed_bounds;
+      d.proven_infeasible = true;
+      note(d, "variable " + std::to_string(v) + " has crossed bounds");
+    }
+  }
+
+  // ---- pass 1: diagnose + clean constraints ----
+  struct CleanRow {
+    ConstraintDef def;
+    bool keep = true;
+  };
+  std::vector<CleanRow> rows;
+  rows.reserve(static_cast<std::size_t>(m));
+  std::vector<Term> terms;
+  for (int r = 0; r < m; ++r) {
+    const ConstraintDef& c = in.constraint(r);
+    CleanRow row;
+    row.def.sense = c.sense;
+    row.def.rhs = c.rhs;
+    row.def.name = c.name;
+    bool bad = false;
+    terms.assign(c.terms.begin(), c.terms.end());
+    for (const Term& t : terms) {
+      if (t.var < 0 || t.var >= n) {
+        ++d.invalid_indices;
+        note(d, "row " + std::to_string(r) + " references variable " +
+                    std::to_string(t.var));
+        bad = true;
+        break;
+      }
+      if (!std::isfinite(t.coeff)) {
+        ++d.nonfinite_values;
+        note(d, "row " + std::to_string(r) +
+                    " has a non-finite coefficient");
+        bad = true;
+        break;
+      }
+    }
+    if (std::isnan(c.rhs)) {
+      ++d.nonfinite_values;
+      note(d, "row " + std::to_string(r) + " has a NaN right-hand side");
+      bad = true;
+    }
+    if (bad) {
+      rows.push_back(std::move(row));  // classification is kRejected anyway
+      continue;
+    }
+
+    // Merge duplicates, drop exact zeros.
+    std::sort(terms.begin(), terms.end(),
+              [](const Term& a, const Term& b) { return a.var < b.var; });
+    std::vector<Term>& merged = row.def.terms;
+    for (const Term& t : terms) {
+      if (!merged.empty() && merged.back().var == t.var) {
+        merged.back().coeff += t.coeff;
+        ++d.duplicate_terms_merged;
+      } else {
+        merged.push_back(t);
+      }
+    }
+    const std::size_t before = merged.size();
+    merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                [](const Term& t) { return t.coeff == 0.0; }),
+                 merged.end());
+    d.zero_coeffs_dropped += static_cast<int>(before - merged.size());
+
+    // Infinite right-hand sides: vacuous or contradictory, per sense.
+    const double rhs = row.def.rhs;
+    if (rhs == kInf || rhs == -kInf) {
+      const bool vacuous =
+          (row.def.sense == Sense::kLessEqual && rhs == kInf) ||
+          (row.def.sense == Sense::kGreaterEqual && rhs == -kInf);
+      if (vacuous) {
+        ++d.vacuous_rows_dropped;
+        row.keep = false;
+      } else {
+        ++d.contradictory_rows;
+        d.proven_infeasible = true;
+        note(d, "row " + std::to_string(r) +
+                    " requires an infinite activity");
+        // Keep it representable: an empty row with an unsatisfiable finite
+        // rhs carries the same (empty) feasible set.
+        row.def.terms.clear();
+        row.def.sense = Sense::kLessEqual;
+        row.def.rhs = -1.0;
+      }
+      rows.push_back(std::move(row));
+      continue;
+    }
+
+    if (merged.empty()) {
+      const bool satisfied =
+          (row.def.sense == Sense::kLessEqual && rhs >= 0.0) ||
+          (row.def.sense == Sense::kGreaterEqual && rhs <= 0.0) ||
+          (row.def.sense == Sense::kEqual && rhs == 0.0);
+      if (satisfied) {
+        ++d.vacuous_rows_dropped;
+        row.keep = false;
+      } else {
+        ++d.contradictory_rows;
+        d.proven_infeasible = true;
+        note(d, "row " + std::to_string(r) +
+                    " is empty but requires rhs " + std::to_string(rhs));
+      }
+      rows.push_back(std::move(row));
+      continue;
+    }
+
+    // Bound-implied activity range vs rhs: a row no point inside the
+    // variable bounds can satisfy proves the model infeasible before any
+    // pivot. Conservative margin — a wrong infeasibility verdict would be
+    // a wrong proof, so borderline rows are left for the simplex.
+    if (d.crossed_bounds == 0 && d.nonfinite_values == 0) {
+      double minact = 0.0, maxact = 0.0;
+      for (const Term& t : merged) {
+        const VariableDef& def = in.variable(t.var);
+        const double a = t.coeff;
+        minact += a > 0.0 ? a * def.lower : a * def.upper;
+        maxact += a > 0.0 ? a * def.upper : a * def.lower;
+        if (std::isnan(minact) || std::isnan(maxact)) break;  // inf*0 etc.
+      }
+      const double tol = 1e-7 * (1.0 + std::abs(rhs));
+      const bool lo_ok = !std::isnan(minact);
+      const bool hi_ok = !std::isnan(maxact);
+      bool contradictory = false;
+      if (row.def.sense == Sense::kLessEqual)
+        contradictory = lo_ok && minact > rhs + tol;
+      else if (row.def.sense == Sense::kGreaterEqual)
+        contradictory = hi_ok && maxact < rhs - tol;
+      else
+        contradictory = (lo_ok && minact > rhs + tol) ||
+                        (hi_ok && maxact < rhs - tol);
+      if (contradictory) {
+        ++d.contradictory_rows;
+        d.proven_infeasible = true;
+        note(d, "row " + std::to_string(r) +
+                    " cannot be satisfied inside the variable bounds");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // ---- classify ----
+  if (d.nonfinite_values > 0 || d.invalid_indices > 0) {
+    d.cls = ModelClass::kRejected;
+    return out;  // no repaired model exists
+  }
+  d.cls = (d.duplicate_terms_merged > 0 || d.zero_coeffs_dropped > 0 ||
+           d.vacuous_rows_dropped > 0)
+              ? ModelClass::kRepaired
+              : ModelClass::kClean;
+
+  // ---- pass 2: build the repaired model ----
+  for (int v = 0; v < n; ++v) {
+    const VariableDef& def = in.variable(v);
+    double lo = def.lower, up = def.upper;
+    if (lo > up) std::swap(lo, up);  // proven_infeasible is already set
+    out.model.add_variable(lo, up, def.objective, def.type, def.name);
+  }
+  for (CleanRow& row : rows)
+    if (row.keep) out.model.add_constraint_raw(std::move(row.def));
+  return out;
+}
+
+}  // namespace advbist::lp

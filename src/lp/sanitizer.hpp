@@ -1,0 +1,78 @@
+// Model sanitizer: the validation gate between ANY model source (built-in
+// formulation, MPS/LP file, serve job) and the presolve/simplex stack.
+//
+// The solver kernels assume finite data, merged terms and consistent
+// bounds; the hardened Model API enforces most of that at build time, but
+// the raw ingestion path (Model::add_constraint_raw, used by the file
+// frontend for hostile inputs) and programmatic mutation (set_objective)
+// can still smuggle bad values through. sanitize_model re-derives the
+// invariants from scratch and classifies the model:
+//
+//   kClean    — nothing to do; the repaired model equals the input.
+//   kRepaired — benign normalization applied (duplicate terms merged,
+//               exact-zero coefficients dropped, vacuous rows removed).
+//               The repaired model is solve-equivalent to the input; the
+//               repair counters feed the cache-key fingerprint so a
+//               repaired model never aliases a clean one.
+//   kRejected — non-finite objective/coefficient/bound/rhs: no honest
+//               repair exists. The solver degrades to kInvalidModel —
+//               never a crash, never a proof about a made-up model.
+//
+// Orthogonally, `proven_infeasible` flags contradictions that are already
+// decidable here (crossed bounds, a contradictory empty row, a row whose
+// bound-implied activity range cannot reach its rhs): the solver reports
+// kInfeasible without running, which is an honest verdict about the input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lp/model.hpp"
+
+namespace advbist::lp {
+
+enum class ModelClass { kClean, kRepaired, kRejected };
+
+[[nodiscard]] const char* to_string(ModelClass c);
+
+/// Typed report of everything the gate found, with counters stable enough
+/// to fingerprint (serve cache keys include the fingerprint).
+struct ModelDiagnostics {
+  ModelClass cls = ModelClass::kClean;
+  /// The model is decidably infeasible before any solve (crossed bounds /
+  /// contradictory rows). Orthogonal to cls: a clean-but-contradictory
+  /// model stays kClean with this flag set.
+  bool proven_infeasible = false;
+
+  int nonfinite_values = 0;       ///< NaN/Inf objective, coeff, bound, rhs
+  int duplicate_terms_merged = 0; ///< repeated variable within one row
+  int zero_coeffs_dropped = 0;    ///< exact-zero stored coefficients
+  int vacuous_rows_dropped = 0;   ///< empty/infinite-rhs rows that cannot bind
+  int contradictory_rows = 0;     ///< rows no point inside the bounds satisfies
+  int crossed_bounds = 0;         ///< variables with lower > upper
+  int invalid_indices = 0;        ///< terms referencing nonexistent variables
+
+  /// First human-readable issue (empty when clean).
+  std::string first_issue;
+
+  /// Stable hash of the repair counters; 0 for an untouched clean model.
+  /// Serve mixes this into the result-cache key so a repaired model and a
+  /// clean model with identical post-repair bytes stay distinct entries.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// One-line counter summary for logs / reason.json.
+  [[nodiscard]] std::string summary() const;
+};
+
+struct SanitizeResult {
+  ModelDiagnostics diag;
+  /// The repaired model: valid when diag.cls != kRejected. For kClean it
+  /// is a verbatim copy of the input.
+  Model model;
+};
+
+/// Runs the gate. Never throws on any Model contents (including ones
+/// assembled through add_constraint_raw).
+[[nodiscard]] SanitizeResult sanitize_model(const Model& in);
+
+}  // namespace advbist::lp

@@ -1,0 +1,145 @@
+#include "lp/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace advbist::lp {
+
+namespace {
+
+// Exponent clamp: 2^40 ~ 1e12 on either side covers any instance the
+// sanitizer lets through (it rejects non-finite data outright) without
+// letting a product of factor * coefficient approach overflow.
+constexpr int kMaxExp = 40;
+
+// Magnitude window treated as "already well scaled": nonzeros inside
+// [2^-6, 2^6] gain nothing from scaling, and leaving them alone keeps
+// pivot trajectories on clean models bit-identical to the unscaled run.
+constexpr double kWellScaledLo = 1.0 / 64.0;
+constexpr double kWellScaledHi = 64.0;
+
+double snap_exp(double log2_factor) {
+  double e = std::nearbyint(log2_factor);
+  e = std::max(-(double)kMaxExp, std::min((double)kMaxExp, e));
+  return std::exp2(e);
+}
+
+}  // namespace
+
+double snap_pow2(double s) {
+  if (!(s > 0.0) || !std::isfinite(s)) return 1.0;
+  return snap_exp(std::log2(s));
+}
+
+ScalingFactors compute_scaling(const Model& model, int geomean_iters) {
+  ScalingFactors f;
+  const int m = model.num_constraints();
+  const int n = model.num_variables();
+  f.row.assign(m, 1.0);
+  f.col.assign(n, 1.0);
+
+  double lo = kInfinity, hi = 0.0;
+  int nnz = 0;
+  for (int r = 0; r < m; ++r)
+    for (const Term& t : model.constraint(r).terms) {
+      const double a = std::abs(t.coeff);
+      if (a == 0.0) continue;
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+      ++nnz;
+    }
+  if (nnz == 0) return f;
+  f.ratio_before = f.ratio_after = hi / lo;
+  if (lo >= kWellScaledLo && hi <= kWellScaledHi) return f;  // trivial
+
+  // Geometric-mean iteration in log2 space: alternately set each row /
+  // column exponent to minus the mean scaled-magnitude exponent of its
+  // nonzeros.
+  std::vector<double> re(m, 0.0), ce(n, 0.0);
+  std::vector<double> sum(std::max(m, n), 0.0);
+  std::vector<int> cnt(std::max(m, n), 0);
+  auto pass = [&](bool rows_pass) {
+    const int dim = rows_pass ? m : n;
+    std::fill(sum.begin(), sum.begin() + dim, 0.0);
+    std::fill(cnt.begin(), cnt.begin() + dim, 0);
+    for (int r = 0; r < m; ++r)
+      for (const Term& t : model.constraint(r).terms) {
+        const double a = std::abs(t.coeff);
+        if (a == 0.0) continue;
+        const double l = std::log2(a);
+        if (rows_pass) {
+          sum[r] += l + ce[t.var];
+          ++cnt[r];
+        } else {
+          sum[t.var] += l + re[r];
+          ++cnt[t.var];
+        }
+      }
+    for (int i = 0; i < dim; ++i)
+      if (cnt[i] > 0) (rows_pass ? re : ce)[i] = -sum[i] / cnt[i];
+  };
+  for (int it = 0; it < std::max(1, geomean_iters); ++it) {
+    pass(/*rows_pass=*/true);
+    pass(/*rows_pass=*/false);
+  }
+
+  // One inf-norm equilibration sweep on top: pull each row's (then each
+  // column's) largest scaled magnitude to ~1 so no single huge entry
+  // survives the averaging.
+  std::vector<double> rmax(m, -kInfinity), cmax(n, -kInfinity);
+  for (int r = 0; r < m; ++r)
+    for (const Term& t : model.constraint(r).terms) {
+      const double a = std::abs(t.coeff);
+      if (a == 0.0) continue;
+      rmax[r] = std::max(rmax[r], std::log2(a) + ce[t.var] + re[r]);
+    }
+  for (int r = 0; r < m; ++r)
+    if (std::isfinite(rmax[r])) re[r] -= rmax[r];
+  for (int r = 0; r < m; ++r)
+    for (const Term& t : model.constraint(r).terms) {
+      const double a = std::abs(t.coeff);
+      if (a == 0.0) continue;
+      cmax[t.var] = std::max(cmax[t.var], std::log2(a) + ce[t.var] + re[r]);
+    }
+  for (int v = 0; v < n; ++v)
+    if (std::isfinite(cmax[v])) ce[v] -= cmax[v];
+
+  bool trivial = true;
+  for (int r = 0; r < m; ++r) {
+    f.row[r] = snap_exp(re[r]);
+    if (f.row[r] != 1.0) trivial = false;
+  }
+  for (int v = 0; v < n; ++v) {
+    f.col[v] = snap_exp(ce[v]);
+    if (f.col[v] != 1.0) trivial = false;
+  }
+  f.trivial = trivial;
+
+  lo = kInfinity;
+  hi = 0.0;
+  for (int r = 0; r < m; ++r)
+    for (const Term& t : model.constraint(r).terms) {
+      const double a = std::abs(t.coeff) * f.row[r] * f.col[t.var];
+      if (a == 0.0) continue;
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+    }
+  f.ratio_after = hi > 0.0 ? hi / lo : 1.0;
+  return f;
+}
+
+double row_scale_for(const std::vector<Term>& terms,
+                     const std::vector<double>& col_scale) {
+  double sum = 0.0;
+  int cnt = 0;
+  for (const Term& t : terms) {
+    const double a = std::abs(t.coeff) * col_scale[t.var];
+    if (a == 0.0) continue;
+    sum += std::log2(a);
+    ++cnt;
+  }
+  if (cnt == 0) return 1.0;
+  return snap_exp(-sum / cnt);
+}
+
+}  // namespace advbist::lp

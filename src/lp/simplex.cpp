@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lp/scaling.hpp"
 #include "util/check.hpp"
 #include "util/fault_injector.hpp"
 #include "util/logging.hpp"
@@ -78,6 +79,28 @@ SimplexSolver::SimplexSolver(const Model& model, Options options)
     }
   }
 
+  // Scaling: transform the internal copy of the problem (the Model is
+  // untouched). Power-of-two factors keep every transform exact; slack
+  // bounds (0 / +-inf) are invariant under positive row scaling so only
+  // structural data moves. A well-conditioned model comes back trivial
+  // and pays nothing — scaling_active_ stays false.
+  if (opt_.scaling) {
+    ScalingFactors sf = compute_scaling(model);
+    if (!sf.trivial) {
+      scaling_active_ = true;
+      row_scale_ = std::move(sf.row);
+      col_scale_ = std::move(sf.col);
+      for (int v = 0; v < n_; ++v) {
+        cost_[v] *= col_scale_[v];
+        lb_[v] /= col_scale_[v];
+        ub_[v] /= col_scale_[v];
+        for (int p = col_start_[v]; p < col_start_[v + 1]; ++p)
+          col_val_[p] *= row_scale_[col_row_[p]] * col_scale_[v];
+      }
+      for (int r = 0; r < m_; ++r) rhs_[r] *= row_scale_[r];
+    }
+  }
+
   basis_.assign(m_, -1);
   vstat_.assign(total_, kAtLower);
   x_.assign(total_, 0.0);
@@ -93,6 +116,12 @@ SimplexSolver::SimplexSolver(const Model& model, Options options)
 void SimplexSolver::set_variable_bounds(int var, double lower, double upper) {
   ADVBIST_REQUIRE(var >= 0 && var < n_, "structural variable index");
   ADVBIST_REQUIRE(lower <= upper, "bounds crossed");
+  if (scaling_active_) {
+    // Callers speak original units; the internal arrays are scaled. The
+    // power-of-two factor keeps variable_lower/upper() an exact inverse.
+    lower /= col_scale_[var];
+    upper /= col_scale_[var];
+  }
   lb_[var] = lower;
   ub_[var] = upper;
   if (vstat_[var] == kBasic) return;
@@ -113,8 +142,23 @@ void SimplexSolver::set_variable_bounds(int var, double lower, double upper) {
 
 void SimplexSolver::invalidate_basis() { has_basis_ = false; }
 
-void SimplexSolver::add_rows(const std::vector<ConstraintDef>& rows) {
-  if (rows.empty()) return;
+void SimplexSolver::add_rows(const std::vector<ConstraintDef>& rows_in) {
+  if (rows_in.empty()) return;
+  // Scaling: cut rows arrive in original units. Each appended row gets its
+  // own equilibrating power-of-two factor (computed against the fixed
+  // column factors) BEFORE the border solve below reads any coefficient.
+  std::vector<ConstraintDef> scaled_rows;
+  if (scaling_active_) {
+    scaled_rows = rows_in;
+    for (ConstraintDef& row : scaled_rows) {
+      const double rs = row_scale_for(row.terms, col_scale_);
+      for (Term& t : row.terms) t.coeff *= rs * col_scale_[t.var];
+      row.rhs *= rs;
+      row_scale_.push_back(rs);
+    }
+  }
+  const std::vector<ConstraintDef>& rows =
+      scaling_active_ ? scaled_rows : rows_in;
   const int old_m = m_;
   const int add = static_cast<int>(rows.size());
 
@@ -293,6 +337,10 @@ std::vector<double> SimplexSolver::reduced_costs() const {
   btran(cb, y);
   std::vector<double> d(n_);
   for (int v = 0; v < n_; ++v) d[v] = reduced_cost(v, y, cost_);
+  // Scaled reduced costs are d' = C d; divide the (power-of-two) factor
+  // back out so callers reason in original units.
+  if (scaling_active_)
+    for (int v = 0; v < n_; ++v) d[v] /= col_scale_[v];
   return d;
 }
 
@@ -1616,6 +1664,10 @@ LpResult SimplexSolver::run_primal() {
   }
 
   result.x.assign(x_.begin(), x_.begin() + n_);
+  // Unscale the point (x = C x'; exact, powers of two). The objective is
+  // already exact in either frame: c'.x' == c.x identically.
+  if (scaling_active_)
+    for (int v = 0; v < n_; ++v) result.x[v] *= col_scale_[v];
   double obj = 0.0;
   for (int v = 0; v < n_; ++v) obj += cost_[v] * x_[v];
   result.objective = obj;
@@ -2209,6 +2261,12 @@ void SimplexSolver::delete_rows(const std::vector<int>& rows) {
     for (int r = 0; r < m_; ++r)
       if (new_row[r] >= 0) rhs_[keep++] = rhs_[r];
     rhs_.resize(keep);
+  }
+  if (scaling_active_) {
+    std::size_t keep = 0;
+    for (int r = 0; r < m_; ++r)
+      if (new_row[r] >= 0) row_scale_[keep++] = row_scale_[r];
+    row_scale_.resize(keep);
   }
 
   // CSC: drop entries of deleted rows, remap the rest (in-place compaction;

@@ -216,6 +216,16 @@ struct SimplexOptions {
   /// while nnz(rho) <= max(8, threshold * m) (a dense rho makes the walk
   /// cost at least as much as the dense pass it replaces).
   double hypersparse_threshold = 0.3;
+  /// Geometric-mean + equilibration scaling (lp/scaling.hpp) applied to
+  /// the internal problem data at construction. All factors are powers of
+  /// two, so scaling is EXACT: solutions, bounds and reduced costs are
+  /// unscaled at every public boundary and the objective needs no
+  /// unscaling at all (c'.x' == c.x identically). A well-conditioned
+  /// model yields trivial factors and a bit-identical trajectory to the
+  /// unscaled run — which is why this defaults off here (the LP-level
+  /// pivot-pin suites stay exact) and on at the ILP level (Options::
+  /// lp_scaling), where untrusted instances arrive.
+  bool scaling = false;
 };
 
 class SimplexSolver {
@@ -232,8 +242,19 @@ class SimplexSolver {
   /// resulting infeasibility).
   void set_variable_bounds(int var, double lower, double upper);
 
-  [[nodiscard]] double variable_lower(int var) const { return lb_[var]; }
-  [[nodiscard]] double variable_upper(int var) const { return ub_[var]; }
+  /// Bounds of structural variable `var` in ORIGINAL (unscaled) units —
+  /// the internal arrays hold scaled values while scaling is active, and
+  /// power-of-two factors make the round trip exact.
+  [[nodiscard]] double variable_lower(int var) const {
+    return scaling_active_ ? lb_[var] * col_scale_[var] : lb_[var];
+  }
+  [[nodiscard]] double variable_upper(int var) const {
+    return scaling_active_ ? ub_[var] * col_scale_[var] : ub_[var];
+  }
+
+  /// True when SimplexOptions::scaling found non-trivial factors for this
+  /// model (a well-conditioned model keeps this false at zero cost).
+  [[nodiscard]] bool scaling_active() const { return scaling_active_; }
 
   /// Discards the warm-start basis; the next solve() cold-starts from the
   /// all-slack basis.
@@ -590,6 +611,16 @@ class SimplexSolver {
   std::vector<double> lb_, ub_;  // size total_
   std::vector<double> cost_;     // size total_ (phase-2 costs)
   std::vector<double> rhs_;      // size m_
+
+  // --- scaling (SimplexOptions::scaling, lp/scaling.hpp) ---
+  // While active, col_val_/rhs_/cost_/lb_/ub_ hold the SCALED problem
+  // (A' = R A C, b' = R b, c' = C c, bounds / C); every public boundary
+  // unscales. Slack bounds (0 / +-inf) are invariant under positive row
+  // scaling, so slacks carry no factor. row_scale_ grows with add_rows
+  // (per-cut-row factor) and shrinks with delete_rows.
+  bool scaling_active_ = false;
+  std::vector<double> row_scale_;  // size m_ while active
+  std::vector<double> col_scale_;  // size n_ while active
 
   // --- simplex state ---
   std::vector<int> basis_;          // size m_: column basic in each row

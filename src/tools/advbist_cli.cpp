@@ -5,7 +5,15 @@
 //   advbist sweep   <circuit|file.dfg> [--time S] [--threads N]  # all k
 //   advbist compare <circuit|file.dfg> [--time S] [--threads N]  # heuristics
 //   advbist print   <circuit>                            # dump .dfg text
-//   advbist submit  <dir> <circuit|file.dfg> [--job ID] [--k N] [--time S]
+//   advbist solve   <file.mps|file.lp> [--time S] [--threads N] [--nodes N]
+//                                      [--scale 0|1] [... solver knobs]
+//                   # solve an untrusted MPS / CPLEX-LP instance directly:
+//                   # defensive reader -> sanitizer gate -> branch & cut.
+//                   # A malformed file is a typed parse error with its
+//                   # line:column; non-finite data is an honest "invalid
+//                   # model" — never a crash, never a wrong proof.
+//   advbist submit  <dir> <circuit|file.dfg|file.mps|file.lp> [--job ID]
+//                                      [--k N] [--time S]
 //                                      [--threads N] [--nodes N]
 //   advbist serve   <dir> [--queue N] [--retries N] [--time S] [--threads N]
 //                         [--ckpt-interval S] [--watch] [--poll S]
@@ -32,6 +40,11 @@
 //                  (counted, never silent)
 //   --row-age N    delete a cut row after its slack stayed basic for N
 //                  consecutive re-solves (default 40, 0 = never delete)
+//   --scale 0|1    geometric-mean + equilibration scaling of the worker LPs
+//                  (default 1). Factors are powers of two, so unscaling is
+//                  bit-exact and well-scaled models (all nonzeros within
+//                  [2^-6, 2^6]) skip the transform entirely — the built-in
+//                  benchmarks solve bit-identically either way.
 //
 // Cut-and-bound knobs (all commands that solve):
 //   --cuts 0|1       clique + cover cutting planes (default 1)
@@ -89,6 +102,7 @@
 #include "core/synthesizer.hpp"
 #include "hls/benchmarks.hpp"
 #include "hls/dfg_parser.hpp"
+#include "lp/mps_reader.hpp"
 
 using namespace advbist;
 
@@ -126,8 +140,11 @@ int usage() {
                "[--cut-rounds N] [--cut-interval N] [--max-cuts N] "
                "[--probing 0|1] [--rcfix 0|1] [--mem-limit MB] [--no-audit] "
                "[--checkpoint F] [--resume F] [--ckpt-interval S] "
-               "[--verilog out.v]\n"
-               "       advbist submit <dir> <circuit|file.dfg> [--job ID] "
+               "[--scale 0|1] [--verilog out.v]\n"
+               "       advbist solve <file.mps|file.lp> [--time S] "
+               "[--threads N] [--nodes N] [--scale 0|1] [solver knobs]\n"
+               "       advbist submit <dir> <circuit|file.dfg|file.mps"
+               "|file.lp> [--job ID] "
                "[--k N] [--time S] [--threads N] [--nodes N]\n"
                "       advbist serve <dir> [--queue N] [--retries N] "
                "[--time S] [--threads N] [--ckpt-interval S] [--watch] "
@@ -245,14 +262,153 @@ int cmd_serve(int argc, char** argv) {
   return (st.jobs_failed > 0 || st.jobs_malformed > 0) ? 1 : 0;
 }
 
+// advbist solve <file.mps|file.lp>: the untrusted-instance path. The
+// defensive reader parses the file (typed line:column errors, hard caps),
+// the sanitizer gate inside the solver classifies/repairs the model, and
+// the branch & cut runs with scaling on by default. Exit codes: 0 solve
+// ran (any honest status), 2 parse error, 3 sanitizer-rejected model.
+int cmd_solve(int argc, char** argv) {
+  const std::string path = argv[2];
+  ilp::Options opt;
+  opt.time_limit_seconds = 20.0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-audit") == 0) {
+      opt.exit_audit = false;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    char* end = nullptr;
+    if (std::strcmp(argv[i], "--time") == 0) {
+      opt.time_limit_seconds = std::strtod(argv[i + 1], &end);
+      if (end == nullptr || *end != '\0' || opt.time_limit_seconds <= 0)
+        return usage();
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      opt.num_threads = (n > 0 || std::strcmp(argv[i + 1], "0") == 0) ? n : 1;
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      opt.node_limit = std::strtoll(argv[i + 1], &end, 10);
+      if (end == nullptr || *end != '\0' || opt.node_limit < 0) return usage();
+    } else if (std::strcmp(argv[i], "--mem-limit") == 0) {
+      const long long mb = std::strtoll(argv[i + 1], &end, 10);
+      if (end == nullptr || *end != '\0' || mb < 0) return usage();
+      opt.memory_limit_bytes = static_cast<std::size_t>(mb) * 1024 * 1024;
+    } else if (std::strcmp(argv[i], "--strong-branch") == 0) {
+      const int v = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || v < 0) return usage();
+      opt.strong_branch_vars = v;
+    } else if (std::strcmp(argv[i], "--dual-pricing") == 0) {
+      if (!lp::parse_dual_pricing(argv[i + 1], opt.lp_dual_pricing))
+        return usage();
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      opt.checkpoint_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      opt.resume_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--ckpt-interval") == 0) {
+      opt.checkpoint_interval_seconds = std::strtod(argv[i + 1], &end);
+      if (end == nullptr || *end != '\0' ||
+          opt.checkpoint_interval_seconds < 0)
+        return usage();
+    } else if (std::strcmp(argv[i], "--scale") == 0 ||
+               std::strcmp(argv[i], "--cuts") == 0 ||
+               std::strcmp(argv[i], "--probing") == 0 ||
+               std::strcmp(argv[i], "--rcfix") == 0 ||
+               std::strcmp(argv[i], "--dual") == 0 ||
+               std::strcmp(argv[i], "--hypersparse") == 0) {
+      const char* val = argv[i + 1];
+      if (std::strcmp(val, "0") != 0 && std::strcmp(val, "1") != 0) {
+        std::fprintf(stderr, "advbist: %s wants 0 or 1\n", argv[i]);
+        return usage();
+      }
+      const bool on = val[0] == '1';
+      if (argv[i][2] == 's') opt.lp_scaling = on;
+      else if (argv[i][2] == 'c') {
+        opt.use_clique_cuts = on;
+        opt.use_cover_cuts = on;
+        if (!on) {
+          opt.cut_rounds = 0;
+          opt.cut_node_interval = 0;
+        }
+      } else if (argv[i][2] == 'p') opt.use_probing = on;
+      else if (argv[i][2] == 'd') opt.lp_dual_simplex = on;
+      else if (argv[i][2] == 'h') opt.lp_hypersparse = on;
+      else opt.use_rc_fixing = on;
+    } else {
+      return usage();
+    }
+    ++i;
+  }
+
+  const lp::ReadResult rr = lp::read_model_file(path);
+  if (!rr.ok) {
+    std::fprintf(stderr, "advbist: %s: %s\n", path.c_str(),
+                 rr.error.to_string().c_str());
+    return 2;
+  }
+  int integers = 0;
+  for (int v = 0; v < rr.model.num_variables(); ++v)
+    if (rr.model.variable(v).type == lp::VarType::kInteger) ++integers;
+  std::printf("%s: %s, %d rows, %d cols (%d integer), %s%s%s\n",
+              rr.name.empty() ? path.c_str() : rr.name.c_str(),
+              rr.format.c_str(), rr.model.num_constraints(),
+              rr.model.num_variables(), integers,
+              rr.maximize ? "maximize" : "minimize",
+              rr.num_ranges > 0 ? ", ranges expanded" : "",
+              rr.crossed_bounds > 0 ? ", crossed bounds" : "");
+
+  opt.cancel_flag = &g_cancel;
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
+  const ilp::Solver solver(opt);
+  const ilp::Solution r = solver.solve(rr.model);
+  const ilp::Stats& st = r.stats;
+
+  if (st.sanitizer_class != "clean" || st.sanitizer_proven_infeasible)
+    std::printf(
+        "sanitizer: %s%s (%lld duplicates merged, %lld zero coeffs dropped, "
+        "%lld vacuous rows, %lld contradictory rows, %lld crossed bounds), "
+        "fingerprint %016llx\n",
+        st.sanitizer_class.c_str(),
+        st.sanitizer_proven_infeasible ? " [proven infeasible]" : "",
+        st.sanitizer_duplicates_merged, st.sanitizer_zero_coeffs_dropped,
+        st.sanitizer_vacuous_rows_dropped, st.sanitizer_contradictory_rows,
+        st.sanitizer_crossed_bounds,
+        static_cast<unsigned long long>(st.sanitizer_fingerprint));
+  if (st.lp_scaling_active)
+    std::printf("scaling: active (power-of-two geometric-mean + "
+                "equilibration; solutions reported unscaled)\n");
+
+  const auto user_value = [&](double z) {
+    return (rr.maximize ? -z : z) + rr.objective_offset;
+  };
+  if (r.has_solution())
+    std::printf("%s: objective %.10g (bound %.10g), %lld nodes, %lld LP "
+                "iterations, %.2fs\n",
+                ilp::to_string(r.status).c_str(), user_value(r.objective),
+                user_value(st.best_bound), st.nodes, st.lp_iterations,
+                st.seconds);
+  else
+    std::printf("%s: %lld nodes, %lld LP iterations, %.2fs\n",
+                ilp::to_string(r.status).c_str(), st.nodes, st.lp_iterations,
+                st.seconds);
+  if (st.audit_ran)
+    std::printf("audit: incumbent %s, bound %s (max violation %.2g)%s\n",
+                st.audit_incumbent_ok ? "verified" : "not verified",
+                st.audit_bound_ok ? "certified" : "uncertified",
+                st.audit_max_violation,
+                st.audit_downgraded ? " [claim downgraded]" : "");
+  return r.status == ilp::SolveStatus::kInvalidModel ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
-  if (cmd == "submit" || cmd == "serve") {
+  if (cmd == "submit" || cmd == "serve" || cmd == "solve") {
     try {
-      return cmd == "submit" ? cmd_submit(argc, argv) : cmd_serve(argc, argv);
+      if (cmd == "submit") return cmd_submit(argc, argv);
+      if (cmd == "serve") return cmd_serve(argc, argv);
+      return cmd_solve(argc, argv);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "advbist: %s\n", e.what());
       return 1;
@@ -276,6 +432,7 @@ int main(int argc, char** argv) {
   int max_cuts = -1;
   int probing = -1;
   int rcfix = -1;
+  int scale = -1;  // -1: keep the solver default (scaling on)
   long long mem_limit_mb = 0;  // 0: unlimited
   bool exit_audit = true;
   std::string checkpoint_path;
@@ -321,6 +478,7 @@ int main(int argc, char** argv) {
              std::strcmp(argv[i], "--probing") == 0 ||
              std::strcmp(argv[i], "--rcfix") == 0 ||
              std::strcmp(argv[i], "--dual") == 0 ||
+             std::strcmp(argv[i], "--scale") == 0 ||
              std::strcmp(argv[i], "--hypersparse") == 0) {
       const char* val = argv[i + 1];
       if (std::strcmp(val, "0") != 0 && std::strcmp(val, "1") != 0) {
@@ -332,6 +490,7 @@ int main(int argc, char** argv) {
       else if (argv[i][2] == 'p') probing = on;
       else if (argv[i][2] == 'd') dual = on;
       else if (argv[i][2] == 'h') hypersparse = on;
+      else if (argv[i][2] == 's') scale = on;
       else rcfix = on;
     }
     else if (std::strcmp(argv[i], "--dual-pricing") == 0) {
@@ -435,6 +594,7 @@ int main(int argc, char** argv) {
     if (max_cuts > 0) options.solver.max_cuts_per_round = max_cuts;
     if (probing >= 0) options.solver.use_probing = probing == 1;
     if (rcfix >= 0) options.solver.use_rc_fixing = rcfix == 1;
+    if (scale >= 0) options.solver.lp_scaling = scale == 1;
     options.solver.memory_limit_bytes =
         static_cast<std::size_t>(mem_limit_mb) * 1024 * 1024;
     options.solver.exit_audit = exit_audit;

@@ -1,0 +1,11 @@
+NAME BADBND
+ROWS
+ N obj
+ L c1
+COLUMNS
+    x1 obj 1.0 c1 1.0
+RHS
+    rhs c1 4.0
+BOUNDS
+ XX bnd x1 3.0
+ENDATA

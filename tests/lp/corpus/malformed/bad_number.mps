@@ -1,0 +1,9 @@
+NAME BADNUM
+ROWS
+ N obj
+ L c1
+COLUMNS
+    x1 obj 1.0 c1 2.0.3
+RHS
+    rhs c1 4.0
+ENDATA

@@ -1,0 +1,7 @@
+NAME CTRL
+ROWS
+ N obj
+ L crow
+COLUMNS
+    x1 obj 1.0
+ENDATA

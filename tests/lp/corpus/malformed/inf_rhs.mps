@@ -1,0 +1,9 @@
+NAME INFRHS
+ROWS
+ N obj
+ G c1
+COLUMNS
+    x1 obj 1.0 c1 1.0
+RHS
+    rhs c1 inf
+ENDATA

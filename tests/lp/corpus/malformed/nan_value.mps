@@ -1,0 +1,9 @@
+NAME NANVAL
+ROWS
+ N obj
+ L c1
+COLUMNS
+    x1 obj nan c1 1.0
+RHS
+    rhs c1 4.0
+ENDATA

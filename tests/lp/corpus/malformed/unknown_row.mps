@@ -1,0 +1,9 @@
+NAME UNKROW
+ROWS
+ N obj
+ L c1
+COLUMNS
+    x1 obj 1.0 nosuchrow 2.0
+RHS
+    rhs c1 4.0
+ENDATA

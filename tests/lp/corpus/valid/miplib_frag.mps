@@ -1,0 +1,34 @@
+* MIPLIB-style fragment: integers via markers, RANGES, every BOUNDS type
+* the reader supports, a free row, and an objective RHS offset.
+NAME          MIPFRAG
+ROWS
+ N  COST
+ N  FREEROW
+ L  C1
+ G  C2
+ E  C3
+ L  C4
+COLUMNS
+    X1        COST         1.0   C1           2.0
+    X1        C2           1.0   FREEROW      3.5
+    MARKER                 'MARKER'                 'INTORG'
+    X2        COST        -2.0   C1           1.0
+    X2        C3           1.0
+    X3        COST         3.0   C2          -4.0
+    X3        C3           1.0   C4           2.5
+    MARKER                 'MARKER'                 'INTEND'
+    X4        COST         0.5   C4          -1.0
+RHS
+    RHS       C1          10.0   C2           2.0
+    RHS       C3           3.0   C4           8.0
+    RHS       COST        -5.0
+RANGES
+    RNG       C1           4.0   C2           6.0
+BOUNDS
+ UP BND       X1           9.0
+ LO BND       X1           1.0
+ BV BND       X2
+ UI BND       X3           7.0
+ MI BND       X4
+ UP BND       X4           2.0
+ENDATA

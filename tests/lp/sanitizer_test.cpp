@@ -1,0 +1,204 @@
+// Sanitizer gate: clean / repaired / rejected classification, repair
+// counters, decidable infeasibility, fingerprint stability, and the
+// honest-degradation contract through the full ILP solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ilp/solver.hpp"
+#include "lp/model.hpp"
+#include "lp/sanitizer.hpp"
+
+namespace advbist::lp {
+namespace {
+
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Model clean_knapsack() {
+  Model m;
+  const int a = m.add_binary(-10, "a");
+  const int b = m.add_binary(-6, "b");
+  const int c = m.add_binary(-4, "c");
+  m.add_constraint(LinExpr().add(a, 1).add(b, 1).add(c, 1), Sense::kLessEqual,
+                   2, "cap");
+  return m;
+}
+
+TEST(Sanitizer, CleanModelUntouchedZeroFingerprint) {
+  const Model m = clean_knapsack();
+  const SanitizeResult r = sanitize_model(m);
+  EXPECT_EQ(r.diag.cls, ModelClass::kClean);
+  EXPECT_FALSE(r.diag.proven_infeasible);
+  EXPECT_TRUE(r.diag.first_issue.empty());
+  EXPECT_EQ(r.diag.fingerprint(), 0u);
+  EXPECT_EQ(r.model.num_variables(), m.num_variables());
+  EXPECT_EQ(r.model.num_constraints(), m.num_constraints());
+}
+
+TEST(Sanitizer, DuplicateTermsMergedAndZerosDropped) {
+  Model m;
+  const int x = m.add_binary(-1, "x");
+  const int y = m.add_binary(-1, "y");
+  // Raw ingestion may carry duplicates and stored zeros; the gate merges
+  // x: 1 + 2 = 3 and drops the zero-coefficient y term.
+  m.add_constraint_raw(ConstraintDef{
+      {{x, 1.0}, {y, 0.0}, {x, 2.0}}, Sense::kLessEqual, 3.0, "raw"});
+  const SanitizeResult r = sanitize_model(m);
+  EXPECT_EQ(r.diag.cls, ModelClass::kRepaired);
+  EXPECT_EQ(r.diag.duplicate_terms_merged, 1);
+  EXPECT_EQ(r.diag.zero_coeffs_dropped, 1);
+  EXPECT_NE(r.diag.fingerprint(), 0u);
+  ASSERT_EQ(r.model.num_constraints(), 1);
+  const ConstraintDef& c = r.model.constraint(0);
+  ASSERT_EQ(c.terms.size(), 1u);
+  EXPECT_EQ(c.terms[0].var, x);
+  EXPECT_DOUBLE_EQ(c.terms[0].coeff, 3.0);
+}
+
+TEST(Sanitizer, CancellingDuplicatesBecomeVacuousRow) {
+  Model m;
+  const int x = m.add_binary(-1, "x");
+  // +5x - 5x <= 3: merges to a zero coefficient, drops to an empty row
+  // that is trivially satisfied -> removed entirely.
+  m.add_constraint_raw(
+      ConstraintDef{{{x, 5.0}, {x, -5.0}}, Sense::kLessEqual, 3.0, "cancel"});
+  const SanitizeResult r = sanitize_model(m);
+  EXPECT_EQ(r.diag.cls, ModelClass::kRepaired);
+  EXPECT_EQ(r.diag.duplicate_terms_merged, 1);
+  EXPECT_EQ(r.diag.zero_coeffs_dropped, 1);
+  EXPECT_EQ(r.diag.vacuous_rows_dropped, 1);
+  EXPECT_FALSE(r.diag.proven_infeasible);
+  EXPECT_EQ(r.model.num_constraints(), 0);
+}
+
+TEST(Sanitizer, VacuousInfiniteRhsDroppedContradictoryKept) {
+  Model m;
+  const int x = m.add_binary(-1, "x");
+  m.add_constraint_raw(
+      ConstraintDef{{{x, 1.0}}, Sense::kLessEqual, kInfinity, "vacuous"});
+  const SanitizeResult r = sanitize_model(m);
+  EXPECT_EQ(r.diag.cls, ModelClass::kRepaired);
+  EXPECT_EQ(r.diag.vacuous_rows_dropped, 1);
+  EXPECT_FALSE(r.diag.proven_infeasible);
+  EXPECT_EQ(r.model.num_constraints(), 0);
+
+  Model m2;
+  const int y = m2.add_binary(-1, "y");
+  // ax >= +inf: no finite activity reaches it -> decidably infeasible.
+  m2.add_constraint_raw(
+      ConstraintDef{{{y, 1.0}}, Sense::kGreaterEqual, kInfinity, "contra"});
+  const SanitizeResult r2 = sanitize_model(m2);
+  EXPECT_TRUE(r2.diag.proven_infeasible);
+  EXPECT_EQ(r2.diag.contradictory_rows, 1);
+  EXPECT_NE(r2.diag.cls, ModelClass::kRejected);
+}
+
+TEST(Sanitizer, EmptyContradictoryRowProvesInfeasible) {
+  Model m;
+  m.add_binary(-1, "x");
+  // The reader's crossed-bounds encoding: {} <= -1.
+  m.add_constraint_raw(ConstraintDef{{}, Sense::kLessEqual, -1.0, "crossed"});
+  const SanitizeResult r = sanitize_model(m);
+  // Contradiction is orthogonal to repair: nothing was rewritten.
+  EXPECT_EQ(r.diag.cls, ModelClass::kClean);
+  EXPECT_TRUE(r.diag.proven_infeasible);
+  EXPECT_EQ(r.diag.contradictory_rows, 1);
+  EXPECT_NE(r.diag.fingerprint(), 0u);
+  EXPECT_FALSE(r.diag.first_issue.empty());
+}
+
+TEST(Sanitizer, BoundImpliedContradictionDetected) {
+  Model m;
+  const int x = m.add_binary(-1, "x");
+  const int y = m.add_binary(-1, "y");
+  // x + y >= 3 with x, y in [0,1]: max activity 2 < 3.
+  m.add_constraint(LinExpr().add(x, 1).add(y, 1), Sense::kGreaterEqual, 3.0,
+                   "impossible");
+  const SanitizeResult r = sanitize_model(m);
+  EXPECT_TRUE(r.diag.proven_infeasible);
+  EXPECT_EQ(r.diag.contradictory_rows, 1);
+
+  // Borderline rows are left for the simplex: max activity exactly rhs.
+  Model ok;
+  const int a = ok.add_binary(-1, "a");
+  ok.add_constraint(LinExpr().add(a, 1), Sense::kGreaterEqual, 1.0, "tight");
+  EXPECT_FALSE(sanitize_model(ok).diag.proven_infeasible);
+}
+
+TEST(Sanitizer, NanObjectiveSmuggledViaSetObjectiveIsRejected) {
+  Model m = clean_knapsack();
+  m.set_objective(0, kNaN);  // set_objective is the unvalidated mutation door
+  const SanitizeResult r = sanitize_model(m);
+  EXPECT_EQ(r.diag.cls, ModelClass::kRejected);
+  EXPECT_GE(r.diag.nonfinite_values, 1);
+  EXPECT_FALSE(r.diag.first_issue.empty());
+
+  // The solver degrades to an honest refusal, never a crash or a proof.
+  const ilp::Solution s = ilp::Solver().solve(m);
+  EXPECT_EQ(s.status, ilp::SolveStatus::kInvalidModel);
+  EXPECT_FALSE(s.has_solution());
+  EXPECT_EQ(s.stats.sanitizer_class, "rejected");
+}
+
+TEST(Sanitizer, NonFiniteRawCoefficientsRejected) {
+  for (const double bad : {kNaN, kInfinity, -kInfinity}) {
+    Model m;
+    const int x = m.add_binary(-1, "x");
+    m.add_constraint_raw(
+        ConstraintDef{{{x, bad}}, Sense::kLessEqual, 1.0, "bad"});
+    const SanitizeResult r = sanitize_model(m);
+    EXPECT_EQ(r.diag.cls, ModelClass::kRejected) << bad;
+    EXPECT_GE(r.diag.nonfinite_values, 1) << bad;
+  }
+  // NaN right-hand side is equally unrepairable.
+  Model m;
+  const int x = m.add_binary(-1, "x");
+  m.add_constraint_raw(ConstraintDef{{{x, 1.0}}, Sense::kLessEqual, kNaN, "r"});
+  EXPECT_EQ(sanitize_model(m).diag.cls, ModelClass::kRejected);
+}
+
+TEST(Sanitizer, FingerprintDistinguishesRepairShapes) {
+  // Two different repairs must not alias in the serve result cache.
+  Model a;
+  const int x = a.add_binary(-1, "x");
+  a.add_constraint_raw(
+      ConstraintDef{{{x, 1.0}, {x, 1.0}}, Sense::kLessEqual, 1.0, "dup"});
+  Model b;
+  const int y = b.add_binary(-1, "y");
+  const int z = b.add_binary(-1, "z");
+  b.add_constraint_raw(
+      ConstraintDef{{{y, 0.0}, {z, 1.0}}, Sense::kLessEqual, 1.0, "zero"});
+  const std::uint64_t fa = sanitize_model(a).diag.fingerprint();
+  const std::uint64_t fb = sanitize_model(b).diag.fingerprint();
+  EXPECT_NE(fa, 0u);
+  EXPECT_NE(fb, 0u);
+  EXPECT_NE(fa, fb);
+  // Deterministic: same input, same fingerprint.
+  EXPECT_EQ(fa, sanitize_model(a).diag.fingerprint());
+}
+
+TEST(Sanitizer, RepairedModelIsSolveEquivalent) {
+  // Same knapsack, once through the hardened API and once with hostile
+  // duplicated/zero terms: identical proven optimum.
+  const Model clean = clean_knapsack();
+  Model raw;
+  const int a = raw.add_binary(-10, "a");
+  const int b = raw.add_binary(-6, "b");
+  const int c = raw.add_binary(-4, "c");
+  raw.add_constraint_raw(ConstraintDef{
+      {{a, 0.5}, {b, 1.0}, {a, 0.5}, {c, 1.0}, {b, 0.0}},
+      Sense::kLessEqual, 2.0, "cap"});
+  const ilp::Solution sc = ilp::Solver().solve(clean);
+  const ilp::Solution sr = ilp::Solver().solve(raw);
+  ASSERT_TRUE(sc.is_optimal());
+  ASSERT_TRUE(sr.is_optimal());
+  EXPECT_NEAR(sc.objective, sr.objective, 1e-9);
+  EXPECT_EQ(sr.stats.sanitizer_class, "repaired");
+  EXPECT_NE(sr.stats.sanitizer_fingerprint, 0u);
+  EXPECT_EQ(sc.stats.sanitizer_class, "clean");
+  EXPECT_EQ(sc.stats.sanitizer_fingerprint, 0u);
+}
+
+}  // namespace
+}  // namespace advbist::lp
