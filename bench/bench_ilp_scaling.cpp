@@ -36,6 +36,25 @@
 //                          indexed-walk cost/win stays visible per circuit;
 //                          the other configurations use the solver default
 //                          (on).
+//   ADVBIST_BENCH_RELIABILITY  0|1: pin in-tree reliability probing off or
+//                          on (solver default: on, budget 64) for every
+//                          run. Unset: the cuts-on/dual-on/devex/
+//                          hypersparse-on configuration records an on/off
+//                          A/B pair ("rel": bool; columns rel_probes,
+//                          rel_fixed, rel_tightened) so the probe win in
+//                          node counts stays visible per circuit.
+//   ADVBIST_BENCH_GOMORY   0|1: pin the PR-10 separator pair — Gomory MI
+//                          (4 rounds) + lifted odd-cycle — off or on for
+//                          every cuts-on run. The solver default is OFF
+//                          (on the built-in circuits the warm-dual path
+//                          proves optima in fewer nodes without them).
+//                          Unset: the default configuration records an
+//                          off/on A/B pair ("gomory": bool; columns
+//                          cuts_gomory, cuts_odd_cycle carry the per-class
+//                          applied counts) so the separators' cost/win
+//                          stays measured in the trajectory.
+//   ADVBIST_BENCH_ODD_CYCLE  0|1: pin the odd-cycle separator alone,
+//                          overriding the pair toggle (isolates one class).
 //   ADVBIST_BENCH_STRONG_BRANCH  root strong-branching candidate count
 //                          (0 disables the probing + pseudocost seeding)
 //   ADVBIST_BENCH_PC_REL   pseudocost reliability threshold (observations
@@ -108,6 +127,8 @@ struct Row {
   long long dual_solves = 0;
   long long dual_fallbacks = 0;
   bool hypersparse = true;
+  bool rel = true;      // solver default: reliability probing on
+  bool gomory = false;  // solver default: Gomory + odd-cycle off
   long long hs_pivots = 0;
   long long hs_dense_pivots = 0;
   long long rho_nnz = 0;
@@ -128,6 +149,11 @@ struct Row {
   long long cuts_applied = 0;
   long long cuts_clique = 0;
   long long cuts_cover = 0;
+  long long cuts_gomory = 0;
+  long long cuts_odd_cycle = 0;
+  long long rel_probes = 0;
+  int rel_fixed = 0;
+  int rel_tightened = 0;
   int probing_fixed = 0;
   int rc_fixed = 0;
   double root_gap_closed = 0.0;
@@ -237,6 +263,47 @@ int main() {
                    env);
     }
   }
+  // Reliability-probing A/B: unset records on AND off for the default
+  // (cuts-on / dual-on / devex / hypersparse-on) configuration so the
+  // probe win in node counts stays visible; "0"/"1" pins one side for
+  // every run.
+  int rel_pin = -1;
+  if (const char* env = std::getenv("ADVBIST_BENCH_RELIABILITY")) {
+    if ((env[0] == '0' || env[0] == '1') && env[1] == '\0') {
+      rel_pin = env[0] - '0';
+    } else {
+      std::fprintf(stderr,
+                   "ADVBIST_BENCH_RELIABILITY=%s not understood (want 0 or "
+                   "1); recording the A/B pair\n",
+                   env);
+    }
+  }
+  // Separator-pair A/B (Gomory + odd-cycle together; the classes shipped
+  // as one PR and win/lose together on the built-ins). The solver default
+  // is off, so the off side IS the default configuration and the on side
+  // enables both classes explicitly.
+  int gomory_pin = -1;
+  if (const char* env = std::getenv("ADVBIST_BENCH_GOMORY")) {
+    if ((env[0] == '0' || env[0] == '1') && env[1] == '\0') {
+      gomory_pin = env[0] - '0';
+    } else {
+      std::fprintf(stderr,
+                   "ADVBIST_BENCH_GOMORY=%s not understood (want 0 or 1); "
+                   "recording the A/B pair\n",
+                   env);
+    }
+  }
+  int oc_pin = -1;
+  if (const char* env = std::getenv("ADVBIST_BENCH_ODD_CYCLE")) {
+    if ((env[0] == '0' || env[0] == '1') && env[1] == '\0') {
+      oc_pin = env[0] - '0';
+    } else {
+      std::fprintf(stderr,
+                   "ADVBIST_BENCH_ODD_CYCLE=%s not understood (want 0 or 1); "
+                   "following the pair toggle\n",
+                   env);
+    }
+  }
   double ckpt_interval = 0.0;
   if (const char* env = std::getenv("ADVBIST_BENCH_CKPT_INTERVAL"))
     if (std::atof(env) > 0) ckpt_interval = std::atof(env);
@@ -299,6 +366,23 @@ int main() {
           hs_configs = {true};  // solver default; the walk only runs on the
                                 // dual re-solves
         for (const bool with_hs : hs_configs) {
+        std::vector<bool> rel_configs;
+        if (rel_pin >= 0)
+          rel_configs = {rel_pin == 1};
+        else if (with_cuts && with_dual && pricing == "devex" && with_hs)
+          rel_configs = {true, false};  // the A/B pair per circuit
+        else
+          rel_configs = {true};  // solver default (budget 64)
+        for (const bool with_rel : rel_configs) {
+        std::vector<bool> gomory_configs;
+        if (gomory_pin >= 0)
+          gomory_configs = {gomory_pin == 1};
+        else if (with_cuts && with_dual && pricing == "devex" && with_hs &&
+                 with_rel)
+          gomory_configs = {false, true};  // the A/B pair per circuit
+        else
+          gomory_configs = {false};  // solver default (both classes off)
+        for (const bool with_gomory : gomory_configs) {
         ilp::Options opt;
         // Mirror bench::num_threads(): only a literal "0" selects auto;
         // typos fall back to serial so the recorded baseline stays serial.
@@ -315,6 +399,7 @@ int main() {
         if (strong_branch >= 0) opt.strong_branch_vars = strong_branch;
         if (pc_rel > 0) opt.pseudocost_reliability = pc_rel;
         if (row_age >= 0) opt.lp_row_age_limit = row_age;
+        if (!with_rel) opt.reliability_probe_budget = 0;
         if (with_cuts) {
           opt.cut_rounds =
               env_int_or_zero("ADVBIST_BENCH_CUT_ROUNDS", opt.cut_rounds);
@@ -324,11 +409,18 @@ int main() {
               env_int("ADVBIST_BENCH_MAX_CUTS", opt.max_cuts_per_round);
           opt.use_probing = !env_disabled("ADVBIST_BENCH_PROBING");
           opt.use_rc_fixing = !env_disabled("ADVBIST_BENCH_RCFIX");
+          if (with_gomory) {
+            opt.gomory_rounds = 4;
+            opt.odd_cycle_cuts = true;
+          }
+          if (oc_pin >= 0) opt.odd_cycle_cuts = oc_pin == 1;
         } else {
           opt.cut_rounds = 0;
           opt.cut_node_interval = 0;
           opt.use_clique_cuts = false;
           opt.use_cover_cuts = false;
+          opt.gomory_rounds = 0;
+          opt.odd_cycle_cuts = false;
           opt.use_probing = false;
           opt.use_rc_fixing = false;
         }
@@ -369,6 +461,8 @@ int main() {
         row.dual_solves = s.stats.lp_dual_solves;
         row.dual_fallbacks = s.stats.lp_dual_fallbacks;
         row.hypersparse = with_hs;
+        row.rel = with_rel;
+        row.gomory = with_gomory;
         row.hs_pivots = s.stats.lp_dual_hypersparse_pivots;
         row.hs_dense_pivots = s.stats.lp_dual_dense_pivots;
         row.rho_nnz = s.stats.lp_dual_rho_nnz;
@@ -388,8 +482,15 @@ int main() {
         row.fill_ratio = s.stats.lp_fill_ratio;
         row.cuts_clique = s.stats.cuts_clique_applied;
         row.cuts_cover = s.stats.cuts_cover_applied;
-        row.cuts_applied =
-            s.stats.cuts_clique_applied + s.stats.cuts_cover_applied;
+        row.cuts_gomory = s.stats.cuts_gomory_applied;
+        row.cuts_odd_cycle = s.stats.cuts_odd_cycle_applied;
+        row.cuts_applied = s.stats.cuts_clique_applied +
+                           s.stats.cuts_cover_applied +
+                           s.stats.cuts_gomory_applied +
+                           s.stats.cuts_odd_cycle_applied;
+        row.rel_probes = s.stats.reliability_probed;
+        row.rel_fixed = s.stats.reliability_fixed;
+        row.rel_tightened = s.stats.reliability_tightened;
         row.probing_fixed = s.stats.probing_fixed;
         row.rc_fixed = s.stats.rc_fixed_root + s.stats.rc_fixed_incumbent;
         row.root_gap_closed = s.stats.root_gap_closed;
@@ -414,16 +515,23 @@ int main() {
         row.sanitizer = s.stats.sanitizer_class;
         rows.push_back(row);
         std::printf(
-            "%-8s threads=%d cuts=%d dual=%d pricing=%s hs=%d nodes=%lld "
-            "t=%.2fs nodes/s=%.0f cuts=%lld rows_del=%lld gap=%.4f "
+            "%-8s threads=%d cuts=%d dual=%d pricing=%s hs=%d rel=%d gmi=%d "
+            "nodes=%lld t=%.2fs nodes/s=%.0f cuts=%lld "
+            "(gmi=%lld oc=%lld) probes=%lld rows_del=%lld gap=%.4f "
             "audit=%.3fs rec=%lld hs_piv=%lld/%lld (%s)%s\n",
             name.c_str(), row.threads, with_cuts ? 1 : 0, with_dual ? 1 : 0,
-            pricing.c_str(), with_hs ? 1 : 0, row.nodes, row.seconds,
+            pricing.c_str(), with_hs ? 1 : 0, with_rel ? 1 : 0,
+            with_gomory ? 1 : 0, row.nodes, row.seconds,
             row.seconds > 0 ? row.nodes / row.seconds : 0.0, row.cuts_applied,
+            row.cuts_gomory, row.cuts_odd_cycle, row.rel_probes,
             row.rows_deleted, row.gap, row.audit_seconds, row.lp_recoveries,
             row.hs_pivots, row.hs_pivots + row.hs_dense_pivots,
             row.status.c_str(),
             row.oversubscribed ? " [oversubscribed]" : "");
+        }
+        if (skipped_oversubscribed) break;  // same for every gomory config
+        }
+        if (skipped_oversubscribed) break;  // same for every rel config
         }
         if (skipped_oversubscribed) break;  // same for every hs config
         }
@@ -506,8 +614,15 @@ int main() {
     row.fill_ratio = s.stats.lp_fill_ratio;
     row.cuts_clique = s.stats.cuts_clique_applied;
     row.cuts_cover = s.stats.cuts_cover_applied;
-    row.cuts_applied =
-        s.stats.cuts_clique_applied + s.stats.cuts_cover_applied;
+    row.cuts_gomory = s.stats.cuts_gomory_applied;
+    row.cuts_odd_cycle = s.stats.cuts_odd_cycle_applied;
+    row.cuts_applied = s.stats.cuts_clique_applied +
+                       s.stats.cuts_cover_applied +
+                       s.stats.cuts_gomory_applied +
+                       s.stats.cuts_odd_cycle_applied;
+    row.rel_probes = s.stats.reliability_probed;
+    row.rel_fixed = s.stats.reliability_fixed;
+    row.rel_tightened = s.stats.reliability_tightened;
     row.probing_fixed = s.stats.probing_fixed;
     row.rc_fixed = s.stats.rc_fixed_root + s.stats.rc_fixed_incumbent;
     row.root_gap_closed = s.stats.root_gap_closed;
@@ -606,7 +721,10 @@ int main() {
         "\"sb_fixed\": %d, \"rows_deleted\": %lld, \"peak_rows\": %d, "
         "\"dropped_nodes\": %lld, \"refactorizations\": %lld, "
         "\"sparse_refactorizations\": %lld, \"fill_ratio\": %.4f, "
+        "\"rel\": %s, \"gomory\": %s, "
         "\"cuts_applied\": %lld, \"cuts_clique\": %lld, \"cuts_cover\": %lld, "
+        "\"cuts_gomory\": %lld, \"cuts_odd_cycle\": %lld, "
+        "\"rel_probes\": %lld, \"rel_fixed\": %d, \"rel_tightened\": %d, "
         "\"probing_fixed\": %d, \"rc_fixed\": %d, \"root_gap_closed\": %.4f, "
         "\"best_bound\": %.6f, \"gap\": %.6f, \"seconds\": %.4f, "
         "\"audit_seconds\": %.4f, \"audit_verified\": %s, "
@@ -625,8 +743,12 @@ int main() {
         r.bound_flips, r.devex_resets, r.sb_probes, r.sb_fixed,
         r.rows_deleted, r.peak_rows, r.dropped_nodes,
         r.refactorizations,
-        r.sparse_refactorizations, r.fill_ratio, r.cuts_applied, r.cuts_clique,
-        r.cuts_cover, r.probing_fixed, r.rc_fixed, r.root_gap_closed,
+        r.sparse_refactorizations, r.fill_ratio,
+        r.rel ? "true" : "false", r.gomory ? "true" : "false",
+        r.cuts_applied, r.cuts_clique,
+        r.cuts_cover, r.cuts_gomory, r.cuts_odd_cycle, r.rel_probes,
+        r.rel_fixed, r.rel_tightened,
+        r.probing_fixed, r.rc_fixed, r.root_gap_closed,
         r.best_bound, r.gap, r.seconds, r.audit_seconds,
         r.audit_verified ? "true" : "false", r.checkpoint_seconds,
         r.checkpoints, r.resume_count, r.restored_nodes, r.lp_recoveries,

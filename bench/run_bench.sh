@@ -10,10 +10,15 @@
 #                            (1.0 = no fill beyond the basis itself)
 # and the cut-and-bound counters:
 #   cuts                     whether the cut/probing/rc-fixing stack ran
-#   cuts_applied/_clique/_cover  cutting planes appended to the LPs
+#   cuts_applied/_clique/_cover/_gomory/_odd_cycle
+#                            cutting planes appended to the LPs, per class
 #   probing_fixed, rc_fixed  variables fixed by probing / reduced cost
 #   root_gap_closed          fraction of the root gap the cut loop closed
 #   best_bound, gap          proven bound and relative optimality gap
+# and the reliability-branching counters:
+#   rel                      whether in-tree reliability probing ran
+#   rel_probes               bounded dual-simplex probe re-solves spent
+#   rel_fixed, rel_tightened variables fixed / bounds tightened by probes
 #
 # By default every model x thread combination runs with cuts on and cuts
 # off, dual-simplex re-solves on and off (cuts-on config), devex vs
@@ -21,9 +26,15 @@
 # ratio test on and off (cuts-on/dual-on/devex config; columns hypersparse,
 # hs_pivots, hs_dense_pivots, rho_nnz_mean, btran/ftran sparse-vs-dense) —
 # the A/B pairs land in one BENCH_solver.json so the cut/dual/pricing/
-# hypersparse wins stay visible in the perf trajectory. ADVBIST_BENCH_CUTS,
-# ADVBIST_BENCH_DUAL, ADVBIST_BENCH_DUAL_PRICING and
-# ADVBIST_BENCH_HYPERSPARSE pin a single configuration.
+# hypersparse wins stay visible in the perf trajectory; the default
+# configuration additionally records a reliability-probing on/off pair
+# ("rel"; solver default on) and a PR-10 separator-pair off/on pair
+# ("gomory": Gomory MI + lifted odd-cycle together; solver default off —
+# measured slower on the built-ins under the warm-dual/devex path).
+# ADVBIST_BENCH_CUTS, ADVBIST_BENCH_DUAL, ADVBIST_BENCH_DUAL_PRICING,
+# ADVBIST_BENCH_HYPERSPARSE, ADVBIST_BENCH_RELIABILITY and
+# ADVBIST_BENCH_GOMORY pin a single configuration
+# (ADVBIST_BENCH_ODD_CYCLE additionally pins the odd-cycle class alone).
 #
 # Crash-safety columns: every run records checkpoint_seconds / checkpoints
 # (snapshot-writer overhead; zero in the default checkpointing-off baseline,
@@ -91,12 +102,14 @@ with open(sys.argv[1]) as f:
     current = json.load(f)
 
 # A run's configuration key. Committed baselines that predate the "dual" /
-# "pricing" / "hypersparse" columns match the new default configuration
-# (dual on, devex, hypersparse on).
+# "pricing" / "hypersparse" / "rel" / "gomory" columns match the new
+# default configuration (dual on, devex, hypersparse on, reliability
+# probing on, Gomory/odd-cycle separators off).
 def key(run):
     return (run["model"], run["threads"], run["cuts"],
             run.get("dual", True), run.get("pricing", "devex"),
-            run.get("hypersparse", True))
+            run.get("hypersparse", True), run.get("rel", True),
+            run.get("gomory", False))
 
 current_by_key = {key(r): r for r in current["runs"]}
 PROVEN = ("optimal", "infeasible")

@@ -18,6 +18,7 @@
 #include "ilp/conflict_graph.hpp"
 #include "ilp/cuts.hpp"
 #include "ilp/presolve.hpp"
+#include "ilp/pseudocost.hpp"
 #include "ilp/tolerances.hpp"
 #include "lp/sanitizer.hpp"
 #include "lp/simplex.hpp"
@@ -95,107 +96,9 @@ struct Fixing {
   double upper;
 };
 
-/// Shared pseudocost store: per variable and direction, the running sum and
-/// count of observed per-unit objective degradations from every worker's
-/// branchings, seeded by root strong branching. record() is lock-free
-/// (atomic fetch_add); estimates are relaxed-load averages, so two workers
-/// reading concurrently may see marginally different snapshots — that only
-/// perturbs the node exploration ORDER, never the proven optimum (the
-/// post-join reduction stays deterministic across thread counts, pinned by
-/// tests/ilp/parallel_test.cpp). Below `reliability` observations a
-/// variable's own average is blended towards the global average, so one
-/// early outlier cannot steer every worker's branching.
-class PseudocostStore {
- public:
-  explicit PseudocostStore(int n)
-      : n_(n), entries_(std::make_unique<Entry[]>(static_cast<size_t>(n))) {}
-
-  /// Adds an observation with `weight` (> 1 counts it as that many
-  /// observations towards reliability). Tree observations use weight 1;
-  /// root strong branching records with weight = pseudocost_reliability —
-  /// a probe is an EXACT LP degradation, not a noisy estimate, so it is
-  /// trusted immediately instead of being blended away.
-  void record(int var, bool up, double per_unit, int weight = 1) {
-    Entry& e = entries_[var];
-    if (up) {
-      e.up_sum.fetch_add(weight * per_unit, std::memory_order_relaxed);
-      e.up_cnt.fetch_add(weight, std::memory_order_relaxed);
-    } else {
-      e.down_sum.fetch_add(weight * per_unit, std::memory_order_relaxed);
-      e.down_cnt.fetch_add(weight, std::memory_order_relaxed);
-    }
-  }
-
-  /// Mean of the per-variable averages over every direction with at least
-  /// one observation (0 with no history anywhere).
-  void global_averages(double& avg_up, double& avg_down) const {
-    double su = 0.0, sd = 0.0;
-    int nu = 0, nd = 0;
-    for (int v = 0; v < n_; ++v) {
-      const Entry& e = entries_[v];
-      const int uc = e.up_cnt.load(std::memory_order_relaxed);
-      const int dc = e.down_cnt.load(std::memory_order_relaxed);
-      if (uc > 0) {
-        su += e.up_sum.load(std::memory_order_relaxed) / uc;
-        ++nu;
-      }
-      if (dc > 0) {
-        sd += e.down_sum.load(std::memory_order_relaxed) / dc;
-        ++nd;
-      }
-    }
-    avg_up = nu > 0 ? su / nu : 0.0;
-    avg_down = nd > 0 ? sd / nd : 0.0;
-  }
-
-  /// Reliability-blended estimate: with >= `reliability` observations the
-  /// variable's own average; below, the missing observations are filled in
-  /// from the global average (count 0 returns the global average exactly).
-  double estimate(int var, bool up, int reliability,
-                  double global_avg) const {
-    const Entry& e = entries_[var];
-    const double sum = (up ? e.up_sum : e.down_sum)
-                           .load(std::memory_order_relaxed);
-    const int cnt =
-        (up ? e.up_cnt : e.down_cnt).load(std::memory_order_relaxed);
-    if (cnt >= reliability) return sum / cnt;
-    return (sum + (reliability - cnt) * global_avg) / reliability;
-  }
-
-  /// Checkpoint capture: appends every variable with any history (relaxed
-  /// reads; the callers capture either post-join or under the search
-  /// mutex, where marginal staleness only perturbs later branching order).
-  void capture(std::vector<CheckpointPseudocost>& out) const {
-    for (int v = 0; v < n_; ++v) {
-      const Entry& e = entries_[v];
-      CheckpointPseudocost p;
-      p.var = v;
-      p.up_sum = e.up_sum.load(std::memory_order_relaxed);
-      p.down_sum = e.down_sum.load(std::memory_order_relaxed);
-      p.up_cnt = e.up_cnt.load(std::memory_order_relaxed);
-      p.down_cnt = e.down_cnt.load(std::memory_order_relaxed);
-      if (p.up_cnt > 0 || p.down_cnt > 0) out.push_back(p);
-    }
-  }
-
-  /// Checkpoint restore (pre-search, single-threaded): overwrites one
-  /// variable's history with the interrupted run's.
-  void restore(const CheckpointPseudocost& p) {
-    Entry& e = entries_[p.var];
-    e.up_sum.store(p.up_sum, std::memory_order_relaxed);
-    e.down_sum.store(p.down_sum, std::memory_order_relaxed);
-    e.up_cnt.store(p.up_cnt, std::memory_order_relaxed);
-    e.down_cnt.store(p.down_cnt, std::memory_order_relaxed);
-  }
-
- private:
-  struct Entry {
-    std::atomic<double> up_sum{0.0}, down_sum{0.0};
-    std::atomic<int> up_cnt{0}, down_cnt{0};
-  };
-  int n_;
-  std::unique_ptr<Entry[]> entries_;
-};
+/// PseudocostStore now lives in ilp/pseudocost.hpp (shared with the
+/// branching tests); the store is still instantiated once per solve and
+/// shared lock-free across workers.
 
 /// Picks the branching variable: among fractional integers, the highest
 /// priority; ties broken by most-fractional part.
@@ -315,6 +218,14 @@ struct SearchContext {
   std::atomic<std::size_t> pool_applied{0};  ///< mirror of applied().size()
   std::atomic<long long> clique_separated{0};
   std::atomic<long long> cover_separated{0};
+  std::atomic<long long> gomory_separated{0};
+  std::atomic<long long> odd_cycle_separated{0};
+
+  // --- in-tree reliability branching (shared probe budget + accounting) ---
+  std::atomic<long long> reliability_budget{0};
+  std::atomic<long long> reliability_probed{0};
+  std::atomic<int> reliability_fixed{0};
+  std::atomic<int> reliability_tightened{0};
 
   // --- incumbent ---
   std::atomic<double> cutoff{lp::kInfinity};
@@ -449,6 +360,11 @@ class Worker {
     std::lock_guard<std::mutex> lock(ctx_.mutex);
     accumulate(ctx_.lp_stats, simplex_.stats());
     if (dive_lp_) accumulate(ctx_.lp_stats, dive_lp_->stats());
+    // Reliability probes are iteration-capped like the root pass's and get
+    // the same treatment: their dual solves/fallbacks stay out of the
+    // warm-start health diagnostic (their iterations remain counted).
+    ctx_.lp_stats.dual_solves -= probe_dual_solves_;
+    ctx_.lp_stats.dual_fallbacks -= probe_dual_fallbacks_;
     ctx_.lp_scaling_active |= simplex_.scaling_active();
   }
 
@@ -618,6 +534,24 @@ class Worker {
       ctx_.cover_separated.fetch_add(static_cast<long long>(covers.size()));
       for (Cut& c : covers) found.push_back(std::move(c));
     }
+    if (opt.odd_cycle_cuts && ctx_.graph != nullptr) {
+      auto cycles = separate_odd_cycle_cuts(*ctx_.graph, x, kCutViolationEps,
+                                            opt.max_cuts_per_round);
+      ctx_.odd_cycle_separated.fetch_add(
+          static_cast<long long>(cycles.size()));
+      for (Cut& c : cycles) found.push_back(std::move(c));
+    }
+    if (opt.gomory_rounds > 0) {
+      // The caller just re-solved this worker's LP to optimality, so the
+      // tableau rows read off simplex_'s live LU factors. Shifting against
+      // the worker's rc-tightened root bounds (NOT the node's branching
+      // bounds) keeps every emitted cut valid pool-wide.
+      auto gmi = separate_gomory_cuts(simplex_, reduced_, x, root_lb_,
+                                      root_ub_, kCutViolationEps,
+                                      opt.max_cuts_per_round);
+      ctx_.gomory_separated.fetch_add(static_cast<long long>(gmi.size()));
+      for (Cut& c : gmi) found.push_back(std::move(c));
+    }
     int applied = 0;
     {
       std::lock_guard<std::mutex> lock(ctx_.mutex);
@@ -647,6 +581,15 @@ class Worker {
   LpResult resolve_lp() {
     LpResult lp = ctx_.options->lp_dual_simplex ? simplex_.solve_dual()
                                                 : simplex_.solve();
+    if (lp.status == LpStatus::kIterLimit) {
+      // A warm re-solve that burned the whole iteration budget is almost
+      // always a mangled warm basis (degenerate stalling after bound
+      // set/restore churn), not a genuinely hard LP: retry once from the
+      // all-slack basis before the caller forfeits the subtree's proof.
+      ctx_.lp_iterations.fetch_add(lp.iterations);
+      simplex_.invalidate_basis();
+      lp = simplex_.solve();
+    }
     age_cut_rows();
     return lp;
   }
@@ -750,6 +693,167 @@ class Worker {
     const double per_unit =
         std::max(0.0, lp_obj - node.parent_obj) / node.branch_dist;
     ctx_.pseudocosts->record(node.branch_var, node.branch_up, per_unit);
+  }
+
+  enum class ProbeOutcome { kContinue, kPrune, kStop, kDrop };
+
+  /// In-tree reliability branching: bounded dual-simplex probes on THIS
+  /// worker's warm node basis, for fractional candidates still below the
+  /// pseudocost reliability threshold. Each probe is the root
+  /// strong-branching pattern verbatim — bound one side, capped re-solve,
+  /// restore — and an optimal probe feeds the EXACT degradation into the
+  /// shared store at full reliability weight. An infeasible probe tightens:
+  /// globally (broadcast through the fixing log, like rc fixing) when the
+  /// node still sits on the root box, node-locally otherwise — an empty
+  /// branch below a branched node proves nothing outside its subtree. The
+  /// probes draw on one GLOBAL budget whose per-node allowance decays with
+  /// depth (reliability_probe_allowance), so the whole tree shares a fixed
+  /// amount of probing and spends it near the root where branching
+  /// mistakes are costliest. On kContinue, `lp`, `bound` and `branch_var`
+  /// reflect any tightening-driven re-solve.
+  ProbeOutcome probe_reliability(Node& node, LpResult& lp, double& bound,
+                                 int& branch_var) {
+    const Options& opt = *ctx_.options;
+    PseudocostStore& pc = *ctx_.pseudocosts;
+    const Model& model = *ctx_.model;
+    const int rel = std::max(1, opt.pseudocost_reliability);
+    int allowance = reliability_probe_allowance(
+        ctx_.reliability_budget.load(std::memory_order_relaxed), node.depth);
+    if (allowance <= 0) return ProbeOutcome::kContinue;
+
+    // Unreliable fractional candidates, most fractional first (the root
+    // strong-branching order): they are both the likeliest branch picks
+    // and the ones a probe teaches the most about.
+    struct Cand {
+      int v;
+      double dist;
+    };
+    std::vector<Cand> cands;
+    for (int v = 0; v < model.num_variables(); ++v) {
+      if (model.variable(v).type != VarType::kInteger) continue;
+      const double frac = lp.x[v] - std::floor(lp.x[v]);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist <= opt.integrality_tol) continue;
+      if (pc.count(v, true) >= rel && pc.count(v, false) >= rel) continue;
+      cands.push_back(Cand{v, dist});
+    }
+    if (cands.empty()) return ProbeOutcome::kContinue;
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.dist != b.dist) return a.dist > b.dist;
+      return a.v < b.v;
+    });
+
+    // Probe solves are iteration-capped and routinely hit the cap; keep
+    // them out of the dual_solves/dual_fallbacks warm-start diagnostic by
+    // snapshotting, exactly as the root pass does (folded back in ~Worker).
+    const long long pre_solves = simplex_.stats().dual_solves;
+    const long long pre_fallbacks = simplex_.stats().dual_fallbacks;
+    simplex_.set_max_iterations(std::max(1, opt.strong_branch_lp_iters));
+    bool infeasible_node = false;
+    bool tightened_node = false;
+    for (const Cand& c : cands) {
+      if (allowance <= 0 || infeasible_node || tightened_node) break;
+      const double xv = lp.x[c.v];
+      const double fl = std::floor(xv);
+      const double lo = simplex_.variable_lower(c.v);
+      const double hi = simplex_.variable_upper(c.v);
+      for (const bool up : {false, true}) {
+        if (allowance <= 0) break;
+        if (pc.count(c.v, up) >= rel) continue;
+        const double plo = up ? fl + 1.0 : lo;
+        const double phi = up ? hi : fl;
+        if (plo > phi) continue;
+        // One unit of the GLOBAL budget per probe solve. The decrement
+        // races benignly across workers: a brief overshoot costs a couple
+        // of capped LP solves, never correctness.
+        if (ctx_.reliability_budget.fetch_sub(
+                1, std::memory_order_relaxed) <= 0) {
+          ctx_.reliability_budget.fetch_add(1, std::memory_order_relaxed);
+          allowance = 0;
+          break;
+        }
+        --allowance;
+        simplex_.set_variable_bounds(c.v, plo, phi);
+        const LpResult probe =
+            opt.lp_dual_simplex ? simplex_.solve_dual() : simplex_.solve();
+        ctx_.lp_iterations.fetch_add(probe.iterations);
+        ctx_.reliability_probed.fetch_add(1, std::memory_order_relaxed);
+        simplex_.set_variable_bounds(c.v, lo, hi);
+        if (probe.status == LpStatus::kOptimal) {
+          const double dist = up ? fl + 1.0 - xv : xv - fl;
+          pc.record(c.v, up,
+                    std::max(0.0, probe.objective - lp.objective) /
+                        std::max(dist, 1e-9),
+                    rel);
+        } else if (probe.status == LpStatus::kInfeasible) {
+          const double nlo = up ? lo : fl + 1.0;
+          const double nhi = up ? fl : hi;
+          if (nlo > nhi) {  // both directions empty: so is the node region
+            infeasible_node = true;
+            break;
+          }
+          if (applied_.empty()) {
+            // The node still sits on the (rc-tightened) root box, so the
+            // empty branch is empty under the same improving-solution
+            // standard as rc fixing: broadcast the complement bound
+            // globally, exactly like the root strong-branching pass, and
+            // purge the fixed variable's pseudocost history.
+            std::lock_guard<std::mutex> lock(ctx_.mutex);
+            const double glo = std::max(ctx_.rc_lb[c.v], nlo);
+            const double ghi = std::min(ctx_.rc_ub[c.v], nhi);
+            if (glo <= ghi && (glo > ctx_.rc_lb[c.v] + kBoundEps ||
+                               ghi < ctx_.rc_ub[c.v] - kBoundEps)) {
+              ctx_.rc_lb[c.v] = glo;
+              ctx_.rc_ub[c.v] = ghi;
+              ctx_.fixings.push_back(Fixing{c.v, glo, ghi});
+              ctx_.num_fixings.store(ctx_.fixings.size(),
+                                     std::memory_order_release);
+              ctx_.reliability_fixed.fetch_add(1, std::memory_order_relaxed);
+              pc.purge(c.v);
+            }
+          } else {
+            ctx_.reliability_tightened.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          }
+          // Either way the tightening holds on THIS node's region: fold it
+          // into the node's own bound changes so both children inherit it.
+          bool had_change = false;
+          for (BoundChange& bc : node.changes)
+            if (bc.var == c.v) {
+              bc.lower = std::max(bc.lower, nlo);
+              bc.upper = std::min(bc.upper, nhi);
+              had_change = true;
+            }
+          if (!had_change)
+            node.changes.push_back(BoundChange{c.v, nlo, nhi});
+          applied_ = node.changes;
+          simplex_.set_variable_bounds(c.v, std::max(nlo, root_lb_[c.v]),
+                                       std::min(nhi, root_ub_[c.v]));
+          tightened_node = true;
+          break;  // the relaxation moved; probing stale fractions is noise
+        } else if (probe.status != LpStatus::kIterLimit) {
+          // Aborted mid-probe (controller latch): stop probing quietly;
+          // the caller's normal controller checks handle the real stop.
+          allowance = 0;
+        }
+      }
+    }
+    simplex_.set_max_iterations(lp::SimplexOptions{}.max_iterations);
+    probe_dual_solves_ += simplex_.stats().dual_solves - pre_solves;
+    probe_dual_fallbacks_ += simplex_.stats().dual_fallbacks - pre_fallbacks;
+    if (infeasible_node) return ProbeOutcome::kPrune;
+    if (!tightened_node) return ProbeOutcome::kContinue;
+    // A tightening moved the relaxation: re-solve (uncapped) so branching
+    // works from the true node optimum.
+    lp = resolve_lp();
+    ctx_.lp_iterations.fetch_add(lp.iterations);
+    if (lp.status == LpStatus::kInfeasible) return ProbeOutcome::kPrune;
+    if (lp.status == LpStatus::kAborted) return ProbeOutcome::kStop;
+    if (lp.status != LpStatus::kOptimal) return ProbeOutcome::kDrop;
+    bound = ctx_.node_bound(lp.objective);
+    if (ctx_.prunable(bound)) return ProbeOutcome::kPrune;
+    branch_var = pick_branch(lp.x, opt.integrality_tol);
+    return ProbeOutcome::kContinue;
   }
 
   /// Fractional diving primal heuristic. From the node relaxation, fix the
@@ -956,7 +1060,8 @@ class Worker {
     // Branching target; in-tree separation may tighten the LP and retry.
     int branch_var = pick_branch(lp.x, opt.integrality_tol);
     const bool cuts_on = opt.cut_node_interval > 0 && ctx_.cut_pool != nullptr &&
-                         (opt.use_clique_cuts || opt.use_cover_cuts) &&
+                         (opt.use_clique_cuts || opt.use_cover_cuts ||
+                          opt.gomory_rounds > 0 || opt.odd_cycle_cuts) &&
                          !ctx_.shed_cuts.load(std::memory_order_relaxed);
     if (cuts_on && branch_var >= 0 &&
         ++nodes_since_separation_ >= opt.cut_node_interval) {
@@ -979,6 +1084,29 @@ class Worker {
         bound = ctx_.node_bound(lp.objective);
         if (ctx_.prunable(bound)) return;
         branch_var = pick_branch(lp.x, opt.integrality_tol);
+      }
+    }
+
+    // In-tree reliability branching: when the picked candidate's pseudocosts
+    // are still unreliable and the global probe budget has depth-decayed
+    // allowance left, spend bounded dual probes before trusting the pick.
+    if (branch_var >= 0 && opt.reliability_probe_budget > 0 &&
+        ctx_.reliability_budget.load(std::memory_order_relaxed) > 0) {
+      const int rel = std::max(1, opt.pseudocost_reliability);
+      if (ctx_.pseudocosts->count(branch_var, true) < rel ||
+          ctx_.pseudocosts->count(branch_var, false) < rel) {
+        switch (probe_reliability(node, lp, bound, branch_var)) {
+          case ProbeOutcome::kPrune:
+            return;
+          case ProbeOutcome::kStop:
+            signal_stop(std::move(node));
+            return;
+          case ProbeOutcome::kDrop:
+            drop_node(node, "post-probe re-solve failure");
+            return;
+          case ProbeOutcome::kContinue:
+            break;
+        }
       }
     }
 
@@ -1070,6 +1198,9 @@ class Worker {
   std::size_t fixings_consumed_ = 0;  ///< ctx.fixings entries already applied
   int nodes_since_separation_ = 0;
   int nodes_since_dive_ = 0;
+  // Probe dual-solve accounting, subtracted from the shared warm-start
+  // diagnostic when the worker retires (see ~Worker).
+  long long probe_dual_solves_ = 0, probe_dual_fallbacks_ = 0;
   // Cached pseudocost global averages (refreshed every few picks; see
   // pick_branch). Start expired so the first pick reads fresh values.
   double pc_avg_up_ = 0.0, pc_avg_down_ = 0.0;
@@ -1211,7 +1342,7 @@ bool validate_checkpoint(const SolveCheckpoint& ck, const Model& original,
   for (const CheckpointCut& cut : ck.cuts) {
     if (cut.terms.empty() || !std::isfinite(cut.rhs))
       return fail("cut row malformed");
-    if (cut.cut_class > static_cast<std::uint8_t>(CutClass::kCover))
+    if (cut.cut_class > static_cast<std::uint8_t>(CutClass::kOddCycle))
       return fail("unknown cut class");
     int prev = -1;
     for (const lp::Term& t : cut.terms) {
@@ -1229,6 +1360,14 @@ bool validate_checkpoint(const SolveCheckpoint& ck, const Model& original,
 }
 
 }  // namespace
+
+int reliability_probe_allowance(long long remaining, int depth) {
+  if (remaining <= 0) return 0;
+  const int halvings = depth < 0 ? 0 : depth / 2;
+  if (halvings >= 5) return 0;  // 16 >> 5 == 0: nothing from depth 10 on
+  const long long cap = 16LL >> halvings;
+  return static_cast<int>(std::min(remaining, cap));
+}
 
 Solver::Solver(Options options) : options_(std::move(options)) {}
 
@@ -1364,12 +1503,18 @@ Solution Solver::solve_impl(const Model& input,
 
   // Conflict edges readable straight off the surviving rows (one-hot and
   // clique rows, z <= x style implications); probing added the deeper ones.
-  if (options_.use_clique_cuts) graph.add_from_rows(reduced, {});
+  // Odd-cycle separation walks the same graph, so it keeps the row-derived
+  // edges alive even with clique cuts switched off.
+  if (options_.use_clique_cuts || options_.odd_cycle_cuts)
+    graph.add_from_rows(reduced, {});
   graph.finalize();
 
   ctx.model = &model;
   ctx.options = &options_;
   ctx.integral_obj = model.objective_is_integral();
+  ctx.reliability_budget.store(
+      std::max(0, options_.reliability_probe_budget),
+      std::memory_order_relaxed);
   ctx.root_lb.resize(n);
   ctx.root_ub.resize(n);
   for (int v = 0; v < n; ++v) {
@@ -1401,7 +1546,8 @@ Solution Solver::solve_impl(const Model& input,
   CutPool pool(std::max(options_.max_pool_cuts,
                         options_.max_cuts_per_round));
   const bool cuts_enabled =
-      options_.use_clique_cuts || options_.use_cover_cuts;
+      options_.use_clique_cuts || options_.use_cover_cuts ||
+      options_.gomory_rounds > 0 || options_.odd_cycle_cuts;
   const bool run_root_loop =
       (options_.cut_rounds > 0 && cuts_enabled) || options_.use_rc_fixing;
   double root_bound = -lp::kInfinity;
@@ -1475,6 +1621,24 @@ Solution Solver::solve_impl(const Model& input,
             ctx.cover_separated.fetch_add(
                 static_cast<long long>(covers.size()));
             for (Cut& c : covers) pool.add(std::move(c));
+          }
+          if (options_.odd_cycle_cuts) {
+            auto cycles = separate_odd_cycle_cuts(
+                graph, x, kCutViolationEps, options_.max_cuts_per_round);
+            ctx.odd_cycle_separated.fetch_add(
+                static_cast<long long>(cycles.size()));
+            for (Cut& c : cycles) pool.add(std::move(c));
+          }
+          if (round < options_.gomory_rounds) {
+            // Tableau rows come straight off the root LP's warm LU factors
+            // (one BTRAN per fractional integer basic). Shifts go against
+            // the ROOT bounds, so the cuts stay valid pool-wide.
+            auto gmi = separate_gomory_cuts(*root_lp, reduced, x,
+                                            ctx.root_lb, ctx.root_ub,
+                                            kCutViolationEps,
+                                            options_.max_cuts_per_round);
+            ctx.gomory_separated.fetch_add(static_cast<long long>(gmi.size()));
+            for (Cut& c : gmi) pool.add(std::move(c));
           }
           const std::vector<Cut> taken = pool.take_violated(
               x, kCutViolationEps, options_.max_cuts_per_round);
@@ -1667,6 +1831,9 @@ Solution Solver::solve_impl(const Model& input,
             reduced.set_bounds(c.v, nlo, nhi);
             sb.set_variable_bounds(c.v, nlo, nhi);
             ++sol.stats.strong_branch_fixed;
+            // A fixed variable is never branched on again: drop its seeded
+            // history so it cannot skew the global pseudocost averages.
+            pcstore.purge(c.v);
             fixed_here = true;
             break;  // the base moved; re-solve before probing further
           }
@@ -1737,7 +1904,9 @@ Solution Solver::solve_impl(const Model& input,
   }
 
   ctx.cut_model = &reduced;
-  ctx.graph = options_.use_clique_cuts ? &graph : nullptr;
+  ctx.graph = (options_.use_clique_cuts || options_.odd_cycle_cuts)
+                  ? &graph
+                  : nullptr;
   ctx.cut_pool = cuts_enabled ? &pool : nullptr;
   ctx.root_applied_cuts = pool.applied().size();
   if (restored != nullptr && cuts_enabled) {
@@ -1748,8 +1917,8 @@ Solution Solver::solve_impl(const Model& input,
       Cut cut;
       cut.terms = c.terms;
       cut.rhs = c.rhs;
-      cut.cut_class =
-          c.cut_class == 0 ? CutClass::kClique : CutClass::kCover;
+      // validate_checkpoint already capped cut_class at kOddCycle.
+      cut.cut_class = static_cast<CutClass>(c.cut_class);
       pool.restore_applied(std::move(cut));
     }
   }
@@ -1896,13 +2065,20 @@ Solution Solver::solve_impl(const Model& input,
   sol.stats.lp_aborted_solves = ctx.lp_stats.aborted_solves;
   sol.stats.cuts_clique_separated = ctx.clique_separated.load();
   sol.stats.cuts_cover_separated = ctx.cover_separated.load();
+  sol.stats.cuts_gomory_separated = ctx.gomory_separated.load();
+  sol.stats.cuts_odd_cycle_separated = ctx.odd_cycle_separated.load();
   for (const Cut& c : pool.applied()) {
-    if (c.cut_class == CutClass::kClique)
-      ++sol.stats.cuts_clique_applied;
-    else
-      ++sol.stats.cuts_cover_applied;
+    switch (c.cut_class) {
+      case CutClass::kClique: ++sol.stats.cuts_clique_applied; break;
+      case CutClass::kCover: ++sol.stats.cuts_cover_applied; break;
+      case CutClass::kGomory: ++sol.stats.cuts_gomory_applied; break;
+      case CutClass::kOddCycle: ++sol.stats.cuts_odd_cycle_applied; break;
+    }
   }
   sol.stats.cuts_aged_out = pool.aged_out();
+  sol.stats.reliability_probed = ctx.reliability_probed.load();
+  sol.stats.reliability_fixed = ctx.reliability_fixed.load();
+  sol.stats.reliability_tightened = ctx.reliability_tightened.load();
   sol.stats.rc_fixed_root = rc_fixed_root;
   sol.stats.rc_fixed_incumbent = ctx.rc_fixed_incumbent;
 

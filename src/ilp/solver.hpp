@@ -86,6 +86,21 @@ struct Options {
   bool use_probing = true;
   /// Reduced-cost fixing at the root and at incumbent improvements.
   bool use_rc_fixing = true;
+  /// Rounds of Gomory mixed-integer separation inside the root cut loop
+  /// (`--gomory N`, 0 disables the class). Tableau rows are read straight
+  /// off the LU factors — one BTRAN per fractional integer basic — so the
+  /// first few rounds are where the class pays; deeper rounds mostly
+  /// produce dense, rejected rows. Off by default: on the built-in HLS
+  /// circuits the warm-dual/devex path proves optima in fewer nodes
+  /// without the extra rows (the bench A/B pair keeps the trade-off
+  /// measured); the class pays on weaker configurations (dantzig pricing,
+  /// primal-only re-solves) and on general MPS/LP input.
+  int gomory_rounds = 0;
+  /// Separate lifted odd-cycle cuts from the conflict graph
+  /// (`--odd-cycle 0|1`). Shares the clique machinery's graph; enabling
+  /// either class builds it. Off by default for the same measured reason
+  /// as `gomory_rounds`.
+  bool odd_cycle_cuts = false;
   /// In-tree separation every N nodes per worker (0 disables).
   int cut_node_interval = 16;
   /// Cut-pool capacity; least-active unapplied cuts are evicted beyond it.
@@ -166,6 +181,18 @@ struct Options {
   /// worker's branching. Strong-branch seeds count as `pseudocost_reliability`
   /// observations, so probed variables are reliable from node one.
   int pseudocost_reliability = 2;
+  /// Global budget of in-tree reliability probes (`--rel-probes N`, 0
+  /// disables). At a node whose branching candidates still have fewer than
+  /// `pseudocost_reliability` observations, workers run iteration-capped
+  /// dual-simplex probes on the node's warm basis — the same bounded
+  /// probes as root strong branching, recorded at full reliability weight
+  /// — drawing from this shared budget. The per-node allowance decays
+  /// with depth (see reliability_probe_allowance): probes near the root
+  /// steer the whole subtree, probes at depth 20 steer almost nothing. An
+  /// infeasible probe direction tightens the variable the other way —
+  /// globally when the node carries no local bound changes (exactly the
+  /// root pass's fixing), node-locally otherwise.
+  int reliability_probe_budget = 64;
   // --- solve lifecycle (util::SolveController) ---
   /// Memory budget in bytes for the search bookkeeping (node pool + cut
   /// pool, cooperatively accounted; 0 = unlimited). Past 3/4 of the budget
@@ -236,8 +263,12 @@ struct Stats {
   // --- cutting planes ---
   long long cuts_clique_separated = 0;  ///< clique cuts found (pre-dedup)
   long long cuts_cover_separated = 0;   ///< cover cuts found (pre-dedup)
+  long long cuts_gomory_separated = 0;  ///< Gomory MI cuts found (pre-dedup)
+  long long cuts_odd_cycle_separated = 0;  ///< odd-cycle cuts (pre-dedup)
   int cuts_clique_applied = 0;          ///< clique cuts appended to LPs
   int cuts_cover_applied = 0;           ///< cover cuts appended to LPs
+  int cuts_gomory_applied = 0;          ///< Gomory MI cuts appended to LPs
+  int cuts_odd_cycle_applied = 0;       ///< odd-cycle cuts appended to LPs
   long long cuts_aged_out = 0;          ///< pool evictions (inactivity)
   // --- reduced-cost fixing ---
   int rc_fixed_root = 0;       ///< bound tightenings at the root
@@ -306,6 +337,10 @@ struct Stats {
   // --- root strong branching (seeds the shared pseudocost store) ---
   int strong_branch_probed = 0;  ///< bounded probe re-solves performed
   int strong_branch_fixed = 0;   ///< variables fixed by an infeasible probe
+  // --- in-tree reliability branching (Options::reliability_probe_budget) ---
+  long long reliability_probed = 0;  ///< bounded in-tree probe re-solves
+  int reliability_fixed = 0;  ///< global fixings from infeasible probes
+  int reliability_tightened = 0;  ///< node-local tightenings from probes
   // --- numerical-recovery escalation ladder, summed over workers (see
   // lp::SimplexSolver::Stats) ---
   long long lp_recovery_refactorize = 0;  ///< rung 0 recoveries
@@ -414,5 +449,14 @@ class Solver {
 
 /// Human-readable status name for logs and bench tables.
 std::string to_string(SolveStatus status);
+
+/// Per-node allowance of in-tree reliability probes: the shallower the
+/// node, the more of the remaining global budget it may spend (a probe at
+/// depth 0 steers the whole tree; one at depth 10+ steers almost nothing).
+/// Exactly min(remaining, 16 >> (depth/2)), i.e. 16 at depths 0-1, halving
+/// every two levels, 0 from depth 10 on — pinned by
+/// tests/ilp/branching_test.cpp so the decay schedule is a contract, not
+/// an implementation detail.
+[[nodiscard]] int reliability_probe_allowance(long long remaining, int depth);
 
 }  // namespace advbist::ilp

@@ -1284,13 +1284,13 @@ double SimplexSolver::reduced_cost(int col, const std::vector<double>& y,
 }
 
 double SimplexSolver::infeasibility() const {
-  double total = 0.0;
+  double worst = 0.0;
   for (int i = 0; i < m_; ++i) {
     const int col = basis_[i];
-    if (x_[col] < lb_[col]) total += lb_[col] - x_[col];
-    if (x_[col] > ub_[col]) total += x_[col] - ub_[col];
+    if (x_[col] < lb_[col]) worst = std::max(worst, lb_[col] - x_[col]);
+    if (x_[col] > ub_[col]) worst = std::max(worst, x_[col] - ub_[col]);
   }
-  return total;
+  return worst;
 }
 
 int SimplexSolver::price_column(int j, const std::vector<double>& y,
@@ -2132,6 +2132,13 @@ LpResult SimplexSolver::solve_dual() {
   compute_basic_values();
 
   constexpr int kDualDegenerateCap = 2000;
+  // Stall cap: a healthy warm dual re-solve finishes in a small multiple of
+  // the basis dimension. Far past that the incrementally maintained reduced
+  // costs are oscillating on noise (thetas small enough to go nowhere, big
+  // enough to dodge the degeneracy counter) — burning the remaining
+  // iteration budget proves nothing, so hand the basis to the primal path
+  // while there is still budget left for it to finish honestly.
+  const long long dual_stall_cap = 2000 + 20LL * (m_ + n_);
   bool infeasibility_reverified = false;
 
   for (;;) {
@@ -2163,6 +2170,7 @@ LpResult SimplexSolver::solve_dual() {
     const int rc = iterate_dual();
     if (rc == 0) {
       if (degenerate_run_ > kDualDegenerateCap) return fallback();
+      if (iter_dual_ > dual_stall_cap) return fallback();
       infeasibility_reverified = false;
       continue;
     }
@@ -2367,6 +2375,57 @@ std::vector<double> SimplexSolver::dense_basis_for_testing() const {
     }
   }
   return b;
+}
+
+bool SimplexSolver::tableau_row(int pos, std::vector<double>& alpha,
+                                double& beta) const {
+  if (!has_basis_ || pos < 0 || pos >= m_) return false;
+  // rho' = e_pos' B^-1: one BTRAN of a unit vector; rho is indexed by
+  // original row, so alpha'_j = rho . (scaled column j).
+  std::vector<double> cb(m_, 0.0);
+  cb[pos] = 1.0;
+  std::vector<double> rho;
+  btran(cb, rho);
+  alpha.assign(static_cast<std::size_t>(n_) + m_, 0.0);
+  for (int j = 0; j < n_; ++j) {
+    double a = 0.0;
+    for (int p = col_start_[j]; p < col_start_[j + 1]; ++p)
+      a += rho[col_row_[p]] * col_val_[p];
+    alpha[j] = a;
+  }
+  for (int r = 0; r < m_; ++r) alpha[static_cast<std::size_t>(n_) + r] = rho[r];
+  const int b = basis_[pos];
+  // The row's constant is rho . rhs (NOT the basic variable's current
+  // value, which also folds in the nonbasic columns at their bounds).
+  beta = 0.0;
+  for (int r = 0; r < m_; ++r) beta += rho[r] * rhs_[r];
+  if (scaling_active_) {
+    // Original variable j relates to its scaled twin by x_j = C_j x'_j with
+    // C_j = col_scale_[j] for structurals and 1/row_scale_[r] for slack r
+    // (s'_r = R_r s_r). Dividing the scaled tableau row through by the
+    // basic variable's factor C_B gives alpha_j = alpha'_j C_B / C_j and
+    // beta = C_B beta' — all power-of-two multiplies, so exact.
+    const double cB = b < n_ ? col_scale_[b] : 1.0 / row_scale_[b - n_];
+    for (int j = 0; j < n_; ++j) alpha[j] *= cB / col_scale_[j];
+    for (int r = 0; r < m_; ++r)
+      alpha[static_cast<std::size_t>(n_) + r] *= cB * row_scale_[r];
+    beta *= cB;
+  }
+  alpha[b] = 1.0;  // B^-1 B = I exactly; overwrite the ~1 numeric value
+  return true;
+}
+
+void SimplexSolver::original_row(int row, std::vector<Term>& terms,
+                                 double& rhs) const {
+  ADVBIST_REQUIRE(row >= 0 && row < m_, "original_row index");
+  terms.clear();
+  for (int p = row_start_[row]; p < row_start_[row + 1]; ++p) {
+    const int col = row_col_[p];
+    double v = row_val_[p];
+    if (scaling_active_) v /= row_scale_[row] * col_scale_[col];
+    terms.push_back({col, v});
+  }
+  rhs = scaling_active_ ? rhs_[row] / row_scale_[row] : rhs_[row];
 }
 
 }  // namespace advbist::lp

@@ -326,6 +326,50 @@ class SimplexSolver {
   /// Current number of constraint rows (grows with add_rows).
   [[nodiscard]] int num_added_rows() const { return m_ - initial_m_; }
 
+  // --- tableau access (Gomory cut separation, tests/lp/tableau_test.cpp) ---
+  //
+  // Column indexing for the tableau API: columns [0, num_structural()) are
+  // the structural variables, columns [num_structural(), num_structural() +
+  // num_rows()) are the row slacks (slack of row r at num_structural() + r).
+  // All values are reported in ORIGINAL (unscaled) units; the power-of-two
+  // scale factors make the unscaling exact.
+
+  /// Number of structural variables (slack columns start here).
+  [[nodiscard]] int num_structural() const { return n_; }
+
+  /// Nonbasic-at-lower (0) / nonbasic-at-upper (1) / basic (2) status of a
+  /// tableau column (structural or slack). Meaningful after a solve.
+  [[nodiscard]] int column_status(int col) const { return vstat_[col]; }
+
+  /// Bounds of a tableau column in original units. For structurals this is
+  /// variable_lower/upper; a slack's bounds encode its row's sense
+  /// ([0,inf) for <=, (-inf,0] for >=, [0,0] for =) and are invariant
+  /// under scaling (0 and +-inf scale to themselves).
+  [[nodiscard]] double tableau_column_lower(int col) const {
+    return col < n_ ? variable_lower(col) : lb_[col];
+  }
+  [[nodiscard]] double tableau_column_upper(int col) const {
+    return col < n_ ? variable_upper(col) : ub_[col];
+  }
+
+  /// Simplex tableau row of basis position `pos` (the row whose basic
+  /// variable is basis()[pos]): writes alpha (size num_structural() +
+  /// num_rows(), original units) with the row of B^-1 [A I] and beta with
+  /// the row's constant e_pos' B^-1 b, i.e.  sum_j alpha_j x_j = beta
+  /// holds at EVERY solution of the constraint system (so x_B(pos) =
+  /// beta - sum over nonbasic j of alpha_j x_j). alpha of the basic
+  /// variable itself is set to exactly 1; other basic columns carry only
+  /// factorization noise. One BTRAN of a unit vector per call. Returns
+  /// false when no factorized basis exists or `pos` is out of range.
+  bool tableau_row(int pos, std::vector<double>& alpha, double& beta) const;
+
+  /// Constraint row `row` of the CURRENT LP (model rows and appended cut
+  /// rows alike) in original units: terms over structural variables plus
+  /// the right-hand side, so callers can substitute the row's slack
+  /// s_row = rhs - a.x when translating tableau cuts back to structural
+  /// space.
+  void original_row(int row, std::vector<Term>& terms, double& rhs) const;
+
   /// Solves the LP relaxation (minimization) through the primal path:
   /// composite phase 1 repairs any warm-start infeasibility, phase 2
   /// optimizes.
@@ -516,6 +560,13 @@ class SimplexSolver {
 
   [[nodiscard]] double reduced_cost(int col, const std::vector<double>& y,
                                     const std::vector<double>& cost) const;
+  /// LARGEST single bound violation over the basic variables (not the sum:
+  /// phase-1 costs, the dual pricing loop and the ratio test all deadband
+  /// per row at feas_tol, so the feasibility verdict must grade on the same
+  /// per-row scale — a long warm-start trajectory legitimately accumulates
+  /// many sub-tolerance residuals whose SUM crosses any fixed threshold,
+  /// and phase 1, seeing no costed column, would certify a feasible LP
+  /// infeasible).
   [[nodiscard]] double infeasibility() const;
 
   /// Pricing helper: eligibility of nonbasic column j under `cost`/duals

@@ -47,7 +47,14 @@
 //                  benchmarks solve bit-identically either way.
 //
 // Cut-and-bound knobs (all commands that solve):
-//   --cuts 0|1       clique + cover cutting planes (default 1)
+//   --cuts 0|1       master cut switch (default 1); 0 silences every
+//                    separator class (clique, cover, Gomory, odd-cycle)
+//   --gomory N       Gomory mixed-integer cut separation rounds read off the
+//                    LU factors at fractional LP optima (default 0 = off:
+//                    on the built-in circuits the warm-dual path wins
+//                    without them; they pay on weaker configurations)
+//   --odd-cycle 0|1  lifted odd-cycle cuts from the conflict graph
+//                    (default 0, same measured reason as --gomory)
 //   --cut-rounds N   root separation rounds (default 8)
 //   --cut-interval N in-tree separation every N nodes, 0 = off (default 16)
 //   --max-cuts N     cuts applied per separation round (default 64)
@@ -57,6 +64,10 @@
 // Branching knobs (all commands that solve):
 //   --strong-branch N  fractional root variables probed by strong branching
 //                      to seed the shared pseudocosts (default 12, 0 = off)
+//   --rel-probes N     global budget of in-tree reliability probes: bounded
+//                      dual-simplex strong branching at nodes whose pick is
+//                      still below the pseudocost reliability threshold,
+//                      allowance decaying with depth (default 64, 0 = off)
 //
 // Solve-lifecycle knobs (all commands that solve):
 //   --mem-limit MB   cooperative memory budget for the node + cut pools;
@@ -136,7 +147,8 @@ int usage() {
                "[--refactor N] [--mtol X] [--dense-lu] [--dual 0|1] "
                "[--dual-pricing dantzig|devex|se] [--hypersparse 0|1] "
                "[--row-age N] "
-               "[--strong-branch N] [--cuts 0|1] "
+               "[--strong-branch N] [--rel-probes N] [--cuts 0|1] "
+               "[--gomory N] [--odd-cycle 0|1] "
                "[--cut-rounds N] [--cut-interval N] [--max-cuts N] "
                "[--probing 0|1] [--rcfix 0|1] [--mem-limit MB] [--no-audit] "
                "[--checkpoint F] [--resume F] [--ckpt-interval S] "
@@ -296,6 +308,14 @@ int cmd_solve(int argc, char** argv) {
       const int v = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
       if (end == nullptr || *end != '\0' || v < 0) return usage();
       opt.strong_branch_vars = v;
+    } else if (std::strcmp(argv[i], "--gomory") == 0) {
+      const int v = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || v < 0) return usage();
+      opt.gomory_rounds = v;
+    } else if (std::strcmp(argv[i], "--rel-probes") == 0) {
+      const int v = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || v < 0) return usage();
+      opt.reliability_probe_budget = v;
     } else if (std::strcmp(argv[i], "--dual-pricing") == 0) {
       if (!lp::parse_dual_pricing(argv[i + 1], opt.lp_dual_pricing))
         return usage();
@@ -313,6 +333,7 @@ int cmd_solve(int argc, char** argv) {
                std::strcmp(argv[i], "--probing") == 0 ||
                std::strcmp(argv[i], "--rcfix") == 0 ||
                std::strcmp(argv[i], "--dual") == 0 ||
+               std::strcmp(argv[i], "--odd-cycle") == 0 ||
                std::strcmp(argv[i], "--hypersparse") == 0) {
       const char* val = argv[i + 1];
       if (std::strcmp(val, "0") != 0 && std::strcmp(val, "1") != 0) {
@@ -322,15 +343,19 @@ int cmd_solve(int argc, char** argv) {
       const bool on = val[0] == '1';
       if (argv[i][2] == 's') opt.lp_scaling = on;
       else if (argv[i][2] == 'c') {
+        // Master cut switch: 0 silences every separator class.
         opt.use_clique_cuts = on;
         opt.use_cover_cuts = on;
         if (!on) {
           opt.cut_rounds = 0;
           opt.cut_node_interval = 0;
+          opt.gomory_rounds = 0;
+          opt.odd_cycle_cuts = false;
         }
       } else if (argv[i][2] == 'p') opt.use_probing = on;
       else if (argv[i][2] == 'd') opt.lp_dual_simplex = on;
       else if (argv[i][2] == 'h') opt.lp_hypersparse = on;
+      else if (argv[i][2] == 'o') opt.odd_cycle_cuts = on;
       else opt.use_rc_fixing = on;
     } else {
       return usage();
@@ -430,6 +455,9 @@ int main(int argc, char** argv) {
   int cut_rounds = -1;
   int cut_interval = -1;
   int max_cuts = -1;
+  int gomory = -1;      // -1: keep the solver default
+  int odd_cycle = -1;   // -1: keep the solver default
+  int rel_probes = -1;  // -1: keep the solver default
   int probing = -1;
   int rcfix = -1;
   int scale = -1;  // -1: keep the solver default (scaling on)
@@ -479,6 +507,7 @@ int main(int argc, char** argv) {
              std::strcmp(argv[i], "--rcfix") == 0 ||
              std::strcmp(argv[i], "--dual") == 0 ||
              std::strcmp(argv[i], "--scale") == 0 ||
+             std::strcmp(argv[i], "--odd-cycle") == 0 ||
              std::strcmp(argv[i], "--hypersparse") == 0) {
       const char* val = argv[i + 1];
       if (std::strcmp(val, "0") != 0 && std::strcmp(val, "1") != 0) {
@@ -491,7 +520,20 @@ int main(int argc, char** argv) {
       else if (argv[i][2] == 'd') dual = on;
       else if (argv[i][2] == 'h') hypersparse = on;
       else if (argv[i][2] == 's') scale = on;
+      else if (argv[i][2] == 'o') odd_cycle = on;
       else rcfix = on;
+    }
+    else if (std::strcmp(argv[i], "--gomory") == 0 ||
+             std::strcmp(argv[i], "--rel-probes") == 0) {
+      // 0 is a meaningful disable for both.
+      char* end = nullptr;
+      const int v = static_cast<int>(std::strtol(argv[i + 1], &end, 10));
+      if (end == nullptr || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "advbist: %s wants an integer >= 0\n", argv[i]);
+        return usage();
+      }
+      if (argv[i][2] == 'g') gomory = v;
+      else rel_probes = v;
     }
     else if (std::strcmp(argv[i], "--dual-pricing") == 0) {
       lp::DualPricing parsed;
@@ -588,10 +630,16 @@ int main(int argc, char** argv) {
       options.solver.use_cover_cuts = false;
       options.solver.cut_rounds = 0;
       options.solver.cut_node_interval = 0;
+      options.solver.gomory_rounds = 0;
+      options.solver.odd_cycle_cuts = false;
     }
     if (cut_rounds >= 0) options.solver.cut_rounds = cut_rounds;
     if (cut_interval >= 0) options.solver.cut_node_interval = cut_interval;
     if (max_cuts > 0) options.solver.max_cuts_per_round = max_cuts;
+    if (gomory >= 0) options.solver.gomory_rounds = gomory;
+    if (odd_cycle >= 0) options.solver.odd_cycle_cuts = odd_cycle == 1;
+    if (rel_probes >= 0)
+      options.solver.reliability_probe_budget = rel_probes;
     if (probing >= 0) options.solver.use_probing = probing == 1;
     if (rcfix >= 0) options.solver.use_rc_fixing = rcfix == 1;
     if (scale >= 0) options.solver.lp_scaling = scale == 1;
@@ -659,14 +707,24 @@ int main(int argc, char** argv) {
             "     branching: %d strong-branch probes seeded the shared "
             "pseudocosts (%d variables fixed by infeasible probes)\n",
             st.strong_branch_probed, st.strong_branch_fixed);
-      if (st.cuts_clique_applied + st.cuts_cover_applied > 0 ||
+      if (st.reliability_probed > 0)
+        std::printf(
+            "     reliability: %lld in-tree probes on unreliable pseudocosts "
+            "(%d variables fixed, %d bounds tightened)\n",
+            st.reliability_probed, st.reliability_fixed,
+            st.reliability_tightened);
+      if (st.cuts_clique_applied + st.cuts_cover_applied +
+                  st.cuts_gomory_applied + st.cuts_odd_cycle_applied >
+              0 ||
           st.probing_fixed > 0 || st.rc_fixed_root + st.rc_fixed_incumbent > 0)
         std::printf(
-            "     cuts: %d clique + %d cover applied (%lld/%lld separated, "
-            "%lld aged out), probing fixed %d of %d probed, rc fixed %d+%d, "
-            "root gap closed %.0f%%\n",
+            "     cuts: %d clique + %d cover + %d gomory + %d odd-cycle "
+            "applied (%lld/%lld/%lld/%lld separated, %lld aged out), probing "
+            "fixed %d of %d probed, rc fixed %d+%d, root gap closed %.0f%%\n",
             st.cuts_clique_applied, st.cuts_cover_applied,
+            st.cuts_gomory_applied, st.cuts_odd_cycle_applied,
             st.cuts_clique_separated, st.cuts_cover_separated,
+            st.cuts_gomory_separated, st.cuts_odd_cycle_separated,
             st.cuts_aged_out, st.probing_fixed, st.probing_probed,
             st.rc_fixed_root, st.rc_fixed_incumbent,
             100.0 * st.root_gap_closed);

@@ -1,12 +1,17 @@
 // Cutting-plane validity and determinism.
 //
 // The fuzzer enumerates every integer-feasible point of small random 0/1
-// models and asserts that no separated clique or lifted cover cut excludes
-// any of them — the one property that keeps branch & cut exact. The
-// remaining suites pin the cut pool's dedup/aging contract, the simplex's
-// incremental row append against a from-scratch solver, and that cuts,
-// probing and reduced-cost fixing do not change the proven optimum of the
-// paper's circuits at any thread count.
+// models and asserts that no separated cut — from ANY registered separator
+// class (clique, lifted cover, Gomory mixed-integer, lifted odd-cycle) —
+// excludes any of them: the one property that keeps branch & cut exact.
+// Each seed also runs an ill-conditioned variant (rows spread by powers of
+// two up to 2^±9), and the whole sweep repeats with LP scaling on and off,
+// since the Gomory separator reads tableau rows off the live LU factors and
+// must emit identical-validity cuts in both regimes. The remaining suites
+// pin the cut pool's dedup/aging contract, the simplex's incremental row
+// append against a from-scratch solver, and that cuts, probing and
+// reduced-cost fixing do not change the proven optimum of the paper's
+// circuits at any thread count.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -31,7 +36,14 @@ using lp::Model;
 using lp::Sense;
 using lp::Term;
 
-Model random_binary_model(std::uint64_t seed, int* out_n = nullptr) {
+// `pow2_spread` multiplies each row (both sides) by a random power of two
+// in [2^-9, 2^9]. The factors are exact in floating point, so the feasible
+// set is bit-identical to the unspread model while the coefficient range
+// spans ~6 orders of magnitude — the ill-conditioning regime the Gomory
+// separator's power-of-two normalization and the LP's scaling pass exist
+// for.
+Model random_binary_model(std::uint64_t seed, int* out_n = nullptr,
+                          bool pow2_spread = false) {
   util::Rng rng(seed);
   Model m;
   const int n = rng.next_int(5, 10);
@@ -39,22 +51,24 @@ Model random_binary_model(std::uint64_t seed, int* out_n = nullptr) {
   for (int v = 0; v < n; ++v) m.add_binary(rng.next_int(-9, 9), "");
   const int rows = rng.next_int(3, 7);
   for (int c = 0; c < rows; ++c) {
+    const double scale =
+        pow2_spread ? std::ldexp(1.0, rng.next_int(-9, 9)) : 1.0;
     LinExpr e;
     bool nonzero = false;
     for (int v = 0; v < n; ++v) {
       const int coeff = rng.next_int(-3, 3);
       if (coeff != 0) {
-        e.add(v, coeff);
+        e.add(v, coeff * scale);
         nonzero = true;
       }
     }
-    if (!nonzero) e.add(0, 1.0);
+    if (!nonzero) e.add(0, scale);
     const int sense = rng.next_int(0, 5);
     m.add_constraint(std::move(e),
                      sense <= 2   ? Sense::kLessEqual
                      : sense <= 4 ? Sense::kGreaterEqual
                                   : Sense::kEqual,
-                     rng.next_int(0, 4));
+                     rng.next_int(0, 4) * scale);
   }
   return m;
 }
@@ -72,55 +86,149 @@ std::vector<std::vector<double>> enumerate_feasible(const Model& m) {
 
 // ---------------------------------------------------------------------------
 // Validity fuzzer: separated cuts never exclude an integer-feasible point.
+// Separator-agnostic: every registered cut class flows through one harness,
+// so adding a separator means adding a batch, not a new fuzzer.
 // ---------------------------------------------------------------------------
 
-TEST(CutsFuzzer, NoSeparatedCutExcludesAFeasiblePoint) {
-  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
-    int n = 0;
-    const Model m = random_binary_model(seed, &n);
-    const std::vector<std::vector<double>> feasible = enumerate_feasible(m);
+// One separator invocation: the cuts it returned, the fractional point its
+// violation claim refers to, and the class every cut must be tagged with.
+struct SeparatedBatch {
+  const char* separator;
+  CutClass expected_class;
+  std::vector<Cut> cuts;
+  std::vector<double> point;
+};
 
-    // Conflict graph from the rows plus probing implications.
-    ConflictGraph graph(n);
-    graph.add_from_rows(m, {});
-    Model probed = m;
-    const ProbingResult probe = probe_binaries(probed, {}, graph);
-    graph.finalize();
-    if (probe.infeasible) {
-      EXPECT_TRUE(feasible.empty()) << "seed " << seed;
-      continue;
-    }
-    // Probing fixings must keep every feasible point.
-    for (const auto& pt : feasible)
-      for (int v = 0; v < n; ++v) {
-        EXPECT_GE(pt[v], probed.variable(v).lower - 1e-9)
-            << "seed " << seed << " var " << v;
-        EXPECT_LE(pt[v], probed.variable(v).upper + 1e-9)
-            << "seed " << seed << " var " << v;
+// Per-class production counters so a sweep that silently separated nothing
+// for some class fails loudly instead of passing vacuously.
+struct SeparatorCounts {
+  long long clique = 0;
+  long long cover = 0;
+  long long gomory = 0;
+  long long odd_cycle = 0;
+};
+
+// Runs every separator over `seeds` random 0/1 models (plus an
+// ill-conditioned power-of-two-spread variant per seed) and checks the
+// two-sided contract on each returned cut: violated at the separating
+// point, satisfied by every integer-feasible point. Clique, cover and
+// odd-cycle separate at uniform random fractional points; Gomory reads
+// tableau rows off an optimal basis, so each trial solves the binary
+// relaxation under a fresh randomized objective (with `lp_scaling` toggling
+// the simplex's internal power-of-two scaling) and separates at the LP
+// optimum.
+void fuzz_all_separators(bool lp_scaling, std::uint64_t seeds,
+                         SeparatorCounts* counts) {
+  for (const bool spread : {false, true}) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      int n = 0;
+      const Model m = random_binary_model(seed, &n, spread);
+      const std::vector<std::vector<double>> feasible = enumerate_feasible(m);
+
+      // Conflict graph from the rows plus probing implications.
+      ConflictGraph graph(n);
+      graph.add_from_rows(m, {});
+      Model probed = m;
+      const ProbingResult probe = probe_binaries(probed, {}, graph);
+      graph.finalize();
+      if (probe.infeasible) {
+        EXPECT_TRUE(feasible.empty()) << "seed " << seed;
+        continue;
       }
+      // Probing fixings must keep every feasible point.
+      for (const auto& pt : feasible)
+        for (int v = 0; v < n; ++v) {
+          EXPECT_GE(pt[v], probed.variable(v).lower - 1e-9)
+              << "seed " << seed << " var " << v;
+          EXPECT_LE(pt[v], probed.variable(v).upper + 1e-9)
+              << "seed " << seed << " var " << v;
+        }
 
-    util::Rng rng(seed * 7919 + 1);
-    for (int trial = 0; trial < 6; ++trial) {
-      std::vector<double> x(n);
-      for (int v = 0; v < n; ++v) x[v] = rng.next_double();
+      const std::vector<double> global_lb(n, 0.0);
+      const std::vector<double> global_ub(n, 1.0);
+      util::Rng rng(seed * 7919 + (spread ? 13 : 1));
+      for (int trial = 0; trial < 4; ++trial) {
+        std::vector<double> x(n);
+        for (int v = 0; v < n; ++v) x[v] = rng.next_double();
 
-      std::vector<Cut> cuts;
-      for (const auto& lits : graph.separate_cliques(x, 1e-4, 50))
-        cuts.push_back(clique_cut_from_literals(lits));
-      for (Cut& c : separate_cover_cuts(m, {}, x, 1e-4, 50))
-        cuts.push_back(std::move(c));
+        std::vector<SeparatedBatch> batches;
+        {
+          SeparatedBatch b{"clique", CutClass::kClique, {}, x};
+          for (const auto& lits : graph.separate_cliques(x, 1e-4, 50))
+            b.cuts.push_back(clique_cut_from_literals(lits));
+          batches.push_back(std::move(b));
+        }
+        batches.push_back({"cover", CutClass::kCover,
+                           separate_cover_cuts(m, {}, x, 1e-4, 50), x});
+        batches.push_back({"odd-cycle", CutClass::kOddCycle,
+                           separate_odd_cycle_cuts(graph, x, 1e-4, 50), x});
+        {
+          // Gomory needs an optimal basis: re-solve the relaxation under a
+          // randomized objective so successive trials land on different
+          // vertices (many of them fractional).
+          Model lpm = m;
+          for (int v = 0; v < n; ++v)
+            lpm.set_objective(v, rng.next_int(-8, 8) + rng.next_double());
+          lp::SimplexOptions so;
+          so.scaling = lp_scaling;
+          lp::SimplexSolver solver(lpm, so);
+          const lp::LpResult r = solver.solve();
+          if (r.status == lp::LpStatus::kOptimal)
+            batches.push_back({"gomory", CutClass::kGomory,
+                               separate_gomory_cuts(solver, lpm, r.x,
+                                                    global_lb, global_ub,
+                                                    1e-4, 50),
+                               r.x});
+        }
 
-      for (const Cut& cut : cuts) {
-        // Each reported cut must actually be violated at x...
-        EXPECT_GT(cut.violation(x), 1e-4) << "seed " << seed;
-        // ...and satisfied by every integer-feasible point.
-        for (const auto& pt : feasible)
-          EXPECT_LE(cut.activity(pt), cut.rhs + 1e-6)
-              << "seed " << seed << " trial " << trial << " cut class "
-              << static_cast<int>(cut.cut_class);
+        for (const SeparatedBatch& batch : batches) {
+          if (counts != nullptr) {
+            const long long found = static_cast<long long>(batch.cuts.size());
+            switch (batch.expected_class) {
+              case CutClass::kClique: counts->clique += found; break;
+              case CutClass::kCover: counts->cover += found; break;
+              case CutClass::kGomory: counts->gomory += found; break;
+              case CutClass::kOddCycle: counts->odd_cycle += found; break;
+            }
+          }
+          for (const Cut& cut : batch.cuts) {
+            EXPECT_EQ(static_cast<int>(cut.cut_class),
+                      static_cast<int>(batch.expected_class))
+                << batch.separator << " seed " << seed;
+            // Each reported cut must actually be violated at its point...
+            EXPECT_GT(cut.violation(batch.point), 1e-4)
+                << batch.separator << " seed " << seed << " spread "
+                << spread;
+            // ...and satisfied by every integer-feasible point.
+            for (const auto& pt : feasible)
+              EXPECT_LE(cut.activity(pt), cut.rhs + 1e-6)
+                  << batch.separator << " seed " << seed << " trial "
+                  << trial << " spread " << spread;
+          }
+        }
       }
     }
   }
+}
+
+TEST(SeparatorFuzzer, AllClassesValidWithUnscaledLp) {
+  SeparatorCounts counts;
+  fuzz_all_separators(/*lp_scaling=*/false, /*seeds=*/120, &counts);
+  // The sweep must actually exercise every class — a separator that stops
+  // producing cuts would otherwise pass on an empty conjunction.
+  EXPECT_GT(counts.clique, 0);
+  EXPECT_GT(counts.cover, 0);
+  EXPECT_GT(counts.gomory, 0);
+  EXPECT_GT(counts.odd_cycle, 0);
+}
+
+TEST(SeparatorFuzzer, AllClassesValidWithScaledLp) {
+  SeparatorCounts counts;
+  fuzz_all_separators(/*lp_scaling=*/true, /*seeds=*/120, &counts);
+  EXPECT_GT(counts.clique, 0);
+  EXPECT_GT(counts.cover, 0);
+  EXPECT_GT(counts.gomory, 0);
+  EXPECT_GT(counts.odd_cycle, 0);
 }
 
 TEST(CutsFuzzer, SolverWithCutsMatchesExhaustiveEnumeration) {
@@ -329,6 +437,9 @@ Options cut_determinism_options(const core::Formulation& f, bool cuts) {
     opt.use_cover_cuts = false;
     opt.use_probing = false;
     opt.use_rc_fixing = false;
+    opt.gomory_rounds = 0;
+    opt.odd_cycle_cuts = false;
+    opt.reliability_probe_budget = 0;
     opt.cut_rounds = 0;
     opt.cut_node_interval = 0;
   }
